@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: number of simultaneously tracked active streams.
+ *
+ * The paper configures STMS, Digram, and Domino with four active
+ * streams.  This sweep shows why: one slot thrashes whenever
+ * contexts interleave, two-to-four capture the concurrency of the
+ * server workloads, and more than four adds little.
+ */
+
+#include "bench_common.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const BenchOptions opts = BenchOptions::fromCli(args);
+    const std::string tech = args.get("prefetcher", "Domino");
+    banner("Ablation: active-stream slots (" + tech +
+           ", degree 4)", opts);
+
+    const std::vector<unsigned> slot_counts = {1, 2, 4, 8};
+    std::vector<std::string> headers = {"Workload"};
+    for (const unsigned n : slot_counts)
+        headers.push_back(std::to_string(n) + " slots");
+    TextTable table(headers);
+    std::vector<RunningStat> avg(slot_counts.size());
+
+    for (const auto &wl : selectedWorkloads(opts, args)) {
+        table.newRow();
+        table.cell(wl.name);
+        for (std::size_t i = 0; i < slot_counts.size(); ++i) {
+            FactoryConfig f = defaultFactory(args, 4);
+            f.activeStreams = slot_counts[i];
+            auto pf = makePrefetcher(tech, f);
+            ServerWorkload src(wl, opts.seed, opts.accesses);
+            CoverageSimulator sim;
+            const double cov = sim.run(src, pf.get()).coverage();
+            table.cellPct(cov);
+            avg[i].add(cov);
+        }
+    }
+
+    table.newRow();
+    table.cell("Average");
+    for (std::size_t i = 0; i < slot_counts.size(); ++i)
+        table.cellPct(avg[i].mean());
+
+    emit(table, opts);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 2: average stream length with STMS, Digram, and Sequitur.
+ *
+ * A "stream" is a run of consecutive correct prefetches (for the
+ * prefetchers) or a repeated-rule occurrence (for Sequitur, the
+ * oracle that always picks the longest stream).  Headline shape:
+ * Sequitur streams are much longer than either prefetcher's, and
+ * Digram's two-address lookup picks longer streams than STMS's
+ * single-address lookup.
+ */
+
+#include "bench_common.h"
+#include "sequitur/opportunity.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const BenchOptions opts = BenchOptions::fromCli(args);
+    banner("Figure 2: average stream length", opts);
+
+    TextTable table({"Workload", "STMS", "Digram", "Sequitur"});
+    RunningStat avg_stms, avg_digram, avg_seq;
+
+    for (const auto &wl : selectedWorkloads(opts, args)) {
+        double runlen[2];
+        const char *tech[2] = {"STMS", "Digram"};
+        for (int i = 0; i < 2; ++i) {
+            FactoryConfig f = defaultFactory(args, 1);
+            auto pf = makePrefetcher(tech[i], f);
+            ServerWorkload src(wl, opts.seed, opts.accesses);
+            CoverageSimulator sim;
+            runlen[i] = sim.run(src, pf.get()).meanStreamRun();
+        }
+        ServerWorkload src(wl, opts.seed, opts.accesses);
+        const auto misses = baselineMissSequence(src);
+        const double seq =
+            analyzeOpportunity(misses).meanStreamLength();
+
+        table.newRow();
+        table.cell(wl.name);
+        table.cell(runlen[0]);
+        table.cell(runlen[1]);
+        table.cell(seq);
+        avg_stms.add(runlen[0]);
+        avg_digram.add(runlen[1]);
+        avg_seq.add(seq);
+    }
+
+    table.newRow();
+    table.cell("Average");
+    table.cell(avg_stms.mean());
+    table.cell(avg_digram.mean());
+    table.cell(avg_seq.mean());
+
+    emit(table, opts);
+    return 0;
+}

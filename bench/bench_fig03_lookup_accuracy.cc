@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 3: the fraction of lookups that result in a correct
+ * prediction over all lookups that find a match in the history, as
+ * a function of the number of addresses matched (1..5).
+ *
+ * Headline shape: single-address matches predict poorly; accuracy
+ * rises steeply to two addresses and flattens beyond three.
+ */
+
+#include "bench_common.h"
+#include "prefetch/nlookup.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const BenchOptions opts = BenchOptions::fromCli(args);
+    const unsigned max_depth =
+        static_cast<unsigned>(args.getU64("depth", 5));
+    banner("Figure 3: correct predictions per matched lookup", opts);
+
+    std::vector<std::string> headers = {"Workload"};
+    for (unsigned n = 1; n <= max_depth; ++n)
+        headers.push_back("n=" + std::to_string(n));
+    TextTable table(headers);
+    std::vector<RunningStat> avg(max_depth);
+
+    for (const auto &wl : selectedWorkloads(opts, args)) {
+        ServerWorkload src(wl, opts.seed, opts.accesses);
+        const auto misses = baselineMissSequence(src);
+        NGramAnalyzer analyzer(max_depth);
+        for (const LineAddr m : misses)
+            analyzer.observe(m);
+
+        table.newRow();
+        table.cell(wl.name);
+        for (unsigned n = 1; n <= max_depth; ++n) {
+            const double frac =
+                analyzer.stats(n).correctFraction();
+            table.cellPct(frac);
+            avg[n - 1].add(frac);
+        }
+    }
+
+    table.newRow();
+    table.cell("Average");
+    for (unsigned n = 1; n <= max_depth; ++n)
+        table.cellPct(avg[n - 1].mean());
+
+    emit(table, opts);
+    return 0;
+}

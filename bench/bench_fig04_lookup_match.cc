@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 4: the fraction of lookups that find a match in the
+ * history over all lookups, as a function of the number of
+ * addresses matched (1..5).
+ *
+ * Headline shape: the match rate falls monotonically with depth --
+ * pair-only lookups (Digram) forgo many prefetching opportunities.
+ */
+
+#include "bench_common.h"
+#include "prefetch/nlookup.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const BenchOptions opts = BenchOptions::fromCli(args);
+    const unsigned max_depth =
+        static_cast<unsigned>(args.getU64("depth", 5));
+    banner("Figure 4: lookups that find a match", opts);
+
+    std::vector<std::string> headers = {"Workload"};
+    for (unsigned n = 1; n <= max_depth; ++n)
+        headers.push_back("n=" + std::to_string(n));
+    TextTable table(headers);
+    std::vector<RunningStat> avg(max_depth);
+
+    for (const auto &wl : selectedWorkloads(opts, args)) {
+        ServerWorkload src(wl, opts.seed, opts.accesses);
+        const auto misses = baselineMissSequence(src);
+        NGramAnalyzer analyzer(max_depth);
+        for (const LineAddr m : misses)
+            analyzer.observe(m);
+
+        table.newRow();
+        table.cell(wl.name);
+        for (unsigned n = 1; n <= max_depth; ++n) {
+            const double frac = analyzer.stats(n).matchFraction();
+            table.cellPct(frac);
+            avg[n - 1].add(frac);
+        }
+    }
+
+    table.newRow();
+    table.cell("Average");
+    for (unsigned n = 1; n <= max_depth; ++n)
+        table.cellPct(avg[n - 1].mean());
+
+    emit(table, opts);
+    return 0;
+}

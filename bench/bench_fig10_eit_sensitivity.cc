@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 10: Domino coverage as a function of EIT rows (HT fixed),
+ * plus the entries-per-super-entry ablation called out in
+ * DESIGN.md (--entries-sweep).
+ *
+ * Headline shape: coverage saturates once the EIT holds a
+ * super-entry for every hot trigger address (2 M rows in the
+ * paper; proportionally earlier at bench scale).
+ */
+
+#include "bench_common.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace
+{
+
+void
+entriesSweep(const CliArgs &args, const BenchOptions &opts)
+{
+    TextTable table({"Workload", "entries=1", "entries=2",
+                     "entries=3", "entries=4"});
+    std::vector<RunningStat> avg(4);
+    for (const auto &wl : selectedWorkloads(opts, args)) {
+        table.newRow();
+        table.cell(wl.name);
+        for (unsigned e = 1; e <= 4; ++e) {
+            FactoryConfig f = defaultFactory(args, 4);
+            f.entriesPerSuper = e;
+            auto pf = makePrefetcher("Domino", f);
+            ServerWorkload src(wl, opts.seed, opts.accesses);
+            CoverageSimulator sim;
+            const double cov = sim.run(src, pf.get()).coverage();
+            table.cellPct(cov);
+            avg[e - 1].add(cov);
+        }
+    }
+    table.newRow();
+    table.cell("Average");
+    for (unsigned e = 1; e <= 4; ++e)
+        table.cellPct(avg[e - 1].mean());
+    emit(table, opts);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const BenchOptions opts = BenchOptions::fromCli(args);
+
+    if (args.getBool("entries-sweep")) {
+        banner("Ablation: EIT entries per super-entry", opts);
+        entriesSweep(args, opts);
+        return 0;
+    }
+
+    banner("Figure 10: Domino coverage vs EIT rows", opts);
+
+    std::vector<std::uint64_t> sizes;
+    for (std::uint64_t r = args.getU64("min", 1ULL << 9);
+         r <= args.getU64("max", 1ULL << 17); r <<= 2) {
+        sizes.push_back(r);
+    }
+
+    std::vector<std::string> headers = {"Workload"};
+    for (const auto r : sizes) {
+        headers.push_back(r >= (1ULL << 20)
+            ? std::to_string(r >> 20) + "M rows"
+            : std::to_string(r >> 10) + "K rows");
+    }
+    TextTable table(headers);
+    std::vector<RunningStat> avg(sizes.size());
+
+    for (const auto &wl : selectedWorkloads(opts, args)) {
+        table.newRow();
+        table.cell(wl.name);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            FactoryConfig f = defaultFactory(args, 4);
+            f.eitRows = sizes[i];
+            auto pf = makePrefetcher("Domino", f);
+            ServerWorkload src(wl, opts.seed, opts.accesses);
+            CoverageSimulator sim;
+            const double cov = sim.run(src, pf.get()).coverage();
+            table.cellPct(cov);
+            avg[i].add(cov);
+        }
+    }
+
+    table.newRow();
+    table.cell("Average");
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        table.cellPct(avg[i].mean());
+
+    emit(table, opts);
+    return 0;
+}

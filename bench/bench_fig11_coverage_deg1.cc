@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 11: coverage and overpredictions of VLDP, ISB, STMS,
+ * Digram, Domino and the Sequitur opportunity, prefetching degree 1.
+ *
+ * For all temporal prefetchers except Domino the paper assumes
+ * unlimited history; Domino is limited to 2 M EIT rows / 16 M HT
+ * entries.  Here "unlimited" means sized far beyond the trace.
+ */
+
+#include "coverage_runner.h"
+
+int
+main(int argc, char **argv)
+{
+    const domino::CliArgs args(argc, argv);
+    domino::bench::runCoverageComparison(
+        args, 1, "Figure 11: coverage/overpredictions, degree 1");
+    return 0;
+}

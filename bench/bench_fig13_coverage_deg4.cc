@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Figure 13: coverage and overpredictions of VLDP, ISB, STMS,
+ * Digram and Domino at prefetching degree 4.
+ *
+ * Headline shapes: Domino has the highest coverage; STMS is second
+ * but with roughly 2-3x Domino's overpredictions (the paper reports
+ * Domino's overpredictions at one third of STMS's); Digram has the
+ * fewest overpredictions but the lowest temporal coverage.
+ */
+
+#include "coverage_runner.h"
+
+int
+main(int argc, char **argv)
+{
+    const domino::CliArgs args(argc, argv);
+    domino::bench::runCoverageComparison(
+        args, 4, "Figure 13: coverage/overpredictions, degree 4");
+    return 0;
+}

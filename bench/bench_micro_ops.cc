@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: throughput of the core
+ * operations (EIT update/lookup, prefetcher trigger handling,
+ * Sequitur grammar construction, cache access, trace generation,
+ * full coverage-simulation pipeline).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/coverage.h"
+#include "analysis/factory.h"
+#include "domino/eit.h"
+#include "mem/cache.h"
+#include "sequitur/sequitur.h"
+#include "workloads/server_workload.h"
+
+namespace
+{
+
+using namespace domino;
+
+void
+BM_EitUpdate(benchmark::State &state)
+{
+    EitConfig cfg;
+    cfg.rows = 1 << 16;
+    EnhancedIndexTable eit(cfg);
+    Prng rng(7);
+    std::uint64_t pos = 0;
+    for (auto _ : state) {
+        const LineAddr tag = rng.below(100'000);
+        const LineAddr next = rng.below(100'000);
+        eit.update(tag, next, ++pos);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EitUpdate);
+
+void
+BM_EitLookup(benchmark::State &state)
+{
+    EitConfig cfg;
+    cfg.rows = 1 << 16;
+    EnhancedIndexTable eit(cfg);
+    Prng rng(7);
+    for (int i = 0; i < 100'000; ++i)
+        eit.update(rng.below(100'000), rng.below(100'000), i);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eit.lookup(rng.below(100'000)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EitLookup);
+
+/** A sink that swallows prefetches (trigger-path cost only). */
+class NullSink : public PrefetchSink
+{
+  public:
+    void issue(LineAddr, std::uint32_t, unsigned) override {}
+    void dropStream(std::uint32_t) override {}
+};
+
+void
+BM_PrefetcherTrigger(benchmark::State &state,
+                     const std::string &tech)
+{
+    FactoryConfig f;
+    auto pf = makePrefetcher(tech, f);
+    NullSink sink;
+    Prng rng(11);
+    // A repetitive-but-noisy trigger stream.
+    std::vector<LineAddr> pattern;
+    for (int i = 0; i < 4096; ++i)
+        pattern.push_back(1000 + (i % 512) * 17);
+    std::size_t idx = 0;
+    for (auto _ : state) {
+        TriggerEvent e;
+        e.line = pattern[idx++ & 4095];
+        e.pc = 0x400000 + (idx % 64) * 4;
+        pf->onTrigger(e, sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_PrefetcherTrigger, stms, std::string("STMS"));
+BENCHMARK_CAPTURE(BM_PrefetcherTrigger, digram, std::string("Digram"));
+BENCHMARK_CAPTURE(BM_PrefetcherTrigger, domino, std::string("Domino"));
+BENCHMARK_CAPTURE(BM_PrefetcherTrigger, isb, std::string("ISB"));
+BENCHMARK_CAPTURE(BM_PrefetcherTrigger, vldp, std::string("VLDP"));
+
+void
+BM_SequiturPush(benchmark::State &state)
+{
+    Prng rng(3);
+    std::vector<std::uint64_t> symbols;
+    for (int i = 0; i < 1 << 14; ++i)
+        symbols.push_back(rng.below(256));
+    std::size_t idx = 0;
+    SequiturGrammar *g = new SequiturGrammar;
+    std::uint64_t pushed = 0;
+    for (auto _ : state) {
+        g->push(symbols[idx++ & ((1 << 14) - 1)]);
+        if (++pushed % 100'000 == 0) {
+            // Bound grammar growth across iterations.
+            delete g;
+            g = new SequiturGrammar;
+        }
+    }
+    delete g;
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequiturPush);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    SetAssocCache cache(64 * 1024, 2);
+    Prng rng(5);
+    for (auto _ : state) {
+        const LineAddr line = rng.below(4096);
+        if (!cache.access(line))
+            cache.fill(line);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    WorkloadParams params;
+    findWorkload("OLTP", params);
+    ServerWorkload gen(params, 1, ~0ULL >> 1);
+    Access a;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next(a));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_CoveragePipeline(benchmark::State &state)
+{
+    // Whole-pipeline throughput: accesses through L1 + buffer +
+    // Domino per second.
+    WorkloadParams params;
+    findWorkload("OLTP", params);
+    for (auto _ : state) {
+        FactoryConfig f;
+        auto pf = makePrefetcher("Domino", f);
+        ServerWorkload src(params, 1, 100'000);
+        CoverageSimulator sim;
+        benchmark::DoNotOptimize(sim.run(src, pf.get()));
+    }
+    state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_CoveragePipeline)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared runner for the coverage-comparison figures (11 and 13).
+ */
+
+#ifndef DOMINO_BENCH_COVERAGE_RUNNER_H
+#define DOMINO_BENCH_COVERAGE_RUNNER_H
+
+#include "bench_common.h"
+#include "sequitur/opportunity.h"
+
+namespace domino::bench
+{
+
+/**
+ * Run the evaluated-prefetcher roster plus the Sequitur opportunity
+ * over the selected workloads and print the coverage /
+ * overprediction table (the layout of Figures 11 and 13).
+ */
+inline void
+runCoverageComparison(const CliArgs &args, unsigned default_degree,
+                      const std::string &title)
+{
+    const BenchOptions opts = BenchOptions::fromCli(args);
+    const unsigned degree = static_cast<unsigned>(
+        args.getU64("degree", default_degree));
+    banner(title, opts);
+
+    TextTable table({"Workload", "Prefetcher", "Coverage",
+                     "Uncovered", "Overpredictions"});
+    const std::vector<std::string> techniques = evaluatedPrefetchers();
+    std::vector<RunningStat> avg_cov(techniques.size() + 1);
+    std::vector<RunningStat> avg_over(techniques.size() + 1);
+
+    for (const auto &wl : selectedWorkloads(opts, args)) {
+        std::size_t col = 0;
+        for (const auto &tech : techniques) {
+            FactoryConfig f = defaultFactory(args, degree);
+            auto pf = makePrefetcher(tech, f);
+            ServerWorkload src(wl, opts.seed, opts.accesses);
+            CoverageSimulator sim;
+            const CoverageResult r = sim.run(src, pf.get());
+
+            table.newRow();
+            table.cell(wl.name);
+            table.cell(tech);
+            table.cellPct(r.coverage());
+            table.cellPct(1.0 - r.coverage());
+            table.cellPct(r.overpredictionRate());
+            avg_cov[col].add(r.coverage());
+            avg_over[col].add(r.overpredictionRate());
+            ++col;
+        }
+
+        ServerWorkload src(wl, opts.seed, opts.accesses);
+        const auto misses = baselineMissSequence(src);
+        const OpportunityResult opp = analyzeOpportunity(misses);
+        table.newRow();
+        table.cell(wl.name);
+        table.cell("Sequitur");
+        table.cellPct(opp.coverage());
+        table.cellPct(1.0 - opp.coverage());
+        table.cellPct(0.0);
+        avg_cov[col].add(opp.coverage());
+        avg_over[col].add(0.0);
+    }
+
+    for (std::size_t i = 0; i <= techniques.size(); ++i) {
+        table.newRow();
+        table.cell("Average");
+        table.cell(i < techniques.size() ? techniques[i]
+                                         : std::string("Sequitur"));
+        table.cellPct(avg_cov[i].mean());
+        table.cellPct(1.0 - avg_cov[i].mean());
+        table.cellPct(avg_over[i].mean());
+    }
+
+    emit(table, opts);
+}
+
+} // namespace domino::bench
+
+#endif // DOMINO_BENCH_COVERAGE_RUNNER_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Quickstart: build a Domino prefetcher, feed it a recurring miss
+ * stream, and watch the one-round-trip first prefetch and the
+ * two-address confirmation at work.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "domino/domino_prefetcher.h"
+
+using namespace domino;
+
+namespace
+{
+
+/** A sink that narrates every action the prefetcher takes. */
+class NarratingSink : public PrefetchSink
+{
+  public:
+    void
+    issue(LineAddr line, std::uint32_t stream_id,
+          unsigned metadata_trips) override
+    {
+        std::cout << "    -> prefetch line " << line << " (stream "
+                  << stream_id << ", " << metadata_trips
+                  << " serial metadata trip(s))\n";
+        buffered.push_back({line, stream_id});
+    }
+
+    void
+    dropStream(std::uint32_t stream_id) override
+    {
+        std::cout << "    -> drop stream " << stream_id << "\n";
+        for (std::size_t i = 0; i < buffered.size();) {
+            if (buffered[i].second == stream_id)
+                buffered.erase(buffered.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+            else
+                ++i;
+        }
+    }
+
+    /** Feed a demand access: prefetch-buffer hit or miss. */
+    void
+    demand(DominoPrefetcher &pf, LineAddr line)
+    {
+        TriggerEvent event;
+        event.line = line;
+        for (std::size_t i = 0; i < buffered.size(); ++i) {
+            if (buffered[i].first == line) {
+                event.wasPrefetchHit = true;
+                event.hitStreamId = buffered[i].second;
+                buffered.erase(buffered.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+        std::cout << "  demand line " << line
+                  << (event.wasPrefetchHit
+                      ? "  [PREFETCH HIT]" : "  [miss]")
+                  << "\n";
+        pf.onTrigger(event, *this);
+    }
+
+  private:
+    std::vector<std::pair<LineAddr, std::uint32_t>> buffered;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    // A Domino prefetcher with always-on index updates so the tiny
+    // example trains instantly (real configs sample at 12.5 %).
+    DominoConfig config;
+    config.degree = 2;
+    config.samplingProb = 1.0;
+    DominoPrefetcher domino(config);
+    NarratingSink sink;
+
+    // Two temporal streams that share their first miss address 100
+    // -- exactly the ambiguity that defeats single-address lookup.
+    const std::vector<LineAddr> stream_a = {100, 11, 12, 13, 14};
+    const std::vector<LineAddr> stream_b = {100, 51, 52, 53, 54};
+
+    std::cout << "== training: one pass over each stream ==\n";
+    for (const LineAddr l : stream_a)
+        sink.demand(domino, l);
+    for (const LineAddr l : stream_b)
+        sink.demand(domino, l);
+
+    std::cout << "\n== replaying stream A ==\n"
+              << "(the miss of 100 fetches its EIT row and issues\n"
+              << " ONE speculative prefetch after one round trip;\n"
+              << " the next miss, 11, matches the (100, 11) entry\n"
+              << " and locks the correct stream)\n";
+    for (const LineAddr l : stream_a)
+        sink.demand(domino, l);
+
+    std::cout << "\n== replaying stream B ==\n";
+    for (const LineAddr l : stream_b)
+        sink.demand(domino, l);
+
+    const DominoCounters &c = domino.counters();
+    std::cout << "\nDomino counters: " << c.embryosCreated
+              << " embryos, " << c.confirmedByMiss
+              << " confirmed by miss, " << c.confirmedByHit
+              << " confirmed by hit, " << c.pairMisses
+              << " pair misses\n"
+              << "Off-chip metadata: "
+              << domino.metadata().readBlocks << " row reads, "
+              << domino.metadata().writeBlocks << " row writes\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Spatio-temporal stacking (Figure 16): run VLDP, Domino, and the
+ * VLDP+Domino stack over a workload and decompose where each
+ * technique's coverage comes from.
+ *
+ *   $ ./examples/spatio_temporal_stack --workload "Data Serving"
+ */
+
+#include <iostream>
+
+#include "analysis/coverage.h"
+#include "analysis/factory.h"
+#include "common/cli.h"
+#include "common/table_format.h"
+#include "workloads/server_workload.h"
+
+using namespace domino;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t accesses = args.getU64("n", 400'000);
+    const std::uint64_t seed = args.getU64("seed", 1);
+    const std::string name = args.get("workload", "Data Serving");
+
+    WorkloadParams wl;
+    if (!findWorkload(name, wl)) {
+        std::cerr << "unknown workload: " << name << "\n";
+        return 1;
+    }
+
+    std::cout << "\n=== Spatio-temporal prefetching on " << wl.name
+              << " ===\n"
+              << "(spatial stream fraction of this workload: "
+              << formatPct(wl.spatialFraction) << "; spatial\n"
+              << " replays land on fresh pages "
+              << formatPct(wl.spatialNewPageProb)
+              << " of the time -- only a spatial\n"
+              << " prefetcher can cover those)\n\n";
+
+    TextTable table({"Prefetcher", "Coverage", "Overpredictions",
+                     "Issued"});
+    double cov_vldp = 0, cov_domino = 0, cov_stack = 0;
+    for (const std::string tech : {"VLDP", "Domino",
+                                   "VLDP+Domino"}) {
+        FactoryConfig f;
+        f.degree = 4;
+        f.samplingProb = 0.5;
+        auto pf = makePrefetcher(tech, f);
+        ServerWorkload src(wl, seed, accesses);
+        CoverageSimulator sim;
+        const CoverageResult r = sim.run(src, pf.get());
+        table.newRow();
+        table.cell(tech);
+        table.cellPct(r.coverage());
+        table.cellPct(r.overpredictionRate());
+        table.cell(r.issued);
+        if (tech == "VLDP")
+            cov_vldp = r.coverage();
+        else if (tech == "Domino")
+            cov_domino = r.coverage();
+        else
+            cov_stack = r.coverage();
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe stack covers "
+              << formatPct(cov_stack - cov_vldp)
+              << " more misses than VLDP alone and "
+              << formatPct(cov_stack - cov_domino)
+              << " more than Domino alone:\n"
+              << "the techniques target disjoint miss classes "
+              << "(in-page delta runs vs. recurring\n"
+              << "arbitrary-address streams), so stacking them is "
+              << "nearly additive.\n";
+    return 0;
+}

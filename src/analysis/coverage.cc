@@ -1,0 +1,92 @@
+#include "coverage.h"
+
+namespace domino
+{
+
+CoverageSimulator::CoverageSimulator(const CoverageOptions &options)
+    : opts(options),
+      l1(options.l1Bytes, options.l1Ways),
+      buffer(options.prefetchBufferBlocks)
+{}
+
+void
+CoverageSimulator::issue(LineAddr line, std::uint32_t stream_id,
+                         unsigned metadata_trips)
+{
+    (void)metadata_trips;  // timing handled by the timing simulator
+    // Redundant prefetches (block already cached or buffered) are
+    // filtered at issue, as a real implementation would via an L1
+    // probe.
+    if (l1.contains(line))
+        return;
+    if (buffer.insert(line, stream_id, 0))
+        ++issuedCnt;
+}
+
+void
+CoverageSimulator::dropStream(std::uint32_t stream_id)
+{
+    buffer.invalidateStream(stream_id);
+}
+
+CoverageResult
+CoverageSimulator::run(AccessSource &source, Prefetcher *prefetcher)
+{
+    CoverageResult result;
+    std::uint64_t run_len = 0;
+
+    Access access;
+    while (source.next(access)) {
+        ++result.accesses;
+        const LineAddr line = access.line();
+        if (l1.access(line)) {
+            ++result.l1Hits;
+            continue;
+        }
+
+        TriggerEvent event;
+        event.line = line;
+        event.pc = access.pc;
+
+        const PrefetchBuffer::HitInfo hit = buffer.lookup(line);
+        if (hit.hit) {
+            ++result.covered;
+            ++run_len;
+            event.wasPrefetchHit = true;
+            event.hitStreamId = hit.streamId;
+        } else {
+            ++result.uncovered;
+            if (run_len) {
+                result.streamRuns.add(run_len);
+                run_len = 0;
+            }
+        }
+        l1.fill(line);
+        if (opts.collectTriggerSequence)
+            triggers.push_back(line);
+
+        if (prefetcher)
+            prefetcher->onTrigger(event, *this);
+    }
+    if (run_len)
+        result.streamRuns.add(run_len);
+
+    result.issued = issuedCnt;
+    result.overpredictions = buffer.stats().evictedUnused;
+    if (prefetcher)
+        result.metadata = prefetcher->metadata();
+    return result;
+}
+
+std::vector<LineAddr>
+baselineMissSequence(AccessSource &source,
+                     const CoverageOptions &options)
+{
+    CoverageOptions opts = options;
+    opts.collectTriggerSequence = true;
+    CoverageSimulator sim(opts);
+    sim.run(source, nullptr);
+    return sim.triggerSequence();
+}
+
+} // namespace domino

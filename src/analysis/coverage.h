@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The trace-driven coverage simulator: L1-D cache + prefetch buffer
+ * + prefetcher, producing the coverage / overprediction metrics the
+ * paper reports.
+ *
+ * Metric definitions (Section V.B):
+ *  - *covered* misses are demand accesses satisfied by the prefetch
+ *    buffer (they would have been misses);
+ *  - *uncovered* misses are demand misses;
+ *  - *overpredictions* are prefetched blocks evicted (or discarded
+ *    with their stream) without ever being used, normalised by the
+ *    baseline miss count.
+ *
+ * Because prefetch-buffer hits install the same block a miss would
+ * have filled, the L1 content evolution is identical with and
+ * without a prefetcher, so covered + uncovered equals the baseline
+ * miss count exactly and the trigger sequence equals the baseline
+ * miss sequence.
+ */
+
+#ifndef DOMINO_ANALYSIS_COVERAGE_H
+#define DOMINO_ANALYSIS_COVERAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "mem/cache.h"
+#include "mem/prefetch_buffer.h"
+#include "prefetch/prefetcher.h"
+#include "trace/trace_buffer.h"
+
+namespace domino
+{
+
+/** Options for a coverage run. */
+struct CoverageOptions
+{
+    /** L1-D geometry (Table I: 64 KB, 2-way). */
+    std::uint64_t l1Bytes = 64 * 1024;
+    std::uint32_t l1Ways = 2;
+    /** Prefetch buffer capacity (Section IV.D: 32 blocks). */
+    std::uint32_t prefetchBufferBlocks = 32;
+    /** Collect the trigger (baseline miss) sequence. */
+    bool collectTriggerSequence = false;
+};
+
+/** Results of a coverage run. */
+struct CoverageResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Hits = 0;
+    /** Demand accesses satisfied by the prefetch buffer. */
+    std::uint64_t covered = 0;
+    /** Demand misses. */
+    std::uint64_t uncovered = 0;
+    /** Prefetches inserted into the buffer. */
+    std::uint64_t issued = 0;
+    /** Buffered blocks dropped without use. */
+    std::uint64_t overpredictions = 0;
+    /** Prefetcher metadata traffic. */
+    MetadataStats metadata;
+    /** Lengths of consecutive-covered runs ("streams", Figure 2). */
+    EdgeHistogram streamRuns{
+        std::vector<std::uint64_t>{0, 2, 4, 8, 16, 32, 64, 128}};
+
+    /** Baseline miss count (see file comment). */
+    std::uint64_t
+    baselineMisses() const
+    {
+        return covered + uncovered;
+    }
+
+    /** Fraction of baseline misses eliminated. */
+    double
+    coverage() const
+    {
+        const std::uint64_t base = baselineMisses();
+        return base ? static_cast<double>(covered) /
+            static_cast<double>(base) : 0.0;
+    }
+
+    /** Incorrect prefetches over baseline misses. */
+    double
+    overpredictionRate() const
+    {
+        const std::uint64_t base = baselineMisses();
+        return base ? static_cast<double>(overpredictions) /
+            static_cast<double>(base) : 0.0;
+    }
+
+    /** Mean length of consecutive-correct-prefetch runs. */
+    double
+    meanStreamRun() const
+    {
+        return streamRuns.mean();
+    }
+};
+
+/**
+ * The simulator.  One instance runs one (trace, prefetcher) pair;
+ * it implements PrefetchSink to receive the prefetcher's requests.
+ */
+class CoverageSimulator : public PrefetchSink
+{
+  public:
+    explicit CoverageSimulator(const CoverageOptions &options = {});
+
+    /**
+     * Run the full source through the hierarchy.
+     * @param source access stream (consumed to exhaustion).
+     * @param prefetcher technique under test; nullptr = baseline.
+     */
+    CoverageResult run(AccessSource &source, Prefetcher *prefetcher);
+
+    /** Trigger sequence (when collection was enabled). */
+    const std::vector<LineAddr> &triggerSequence() const
+    {
+        return triggers;
+    }
+
+    // PrefetchSink interface (called by the prefetcher).
+    void issue(LineAddr line, std::uint32_t stream_id,
+               unsigned metadata_trips) override;
+    void dropStream(std::uint32_t stream_id) override;
+
+  private:
+    CoverageOptions opts;
+    SetAssocCache l1;
+    PrefetchBuffer buffer;
+    std::vector<LineAddr> triggers;
+    std::uint64_t issuedCnt = 0;
+};
+
+/**
+ * Convenience: the baseline miss sequence of a source (runs the
+ * source through the L1 with no prefetcher).
+ */
+std::vector<LineAddr> baselineMissSequence(
+    AccessSource &source, const CoverageOptions &options = {});
+
+} // namespace domino
+
+#endif // DOMINO_ANALYSIS_COVERAGE_H

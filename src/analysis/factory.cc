@@ -1,0 +1,112 @@
+#include "factory.h"
+
+#include "domino/domino_prefetcher.h"
+#include "prefetch/digram.h"
+#include "prefetch/isb.h"
+#include "prefetch/next_line.h"
+#include "prefetch/nlookup.h"
+#include "prefetch/stacked.h"
+#include "prefetch/list.h"
+#include "prefetch/markov.h"
+#include "prefetch/stms.h"
+#include "prefetch/stride.h"
+#include "prefetch/vldp.h"
+
+namespace domino
+{
+
+namespace
+{
+
+TemporalConfig
+temporalFrom(const FactoryConfig &config)
+{
+    TemporalConfig t;
+    t.degree = config.degree;
+    t.htEntries = config.htEntries;
+    t.samplingProb = config.samplingProb;
+    t.maxReplayPerStream = config.maxReplayPerStream;
+    t.activeStreams = config.activeStreams;
+    t.seed = config.seed;
+    return t;
+}
+
+DominoConfig
+dominoFrom(const FactoryConfig &config)
+{
+    DominoConfig d;
+    static_cast<TemporalConfig &>(d) = temporalFrom(config);
+    d.eit.rows = config.eitRows;
+    d.eit.entriesPerSuper = config.entriesPerSuper;
+    d.firstPrefetchTrips = config.naiveDomino ? 2 : 1;
+    return d;
+}
+
+} // anonymous namespace
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const std::string &name, const FactoryConfig &config)
+{
+    if (name == "STMS")
+        return std::make_unique<StmsPrefetcher>(temporalFrom(config));
+    if (name == "Digram") {
+        return std::make_unique<DigramPrefetcher>(
+            temporalFrom(config));
+    }
+    if (name == "Domino")
+        return std::make_unique<DominoPrefetcher>(dominoFrom(config));
+    if (name == "ISB") {
+        IsbConfig c;
+        c.degree = config.degree;
+        return std::make_unique<IsbPrefetcher>(c);
+    }
+    if (name == "VLDP") {
+        VldpConfig c;
+        c.degree = config.degree;
+        return std::make_unique<VldpPrefetcher>(c);
+    }
+    if (name == "NextLine")
+        return std::make_unique<NextLinePrefetcher>(config.degree);
+    if (name == "Stride") {
+        StrideConfig c;
+        c.degree = config.degree;
+        return std::make_unique<StridePrefetcher>(c);
+    }
+    if (name == "List") {
+        ListConfig c;
+        c.degree = config.degree;
+        return std::make_unique<ListPrefetcher>(c);
+    }
+    if (name == "Markov") {
+        MarkovConfig c;
+        c.successors = 2;
+        // The classic proposal's on-chip correlation table is its
+        // scaling wall; bound it in proportion to the bench traces
+        // (an unlimited Markov table would be a megabytes-on-chip
+        // design the paper's era deemed impractical).
+        c.tableEntries = 1ULL << 13;
+        return std::make_unique<MarkovPrefetcher>(c);
+    }
+    if (name == "NLookup") {
+        NLookupConfig c;
+        c.maxDepth = config.nlookupDepth;
+        c.degree = config.degree;
+        return std::make_unique<NLookupPrefetcher>(c);
+    }
+    if (name == "VLDP+Domino") {
+        VldpConfig v;
+        v.degree = config.degree;
+        return std::make_unique<StackedPrefetcher>(
+            std::make_unique<VldpPrefetcher>(v),
+            std::make_unique<DominoPrefetcher>(dominoFrom(config)));
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+evaluatedPrefetchers()
+{
+    return {"VLDP", "ISB", "STMS", "Digram", "Domino"};
+}
+
+} // namespace domino

@@ -1,0 +1,75 @@
+#include "cli.h"
+
+#include <cstdlib>
+
+namespace domino
+{
+
+CliArgs::CliArgs(int argc, char **argv)
+{
+    if (argc > 0)
+        prog = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            pos.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                   != 0 && flags.find(arg) == flags.end()) {
+            // "--name value" form: consume the next token as the
+            // value unless it is itself a flag.
+            flags[arg] = argv[++i];
+        } else {
+            flags[arg] = "";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return flags.find(name) != flags.end();
+}
+
+std::string
+CliArgs::get(const std::string &name, const std::string &fallback) const
+{
+    const auto it = flags.find(name);
+    return it != flags.end() ? it->second : fallback;
+}
+
+std::uint64_t
+CliArgs::getU64(const std::string &name, std::uint64_t fallback) const
+{
+    const auto it = flags.find(name);
+    if (it == flags.end() || it->second.empty())
+        return fallback;
+    return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double
+CliArgs::getDouble(const std::string &name, double fallback) const
+{
+    const auto it = flags.find(name);
+    if (it == flags.end() || it->second.empty())
+        return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool fallback) const
+{
+    const auto it = flags.find(name);
+    if (it == flags.end())
+        return fallback;
+    if (it->second.empty() || it->second == "true" || it->second == "1")
+        return true;
+    return false;
+}
+
+} // namespace domino

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the benchmark harnesses and
+ * examples.
+ *
+ * Supports "--name value", "--name=value", and boolean "--name"
+ * forms.  Unknown flags are collected so harnesses can reject typos.
+ */
+
+#ifndef DOMINO_COMMON_CLI_H
+#define DOMINO_COMMON_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace domino
+{
+
+/** Parsed command line: flag/value pairs plus positional arguments. */
+class CliArgs
+{
+  public:
+    /** Parse argv; flags start with "--". */
+    CliArgs(int argc, char **argv);
+
+    /** True if the flag was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of a flag, or fallback if absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Integer value of a flag, or fallback if absent. */
+    std::uint64_t getU64(const std::string &name,
+                         std::uint64_t fallback) const;
+
+    /** Double value of a flag, or fallback if absent. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean flag: present without value, or "=true/false". */
+    bool getBool(const std::string &name, bool fallback = false) const;
+
+    /** Positional (non-flag) arguments, in order. */
+    const std::vector<std::string> &positional() const { return pos; }
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return prog; }
+
+  private:
+    std::string prog;
+    std::map<std::string, std::string> flags;
+    std::vector<std::string> pos;
+};
+
+} // namespace domino
+
+#endif // DOMINO_COMMON_CLI_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Histogram with explicit bucket edges, used for the stream-length
+ * distributions of Figures 2 and 12.
+ */
+
+#ifndef DOMINO_COMMON_HISTOGRAM_H
+#define DOMINO_COMMON_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace domino
+{
+
+/**
+ * Histogram over unsigned samples with caller-supplied upper edges.
+ *
+ * A sample x falls in the first bucket whose edge satisfies
+ * x <= edge; samples beyond the last edge land in a final overflow
+ * bucket.  Figure 12 of the paper uses edges
+ * {0, 2, 4, 8, 16, 32, 64, 128} plus a "128+" overflow bucket.
+ */
+class EdgeHistogram
+{
+  public:
+    explicit EdgeHistogram(std::vector<std::uint64_t> upper_edges)
+        : edges(std::move(upper_edges)), counts(edges.size() + 1, 0)
+    {}
+
+    /** Add one sample. */
+    void
+    add(std::uint64_t x)
+    {
+        ++total;
+        sum += x;
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            if (x <= edges[i]) {
+                ++counts[i];
+                return;
+            }
+        }
+        ++counts.back();
+    }
+
+    /** Number of buckets including the overflow bucket. */
+    std::size_t buckets() const { return counts.size(); }
+
+    /** Upper edge of bucket i (the overflow bucket has no edge). */
+    std::uint64_t edge(std::size_t i) const { return edges[i]; }
+
+    /** Raw count in bucket i. */
+    std::uint64_t count(std::size_t i) const { return counts[i]; }
+
+    /** Total number of samples. */
+    std::uint64_t totalCount() const { return total; }
+
+    /** Mean of all samples (0 if empty). */
+    double
+    mean() const
+    {
+        return total ? static_cast<double>(sum) /
+            static_cast<double>(total) : 0.0;
+    }
+
+    /** Fraction of samples in bucket i. */
+    double
+    fraction(std::size_t i) const
+    {
+        return total ? static_cast<double>(counts[i]) /
+            static_cast<double>(total) : 0.0;
+    }
+
+    /** Cumulative fraction of samples in buckets [0, i]. */
+    double
+    cumulative(std::size_t i) const
+    {
+        if (!total)
+            return 0.0;
+        std::uint64_t c = 0;
+        for (std::size_t j = 0; j <= i && j < counts.size(); ++j)
+            c += counts[j];
+        return static_cast<double>(c) / static_cast<double>(total);
+    }
+
+  private:
+    std::vector<std::uint64_t> edges;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_COMMON_HISTOGRAM_H

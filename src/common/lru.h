@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Small fixed-capacity LRU containers.
+ *
+ * The metadata tables of all temporal prefetchers (STMS index rows,
+ * Domino super-entries and entries, ISB training units) are
+ * bucketised structures with a handful of ways per bucket managed
+ * with LRU.  These helpers implement that pattern once: a
+ * move-to-front vector, which for the 2..8-way associativities used
+ * here is faster and far smaller than a list + map combination.
+ */
+
+#ifndef DOMINO_COMMON_LRU_H
+#define DOMINO_COMMON_LRU_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace domino
+{
+
+/**
+ * A fixed-capacity set of items kept in recency order.
+ *
+ * Index 0 is the most recently used item; the last index is the
+ * least recently used.  Insertion beyond capacity evicts the LRU
+ * item.  Lookup is linear, which is appropriate for the small
+ * associativities (<= 16) used by every table in this project.
+ *
+ * @tparam T item type; must be movable.
+ */
+template <typename T>
+class LruSet
+{
+  public:
+    explicit LruSet(std::size_t capacity = 0) : cap(capacity) {}
+
+    /** Change the capacity (evicts LRU items if shrinking). */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        cap = capacity;
+        if (items.size() > cap)
+            items.resize(cap);
+    }
+
+    std::size_t capacity() const { return cap; }
+    std::size_t size() const { return items.size(); }
+    bool empty() const { return items.empty(); }
+
+    /** Access by recency position (0 = MRU). */
+    T &at(std::size_t i) { return items[i]; }
+    const T &at(std::size_t i) const { return items[i]; }
+
+    /**
+     * Find the first item matching the predicate.
+     * @return its recency index, or size() if not found.
+     */
+    template <typename Pred>
+    std::size_t
+    find(Pred pred) const
+    {
+        for (std::size_t i = 0; i < items.size(); ++i)
+            if (pred(items[i]))
+                return i;
+        return items.size();
+    }
+
+    /** Promote the item at recency index i to MRU. */
+    void
+    touch(std::size_t i)
+    {
+        if (i == 0 || i >= items.size())
+            return;
+        T tmp = std::move(items[i]);
+        items.erase(items.begin() + static_cast<std::ptrdiff_t>(i));
+        items.insert(items.begin(), std::move(tmp));
+    }
+
+    /**
+     * Insert a new item as MRU, evicting the LRU item if the set is
+     * full.
+     * @return true if an eviction happened.
+     */
+    bool
+    insert(T item)
+    {
+        bool evicted = false;
+        if (cap == 0)
+            return false;
+        if (items.size() >= cap) {
+            items.pop_back();
+            evicted = true;
+        }
+        items.insert(items.begin(), std::move(item));
+        return evicted;
+    }
+
+    /** Remove the item at recency index i. */
+    void
+    erase(std::size_t i)
+    {
+        if (i < items.size())
+            items.erase(items.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    /** Drop all items. */
+    void clear() { items.clear(); }
+
+    auto begin() { return items.begin(); }
+    auto end() { return items.end(); }
+    auto begin() const { return items.begin(); }
+    auto end() const { return items.end(); }
+
+  private:
+    std::size_t cap;
+    std::vector<T> items;
+};
+
+} // namespace domino
+
+#endif // DOMINO_COMMON_LRU_H

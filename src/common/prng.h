@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every experiment in this repository is reproducible bit-for-bit
+ * from a 64-bit seed.  We use SplitMix64 for seeding and
+ * Xoshiro256** as the workhorse generator; both are tiny, fast, and
+ * well characterised.  std::mt19937 is avoided because its state is
+ * bulky and its seeding is easy to get wrong.
+ */
+
+#ifndef DOMINO_COMMON_PRNG_H
+#define DOMINO_COMMON_PRNG_H
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace domino
+{
+
+/**
+ * SplitMix64: a tiny 64-bit generator used to expand a single seed
+ * into the state of larger generators.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256**: the default PRNG for all workload generation and
+ * sampling decisions.
+ */
+class Prng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Prng(std::uint64_t seed = 1)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : s)
+            word = sm.next();
+    }
+
+    /** Raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t l = static_cast<std::uint64_t>(m);
+        if (l < bound) {
+            std::uint64_t t = -bound % bound;
+            while (l < t) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric draw: number of failures before the first success
+     * with success probability p (support {0, 1, 2, ...}).
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 0;
+        double u = uniform();
+        // Avoid log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return static_cast<std::uint64_t>(
+            std::floor(std::log(u) / std::log(1.0 - p)));
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> s;
+};
+
+/**
+ * Zipf-distributed sampler over {0, ..., n-1} with exponent theta.
+ *
+ * Precomputes the cumulative distribution; draws are a binary search.
+ * Used to pick temporal streams from the stream library so that some
+ * streams recur much more often than others, as in real server
+ * workloads.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double theta) : cdf(n)
+    {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+            cdf[i] = sum;
+        }
+        for (auto &v : cdf)
+            v /= sum;
+    }
+
+    /** Number of items. */
+    std::size_t size() const { return cdf.size(); }
+
+    /** Draw an index in [0, n). */
+    std::size_t
+    draw(Prng &rng) const
+    {
+        const double u = rng.uniform();
+        std::size_t lo = 0, hi = cdf.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (cdf[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace domino
+
+#endif // DOMINO_COMMON_PRNG_H

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the analysis layer.
+ */
+
+#ifndef DOMINO_COMMON_STATS_H
+#define DOMINO_COMMON_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace domino
+{
+
+/**
+ * Streaming accumulator for mean / variance / min / max using
+ * Welford's algorithm (numerically stable, single pass).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n;
+        const double delta = x - meanVal;
+        meanVal += delta / static_cast<double>(n);
+        m2 += delta * (x - meanVal);
+        minVal = std::min(minVal, x);
+        maxVal = std::max(maxVal, x);
+        sumVal += x;
+    }
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return n; }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const { return n ? meanVal : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sumVal; }
+
+    /** Population variance (0 if fewer than two samples). */
+    double
+    variance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Smallest sample (+inf if empty). */
+    double min() const { return minVal; }
+
+    /** Largest sample (-inf if empty). */
+    double max() const { return maxVal; }
+
+  private:
+    std::uint64_t n = 0;
+    double meanVal = 0.0;
+    double m2 = 0.0;
+    double sumVal = 0.0;
+    double minVal = std::numeric_limits<double>::infinity();
+    double maxVal = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Geometric-mean accumulator for speedup aggregation (the paper
+ * reports GMean in Figure 14).
+ */
+class GeoMean
+{
+  public:
+    /** Add one strictly positive sample. */
+    void
+    add(double x)
+    {
+        logSum += std::log(x);
+        ++n;
+    }
+
+    /** Number of samples. */
+    std::uint64_t count() const { return n; }
+
+    /** Geometric mean (1.0 if empty). */
+    double
+    value() const
+    {
+        return n ? std::exp(logSum / static_cast<double>(n)) : 1.0;
+    }
+
+  private:
+    double logSum = 0.0;
+    std::uint64_t n = 0;
+};
+
+/** Safe ratio helper: a/b, 0 when b == 0. */
+inline double
+ratio(double a, double b)
+{
+    return b != 0.0 ? a / b : 0.0;
+}
+
+/** Percentage helper: 100*a/b, 0 when b == 0. */
+inline double
+pct(double a, double b)
+{
+    return 100.0 * ratio(a, b);
+}
+
+} // namespace domino
+
+#endif // DOMINO_COMMON_STATS_H

@@ -1,0 +1,124 @@
+#include "table_format.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace domino
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{}
+
+void
+TextTable::newRow()
+{
+    data.emplace_back();
+}
+
+void
+TextTable::cell(const std::string &value)
+{
+    if (data.empty())
+        newRow();
+    data.back().push_back(value);
+}
+
+void
+TextTable::cell(double value, int decimals)
+{
+    cell(formatFixed(value, decimals));
+}
+
+void
+TextTable::cellPct(double fraction, int decimals)
+{
+    cell(formatPct(fraction, decimals));
+}
+
+void
+TextTable::cell(std::uint64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size(), 0);
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : data)
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            static const std::string empty;
+            const std::string &v = c < row.size() ? row[c] : empty;
+            os << "  ";
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(widths[c])) << v;
+        }
+        os << "\n";
+    };
+
+    emit_row(header);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    for (const auto &row : data)
+        emit_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit_row(header);
+    for (const auto &row : data)
+        emit_row(row);
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(decimals) << value;
+    return ss.str();
+}
+
+std::string
+formatPct(double fraction, int decimals)
+{
+    return formatFixed(100.0 * fraction, decimals) + "%";
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double v = static_cast<double>(bytes);
+    int unit = 0;
+    while (v >= 1024.0 && unit < 4) {
+        v /= 1024.0;
+        ++unit;
+    }
+    return formatFixed(v, v < 10 ? 2 : 1) + " " + units[unit];
+}
+
+} // namespace domino

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Text-table and CSV emission for the benchmark harnesses.
+ *
+ * Every figure/table reproduction prints an aligned text table on
+ * stdout (mirroring the paper's rows/series) and can emit the same
+ * data as CSV for plotting.
+ */
+
+#ifndef DOMINO_COMMON_TABLE_FORMAT_H
+#define DOMINO_COMMON_TABLE_FORMAT_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace domino
+{
+
+/**
+ * A rectangular table of strings with a header row, rendered either
+ * as an aligned monospace table or as CSV.
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it. */
+    void newRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &value);
+
+    /** Append a numeric cell with fixed decimals. */
+    void cell(double value, int decimals = 2);
+
+    /** Append a percentage cell ("12.3%"). */
+    void cellPct(double fraction, int decimals = 1);
+
+    /** Append an integer cell. */
+    void cell(std::uint64_t value);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return data.size(); }
+
+    /** Render as an aligned text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> data;
+};
+
+/** Format a double with fixed decimals. */
+std::string formatFixed(double value, int decimals);
+
+/** Format a fraction as a percentage string. */
+std::string formatPct(double fraction, int decimals = 1);
+
+/** Format a byte count with a human unit (KB/MB/GB). */
+std::string formatBytes(std::uint64_t bytes);
+
+} // namespace domino
+
+#endif // DOMINO_COMMON_TABLE_FORMAT_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fundamental address and size types shared by every module.
+ *
+ * The simulator works on byte addresses (Addr) at trace level and on
+ * cache-line addresses (LineAddr) inside the memory hierarchy and all
+ * prefetchers.  Keeping the two as distinct aliases makes conversion
+ * sites explicit and greppable.
+ */
+
+#ifndef DOMINO_COMMON_TYPES_H
+#define DOMINO_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace domino
+{
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** A cache-line address, i.e. a byte address shifted by the block bits. */
+using LineAddr = std::uint64_t;
+
+/** A simulated cycle count. */
+using Cycles = std::uint64_t;
+
+/** Log2 of the cache block size used throughout the paper (64 B). */
+constexpr unsigned blockBits = 6;
+
+/** Cache block size in bytes. */
+constexpr std::uint64_t blockBytes = 1ULL << blockBits;
+
+/** Log2 of the page size assumed by the spatial prefetcher (4 KB). */
+constexpr unsigned pageBits = 12;
+
+/** Page size in bytes. */
+constexpr std::uint64_t pageBytes = 1ULL << pageBits;
+
+/** Cache blocks per page. */
+constexpr std::uint64_t blocksPerPage = pageBytes / blockBytes;
+
+/** Convert a byte address to its cache-line address. */
+constexpr LineAddr
+lineOf(Addr addr)
+{
+    return addr >> blockBits;
+}
+
+/** Convert a cache-line address back to the byte address of its base. */
+constexpr Addr
+byteOf(LineAddr line)
+{
+    return line << blockBits;
+}
+
+/** Page number of a cache-line address. */
+constexpr std::uint64_t
+pageOfLine(LineAddr line)
+{
+    return line >> (pageBits - blockBits);
+}
+
+/** Block offset of a cache-line address inside its page. */
+constexpr std::uint64_t
+pageOffsetOfLine(LineAddr line)
+{
+    return line & (blocksPerPage - 1);
+}
+
+/** An invalid address sentinel (never produced by the generators). */
+constexpr Addr invalidAddr = ~0ULL;
+
+/**
+ * Mix the bits of a 64-bit value (finalizer of SplitMix64).
+ *
+ * Used as the hash for all bucketised metadata tables; cheap and has
+ * full avalanche, so low-entropy line addresses spread over rows.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine two addresses into one hashable key (for pair lookups). */
+constexpr std::uint64_t
+pairKey(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a * 0x9ddfea08eb382d69ULL + b);
+}
+
+} // namespace domino
+
+#endif // DOMINO_COMMON_TYPES_H

@@ -1,0 +1,227 @@
+#include "domino_prefetcher.h"
+
+namespace domino
+{
+
+DominoPrefetcher::DominoPrefetcher(const DominoConfig &config)
+    : cfg(config),
+      ht(config.htEntries, config.addrsPerRow),
+      eit(config.eit),
+      slots(config.activeStreams ? config.activeStreams : 1),
+      rng(config.seed ^ 0xd0)
+{}
+
+void
+DominoPrefetcher::record(LineAddr line, bool stream_start)
+{
+    const std::uint64_t pos = ht.append(line, stream_start);
+    // LogMiss drains one 64 B row per addrsPerRow triggering events.
+    if (++pendingInRow >= cfg.addrsPerRow) {
+        pendingInRow = 0;
+        ++meta.writeBlocks;
+    }
+    // Sampled EIT update: fetch the row into FetchBuf, modify, write
+    // back (Section III.B "Recording").  The entry records that
+    // prevTrigger was followed by line, with prevTrigger at prevPos.
+    if (havePrev && rng.chance(cfg.samplingProb)) {
+        eit.update(prevTrigger, line, prevPos);
+        ++meta.readBlocks;
+        ++meta.writeBlocks;
+    }
+    prevTrigger = line;
+    prevPos = pos;
+    havePrev = true;
+}
+
+DominoPrefetcher::Stream *
+DominoPrefetcher::findById(std::uint32_t id)
+{
+    for (auto &s : slots)
+        if (s.valid && s.id == id)
+            return &s;
+    return nullptr;
+}
+
+DominoPrefetcher::Stream &
+DominoPrefetcher::allocateSlot(PrefetchSink &sink)
+{
+    Stream *victim = &slots[0];
+    for (auto &s : slots) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    if (victim->valid)
+        sink.dropStream(victim->id);
+    *victim = Stream{};
+    victim->valid = true;
+    victim->id = nextStreamId++;
+    victim->lastUse = ++useTick;
+    return *victim;
+}
+
+void
+DominoPrefetcher::refill(Stream &stream, std::size_t want)
+{
+    while (stream.pending.size() < want && !stream.ended) {
+        if (cfg.maxReplayPerStream &&
+            stream.replayed + stream.pending.size() >=
+                cfg.maxReplayPerStream) {
+            break;
+        }
+        if (!ht.readable(stream.nextPos))
+            break;
+        // Stream-end detection: stop at recorded context
+        // boundaries.
+        if (cfg.endDetection && ht.startsStream(stream.nextPos)) {
+            stream.ended = true;
+            break;
+        }
+        const std::uint64_t row_end = ht.nextRowStart(stream.nextPos);
+        ++meta.readBlocks;
+        while (stream.nextPos < row_end &&
+               ht.readable(stream.nextPos)) {
+            if (cfg.endDetection &&
+                ht.startsStream(stream.nextPos)) {
+                stream.ended = true;
+                break;
+            }
+            stream.pending.push_back(ht.at(stream.nextPos));
+            ++stream.nextPos;
+        }
+    }
+}
+
+void
+DominoPrefetcher::startEmbryo(LineAddr line, PrefetchSink &sink)
+{
+    // Single-address lookup: fetch the EIT row of `line` (one
+    // off-chip round trip).
+    ++counts.eitLookups;
+    ++meta.readBlocks;
+    const SuperEntry *super = eit.lookup(line);
+    if (!super || super->entries.empty())
+        return;
+
+    Stream &stream = allocateSlot(sink);
+    stream.embryonic = true;
+    stream.trigger = line;
+    stream.entries.assign(super->entries.begin(),
+                          super->entries.end());
+    ++counts.embryosCreated;
+    lastEmbryoId = stream.id;
+
+    // Prefetch the successor of the most recent entry right away:
+    // the first prefetch of the stream after ONE round trip (STMS
+    // needs two).
+    sink.issue(stream.entries.front().next, stream.id,
+               cfg.firstPrefetchTrips);
+}
+
+bool
+DominoPrefetcher::confirm(Stream &stream, LineAddr line,
+                          PrefetchSink &sink)
+{
+    for (const EitEntry &entry : stream.entries) {
+        if (entry.next != line)
+            continue;
+        // Two-address match (stream.trigger, line): the pointer
+        // locates the stream.  entry.pos is the occurrence of the
+        // first address; +1 is `line` itself; replay starts at +2.
+        stream.embryonic = false;
+        stream.entries.clear();
+        stream.pending.clear();
+        stream.nextPos = entry.pos + 2;
+        stream.replayed = 0;
+        stream.lastUse = ++useTick;
+        refill(stream, cfg.degree);
+        unsigned issued = 0;
+        while (!stream.pending.empty() && issued < cfg.degree) {
+            // One serial off-chip trip (the HT row) precedes these.
+            sink.issue(stream.pending.front(), stream.id,
+                       cfg.firstPrefetchTrips);
+            stream.pending.pop_front();
+            ++stream.replayed;
+            ++issued;
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+DominoPrefetcher::advanceStream(Stream &stream, PrefetchSink &sink)
+{
+    stream.lastUse = ++useTick;
+    if (cfg.maxReplayPerStream &&
+        stream.replayed >= cfg.maxReplayPerStream) {
+        return;  // stream-end heuristic
+    }
+    if (stream.pending.empty()) {
+        refill(stream, 1);
+        if (stream.pending.empty())
+            return;
+        sink.issue(stream.pending.front(), stream.id, 1);
+    } else {
+        sink.issue(stream.pending.front(), stream.id, 0);
+    }
+    stream.pending.pop_front();
+    ++stream.replayed;
+}
+
+void
+DominoPrefetcher::onTrigger(const TriggerEvent &event,
+                            PrefetchSink &sink)
+{
+    const LineAddr line = event.line;
+
+    if (event.wasPrefetchHit) {
+        lastEmbryoId = 0;
+        if (Stream *s = findById(event.hitStreamId)) {
+            if (s->embryonic) {
+                // The embryo's first prefetch was used: the matched
+                // entry identifies the stream.
+                if (confirm(*s, line, sink))
+                    ++counts.confirmedByHit;
+            } else {
+                advanceStream(*s, sink);
+            }
+        }
+        record(line, false);
+        prevWasHit = true;
+        return;
+    }
+
+    // Demand miss: first the two-address lookup -- the current miss
+    // is matched against the super-entry retained by the embryo of
+    // the immediately preceding triggering event...
+    bool confirmed = false;
+    if (lastEmbryoId) {
+        if (Stream *s = findById(lastEmbryoId)) {
+            if (s->embryonic) {
+                confirmed = confirm(*s, line, sink);
+                if (confirmed)
+                    ++counts.confirmedByMiss;
+                else
+                    ++counts.pairMisses;
+                // An unconfirmed embryo stays dormant in its slot:
+                // its first prefetch may still hit later.
+            }
+        }
+        lastEmbryoId = 0;
+    }
+    // ...and if that fails, the single-address lookup with the
+    // current miss spawns a new embryonic stream.
+    if (!confirmed)
+        startEmbryo(line, sink);
+
+    // A miss right after a covered run marks a context boundary
+    // (stream-end detection).
+    record(line, prevWasHit);
+    prevWasHit = false;
+}
+
+} // namespace domino

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The Domino temporal data prefetcher -- the paper's contribution.
+ *
+ * Domino looks up the miss history with *both* the last two
+ * triggering events and the current one:
+ *
+ *  1. On a miss m, it fetches the EIT row of m (ONE off-chip round
+ *     trip) and, if a super-entry for m exists, immediately
+ *     prefetches the successor address of the most recent entry --
+ *     this is the single-address lookup, and the reason Domino's
+ *     first prefetch needs one round trip where STMS needs two.
+ *     The super-entry is retained in the allocated stream slot; the
+ *     stream is *embryonic* until a second event picks the entry.
+ *
+ *  2. The embryonic stream is confirmed by its next triggering
+ *     event: either the immediately following miss t (two-address
+ *     lookup (m, t) -- Domino searches the retained super-entry for
+ *     the entry whose address field is t), or a later hit of its
+ *     first prefetch.  The matched entry's pointer locates the
+ *     correct stream in the History Table; the slot becomes an
+ *     *active* stream replayed with the configured degree.
+ *
+ * Streams (four slots, embryonic or active) are managed LRU; a
+ * prefetch hit advances the active stream that produced the block.
+ * Recording appends triggering events to the off-chip HT and
+ * updates the EIT with sampled probability (12.5 %).
+ */
+
+#ifndef DOMINO_DOMINO_DOMINO_PREFETCHER_H
+#define DOMINO_DOMINO_DOMINO_PREFETCHER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/prng.h"
+#include "domino/eit.h"
+#include "prefetch/history.h"
+#include "prefetch/prefetcher.h"
+
+namespace domino
+{
+
+/** Full Domino configuration: temporal knobs plus EIT geometry. */
+struct DominoConfig : TemporalConfig
+{
+    EitConfig eit;
+    /**
+     * Serial off-chip metadata round trips before the first prefetch
+     * of a stream can issue.  The practical EIT design needs 1; the
+     * naive two-Index-Table design (DESIGN.md ablation) needs 2,
+     * like STMS.
+     */
+    unsigned firstPrefetchTrips = 1;
+};
+
+/** Diagnostic counters exposed for tests and analysis. */
+struct DominoCounters
+{
+    /** EIT rows fetched (single-address lookups). */
+    std::uint64_t eitLookups = 0;
+    /** Lookups that found a super-entry (embryo created). */
+    std::uint64_t embryosCreated = 0;
+    /** Embryos confirmed by the immediately following miss. */
+    std::uint64_t confirmedByMiss = 0;
+    /** Embryos confirmed by a hit of their first prefetch. */
+    std::uint64_t confirmedByHit = 0;
+    /** Miss-pair lookups that found no matching entry. */
+    std::uint64_t pairMisses = 0;
+
+    std::uint64_t
+    streamsConfirmed() const
+    {
+        return confirmedByMiss + confirmedByHit;
+    }
+};
+
+/** The Domino prefetcher. */
+class DominoPrefetcher : public Prefetcher
+{
+  public:
+    explicit DominoPrefetcher(const DominoConfig &config);
+
+    std::string name() const override { return "Domino"; }
+    void onTrigger(const TriggerEvent &event,
+                   PrefetchSink &sink) override;
+
+    const DominoCounters &counters() const { return counts; }
+    const EnhancedIndexTable &eitTable() const { return eit; }
+
+  private:
+    /** One stream slot: embryonic (super-entry held) or active. */
+    struct Stream
+    {
+        bool valid = false;
+        bool embryonic = false;
+        std::uint32_t id = 0;
+        /** Embryonic: the miss whose EIT row was fetched. */
+        LineAddr trigger = invalidAddr;
+        /** Embryonic: super-entry contents, MRU first. */
+        std::vector<EitEntry> entries;
+        /** Active: PointBuf contents and HT cursor. */
+        std::deque<LineAddr> pending;
+        std::uint64_t nextPos = 0;
+        unsigned replayed = 0;
+        std::uint64_t lastUse = 0;
+        /** Replay reached a recorded context boundary. */
+        bool ended = false;
+    };
+
+    void record(LineAddr line, bool stream_start);
+    Stream *findById(std::uint32_t id);
+    Stream &allocateSlot(PrefetchSink &sink);
+    void startEmbryo(LineAddr line, PrefetchSink &sink);
+    /** Turn an embryonic slot into an active stream via the entry
+     *  matching @p line.  @return true on a match. */
+    bool confirm(Stream &stream, LineAddr line, PrefetchSink &sink);
+    void advanceStream(Stream &stream, PrefetchSink &sink);
+    void refill(Stream &stream, std::size_t want);
+
+    DominoConfig cfg;
+    CircularHistory ht;
+    EnhancedIndexTable eit;
+    std::vector<Stream> slots;
+    Prng rng;
+    DominoCounters counts;
+
+    /** Slot id of the embryo created by the immediately previous
+     *  triggering event (0 = none): only that embryo is eligible
+     *  for two-address confirmation by the current miss. */
+    std::uint32_t lastEmbryoId = 0;
+
+    LineAddr prevTrigger = invalidAddr;
+    std::uint64_t prevPos = 0;
+    bool havePrev = false;
+    std::uint32_t nextStreamId = 1;
+    std::uint64_t pendingInRow = 0;
+    std::uint64_t useTick = 0;
+    bool prevWasHit = false;
+};
+
+} // namespace domino
+
+#endif // DOMINO_DOMINO_DOMINO_PREFETCHER_H

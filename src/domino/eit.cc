@@ -1,0 +1,62 @@
+#include "eit.h"
+
+namespace domino
+{
+
+EnhancedIndexTable::EnhancedIndexTable(const EitConfig &config)
+    : cfg(config)
+{}
+
+std::uint64_t
+EnhancedIndexTable::rowIndex(LineAddr tag) const
+{
+    return mix64(tag) % cfg.rows;
+}
+
+const SuperEntry *
+EnhancedIndexTable::lookup(LineAddr tag) const
+{
+    const auto row_it = table.find(rowIndex(tag));
+    if (row_it == table.end())
+        return nullptr;
+    const Row &row = row_it->second;
+    const std::size_t idx = row.find(
+        [&](const SuperEntry &s) { return s.tag == tag; });
+    if (idx == row.size())
+        return nullptr;
+    return &row.at(idx);
+}
+
+void
+EnhancedIndexTable::update(LineAddr tag, LineAddr next,
+                           std::uint64_t pos)
+{
+    Row &row = table.try_emplace(rowIndex(tag),
+                                 Row(cfg.supersPerRow)).first->second;
+
+    std::size_t idx = row.find(
+        [&](const SuperEntry &s) { return s.tag == tag; });
+    if (idx == row.size()) {
+        SuperEntry fresh;
+        fresh.tag = tag;
+        fresh.entries.setCapacity(cfg.entriesPerSuper);
+        if (row.insert(std::move(fresh)))
+            ++superEvictCnt;
+        idx = 0;
+    } else {
+        row.touch(idx);
+        idx = 0;
+    }
+
+    SuperEntry &super = row.at(idx);
+    const std::size_t e = super.entries.find(
+        [&](const EitEntry &entry) { return entry.next == next; });
+    if (e == super.entries.size()) {
+        super.entries.insert(EitEntry{next, pos});
+    } else {
+        super.entries.at(e).pos = pos;
+        super.entries.touch(e);
+    }
+}
+
+} // namespace domino

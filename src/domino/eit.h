@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The Enhanced Index Table (EIT) -- the paper's key structure
+ * (Section III.B, Figure 7).
+ *
+ * The EIT is a bucketised hash table indexed by a *single*
+ * triggering-event address.  Each row holds several *super-entries*;
+ * a super-entry consists of a tag t and several *entries* (a, p),
+ * each meaning: "the last time address t was followed by address a,
+ * t was at position p in the History Table".  LRU order is kept
+ * among the super-entries of a row and among the entries of a
+ * super-entry.
+ *
+ * Storing the successor address a next to the pointer is what lets
+ * Domino (1) disambiguate streams with the last *two* triggering
+ * events while indexing with one, and (2) issue the first prefetch
+ * of a stream after a single off-chip round trip (the successor is
+ * right there in the fetched row).
+ */
+
+#ifndef DOMINO_DOMINO_EIT_H
+#define DOMINO_DOMINO_EIT_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/lru.h"
+#include "common/types.h"
+
+namespace domino
+{
+
+/** One (address, pointer) pair inside a super-entry. */
+struct EitEntry
+{
+    /** The triggering event that followed the tag. */
+    LineAddr next = invalidAddr;
+    /** HT position of the tag's occurrence. */
+    std::uint64_t pos = 0;
+};
+
+/** A tag plus its LRU-ordered successor entries. */
+struct SuperEntry
+{
+    LineAddr tag = invalidAddr;
+    LruSet<EitEntry> entries;
+};
+
+/** Geometry of the EIT. */
+struct EitConfig
+{
+    /** Number of rows (paper: 2 M rows = 128 MB). */
+    std::uint64_t rows = 1ULL << 21;
+    /** Super-entries per row. */
+    unsigned supersPerRow = 4;
+    /** Entries per super-entry (paper: three). */
+    unsigned entriesPerSuper = 3;
+};
+
+/**
+ * The EIT proper.  Rows are materialised lazily (a simulator
+ * convenience; capacity behaviour is identical because eviction is
+ * per-row LRU and untouched rows hold nothing).
+ */
+class EnhancedIndexTable
+{
+  public:
+    explicit EnhancedIndexTable(const EitConfig &config);
+
+    /**
+     * Find the super-entry for @p tag, as the replay path does after
+     * fetching the row.  Does not modify LRU state (replay works on
+     * the fetched copy; recency is updated by the record path).
+     *
+     * @return pointer to the super-entry, or nullptr.
+     */
+    const SuperEntry *lookup(LineAddr tag) const;
+
+    /**
+     * Record that @p tag was followed by @p next with the tag at HT
+     * position @p pos (the record path's read-modify-write).
+     * Allocates super-entry and entry with LRU replacement.
+     */
+    void update(LineAddr tag, LineAddr next, std::uint64_t pos);
+
+    const EitConfig &config() const { return cfg; }
+
+    /** Number of rows currently materialised (diagnostics). */
+    std::size_t touchedRows() const { return table.size(); }
+
+    /** Count of super-entry evictions (diagnostics). */
+    std::uint64_t superEvictions() const { return superEvictCnt; }
+
+  private:
+    using Row = LruSet<SuperEntry>;
+
+    std::uint64_t rowIndex(LineAddr tag) const;
+
+    EitConfig cfg;
+    std::unordered_map<std::uint64_t, Row> table;
+    std::uint64_t superEvictCnt = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_DOMINO_EIT_H

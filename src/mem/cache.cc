@@ -1,0 +1,135 @@
+#include "cache.h"
+
+#include <cassert>
+
+namespace domino
+{
+
+namespace
+{
+
+std::uint32_t
+floorPow2(std::uint64_t x)
+{
+    std::uint32_t p = 1;
+    while ((std::uint64_t(p) << 1) <= x)
+        p <<= 1;
+    return p;
+}
+
+} // anonymous namespace
+
+SetAssocCache::SetAssocCache(std::uint64_t size_bytes,
+                             std::uint32_t ways_in, ReplPolicy policy)
+    : assoc(ways_in ? ways_in : 1), repl(policy)
+{
+    const std::uint64_t blocks = size_bytes / blockBytes;
+    const std::uint64_t want_sets = blocks / assoc;
+    sets = want_sets ? floorPow2(want_sets) : 1;
+    ways.resize(std::uint64_t(sets) * assoc);
+}
+
+std::uint32_t
+SetAssocCache::setIndex(LineAddr line) const
+{
+    return static_cast<std::uint32_t>(mix64(line) & (sets - 1));
+}
+
+bool
+SetAssocCache::access(LineAddr line)
+{
+    ++stat.accesses;
+    ++tick;
+    const std::uint32_t set = setIndex(line);
+    Way *base = &ways[std::uint64_t(set) * assoc];
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            base[w].lastUse = tick;
+            ++stat.hits;
+            return true;
+        }
+    }
+    ++stat.misses;
+    return false;
+}
+
+bool
+SetAssocCache::contains(LineAddr line) const
+{
+    const std::uint32_t set = setIndex(line);
+    const Way *base = &ways[std::uint64_t(set) * assoc];
+    for (std::uint32_t w = 0; w < assoc; ++w)
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    return false;
+}
+
+std::uint32_t
+SetAssocCache::victimWay(std::uint32_t set)
+{
+    Way *base = &ways[std::uint64_t(set) * assoc];
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < assoc; ++w)
+        if (!base[w].valid)
+            return w;
+    if (repl == ReplPolicy::Random) {
+        randState ^= randState << 13;
+        randState ^= randState >> 7;
+        randState ^= randState << 17;
+        return static_cast<std::uint32_t>(randState % assoc);
+    }
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < assoc; ++w)
+        if (base[w].lastUse < base[victim].lastUse)
+            victim = w;
+    return victim;
+}
+
+bool
+SetAssocCache::fill(LineAddr line, LineAddr &evicted)
+{
+    ++tick;
+    const std::uint32_t set = setIndex(line);
+    Way *base = &ways[std::uint64_t(set) * assoc];
+    // Already present: just refresh recency.
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            base[w].lastUse = tick;
+            return false;
+        }
+    }
+    ++stat.fills;
+    const std::uint32_t w = victimWay(set);
+    const bool had_victim = base[w].valid;
+    if (had_victim) {
+        evicted = base[w].tag;
+        ++stat.evictions;
+    }
+    base[w].valid = true;
+    base[w].tag = line;
+    base[w].lastUse = tick;
+    return had_victim;
+}
+
+bool
+SetAssocCache::invalidate(LineAddr line)
+{
+    const std::uint32_t set = setIndex(line);
+    Way *base = &ways[std::uint64_t(set) * assoc];
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            base[w].valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::clear()
+{
+    for (auto &w : ways)
+        w = Way{};
+}
+
+} // namespace domino

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Set-associative cache model.
+ *
+ * Tag-only (no data payload) since the simulators only need hit/miss
+ * behaviour and evictions.  Used for the 64 KB 2-way L1-D and the
+ * 4 MB 16-way LLC of Table I.
+ */
+
+#ifndef DOMINO_MEM_CACHE_H
+#define DOMINO_MEM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace domino
+{
+
+/** Replacement policy for SetAssocCache. */
+enum class ReplPolicy
+{
+    LRU,
+    /** Pseudo-random (xorshift over an internal counter). */
+    Random,
+};
+
+/** Per-cache event counters. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+            static_cast<double>(accesses) : 0.0;
+    }
+};
+
+/**
+ * A tag-only set-associative cache with configurable size,
+ * associativity, and replacement policy.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param size_bytes total capacity in bytes.
+     * @param ways associativity (>= 1).
+     * @param policy replacement policy.
+     */
+    SetAssocCache(std::uint64_t size_bytes, std::uint32_t ways,
+                  ReplPolicy policy = ReplPolicy::LRU);
+
+    /**
+     * Demand access: looks up the line and updates recency on a hit.
+     * Does NOT fill on a miss (the caller decides, because a miss
+     * may instead be satisfied by the prefetch buffer).
+     *
+     * @return true on hit.
+     */
+    bool access(LineAddr line);
+
+    /** Non-destructive lookup (no stats, no recency update). */
+    bool contains(LineAddr line) const;
+
+    /**
+     * Install a line (after a demand miss or a prefetch-buffer hit).
+     *
+     * @param line the line to install.
+     * @param evicted set to the victim line when one was evicted.
+     * @return true if a valid line was evicted.
+     */
+    bool fill(LineAddr line, LineAddr &evicted);
+
+    /** Install a line, discarding eviction information. */
+    void
+    fill(LineAddr line)
+    {
+        LineAddr dummy;
+        fill(line, dummy);
+    }
+
+    /** Invalidate a line if present. @return true if it was there. */
+    bool invalidate(LineAddr line);
+
+    /** Drop all contents (keeps statistics). */
+    void clear();
+
+    std::uint32_t numSets() const { return sets; }
+    std::uint32_t numWays() const { return assoc; }
+    const CacheStats &stats() const { return stat; }
+
+  private:
+    struct Way
+    {
+        LineAddr tag = invalidAddr;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t setIndex(LineAddr line) const;
+    std::uint32_t victimWay(std::uint32_t set);
+
+    std::uint32_t sets;
+    std::uint32_t assoc;
+    ReplPolicy repl;
+    std::vector<Way> ways;
+    std::uint64_t tick = 0;
+    std::uint64_t randState = 0x123456789abcdefULL;
+    CacheStats stat;
+};
+
+} // namespace domino
+
+#endif // DOMINO_MEM_CACHE_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Latency and bandwidth parameters of the simulated memory system
+ * (Table I of the paper).
+ */
+
+#ifndef DOMINO_MEM_MEMORY_MODEL_H
+#define DOMINO_MEM_MEMORY_MODEL_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace domino
+{
+
+/** Latency/bandwidth parameters, defaults from Table I at 4 GHz. */
+struct MemoryParams
+{
+    /** Core clock in GHz (Table I: 4 GHz). */
+    double coreGhz = 4.0;
+    /** L1-D load-to-use latency (Table I: 2 cycles). */
+    Cycles l1Latency = 2;
+    /** LLC hit latency (Table I: 18 cycles). */
+    Cycles llcLatency = 18;
+    /** Main-memory round-trip (Table I: 45 ns -> 180 cycles). */
+    Cycles memLatency = 180;
+    /** Peak off-chip bandwidth (Table I: 37.5 GB/s). */
+    double peakBandwidthGBs = 37.5;
+
+    /** Cycles for one serial off-chip metadata round trip. */
+    Cycles metadataLatency() const { return memLatency; }
+};
+
+/** Byte counters for the off-chip traffic breakdown (Figure 15). */
+struct OffChipTraffic
+{
+    /** Demand fills (baseline traffic). */
+    std::uint64_t demandBytes = 0;
+    /** Useful prefetch fills. */
+    std::uint64_t usefulPrefetchBytes = 0;
+    /** Incorrect (never used) prefetch fills. */
+    std::uint64_t incorrectPrefetchBytes = 0;
+    /** Metadata reads (index/history rows fetched). */
+    std::uint64_t metadataReadBytes = 0;
+    /** Metadata updates (history appends, index writebacks). */
+    std::uint64_t metadataUpdateBytes = 0;
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return demandBytes + usefulPrefetchBytes +
+            incorrectPrefetchBytes + metadataReadBytes +
+            metadataUpdateBytes;
+    }
+
+    /** Overhead of each extra component relative to demand bytes. */
+    double
+    overheadFraction() const
+    {
+        if (!demandBytes)
+            return 0.0;
+        return static_cast<double>(totalBytes() - demandBytes) /
+            static_cast<double>(demandBytes);
+    }
+};
+
+} // namespace domino
+
+#endif // DOMINO_MEM_MEMORY_MODEL_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Miss Status Holding Register (MSHR) file.
+ *
+ * Tracks in-flight fills with merge semantics.  The timing model
+ * uses it to bound the number of outstanding prefetches (Table I:
+ * 32 L1-D MSHRs): a prefetch that cannot allocate an MSHR is
+ * dropped, which throttles burst-heavy prefetchers whose requests
+ * occupy entries for multiple serial round trips.  Demand misses
+ * are modelled with priority (they stall the core and therefore
+ * self-limit), so only prefetches compete here.
+ */
+
+#ifndef DOMINO_MEM_MSHR_H
+#define DOMINO_MEM_MSHR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace domino
+{
+
+/** MSHR statistics. */
+struct MshrStats
+{
+    std::uint64_t allocations = 0;
+    std::uint64_t merges = 0;
+    std::uint64_t rejections = 0;
+};
+
+/** Fixed-capacity MSHR file with time-based retirement. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned entries)
+        : cap(entries ? entries : 1)
+    {
+        slots.reserve(cap);
+    }
+
+    unsigned capacity() const { return cap; }
+    std::size_t inFlight() const { return slots.size(); }
+
+    /** Free every entry whose fill completed by @p now. */
+    void
+    retire(Cycles now)
+    {
+        for (std::size_t i = 0; i < slots.size();) {
+            if (slots[i].ready <= now) {
+                slots[i] = slots.back();
+                slots.pop_back();
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    /** True if a fill for @p line is in flight. */
+    bool
+    contains(LineAddr line) const
+    {
+        for (const auto &s : slots)
+            if (s.line == line)
+                return true;
+        return false;
+    }
+
+    /**
+     * Allocate an entry for @p line completing at @p ready.
+     * Merges with an in-flight fill for the same line.
+     *
+     * @return false if the file is full (request must be dropped
+     *         or retried).
+     */
+    bool
+    allocate(LineAddr line, Cycles ready)
+    {
+        for (const auto &s : slots) {
+            if (s.line == line) {
+                ++stat.merges;
+                return true;
+            }
+        }
+        if (slots.size() >= cap) {
+            ++stat.rejections;
+            return false;
+        }
+        slots.push_back(Slot{line, ready});
+        ++stat.allocations;
+        return true;
+    }
+
+    const MshrStats &stats() const { return stat; }
+
+  private:
+    struct Slot
+    {
+        LineAddr line;
+        Cycles ready;
+    };
+
+    unsigned cap;
+    std::vector<Slot> slots;
+    MshrStats stat;
+};
+
+} // namespace domino
+
+#endif // DOMINO_MEM_MSHR_H

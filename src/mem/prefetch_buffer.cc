@@ -1,0 +1,76 @@
+#include "prefetch_buffer.h"
+
+#include <algorithm>
+
+namespace domino
+{
+
+bool
+PrefetchBuffer::insert(LineAddr line, std::uint32_t stream_id,
+                       Cycles ready_cycle, Cycles alt_latency)
+{
+    ++tick;
+    for (auto &e : entries) {
+        if (e.line == line) {
+            ++stat.duplicateDrops;
+            return false;
+        }
+    }
+    if (entries.size() >= cap) {
+        // Evict LRU; it was never used (hits remove entries).
+        auto lru = entries.begin();
+        for (auto it = entries.begin(); it != entries.end(); ++it)
+            if (it->lastUse < lru->lastUse)
+                lru = it;
+        ++stat.evictedUnused;
+        entries.erase(lru);
+    }
+    entries.push_back(
+        Entry{line, stream_id, ready_cycle, alt_latency, tick});
+    ++stat.inserted;
+    return true;
+}
+
+bool
+PrefetchBuffer::contains(LineAddr line) const
+{
+    for (const auto &e : entries)
+        if (e.line == line)
+            return true;
+    return false;
+}
+
+PrefetchBuffer::HitInfo
+PrefetchBuffer::lookup(LineAddr line)
+{
+    ++tick;
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+        if (it->line == line) {
+            HitInfo info{true, it->streamId, it->readyCycle,
+                         it->altLatency};
+            entries.erase(it);
+            ++stat.hits;
+            return info;
+        }
+    }
+    return HitInfo{};
+}
+
+void
+PrefetchBuffer::invalidateStream(std::uint32_t stream_id)
+{
+    auto it = std::remove_if(entries.begin(), entries.end(),
+        [&](const Entry &e) { return e.streamId == stream_id; });
+    stat.evictedUnused +=
+        static_cast<std::uint64_t>(entries.end() - it);
+    entries.erase(it, entries.end());
+}
+
+void
+PrefetchBuffer::flush()
+{
+    stat.evictedUnused += entries.size();
+    entries.clear();
+}
+
+} // namespace domino

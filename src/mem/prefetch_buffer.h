@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The small fully-associative prefetch buffer next to the L1-D.
+ *
+ * Following the paper's methodology (Section IV.D), all prefetchers
+ * prefetch into a 32-block buffer rather than directly into the
+ * L1-D.  A demand access that hits the buffer is a *covered* miss; a
+ * buffered block that is evicted without ever being hit is an
+ * *overprediction*.
+ */
+
+#ifndef DOMINO_MEM_PREFETCH_BUFFER_H
+#define DOMINO_MEM_PREFETCH_BUFFER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace domino
+{
+
+/** Counters kept by the prefetch buffer. */
+struct PrefetchBufferStats
+{
+    /** Prefetches inserted (deduplicated insertions only). */
+    std::uint64_t inserted = 0;
+    /** Demand accesses satisfied by the buffer. */
+    std::uint64_t hits = 0;
+    /** Blocks evicted (or invalidated) without ever being used. */
+    std::uint64_t evictedUnused = 0;
+    /** Insert attempts dropped because the block was already here. */
+    std::uint64_t duplicateDrops = 0;
+};
+
+/**
+ * Fully-associative LRU prefetch buffer.
+ *
+ * Each entry carries the id of the active stream that produced it
+ * (so stream trackers can credit prefetch hits) and the cycle the
+ * prefetched block arrives from memory (so the timing model can
+ * charge partial stalls for late prefetches).
+ */
+class PrefetchBuffer
+{
+  public:
+    /** Result of a demand probe. */
+    struct HitInfo
+    {
+        bool hit = false;
+        /** Stream id recorded at insertion. */
+        std::uint32_t streamId = 0;
+        /** Cycle at which the block is ready (timing model). */
+        Cycles readyCycle = 0;
+        /** Latency the demand would have paid without the prefetch
+         *  (timing model; caps the late-prefetch stall). */
+        Cycles altLatency = 0;
+    };
+
+    explicit PrefetchBuffer(std::uint32_t capacity = 32)
+        : cap(capacity)
+    {}
+
+    std::uint32_t capacity() const { return cap; }
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(entries.size());
+    }
+
+    /**
+     * Insert a prefetched block.  Duplicates are dropped.  When
+     * full, the LRU entry is evicted (counted as an overprediction
+     * if it was never hit -- entries by construction are removed on
+     * hit, so every eviction is an unused one).
+     *
+     * @return true if actually inserted.
+     */
+    bool insert(LineAddr line, std::uint32_t stream_id = 0,
+                Cycles ready_cycle = 0, Cycles alt_latency = 0);
+
+    /** True if the block is currently buffered (no side effects). */
+    bool contains(LineAddr line) const;
+
+    /**
+     * Demand probe: on hit the entry is removed (the block moves
+     * into the L1-D) and its metadata returned.
+     */
+    HitInfo lookup(LineAddr line);
+
+    /**
+     * Invalidate all blocks belonging to a replaced stream.  The
+     * paper discards the prefetch-buffer contents of a stream when
+     * the stream is replaced (Section III.B "Replaying").
+     */
+    void invalidateStream(std::uint32_t stream_id);
+
+    /** Drop everything, counting remaining entries as unused. */
+    void flush();
+
+    const PrefetchBufferStats &stats() const { return stat; }
+
+  private:
+    struct Entry
+    {
+        LineAddr line;
+        std::uint32_t streamId;
+        Cycles readyCycle;
+        Cycles altLatency;
+        std::uint64_t lastUse;
+    };
+
+    std::uint32_t cap;
+    std::vector<Entry> entries;
+    std::uint64_t tick = 0;
+    PrefetchBufferStats stat;
+};
+
+} // namespace domino
+
+#endif // DOMINO_MEM_PREFETCH_BUFFER_H

@@ -1,0 +1,101 @@
+#include "digram.h"
+
+namespace domino
+{
+
+DigramPrefetcher::DigramPrefetcher(const TemporalConfig &config)
+    : cfg(config),
+      ht(config.htEntries, config.addrsPerRow),
+      streams(config.activeStreams),
+      rng(config.seed ^ 0xd1)
+{}
+
+void
+DigramPrefetcher::record(LineAddr line, bool stream_start)
+{
+    const std::uint64_t pos = ht.append(line, stream_start);
+    if (++pendingInRow >= cfg.addrsPerRow) {
+        pendingInRow = 0;
+        ++meta.writeBlocks;
+    }
+    // Sampled index update for the (previous, current) pair.
+    if (havePrev && rng.chance(cfg.samplingProb)) {
+        it[pairKey(prevTrigger, line)] = pos;
+        ++meta.readBlocks;
+        ++meta.writeBlocks;
+    }
+    prevTrigger = line;
+    havePrev = true;
+}
+
+void
+DigramPrefetcher::startStream(LineAddr line, PrefetchSink &sink)
+{
+    if (!havePrev)
+        return;
+    // One off-chip trip for the index row.
+    ++meta.readBlocks;
+    const auto hit = it.find(pairKey(prevTrigger, line));
+    if (hit == it.end())
+        return;
+    const std::uint64_t pos = hit->second;
+    if (!ht.readable(pos + 1))
+        return;
+
+    ActiveStream &stream = streams.allocate(nextStreamId++, sink);
+    stream.nextPos = pos + 1;
+    ++streamsStartedCnt;
+
+    // Second (serial) trip: history row(s); initial degree burst.
+    refillFromHistory(ht, stream, cfg.degree, cfg.maxReplayPerStream,
+                      meta, cfg.endDetection);
+    unsigned issued = 0;
+    while (!stream.pending.empty() && issued < cfg.degree) {
+        sink.issue(stream.pending.front(), stream.id, 2);
+        stream.pending.pop_front();
+        ++stream.replayed;
+        ++issued;
+    }
+}
+
+void
+DigramPrefetcher::advanceStream(ActiveStream &stream,
+                                PrefetchSink &sink)
+{
+    streams.touch(stream);
+    if (cfg.maxReplayPerStream &&
+        stream.replayed >= cfg.maxReplayPerStream) {
+        return;
+    }
+    if (stream.pending.empty()) {
+        if (refillFromHistory(ht, stream, 1, cfg.maxReplayPerStream,
+                              meta, cfg.endDetection) == 0) {
+            return;
+        }
+        if (stream.pending.empty())
+            return;
+        sink.issue(stream.pending.front(), stream.id, 1);
+    } else {
+        sink.issue(stream.pending.front(), stream.id, 0);
+    }
+    stream.pending.pop_front();
+    ++stream.replayed;
+}
+
+void
+DigramPrefetcher::onTrigger(const TriggerEvent &event,
+                            PrefetchSink &sink)
+{
+    if (event.wasPrefetchHit) {
+        record(event.line, false);
+        if (ActiveStream *s = streams.findById(event.hitStreamId))
+            advanceStream(*s, sink);
+        prevWasHit = true;
+        return;
+    }
+    startStream(event.line, sink);
+    record(event.line, prevWasHit);
+    prevWasHit = false;
+}
+
+} // namespace domino

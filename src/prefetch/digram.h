@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Digram [Wenisch, PhD thesis 2007] -- a temporal prefetcher whose
+ * Index Table is keyed by the last *two* consecutive triggering
+ * events.
+ *
+ * Two-address lookup picks longer (more often correct) streams than
+ * STMS's single-address lookup, but can never prefetch the first two
+ * misses of a stream and finds a match less often; with the
+ * short-stream distributions of server workloads the two effects
+ * roughly cancel (Figures 2 and 11), which is why the thesis
+ * discarded the idea -- and what Domino's combined lookup fixes.
+ */
+
+#ifndef DOMINO_PREFETCH_DIGRAM_H
+#define DOMINO_PREFETCH_DIGRAM_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/prng.h"
+#include "prefetch/history.h"
+#include "prefetch/prefetcher.h"
+#include "prefetch/stream_tracker.h"
+
+namespace domino
+{
+
+/** Digram prefetcher: pair-indexed temporal streaming. */
+class DigramPrefetcher : public Prefetcher
+{
+  public:
+    explicit DigramPrefetcher(const TemporalConfig &config);
+
+    std::string name() const override { return "Digram"; }
+    void onTrigger(const TriggerEvent &event,
+                   PrefetchSink &sink) override;
+
+    /** Number of streams ever started (testing/diagnostics). */
+    std::uint64_t streamsStarted() const { return streamsStartedCnt; }
+
+  private:
+    void record(LineAddr line, bool stream_start);
+    void startStream(LineAddr line, PrefetchSink &sink);
+    void advanceStream(ActiveStream &stream, PrefetchSink &sink);
+
+    TemporalConfig cfg;
+    CircularHistory ht;
+    /** Index: (previous, current) pair -> HT position of current. */
+    std::unordered_map<std::uint64_t, std::uint64_t> it;
+    StreamTable streams;
+    Prng rng;
+    std::uint32_t nextStreamId = 1;
+    std::uint64_t pendingInRow = 0;
+    std::uint64_t streamsStartedCnt = 0;
+    bool prevWasHit = false;
+
+    /** Previous triggering event (for pair formation). */
+    LineAddr prevTrigger = invalidAddr;
+    bool havePrev = false;
+};
+
+} // namespace domino
+
+#endif // DOMINO_PREFETCH_DIGRAM_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The circular History Table (HT) shared by the temporal
+ * prefetchers.
+ *
+ * The HT is a circular log of triggering-event addresses kept in
+ * main memory, packed 12 addresses per 64 B row (Section V.A).
+ * Positions are monotonically increasing; a position is readable
+ * while it is still within the retention window (capacity).
+ */
+
+#ifndef DOMINO_PREFETCH_HISTORY_H
+#define DOMINO_PREFETCH_HISTORY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace domino
+{
+
+/** Circular history log with monotonic positions. */
+class CircularHistory
+{
+  public:
+    /**
+     * @param entries capacity in addresses.
+     * @param addrs_per_row addresses per 64 B row (traffic unit).
+     */
+    explicit CircularHistory(std::uint64_t entries,
+                             unsigned addrs_per_row = 12)
+        : cap(entries ? entries : 1), rowSize(addrs_per_row)
+    {
+        buf.resize(cap, invalidAddr);
+        startFlag.resize(cap, 0);
+    }
+
+    /**
+     * Append an address; @return its (monotonic) position.
+     *
+     * @param stream_start true when the triggering event was a
+     *        demand miss (a break in the covered stream): the
+     *        stream-end detection heuristic [10], [40] stops replay
+     *        at such context boundaries.
+     */
+    std::uint64_t
+    append(LineAddr line, bool stream_start = false)
+    {
+        const std::uint64_t pos = total;
+        buf[pos % cap] = line;
+        startFlag[pos % cap] = stream_start ? 1 : 0;
+        ++total;
+        return pos;
+    }
+
+    /** True if the entry at @p pos began a new context. */
+    bool
+    startsStream(std::uint64_t pos) const
+    {
+        return startFlag[pos % cap] != 0;
+    }
+
+    /** Total addresses ever appended (== next position). */
+    std::uint64_t size() const { return total; }
+
+    /** Capacity in addresses. */
+    std::uint64_t capacity() const { return cap; }
+
+    /** True if the position is still within the retention window. */
+    bool
+    readable(std::uint64_t pos) const
+    {
+        return pos < total && pos + cap >= total;
+    }
+
+    /** Address at a readable position. */
+    LineAddr at(std::uint64_t pos) const { return buf[pos % cap]; }
+
+    /** Addresses per row (row = unit of off-chip transfer). */
+    unsigned addrsPerRow() const { return rowSize; }
+
+    /** Row number containing a position. */
+    std::uint64_t rowOf(std::uint64_t pos) const
+    {
+        return pos / rowSize;
+    }
+
+    /** First position of the row after the one containing pos. */
+    std::uint64_t
+    nextRowStart(std::uint64_t pos) const
+    {
+        return (rowOf(pos) + 1) * rowSize;
+    }
+
+  private:
+    std::uint64_t cap;
+    unsigned rowSize;
+    std::vector<LineAddr> buf;
+    std::vector<std::uint8_t> startFlag;
+    std::uint64_t total = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_PREFETCH_HISTORY_H

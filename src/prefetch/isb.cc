@@ -1,0 +1,32 @@
+#include "isb.h"
+
+namespace domino
+{
+
+void
+IsbPrefetcher::onTrigger(const TriggerEvent &event, PrefetchSink &sink)
+{
+    const Addr pc = event.pc;
+    const LineAddr line = event.line;
+
+    // Predict the per-PC successor chain BEFORE training, so the
+    // chain reflects the previous occurrence.
+    auto &succ = nextByPc[pc];
+    LineAddr cur = line;
+    for (unsigned d = 0; d < cfg.degree; ++d) {
+        const auto it = succ.find(cur);
+        if (it == succ.end())
+            break;
+        // Idealized: metadata is on-chip, no off-chip trips.
+        sink.issue(it->second, 0, 0);
+        cur = it->second;
+    }
+
+    // Train: link the previous miss of this PC to the current one.
+    const auto last = lastByPc.find(pc);
+    if (last != lastByPc.end())
+        succ[last->second] = line;
+    lastByPc[pc] = line;
+}
+
+} // namespace domino

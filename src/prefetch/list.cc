@@ -1,0 +1,76 @@
+#include "list.h"
+
+namespace domino
+{
+
+void
+ListPrefetcher::issueAhead(PrefetchSink &sink)
+{
+    if (!active)
+        return;
+    const std::size_t end =
+        std::min<std::size_t>(pointer + cfg.degree, active->size());
+    for (std::size_t i = pointer; i < end; ++i)
+        sink.issue((*active)[i], 0, 0);
+}
+
+void
+ListPrefetcher::onTrigger(const TriggerEvent &event,
+                          PrefetchSink &sink)
+{
+    const LineAddr line = event.line;
+    const bool is_miss = !event.wasPrefetchHit;
+
+    // --- region segmentation: a miss right after a covered run
+    // (the temporal prefetchers' boundary heuristic), the first
+    // trigger ever, a revisit of the current region's head (the
+    // region repeated -- the bootstrap case before any coverage
+    // exists), or a known region head.
+    const bool region_start = is_miss &&
+        (prevWasHit || !recordingActive || line == recordingHead ||
+         recording.size() >= cfg.maxListLength ||
+         lists.find(line) != lists.end());
+
+    if (region_start) {
+        // Seal the list under construction.
+        if (recordingActive && !recording.empty() &&
+            lists.size() < cfg.maxLists) {
+            lists[recordingHead] = recording;
+        }
+        recordingHead = line;
+        recording.clear();
+        recordingActive = true;
+
+        // Arm replay if a list exists for this head.
+        const auto it = lists.find(line);
+        if (it != lists.end()) {
+            active = &it->second;
+            pointer = 0;
+            issueAhead(sink);
+        } else {
+            active = nullptr;
+        }
+    } else if (recordingActive &&
+               recording.size() < cfg.maxListLength) {
+        recording.push_back(line);
+    }
+
+    // --- replay pointer maintenance with the comparison window.
+    if (active && !region_start) {
+        const std::size_t end = std::min<std::size_t>(
+            pointer + cfg.syncWindow, active->size());
+        for (std::size_t i = pointer; i < end; ++i) {
+            if ((*active)[i] == line) {
+                pointer = i + 1;
+                issueAhead(sink);
+                break;
+            }
+        }
+        if (pointer >= active->size())
+            active = nullptr;
+    }
+
+    prevWasHit = event.wasPrefetchHit;
+}
+
+} // namespace domino

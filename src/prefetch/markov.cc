@@ -1,0 +1,39 @@
+#include "markov.h"
+
+namespace domino
+{
+
+void
+MarkovPrefetcher::onTrigger(const TriggerEvent &event,
+                            PrefetchSink &sink)
+{
+    const LineAddr line = event.line;
+
+    // Predict: prefetch every remembered successor, MRU first.
+    const auto it = table.find(line);
+    if (it != table.end()) {
+        for (const LineAddr succ : it->second)
+            sink.issue(succ, 0, 0);
+    }
+
+    // Train the (prev -> line) transition.
+    if (havePrev) {
+        auto &succ = table.try_emplace(
+            prev, LruSet<LineAddr>(cfg.successors)).first->second;
+        const std::size_t idx = succ.find(
+            [&](LineAddr s) { return s == line; });
+        if (idx < succ.size())
+            succ.touch(idx);
+        else
+            succ.insert(line);
+        // Bounded-table mode: drop a pseudo-random victim when
+        // over capacity (the classic design is set-associative; a
+        // random-victim map keeps the same capacity behaviour).
+        if (cfg.tableEntries && table.size() > cfg.tableEntries)
+            table.erase(table.begin());
+    }
+    prev = line;
+    havePrev = true;
+}
+
+} // namespace domino

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Markov prefetcher [Joseph & Grunwald, ISCA 1997] -- the classic
+ * ancestor of temporal prefetching the paper cites as [8].
+ *
+ * A first-order Markov model over the miss sequence: each miss
+ * address maps to its most likely successors (an LRU list of the
+ * last few observed successors), and a trigger prefetches all of
+ * them.  Unlike STMS/Domino, the Markov table is conceptually
+ * on-chip and there is no history replay: prediction depth is
+ * limited to the successor fan-out, which is why correlation
+ * prefetchers evolved into streaming designs.  Included as a
+ * baseline and as the degenerate "EIT without pointers" design
+ * point: it shows what Domino's super-entries would buy WITHOUT the
+ * HT stream replay behind them.
+ */
+
+#ifndef DOMINO_PREFETCH_MARKOV_H
+#define DOMINO_PREFETCH_MARKOV_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/lru.h"
+#include "prefetch/prefetcher.h"
+
+namespace domino
+{
+
+/** Configuration of the Markov prefetcher. */
+struct MarkovConfig
+{
+    /** Successors kept per address (fan-out; classic designs: 2-4). */
+    unsigned successors = 2;
+    /** Table capacity in addresses (0 = unlimited). */
+    std::uint64_t tableEntries = 0;
+};
+
+/** First-order Markov (pair-correlation) prefetcher. */
+class MarkovPrefetcher : public Prefetcher
+{
+  public:
+    explicit MarkovPrefetcher(const MarkovConfig &config)
+        : cfg(config)
+    {}
+
+    std::string name() const override { return "Markov"; }
+    void onTrigger(const TriggerEvent &event,
+                   PrefetchSink &sink) override;
+
+    /** Number of trained addresses (diagnostics). */
+    std::size_t trainedAddresses() const { return table.size(); }
+
+  private:
+    MarkovConfig cfg;
+    /** addr -> LRU list of observed successors. */
+    std::unordered_map<LineAddr, LruSet<LineAddr>> table;
+    LineAddr prev = invalidAddr;
+    bool havePrev = false;
+};
+
+} // namespace domino
+
+#endif // DOMINO_PREFETCH_MARKOV_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Trivial next-line prefetcher.
+ *
+ * The paper's baseline has a next-line *instruction* prefetcher and
+ * no data prefetcher; we do not model the instruction stream, but a
+ * next-line data prefetcher is provided as the canonical "simple
+ * prefetching does not work for server workloads" strawman
+ * (Ferdman et al., ASPLOS 2012) and for framework tests.
+ */
+
+#ifndef DOMINO_PREFETCH_NEXT_LINE_H
+#define DOMINO_PREFETCH_NEXT_LINE_H
+
+#include "prefetch/prefetcher.h"
+
+namespace domino
+{
+
+/** Prefetches the next sequential line(s) on every trigger. */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned degree = 1)
+        : degree(degree)
+    {}
+
+    std::string name() const override { return "NextLine"; }
+
+    void
+    onTrigger(const TriggerEvent &event, PrefetchSink &sink) override
+    {
+        for (unsigned d = 1; d <= degree; ++d)
+            sink.issue(event.line + d, 0, 0);
+    }
+
+  private:
+    unsigned degree;
+};
+
+} // namespace domino
+
+#endif // DOMINO_PREFETCH_NEXT_LINE_H

@@ -1,0 +1,107 @@
+#include "nlookup.h"
+
+namespace domino
+{
+
+namespace
+{
+
+/** Rolling hash of the n history elements ending at index `end`. */
+std::uint64_t
+ngramKey(const std::vector<LineAddr> &hist, std::size_t end,
+         unsigned n)
+{
+    std::uint64_t key = 0x243f6a8885a308d3ULL ^ n;
+    for (std::size_t i = end + 1 - n; i <= end; ++i)
+        key = mix64(key ^ hist[i]);
+    return key;
+}
+
+} // anonymous namespace
+
+NGramAnalyzer::NGramAnalyzer(unsigned max_depth)
+    : maxN(max_depth ? max_depth : 1),
+      lastPos(maxN),
+      depthStats(maxN),
+      pendingPred(maxN)
+{}
+
+void
+NGramAnalyzer::observe(LineAddr line)
+{
+    // 1. Verify predictions made at the previous trigger.
+    for (unsigned n = 1; n <= maxN; ++n) {
+        auto &pred = pendingPred[n - 1];
+        if (pred) {
+            if (*pred == line)
+                ++depthStats[n - 1].correct;
+            pred.reset();
+        }
+    }
+
+    // 2. Append and look up the n-grams ending at this trigger.
+    hist.push_back(line);
+    const std::size_t end = hist.size() - 1;
+    for (unsigned n = 1; n <= maxN; ++n) {
+        if (hist.size() < n)
+            break;
+        ++depthStats[n - 1].lookups;
+        const std::uint64_t key = ngramKey(hist, end, n);
+        auto &map = lastPos[n - 1];
+        const auto it = map.find(key);
+        if (it != map.end()) {
+            ++depthStats[n - 1].matches;
+            // The match ends at position it->second < end; the
+            // prediction is the address that followed it.
+            pendingPred[n - 1] = hist[it->second + 1];
+        }
+        map[key] = end;
+    }
+}
+
+NLookupPrefetcher::NLookupPrefetcher(const NLookupConfig &config)
+    : cfg(config), lastPos(config.maxDepth ? config.maxDepth : 1)
+{}
+
+std::string
+NLookupPrefetcher::name() const
+{
+    return "NLookup-" + std::to_string(cfg.maxDepth);
+}
+
+void
+NLookupPrefetcher::onTrigger(const TriggerEvent &event,
+                             PrefetchSink &sink)
+{
+    hist.push_back(event.line);
+    const std::size_t end = hist.size() - 1;
+    const unsigned max_n = static_cast<unsigned>(
+        std::min<std::size_t>(cfg.maxDepth, hist.size()));
+
+    // Recursive lookup: deepest match wins.
+    std::optional<std::uint64_t> match_end;
+    for (unsigned n = max_n; n >= 1; --n) {
+        const std::uint64_t key = ngramKey(hist, end, n);
+        const auto it = lastPos[n - 1].find(key);
+        if (it != lastPos[n - 1].end()) {
+            match_end = it->second;
+            break;
+        }
+    }
+
+    // Update the maps (after the lookup, so matches are to strictly
+    // earlier occurrences).
+    for (unsigned n = 1; n <= max_n; ++n)
+        lastPos[n - 1][ngramKey(hist, end, n)] = end;
+
+    if (!match_end)
+        return;
+    for (unsigned d = 1; d <= cfg.degree; ++d) {
+        const std::uint64_t pos = *match_end + d;
+        if (pos >= hist.size())
+            break;
+        sink.issue(hist[pos], 0, 0);
+    }
+}
+
+} // namespace domino

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * N-address lookup machinery for the paper's motivation study
+ * (Figures 3, 4 and 5).
+ *
+ * NGramAnalyzer answers, per lookup depth n: how often does a
+ * lookup with the last n triggering events find a match in the
+ * history (Figure 4), and how often does a found match predict the
+ * next miss correctly (Figure 3)?
+ *
+ * NLookupPrefetcher is the idealized temporal prefetcher of
+ * Figure 5: on each trigger it finds the match with the largest
+ * depth <= N (recursively falling back to fewer addresses) and
+ * prefetches the addresses that followed that match.
+ */
+
+#ifndef DOMINO_PREFETCH_NLOOKUP_H
+#define DOMINO_PREFETCH_NLOOKUP_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+
+namespace domino
+{
+
+/** Offline per-depth lookup statistics over a trigger sequence. */
+class NGramAnalyzer
+{
+  public:
+    /** Per-depth counters. */
+    struct DepthStats
+    {
+        /** Lookups attempted (history deep enough). */
+        std::uint64_t lookups = 0;
+        /** Lookups that found a match. */
+        std::uint64_t matches = 0;
+        /** Matches whose prediction equalled the next miss. */
+        std::uint64_t correct = 0;
+
+        double matchFraction() const
+        {
+            return lookups ? static_cast<double>(matches) /
+                static_cast<double>(lookups) : 0.0;
+        }
+        double correctFraction() const
+        {
+            return matches ? static_cast<double>(correct) /
+                static_cast<double>(matches) : 0.0;
+        }
+    };
+
+    explicit NGramAnalyzer(unsigned max_depth);
+
+    /** Feed the next triggering event of the sequence. */
+    void observe(LineAddr line);
+
+    unsigned maxDepth() const { return maxN; }
+    const DepthStats &stats(unsigned depth) const
+    {
+        return depthStats[depth - 1];
+    }
+
+  private:
+    std::uint64_t keyFor(unsigned n) const;
+
+    unsigned maxN;
+    std::vector<LineAddr> hist;
+    /** Per depth: n-gram key -> position of the n-gram's end. */
+    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
+        lastPos;
+    std::vector<DepthStats> depthStats;
+    /** Prediction made at the previous trigger, per depth. */
+    std::vector<std::optional<LineAddr>> pendingPred;
+};
+
+/** Configuration for the idealized multi-depth lookup prefetcher. */
+struct NLookupConfig
+{
+    /** Maximum lookup depth N (tries N, N-1, ..., 1). */
+    unsigned maxDepth = 2;
+    /** Prefetch degree. */
+    unsigned degree = 1;
+};
+
+/**
+ * Idealized temporal prefetcher with recursive <=N-address lookup
+ * and unlimited on-chip metadata (Figure 5).
+ */
+class NLookupPrefetcher : public Prefetcher
+{
+  public:
+    explicit NLookupPrefetcher(const NLookupConfig &config);
+
+    std::string name() const override;
+    void onTrigger(const TriggerEvent &event,
+                   PrefetchSink &sink) override;
+
+  private:
+    NLookupConfig cfg;
+    std::vector<LineAddr> hist;
+    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
+        lastPos;
+};
+
+} // namespace domino
+
+#endif // DOMINO_PREFETCH_NLOOKUP_H

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The prefetcher framework: triggering events, the issue sink, and
+ * the abstract Prefetcher interface every technique implements.
+ *
+ * Terminology follows the paper (Section III): prefetchers act on
+ * *triggering events*, which are L1-D demand misses and prefetch
+ * (buffer) hits.  A prefetch hit is a demand access satisfied by the
+ * prefetch buffer -- the access would have been a miss, so the
+ * underlying miss sequence is exactly the trigger sequence.
+ */
+
+#ifndef DOMINO_PREFETCH_PREFETCHER_H
+#define DOMINO_PREFETCH_PREFETCHER_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace domino
+{
+
+/** One triggering event delivered to a prefetcher. */
+struct TriggerEvent
+{
+    /** Cache-line address of the demand access. */
+    LineAddr line = 0;
+    /** PC of the triggering load/store (used by ISB). */
+    Addr pc = 0;
+    /** True when the access hit in the prefetch buffer. */
+    bool wasPrefetchHit = false;
+    /** Stream id that produced the hit (valid iff wasPrefetchHit). */
+    std::uint32_t hitStreamId = 0;
+};
+
+/**
+ * Interface through which a prefetcher issues requests and manages
+ * the prefetch buffer; implemented by the simulators.
+ */
+class PrefetchSink
+{
+  public:
+    virtual ~PrefetchSink() = default;
+
+    /**
+     * Issue a prefetch for @p line.
+     *
+     * @param line       block to prefetch.
+     * @param stream_id  active-stream tag for buffer crediting.
+     * @param metadata_trips number of *serial* off-chip metadata
+     *        round trips that must complete before this prefetch can
+     *        be sent to memory (0 for on-chip metadata; STMS needs 2
+     *        for the first prefetch of a stream, Domino needs 1).
+     */
+    virtual void issue(LineAddr line, std::uint32_t stream_id,
+                       unsigned metadata_trips) = 0;
+
+    /**
+     * Discard all buffered blocks belonging to a replaced stream
+     * (the paper discards Prefetch Buffer / PointBuf contents of the
+     * replaced stream).
+     */
+    virtual void dropStream(std::uint32_t stream_id) = 0;
+};
+
+/**
+ * Off-chip metadata traffic counters, in 64 B block units.
+ * Temporal prefetchers keep their tables in main memory, so every
+ * table access is an off-chip transfer (Figure 15).
+ */
+struct MetadataStats
+{
+    /** Blocks fetched (index rows, history rows). */
+    std::uint64_t readBlocks = 0;
+    /** Blocks written (history appends, index write-backs). */
+    std::uint64_t writeBlocks = 0;
+
+    std::uint64_t readBytes() const { return readBlocks * blockBytes; }
+    std::uint64_t writeBytes() const { return writeBlocks * blockBytes; }
+};
+
+/** Abstract base for all prefetching techniques. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Human-readable technique name ("STMS", "Domino", ...). */
+    virtual std::string name() const = 0;
+
+    /** Handle one triggering event, possibly issuing prefetches. */
+    virtual void onTrigger(const TriggerEvent &event,
+                           PrefetchSink &sink) = 0;
+
+    /** Off-chip metadata traffic so far (zero for on-chip designs). */
+    virtual MetadataStats metadata() const { return meta; }
+
+  protected:
+    MetadataStats meta;
+};
+
+/**
+ * Shared configuration of the temporal prefetchers (STMS, Digram,
+ * Domino), mirroring Section IV.D of the paper.
+ */
+struct TemporalConfig
+{
+    /** Prefetch degree (paper: 1 for Fig. 11, 4 elsewhere). */
+    unsigned degree = 4;
+    /** Number of simultaneously tracked active streams. */
+    unsigned activeStreams = 4;
+    /** Index-update sampling probability (paper: 12.5 %). */
+    double samplingProb = 0.125;
+    /** History capacity in entries (paper: 16 M for Domino). */
+    std::uint64_t htEntries = 1u << 20;
+    /** Triggering-event addresses per 64 B history row. */
+    unsigned addrsPerRow = 12;
+    /**
+     * Replay cap: stop extending an active stream after this many
+     * replayed addresses (0 = unlimited).
+     */
+    unsigned maxReplayPerStream = 48;
+    /**
+     * Stream-end detection [10], [40]: history entries recorded at
+     * context boundaries (a demand miss right after a covered run)
+     * terminate replay, so a stream does not run past its recorded
+     * end into unrelated history.
+     */
+    bool endDetection = true;
+    /** Seed for the sampling PRNG. */
+    std::uint64_t seed = 42;
+};
+
+} // namespace domino
+
+#endif // DOMINO_PREFETCH_PREFETCHER_H

@@ -1,0 +1,27 @@
+#include "stacked.h"
+
+namespace domino
+{
+
+void
+StackedPrefetcher::onTrigger(const TriggerEvent &event,
+                             PrefetchSink &sink)
+{
+    MappedSink primary_sink(sink, 0);
+    MappedSink secondary_sink(sink, 1);
+
+    if (event.wasPrefetchHit) {
+        TriggerEvent child = event;
+        child.hitStreamId = event.hitStreamId >> 1;
+        if ((event.hitStreamId & 1) == 0)
+            primary->onTrigger(child, primary_sink);
+        else
+            secondary->onTrigger(child, secondary_sink);
+        return;
+    }
+
+    primary->onTrigger(event, primary_sink);
+    secondary->onTrigger(event, secondary_sink);
+}
+
+} // namespace domino

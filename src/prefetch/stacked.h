@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Spatio-temporal stacking of two prefetchers (Figure 16).
+ *
+ * The paper stacks Domino on top of VLDP: VLDP handles spatial
+ * misses and Domino "trains and prefetches on misses that VLDP
+ * cannot capture".  The wrapper routes triggering events
+ * accordingly:
+ *
+ *  - a demand miss is seen by both techniques;
+ *  - a prefetch hit is seen only by the technique whose stream
+ *    produced the block (a miss covered by VLDP never appears in
+ *    Domino's trigger sequence, and vice versa).
+ *
+ * Stream ids of the two children are disambiguated by the low bit.
+ */
+
+#ifndef DOMINO_PREFETCH_STACKED_H
+#define DOMINO_PREFETCH_STACKED_H
+
+#include <memory>
+#include <utility>
+
+#include "prefetch/prefetcher.h"
+
+namespace domino
+{
+
+/** Two prefetchers sharing one prefetch buffer. */
+class StackedPrefetcher : public Prefetcher
+{
+  public:
+    StackedPrefetcher(std::unique_ptr<Prefetcher> primary_in,
+                      std::unique_ptr<Prefetcher> secondary_in)
+        : primary(std::move(primary_in)),
+          secondary(std::move(secondary_in))
+    {}
+
+    std::string
+    name() const override
+    {
+        return primary->name() + "+" + secondary->name();
+    }
+
+    void onTrigger(const TriggerEvent &event,
+                   PrefetchSink &sink) override;
+
+    MetadataStats
+    metadata() const override
+    {
+        MetadataStats sum = primary->metadata();
+        const MetadataStats s = secondary->metadata();
+        sum.readBlocks += s.readBlocks;
+        sum.writeBlocks += s.writeBlocks;
+        return sum;
+    }
+
+  private:
+    /** Sink proxy remapping child stream ids into a shared space. */
+    class MappedSink : public PrefetchSink
+    {
+      public:
+        MappedSink(PrefetchSink &inner, unsigned tag)
+            : inner(inner), tag(tag)
+        {}
+
+        void
+        issue(LineAddr line, std::uint32_t stream_id,
+              unsigned metadata_trips) override
+        {
+            inner.issue(line, (stream_id << 1) | tag, metadata_trips);
+        }
+
+        void
+        dropStream(std::uint32_t stream_id) override
+        {
+            inner.dropStream((stream_id << 1) | tag);
+        }
+
+      private:
+        PrefetchSink &inner;
+        unsigned tag;
+    };
+
+    std::unique_ptr<Prefetcher> primary;
+    std::unique_ptr<Prefetcher> secondary;
+};
+
+} // namespace domino
+
+#endif // DOMINO_PREFETCH_STACKED_H

@@ -1,0 +1,105 @@
+#include "stms.h"
+
+namespace domino
+{
+
+StmsPrefetcher::StmsPrefetcher(const TemporalConfig &config)
+    : cfg(config),
+      ht(config.htEntries, config.addrsPerRow),
+      streams(config.activeStreams),
+      rng(config.seed)
+{}
+
+void
+StmsPrefetcher::record(LineAddr line, bool stream_start)
+{
+    const std::uint64_t pos = ht.append(line, stream_start);
+    // LogMiss drains one row at a time: one off-chip write per
+    // addrsPerRow appended triggers.
+    if (++pendingInRow >= cfg.addrsPerRow) {
+        pendingInRow = 0;
+        ++meta.writeBlocks;
+    }
+    // Sampled index update: a read-modify-write of the index row.
+    if (rng.chance(cfg.samplingProb)) {
+        it[line] = pos;
+        ++meta.readBlocks;
+        ++meta.writeBlocks;
+    }
+}
+
+void
+StmsPrefetcher::startStream(LineAddr line, PrefetchSink &sink)
+{
+    // First off-chip trip: read the index row.
+    ++meta.readBlocks;
+    const auto hit = it.find(line);
+    if (hit == it.end())
+        return;
+    const std::uint64_t pos = hit->second;
+    if (!ht.readable(pos + 1))
+        return;
+
+    ActiveStream &stream = streams.allocate(nextStreamId++, sink);
+    stream.nextPos = pos + 1;
+    ++streamsStartedCnt;
+
+    // Second off-chip trip (serial after the first): read the
+    // history row(s) and issue the initial burst of `degree`
+    // prefetches.
+    refillFromHistory(ht, stream, cfg.degree, cfg.maxReplayPerStream,
+                      meta, cfg.endDetection);
+    unsigned issued = 0;
+    while (!stream.pending.empty() && issued < cfg.degree) {
+        sink.issue(stream.pending.front(), stream.id, 2);
+        stream.pending.pop_front();
+        ++stream.replayed;
+        ++issued;
+    }
+}
+
+void
+StmsPrefetcher::advanceStream(ActiveStream &stream, PrefetchSink &sink)
+{
+    streams.touch(stream);
+    if (cfg.maxReplayPerStream &&
+        stream.replayed >= cfg.maxReplayPerStream) {
+        return;  // stream-end heuristic: stop extending
+    }
+    if (stream.pending.empty()) {
+        // Need another history row: one off-chip trip before the
+        // prefetch can issue.
+        if (refillFromHistory(ht, stream, 1, cfg.maxReplayPerStream,
+                              meta, cfg.endDetection) == 0) {
+            return;
+        }
+        if (stream.pending.empty())
+            return;
+        sink.issue(stream.pending.front(), stream.id, 1);
+    } else {
+        sink.issue(stream.pending.front(), stream.id, 0);
+    }
+    stream.pending.pop_front();
+    ++stream.replayed;
+}
+
+void
+StmsPrefetcher::onTrigger(const TriggerEvent &event, PrefetchSink &sink)
+{
+    if (event.wasPrefetchHit) {
+        record(event.line, false);
+        if (ActiveStream *s = streams.findById(event.hitStreamId))
+            advanceStream(*s, sink);
+        prevWasHit = true;
+        return;
+    }
+    // Look up before recording so the index still points at the
+    // *previous* occurrence of this address, not the current one.
+    startStream(event.line, sink);
+    // A miss right after a covered run marks a context boundary
+    // (stream-end detection).
+    record(event.line, prevWasHit);
+    prevWasHit = false;
+}
+
+} // namespace domino

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sampled Temporal Memory Streaming (STMS) [Wenisch et al.,
+ * HPCA 2009] -- the state-of-the-art temporal prefetcher the paper
+ * compares against and builds Domino upon.
+ *
+ * STMS keeps a per-core History Table (circular miss log) and an
+ * Index Table mapping a *single* miss address to its last position
+ * in the history; both live in main memory.  On a miss it reads the
+ * index entry (one off-chip round trip), then the history row it
+ * points at (a second round trip), and replays the addresses that
+ * followed.  Index updates are sampled (12.5 %).
+ */
+
+#ifndef DOMINO_PREFETCH_STMS_H
+#define DOMINO_PREFETCH_STMS_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/prng.h"
+#include "prefetch/history.h"
+#include "prefetch/prefetcher.h"
+#include "prefetch/stream_tracker.h"
+
+namespace domino
+{
+
+/** STMS prefetcher with off-chip metadata accounting. */
+class StmsPrefetcher : public Prefetcher
+{
+  public:
+    explicit StmsPrefetcher(const TemporalConfig &config);
+
+    std::string name() const override { return "STMS"; }
+    void onTrigger(const TriggerEvent &event,
+                   PrefetchSink &sink) override;
+
+    /** Number of streams ever started (testing/diagnostics). */
+    std::uint64_t streamsStarted() const { return streamsStartedCnt; }
+
+  private:
+    void record(LineAddr line, bool stream_start);
+    void startStream(LineAddr line, PrefetchSink &sink);
+    void advanceStream(ActiveStream &stream, PrefetchSink &sink);
+
+    TemporalConfig cfg;
+    CircularHistory ht;
+    /** Index Table: last HT position of each miss address.
+     *  Modelled unlimited, as in the paper's STMS configuration. */
+    std::unordered_map<LineAddr, std::uint64_t> it;
+    StreamTable streams;
+    Prng rng;
+    std::uint32_t nextStreamId = 1;
+    std::uint64_t pendingInRow = 0;
+    bool prevWasHit = false;
+    std::uint64_t streamsStartedCnt = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_PREFETCH_STMS_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Active-stream bookkeeping shared by the temporal prefetchers.
+ *
+ * All three history-based prefetchers (STMS, Digram, Domino) track a
+ * small number of active streams (four in the paper); a miss
+ * allocates a new stream in place of the least-recently-used one,
+ * and a prefetch hit advances the stream that produced the block.
+ */
+
+#ifndef DOMINO_PREFETCH_STREAM_TRACKER_H
+#define DOMINO_PREFETCH_STREAM_TRACKER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "prefetch/history.h"
+#include "prefetch/prefetcher.h"
+
+namespace domino
+{
+
+/** One active replay stream (PointBuf contents + read cursor). */
+struct ActiveStream
+{
+    /** Tag used to credit prefetch-buffer hits. */
+    std::uint32_t id = 0;
+    /** Addresses fetched from the HT, not yet issued (PointBuf). */
+    std::deque<LineAddr> pending;
+    /** Next HT position to read when pending runs dry. */
+    std::uint64_t nextPos = 0;
+    /** Total addresses this stream has supplied (stream-end cap). */
+    unsigned replayed = 0;
+    /** Recency stamp for LRU replacement. */
+    std::uint64_t lastUse = 0;
+    /** False for table slots that were never allocated. */
+    bool valid = false;
+    /** Set when replay reached a recorded context boundary. */
+    bool ended = false;
+};
+
+/** Fixed-size LRU table of active streams. */
+class StreamTable
+{
+  public:
+    explicit StreamTable(unsigned capacity)
+        : slots(capacity ? capacity : 1)
+    {}
+
+    /** Find the stream with the given id, or nullptr. */
+    ActiveStream *
+    findById(std::uint32_t id)
+    {
+        for (auto &s : slots)
+            if (s.valid && s.id == id)
+                return &s;
+        return nullptr;
+    }
+
+    /**
+     * Allocate a stream slot for a new stream, replacing the LRU
+     * one.  The replaced stream's buffered prefetches are discarded
+     * through the sink, following the paper.
+     */
+    ActiveStream &
+    allocate(std::uint32_t new_id, PrefetchSink &sink)
+    {
+        ActiveStream *victim = &slots[0];
+        for (auto &s : slots) {
+            if (!s.valid) {
+                victim = &s;
+                break;
+            }
+            if (s.lastUse < victim->lastUse)
+                victim = &s;
+        }
+        if (victim->valid)
+            sink.dropStream(victim->id);
+        *victim = ActiveStream{};
+        victim->valid = true;
+        victim->id = new_id;
+        victim->lastUse = ++tick;
+        return *victim;
+    }
+
+    /** Mark a stream most recently used. */
+    void touch(ActiveStream &s) { s.lastUse = ++tick; }
+
+    /** Remove a stream (e.g. a discarded embryonic stream). */
+    void
+    release(ActiveStream &s)
+    {
+        s = ActiveStream{};
+    }
+
+  private:
+    std::vector<ActiveStream> slots;
+    std::uint64_t tick = 0;
+};
+
+/**
+ * Refill a stream's PointBuf from the history table until it holds
+ * at least @p want addresses (or the history ends / the stream-end
+ * cap is reached).  Each row read is one off-chip metadata block.
+ *
+ * @return number of rows read.
+ */
+inline unsigned
+refillFromHistory(const CircularHistory &ht, ActiveStream &stream,
+                  std::size_t want, unsigned max_replay,
+                  MetadataStats &meta, bool end_detection = true)
+{
+    unsigned rows_read = 0;
+    while (stream.pending.size() < want && !stream.ended) {
+        if (max_replay &&
+            stream.replayed + stream.pending.size() >= max_replay) {
+            break;
+        }
+        if (!ht.readable(stream.nextPos))
+            break;
+        // Stream-end detection: a recorded context boundary
+        // terminates the replay.
+        if (end_detection && ht.startsStream(stream.nextPos)) {
+            stream.ended = true;
+            break;
+        }
+        // Read the row containing nextPos; consume addresses up to
+        // the end of that row (or the next boundary).
+        const std::uint64_t row_end = ht.nextRowStart(stream.nextPos);
+        ++meta.readBlocks;
+        ++rows_read;
+        while (stream.nextPos < row_end &&
+               ht.readable(stream.nextPos)) {
+            if (end_detection && ht.startsStream(stream.nextPos)) {
+                stream.ended = true;
+                break;
+            }
+            stream.pending.push_back(ht.at(stream.nextPos));
+            ++stream.nextPos;
+        }
+    }
+    return rows_read;
+}
+
+} // namespace domino
+
+#endif // DOMINO_PREFETCH_STREAM_TRACKER_H

@@ -1,0 +1,59 @@
+#include "stride.h"
+
+namespace domino
+{
+
+StridePrefetcher::StridePrefetcher(const StrideConfig &config)
+    : cfg(config), rpt(config.rptEntries ? config.rptEntries : 1)
+{}
+
+void
+StridePrefetcher::onTrigger(const TriggerEvent &event,
+                            PrefetchSink &sink)
+{
+    RptEntry &entry = rpt[mix64(event.pc) % rpt.size()];
+
+    if (!entry.valid || entry.pc != event.pc) {
+        // Allocate (direct-mapped on the PC hash).
+        entry = RptEntry{};
+        entry.valid = true;
+        entry.pc = event.pc;
+        entry.lastLine = event.line;
+        return;
+    }
+
+    const std::int64_t stride =
+        static_cast<std::int64_t>(event.line) -
+        static_cast<std::int64_t>(entry.lastLine);
+    const bool matches = stride == entry.stride && stride != 0;
+
+    // Two-bit confidence state machine.
+    switch (entry.state) {
+      case State::Initial:
+        entry.state = matches ? State::Steady : State::Transient;
+        break;
+      case State::Transient:
+        entry.state = matches ? State::Steady : State::Transient;
+        break;
+      case State::Steady:
+        if (!matches)
+            entry.state = State::Initial;
+        break;
+    }
+    if (!matches)
+        entry.stride = stride;
+    entry.lastLine = event.line;
+
+    if (entry.state == State::Steady) {
+        for (unsigned d = 1; d <= cfg.degree; ++d) {
+            const std::int64_t target =
+                static_cast<std::int64_t>(event.line) +
+                entry.stride * static_cast<std::int64_t>(d);
+            if (target <= 0)
+                break;
+            sink.issue(static_cast<LineAddr>(target), 0, 0);
+        }
+    }
+}
+
+} // namespace domino

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Classic per-PC stride prefetcher [Baer & Chen, Supercomputing
+ * 1991] with a Reference Prediction Table.
+ *
+ * The paper's opening argument (after [1], [6]) is that simple
+ * stride prefetching is ineffective for server workloads, whose
+ * dependent pointer-chasing misses carry no stride pattern.  This
+ * implementation exists to demonstrate that claim on the synthetic
+ * suite (see bench_fig11_coverage_deg1 --with-simple) and as the
+ * canonical example of a state-machine prefetcher in the framework.
+ */
+
+#ifndef DOMINO_PREFETCH_STRIDE_H
+#define DOMINO_PREFETCH_STRIDE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+
+namespace domino
+{
+
+/** Configuration of the stride prefetcher. */
+struct StrideConfig
+{
+    /** Prefetch degree (strides projected ahead). */
+    unsigned degree = 4;
+    /** Reference Prediction Table entries (per-PC, set-assoc). */
+    unsigned rptEntries = 256;
+};
+
+/**
+ * Per-PC stride detection with the classic two-bit state machine
+ * (initial -> transient -> steady; prefetch only when steady).
+ */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(const StrideConfig &config);
+
+    std::string name() const override { return "Stride"; }
+    void onTrigger(const TriggerEvent &event,
+                   PrefetchSink &sink) override;
+
+  private:
+    enum class State : std::uint8_t
+    {
+        Initial,
+        Transient,
+        Steady,
+    };
+
+    struct RptEntry
+    {
+        Addr pc = 0;
+        LineAddr lastLine = 0;
+        std::int64_t stride = 0;
+        State state = State::Initial;
+        bool valid = false;
+    };
+
+    StrideConfig cfg;
+    std::vector<RptEntry> rpt;
+};
+
+} // namespace domino
+
+#endif // DOMINO_PREFETCH_STRIDE_H

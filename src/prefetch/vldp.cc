@@ -1,0 +1,156 @@
+#include "vldp.h"
+
+#include <algorithm>
+
+namespace domino
+{
+
+VldpPrefetcher::VldpPrefetcher(const VldpConfig &config)
+    : cfg(config), dhb(config.dhbEntries),
+      opt(config.optEntries, 0)
+{}
+
+std::uint64_t
+VldpPrefetcher::packKey(const std::int32_t *deltas, unsigned n)
+{
+    // Deltas are within a page: |delta| < 64, so 16 bits are ample.
+    std::uint64_t key = n;
+    for (unsigned i = 0; i < n; ++i) {
+        key = (key << 16) |
+            (static_cast<std::uint16_t>(deltas[i]) & 0xffff);
+    }
+    return key;
+}
+
+VldpPrefetcher::DhbEntry *
+VldpPrefetcher::findPage(std::uint64_t page)
+{
+    for (auto &e : dhb)
+        if (e.valid && e.page == page)
+            return &e;
+    return nullptr;
+}
+
+VldpPrefetcher::DhbEntry &
+VldpPrefetcher::allocatePage(std::uint64_t page)
+{
+    DhbEntry *victim = &dhb[0];
+    for (auto &e : dhb) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    *victim = DhbEntry{};
+    victim->valid = true;
+    victim->page = page;
+    return *victim;
+}
+
+bool
+VldpPrefetcher::lookupDelta(const std::vector<std::int32_t> &history,
+                            std::int32_t &out) const
+{
+    // Deepest-match-first among the DPTs.
+    const unsigned depth =
+        static_cast<unsigned>(std::min<std::size_t>(history.size(), 3));
+    for (unsigned n = depth; n >= 1; --n) {
+        const std::uint64_t key =
+            packKey(history.data() + history.size() - n, n);
+        const auto it = dpt[n - 1].find(key);
+        if (it != dpt[n - 1].end()) {
+            out = it->second;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+VldpPrefetcher::issueChain(std::uint64_t page,
+                           std::uint32_t start_offset,
+                           std::vector<std::int32_t> history,
+                           bool have_first, std::int32_t first_delta,
+                           PrefetchSink &sink)
+{
+    // Chain predictions: each predicted delta is appended to the
+    // speculative history and used to predict further (the paper
+    // notes this compounding is what hurts VLDP's accuracy at
+    // degree > 1 on server workloads).
+    std::int64_t offset = start_offset;
+    const std::uint64_t page_base = page << (pageBits - blockBits);
+    for (unsigned d = 0; d < cfg.degree; ++d) {
+        std::int32_t delta;
+        if (have_first) {
+            delta = first_delta;
+            have_first = false;
+        } else if (!lookupDelta(history, delta)) {
+            break;
+        }
+        offset += delta;
+        if (offset < 0 ||
+            offset >= static_cast<std::int64_t>(blocksPerPage)) {
+            break;
+        }
+        sink.issue(page_base + static_cast<std::uint64_t>(offset),
+                   0, 0);
+        history.push_back(delta);
+        if (history.size() > 3)
+            history.erase(history.begin());
+    }
+}
+
+void
+VldpPrefetcher::onTrigger(const TriggerEvent &event, PrefetchSink &sink)
+{
+    const std::uint64_t page = pageOfLine(event.line);
+    const auto offset =
+        static_cast<std::uint32_t>(pageOffsetOfLine(event.line));
+
+    DhbEntry *entry = findPage(page);
+    if (!entry) {
+        // First touch of this page: consult the OPT for the first
+        // delta, then chain further predictions from the DPTs.
+        entry = &allocatePage(page);
+        entry->lastOffset = offset;
+        entry->firstOffset = offset;
+        entry->lastUse = ++tick;
+        const std::int32_t first_delta = opt[offset % cfg.optEntries];
+        if (first_delta != 0)
+            issueChain(page, offset, {}, true, first_delta, sink);
+        return;
+    }
+
+    // Known page: compute the new delta and train the tables.
+    const std::int32_t delta =
+        static_cast<std::int32_t>(offset) -
+        static_cast<std::int32_t>(entry->lastOffset);
+    entry->lastUse = ++tick;
+    if (delta == 0)
+        return;
+
+    if (!entry->sawSecond) {
+        // The second access in a page trains the OPT.
+        opt[entry->firstOffset % cfg.optEntries] = delta;
+        entry->sawSecond = true;
+    }
+    // Train the DPTs: delta-history -> next delta.
+    const unsigned depth = static_cast<unsigned>(
+        std::min<std::size_t>(entry->deltas.size(), 3));
+    for (unsigned n = 1; n <= depth; ++n) {
+        const std::uint64_t key = packKey(
+            entry->deltas.data() + entry->deltas.size() - n, n);
+        dpt[n - 1][key] = delta;
+    }
+
+    entry->deltas.push_back(delta);
+    if (entry->deltas.size() > 3)
+        entry->deltas.erase(entry->deltas.begin());
+    entry->lastOffset = offset;
+
+    issueChain(page, offset, entry->deltas, false, 0, sink);
+}
+
+} // namespace domino

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Variable Length Delta Prefetcher (VLDP) [Shevgoor et al.,
+ * MICRO 2015], configured as in the paper: 16-entry DHB, 64-entry
+ * OPT, three infinite-size DPTs.
+ *
+ * VLDP is a *spatial* prefetcher: it predicts the next block offset
+ * within a 4 KB page from the recent history of deltas in that page,
+ * using the deepest delta-history table that matches (3, then 2,
+ * then 1 deltas).  The OPT predicts the first delta of a freshly
+ * touched page from its first offset.  VLDP is orthogonal to
+ * temporal prefetching and is stacked under Domino for Figure 16.
+ */
+
+#ifndef DOMINO_PREFETCH_VLDP_H
+#define DOMINO_PREFETCH_VLDP_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+
+namespace domino
+{
+
+/** VLDP configuration (paper Section IV.D). */
+struct VldpConfig
+{
+    unsigned degree = 4;
+    /** Delta History Buffer entries (pages tracked). */
+    unsigned dhbEntries = 16;
+    /** Offset Prediction Table entries. */
+    unsigned optEntries = 64;
+};
+
+/** VLDP spatial prefetcher. */
+class VldpPrefetcher : public Prefetcher
+{
+  public:
+    explicit VldpPrefetcher(const VldpConfig &config);
+
+    std::string name() const override { return "VLDP"; }
+    void onTrigger(const TriggerEvent &event,
+                   PrefetchSink &sink) override;
+
+  private:
+    struct DhbEntry
+    {
+        std::uint64_t page = 0;
+        std::uint32_t lastOffset = 0;
+        /** Most recent deltas, oldest first, at most 3. */
+        std::vector<std::int32_t> deltas;
+        std::uint32_t firstOffset = 0;
+        bool sawSecond = false;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    DhbEntry *findPage(std::uint64_t page);
+    DhbEntry &allocatePage(std::uint64_t page);
+    void issueChain(std::uint64_t page, std::uint32_t start_offset,
+                    std::vector<std::int32_t> history,
+                    bool have_first, std::int32_t first_delta,
+                    PrefetchSink &sink);
+    bool lookupDelta(const std::vector<std::int32_t> &history,
+                     std::int32_t &out) const;
+
+    static std::uint64_t packKey(const std::int32_t *deltas,
+                                 unsigned n);
+
+    VldpConfig cfg;
+    std::vector<DhbEntry> dhb;
+    /** DPTs indexed by the number of deltas in the key (1..3). */
+    std::unordered_map<std::uint64_t, std::int32_t> dpt[3];
+    /** OPT: first offset -> predicted first delta (0 = invalid). */
+    std::vector<std::int32_t> opt;
+    std::uint64_t tick = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_PREFETCH_VLDP_H

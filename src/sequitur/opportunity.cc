@@ -1,0 +1,109 @@
+#include "opportunity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sequitur/sequitur.h"
+
+namespace domino
+{
+
+OpportunityResult
+analyzeOpportunity(const std::vector<LineAddr> &misses)
+{
+    OpportunityResult result;
+    result.totalMisses = misses.size();
+    if (misses.empty())
+        return result;
+
+    SequiturGrammar grammar;
+    for (const LineAddr m : misses)
+        grammar.push(m);
+
+    // Walk the start rule.  The first time a rule is encountered we
+    // descend into it (its sub-rules may repeat); every later
+    // occurrence is a repeated sequence -- an oracle stream covering
+    // its whole expansion.
+    std::unordered_set<int> seen;
+
+    struct Frame
+    {
+        std::vector<SequiturGrammar::Sym> body;
+        std::size_t idx;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{grammar.ruleBody(0), 0});
+
+    while (!stack.empty()) {
+        Frame &top = stack.back();
+        if (top.idx >= top.body.size()) {
+            stack.pop_back();
+            continue;
+        }
+        const SequiturGrammar::Sym sym = top.body[top.idx++];
+        if (!sym.isRule)
+            continue;  // bare terminal: not covered
+        if (seen.insert(sym.ruleId).second) {
+            // First occurrence: descend.
+            stack.push_back(Frame{grammar.ruleBody(sym.ruleId), 0});
+        } else {
+            const std::uint64_t len =
+                grammar.expandedLength(sym.ruleId);
+            result.coveredMisses += len;
+            ++result.streamCount;
+            result.streamLengths.add(len);
+        }
+    }
+    return result;
+}
+
+std::vector<RecurringStream>
+topStreams(const std::vector<LineAddr> &misses, std::size_t k)
+{
+    std::vector<RecurringStream> out;
+    if (misses.empty() || k == 0)
+        return out;
+
+    SequiturGrammar grammar;
+    for (const LineAddr m : misses)
+        grammar.push(m);
+
+    for (const int id : grammar.liveRuleIds()) {
+        if (id == 0)
+            continue;
+        RecurringStream stream;
+        stream.length = grammar.expandedLength(id);
+        stream.occurrences = grammar.ruleUses(id);
+        // Expand the first few terminals iteratively.
+        struct Frame
+        {
+            std::vector<SequiturGrammar::Sym> body;
+            std::size_t idx;
+        };
+        std::vector<Frame> stack;
+        stack.push_back(Frame{grammar.ruleBody(id), 0});
+        while (!stack.empty() && stream.prefix.size() < 4) {
+            Frame &top = stack.back();
+            if (top.idx >= top.body.size()) {
+                stack.pop_back();
+                continue;
+            }
+            const SequiturGrammar::Sym sym = top.body[top.idx++];
+            if (sym.isRule)
+                stack.push_back(Frame{grammar.ruleBody(sym.ruleId), 0});
+            else
+                stream.prefix.push_back(sym.term);
+        }
+        out.push_back(std::move(stream));
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const RecurringStream &a, const RecurringStream &b) {
+                  return a.volume() > b.volume();
+              });
+    if (out.size() > k)
+        out.resize(k);
+    return out;
+}
+
+} // namespace domino

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sequitur-based temporal-prefetching opportunity analysis
+ * (Figures 1, 2 and 12 of the paper).
+ *
+ * Following the paper's methodology (and the prior temporal
+ * streaming work it cites), the miss sequence is compressed with
+ * Sequitur; a miss is *covered* (predictable from history) when it
+ * falls inside a repetition of a grammar rule -- i.e. any rule
+ * occurrence after the walk has already seen that rule once.  Each
+ * such repeated occurrence is an oracle *temporal stream*, whose
+ * length is the rule's expanded length.
+ */
+
+#ifndef DOMINO_SEQUITUR_OPPORTUNITY_H
+#define DOMINO_SEQUITUR_OPPORTUNITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace domino
+{
+
+/** Result of the opportunity analysis over one miss sequence. */
+struct OpportunityResult
+{
+    /** Total misses analysed. */
+    std::uint64_t totalMisses = 0;
+    /** Misses inside repeated rule expansions. */
+    std::uint64_t coveredMisses = 0;
+    /** Number of oracle streams (repeated rule occurrences). */
+    std::uint64_t streamCount = 0;
+    /** Stream-length histogram with Figure 12's bucket edges
+     *  {0, 2, 4, 8, 16, 32, 64, 128, 128+}. */
+    EdgeHistogram streamLengths{
+        std::vector<std::uint64_t>{0, 2, 4, 8, 16, 32, 64, 128}};
+
+    /** Opportunity: fraction of misses that are covered. */
+    double
+    coverage() const
+    {
+        return totalMisses ? static_cast<double>(coveredMisses) /
+            static_cast<double>(totalMisses) : 0.0;
+    }
+
+    /** Mean oracle stream length (paper: 7.6 on average). */
+    double
+    meanStreamLength() const
+    {
+        return streamCount ? static_cast<double>(coveredMisses) /
+            static_cast<double>(streamCount) : 0.0;
+    }
+};
+
+/**
+ * Run Sequitur over @p misses and compute the opportunity.
+ */
+OpportunityResult analyzeOpportunity(
+    const std::vector<LineAddr> &misses);
+
+/** One recurring stream surfaced by the grammar. */
+struct RecurringStream
+{
+    /** Expanded length in misses. */
+    std::uint64_t length = 0;
+    /** Number of occurrences in the sequence. */
+    std::uint32_t occurrences = 0;
+    /** First few miss addresses of the stream. */
+    std::vector<LineAddr> prefix;
+
+    /** Misses this stream accounts for in total. */
+    std::uint64_t
+    volume() const
+    {
+        return length * occurrences;
+    }
+};
+
+/**
+ * The top-k recurring streams of a miss sequence by covered volume
+ * (occurrences x length) -- the workload's "hot temporal streams".
+ */
+std::vector<RecurringStream> topStreams(
+    const std::vector<LineAddr> &misses, std::size_t k);
+
+} // namespace domino
+
+#endif // DOMINO_SEQUITUR_OPPORTUNITY_H

@@ -1,0 +1,380 @@
+#include "sequitur.h"
+
+#include <cassert>
+
+#include "common/types.h"
+
+namespace domino
+{
+
+SequiturGrammar::SequiturGrammar()
+{
+    newRule();  // rule 0: the start rule
+}
+
+SequiturGrammar::~SequiturGrammar()
+{
+    for (Rule *r : rules) {
+        if (!r->dead) {
+            Symbol *s = r->guard->next;
+            while (s != r->guard) {
+                Symbol *n = s->next;
+                delete s;
+                s = n;
+            }
+            delete r->guard;
+        }
+        delete r;
+    }
+}
+
+SequiturGrammar::Rule *
+SequiturGrammar::newRule()
+{
+    Rule *r = new Rule;
+    r->id = static_cast<int>(rules.size());
+    Symbol *g = new Symbol;
+    g->guard = true;
+    g->rule = r;
+    g->next = g;
+    g->prev = g;
+    r->guard = g;
+    rules.push_back(r);
+    return r;
+}
+
+SequiturGrammar::Symbol *
+SequiturGrammar::newTerminal(std::uint64_t term)
+{
+    Symbol *s = new Symbol;
+    s->term = term;
+    return s;
+}
+
+SequiturGrammar::Symbol *
+SequiturGrammar::newNonterminal(Rule *r)
+{
+    Symbol *s = new Symbol;
+    s->rule = r;
+    ++r->count;
+    return s;
+}
+
+std::uint64_t
+SequiturGrammar::codeOf(const Symbol *s) const
+{
+    // Terminals and rule ids live in disjoint code spaces.
+    return s->rule ? (static_cast<std::uint64_t>(s->rule->id) << 1) | 1
+                   : (s->term << 1);
+}
+
+std::uint64_t
+SequiturGrammar::digramKey(const Symbol *a) const
+{
+    return pairKey(codeOf(a), codeOf(a->next));
+}
+
+void
+SequiturGrammar::removeDigram(Symbol *a)
+{
+    if (a->guard || !a->next || a->next->guard)
+        return;
+    const auto it = digrams.find(digramKey(a));
+    if (it != digrams.end() && it->second == a)
+        digrams.erase(it);
+}
+
+void
+SequiturGrammar::join(Symbol *left, Symbol *right)
+{
+    // Linking changes the digram starting at `left`, so drop its
+    // index entry first.
+    if (left->next)
+        removeDigram(left);
+    left->next = right;
+    right->prev = left;
+}
+
+void
+SequiturGrammar::insertAfter(Symbol *pos, Symbol *sym)
+{
+    join(sym, pos->next);
+    join(pos, sym);
+}
+
+void
+SequiturGrammar::deleteSymbol(Symbol *sym)
+{
+    join(sym->prev, sym->next);
+    if (!sym->guard) {
+        removeDigram(sym);
+        if (sym->rule)
+            --sym->rule->count;
+    }
+    delete sym;
+}
+
+bool
+SequiturGrammar::check(Symbol *a)
+{
+    if (a->guard || a->next->guard)
+        return false;
+    const std::uint64_t key = digramKey(a);
+    const auto it = digrams.find(key);
+    if (it == digrams.end()) {
+        digrams.emplace(key, a);
+        return false;
+    }
+    Symbol *m = it->second;
+    if (m == a)
+        return true;
+    // Overlapping occurrence (e.g. "aaa"): leave it alone.
+    if (m->next != a)
+        match(a, m);
+    return true;
+}
+
+void
+SequiturGrammar::match(Symbol *newer, Symbol *older)
+{
+    Rule *r;
+    if (older->prev->guard && older->next->next->guard) {
+        // The older occurrence is exactly the body of a rule:
+        // reuse it.
+        r = older->prev->rule;
+        substitute(newer, r);
+    } else {
+        // Create a new rule from the digram and substitute both
+        // occurrences.
+        r = newRule();
+        Symbol *c1 = newer->rule ? newNonterminal(newer->rule)
+                                 : newTerminal(newer->term);
+        insertAfter(r->guard->prev, c1);
+        Symbol *c2 = newer->next->rule
+            ? newNonterminal(newer->next->rule)
+            : newTerminal(newer->next->term);
+        insertAfter(r->guard->prev, c2);
+        substitute(older, r);
+        // The cascaded checks inside substitute() can themselves
+        // trigger matches that expand rule r (its reference count
+        // can transiently drop to one); r may be dead afterwards.
+        if (r->dead)
+            return;
+        substitute(newer, r);
+        if (r->dead)
+            return;
+        digrams[digramKey(r->guard->next)] = r->guard->next;
+    }
+    if (r->dead)
+        return;
+
+    // Rule utility: a rule referenced once is expanded in place.
+    // After the substitutions above, any rule whose count dropped to
+    // one has its sole remaining reference inside r's body.
+    Symbol *first = r->guard->next;
+    if (first->rule && !first->guard && first->rule->count == 1)
+        expand(first);
+    // Re-read after the possible expansion above.
+    Symbol *last = r->guard->prev;
+    if (last->rule && !last->guard && last->rule->count == 1)
+        expand(last);
+}
+
+void
+SequiturGrammar::substitute(Symbol *first, Rule *r)
+{
+    Symbol *q = first->prev;
+    deleteSymbol(q->next);
+    deleteSymbol(q->next);
+    insertAfter(q, newNonterminal(r));
+    if (!check(q))
+        check(q->next);
+}
+
+void
+SequiturGrammar::expand(Symbol *nonterminal)
+{
+    Rule *r = nonterminal->rule;
+    Symbol *left = nonterminal->prev;
+    Symbol *right = nonterminal->next;
+    Symbol *f = r->guard->next;
+    Symbol *l = r->guard->prev;
+
+    // Unregister digrams involving the nonterminal, then unlink it
+    // without the usual destructor bookkeeping (the rule is dying).
+    removeDigram(nonterminal);
+    if (left->next)
+        removeDigram(left);
+    delete nonterminal;
+
+    // Splice the rule body into place.
+    left->next = f;
+    f->prev = left;
+    l->next = right;
+    right->prev = l;
+
+    // Register the digrams formed at the splice seams (last-writer
+    // wins, as in the classical algorithm).  When expanding a
+    // rule's first symbol the left seam borders the guard and only
+    // the right seam exists; expanding the last symbol mirrors it.
+    if (!left->guard && !f->guard)
+        digrams[digramKey(left)] = left;
+    if (!l->guard && !right->guard)
+        digrams[digramKey(l)] = l;
+
+    delete r->guard;
+    r->guard = nullptr;
+    r->dead = true;
+    r->count = 0;
+    lengthCache.clear();
+}
+
+void
+SequiturGrammar::push(std::uint64_t terminal)
+{
+    Rule *start = rules[0];
+    Symbol *sym = newTerminal(terminal);
+    insertAfter(start->guard->prev, sym);
+    ++fed;
+    if (sym->prev != start->guard)
+        check(sym->prev);
+    lengthCache.clear();
+}
+
+std::vector<int>
+SequiturGrammar::liveRuleIds() const
+{
+    std::vector<int> ids;
+    for (const Rule *r : rules)
+        if (!r->dead)
+            ids.push_back(r->id);
+    return ids;
+}
+
+std::uint32_t
+SequiturGrammar::ruleUses(int rule_id) const
+{
+    return rules[static_cast<std::size_t>(rule_id)]->count;
+}
+
+std::vector<SequiturGrammar::Sym>
+SequiturGrammar::ruleBody(int rule_id) const
+{
+    std::vector<Sym> body;
+    const Rule *r = rules[static_cast<std::size_t>(rule_id)];
+    if (r->dead)
+        return body;
+    for (const Symbol *s = r->guard->next; s != r->guard;
+         s = s->next) {
+        Sym sym;
+        if (s->rule) {
+            sym.isRule = true;
+            sym.ruleId = s->rule->id;
+        } else {
+            sym.term = s->term;
+        }
+        body.push_back(sym);
+    }
+    return body;
+}
+
+std::uint64_t
+SequiturGrammar::expandedLength(int rule_id) const
+{
+    const auto cached = lengthCache.find(rule_id);
+    if (cached != lengthCache.end())
+        return cached->second;
+    std::uint64_t len = 0;
+    for (const Sym &s : ruleBody(rule_id))
+        len += s.isRule ? expandedLength(s.ruleId) : 1;
+    lengthCache.emplace(rule_id, len);
+    return len;
+}
+
+std::vector<std::uint64_t>
+SequiturGrammar::reconstruct() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(fed);
+    // Iterative expansion of rule 0 to avoid deep recursion.
+    struct Frame
+    {
+        std::vector<Sym> body;
+        std::size_t idx;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{ruleBody(0), 0});
+    while (!stack.empty()) {
+        Frame &top = stack.back();
+        if (top.idx >= top.body.size()) {
+            stack.pop_back();
+            continue;
+        }
+        const Sym sym = top.body[top.idx++];
+        if (sym.isRule)
+            stack.push_back(Frame{ruleBody(sym.ruleId), 0});
+        else
+            out.push_back(sym.term);
+    }
+    return out;
+}
+
+std::string
+SequiturGrammar::checkInvariants() const
+{
+    // Rule utility: every live rule except the start rule must be
+    // referenced at least twice, and stored counts must agree with
+    // a full walk.
+    std::unordered_map<int, std::uint32_t> walked;
+    for (const int id : liveRuleIds()) {
+        for (const Sym &s : ruleBody(id)) {
+            if (s.isRule)
+                ++walked[s.ruleId];
+        }
+        if (ruleBody(id).size() < 2 && id != 0)
+            return "rule body shorter than 2: rule " +
+                std::to_string(id);
+    }
+    for (const int id : liveRuleIds()) {
+        if (id == 0)
+            continue;
+        const auto it = walked.find(id);
+        const std::uint32_t uses =
+            it == walked.end() ? 0 : it->second;
+        if (uses != ruleUses(id))
+            return "count mismatch for rule " + std::to_string(id);
+        if (uses < 2)
+            return "under-used rule " + std::to_string(id);
+    }
+
+    // Digram uniqueness: no repeated non-overlapping digram.
+    // Exception: rule expansion splices a rule body into its
+    // context, and the digrams formed at the splice seams are
+    // re-registered last-writer-wins (as in the classical
+    // implementation); a pre-existing identical digram elsewhere
+    // then remains as an unindexed orphan until a third occurrence
+    // forms.  Such a benign orphan is recognisable because the live
+    // index still holds the key; true corruption (a repeated digram
+    // the index has lost entirely) is reported.
+    std::unordered_map<std::uint64_t, const Symbol *> seen;
+    for (const Rule *r : rules) {
+        if (r->dead)
+            continue;
+        for (const Symbol *s = r->guard->next;
+             s != r->guard && s->next != r->guard; s = s->next) {
+            const std::uint64_t key = digramKey(s);
+            const auto it = seen.find(key);
+            if (it != seen.end()) {
+                // Overlapping duplicates ("aaa") are permitted.
+                if (it->second->next != s &&
+                    digrams.find(key) == digrams.end()) {
+                    return "duplicate digram lost by the index";
+                }
+            }
+            seen.emplace(key, s);
+        }
+    }
+    return "";
+}
+
+} // namespace domino

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sequitur hierarchical grammar inference
+ * [Nevill-Manning & Witten, JAIR 1997].
+ *
+ * Sequitur reads a sequence of symbols and incrementally builds a
+ * context-free grammar that generates exactly that sequence, while
+ * maintaining two invariants:
+ *
+ *  - *digram uniqueness*: no pair of adjacent symbols appears more
+ *    than once in the grammar (a repeated digram becomes a rule);
+ *  - *rule utility*: every rule is referenced at least twice (a rule
+ *    used once is expanded in place).
+ *
+ * The paper (like prior temporal-streaming work) uses Sequitur on
+ * L1-D miss sequences to measure the *opportunity* of temporal
+ * prefetching: misses inside a repeated rule expansion are
+ * predictable from history.  See opportunity.h for that analysis.
+ *
+ * The implementation is the classical linear-time pointer-based one
+ * with a digram hash index.
+ */
+
+#ifndef DOMINO_SEQUITUR_SEQUITUR_H
+#define DOMINO_SEQUITUR_SEQUITUR_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace domino
+{
+
+/**
+ * A Sequitur grammar under incremental construction.
+ *
+ * Rule 0 is the start rule (the whole sequence).  After feeding the
+ * input with push(), the grammar can be traversed via ruleBody() /
+ * liveRuleIds().
+ */
+class SequiturGrammar
+{
+  public:
+    /** One symbol of a rule body, as seen by traversal. */
+    struct Sym
+    {
+        bool isRule = false;
+        /** Terminal value (valid when !isRule). */
+        std::uint64_t term = 0;
+        /** Referenced rule id (valid when isRule). */
+        int ruleId = -1;
+    };
+
+    SequiturGrammar();
+    ~SequiturGrammar();
+
+    SequiturGrammar(const SequiturGrammar &) = delete;
+    SequiturGrammar &operator=(const SequiturGrammar &) = delete;
+
+    /** Feed the next terminal of the input sequence. */
+    void push(std::uint64_t terminal);
+
+    /** Number of terminals fed so far. */
+    std::uint64_t inputLength() const { return fed; }
+
+    /** Ids of all live (non-expanded) rules, including rule 0. */
+    std::vector<int> liveRuleIds() const;
+
+    /** Reference count of a live rule (0 for the start rule). */
+    std::uint32_t ruleUses(int rule_id) const;
+
+    /** The body of a live rule, in order. */
+    std::vector<Sym> ruleBody(int rule_id) const;
+
+    /** Expanded (terminal) length of a live rule, memoised. */
+    std::uint64_t expandedLength(int rule_id) const;
+
+    /**
+     * Reconstruct the full input by expanding rule 0 (testing:
+     * must equal the pushed sequence).
+     */
+    std::vector<std::uint64_t> reconstruct() const;
+
+    /** Verify the digram-uniqueness and rule-utility invariants.
+     *  @return empty string if OK, else a description. */
+    std::string checkInvariants() const;
+
+  private:
+    struct Rule;
+
+    struct Symbol
+    {
+        Symbol *next = nullptr;
+        Symbol *prev = nullptr;
+        /** Terminal value (when rule == nullptr && !guard). */
+        std::uint64_t term = 0;
+        /** Non-null for nonterminals; for guards, the owner rule. */
+        Rule *rule = nullptr;
+        bool guard = false;
+    };
+
+    struct Rule
+    {
+        Symbol *guard = nullptr;
+        std::uint32_t count = 0;
+        int id = 0;
+        bool dead = false;
+    };
+
+    // --- construction machinery -----------------------------------
+    std::uint64_t codeOf(const Symbol *s) const;
+    std::uint64_t digramKey(const Symbol *a) const;
+    void removeDigram(Symbol *a);
+    void join(Symbol *left, Symbol *right);
+    void insertAfter(Symbol *pos, Symbol *sym);
+    void deleteSymbol(Symbol *sym);
+    bool check(Symbol *a);
+    void match(Symbol *newer, Symbol *older);
+    void substitute(Symbol *first, Rule *r);
+    void expand(Symbol *nonterminal);
+    Rule *newRule();
+    Symbol *newTerminal(std::uint64_t term);
+    Symbol *newNonterminal(Rule *r);
+
+    std::vector<Rule *> rules;
+    std::unordered_map<std::uint64_t, Symbol *> digrams;
+    std::uint64_t fed = 0;
+    mutable std::unordered_map<int, std::uint64_t> lengthCache;
+};
+
+} // namespace domino
+
+#endif // DOMINO_SEQUITUR_SEQUITUR_H

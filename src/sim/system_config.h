@@ -1,0 +1,43 @@
+/**
+ * @file
+ * System-level configuration of the timing simulator (Table I).
+ */
+
+#ifndef DOMINO_SIM_SYSTEM_CONFIG_H
+#define DOMINO_SIM_SYSTEM_CONFIG_H
+
+#include <cstdint>
+
+#include "mem/memory_model.h"
+
+namespace domino
+{
+
+/** Quad-core server chip parameters (Table I). */
+struct SystemConfig
+{
+    /** Number of cores. */
+    unsigned cores = 4;
+    /** Per-core L1-D: 64 KB, 2-way. */
+    std::uint64_t l1Bytes = 64 * 1024;
+    std::uint32_t l1Ways = 2;
+    /** Shared LLC: 4 MB, 16-way. */
+    std::uint64_t llcBytes = 4ULL * 1024 * 1024;
+    std::uint32_t llcWays = 16;
+    /** Prefetch buffer blocks per core. */
+    std::uint32_t prefetchBufferBlocks = 32;
+    /** L1-D MSHRs per core (Table I: 32); prefetch fills compete
+     *  for them and are dropped when none is free. */
+    unsigned l1Mshrs = 32;
+    /** Latencies and bandwidth. */
+    MemoryParams mem;
+    /**
+     * Base sustained IPC of the 4-wide OOO core on non-stalling
+     * code (used to convert the instruction mix into cycles).
+     */
+    double baseIpc = 2.0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_SIM_SYSTEM_CONFIG_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The multi-core timing simulator used for the cycle-level
+ * evaluation (Figures 14 and 15).
+ *
+ * Substitution note (see DESIGN.md): the paper uses Flexus
+ * full-system sampling on SPARC; this model is an event-count
+ * approximation that captures the three effects the speedup depends
+ * on:
+ *
+ *  - *coverage*: a prefetch-buffer hit removes the miss stall;
+ *  - *MLP overlap*: demand stalls are divided by the workload's
+ *    memory-level-parallelism factor (high-MLP workloads like Web
+ *    Search gain less from prefetching, as in the paper);
+ *  - *timeliness*: a prefetched block only removes the full stall if
+ *    it has arrived; the first prefetch of a stream pays the serial
+ *    off-chip metadata trips (two for STMS/Digram, one for Domino),
+ *    so late prefetches save only part of the latency.
+ *
+ * Off-chip traffic (demand fills, useful/incorrect prefetch fills,
+ * metadata reads/updates) is accounted in bytes for Figure 15.
+ */
+
+#ifndef DOMINO_SIM_TIMING_SIM_H
+#define DOMINO_SIM_TIMING_SIM_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/cache.h"
+#include "mem/memory_model.h"
+#include "mem/prefetch_buffer.h"
+#include "prefetch/prefetcher.h"
+#include "sim/system_config.h"
+#include "trace/trace_buffer.h"
+
+namespace domino
+{
+
+/** One core's workload/prefetcher binding for a timing run. */
+struct CoreSetup
+{
+    /** Access stream for this core (not owned). */
+    AccessSource *source = nullptr;
+    /** Prefetcher for this core (not owned); nullptr = none. */
+    Prefetcher *prefetcher = nullptr;
+    /** Workload MLP factor (stall overlap divisor). */
+    double mlpFactor = 1.3;
+    /** Instructions represented by each trace access. */
+    double instPerAccess = 3.0;
+};
+
+/** Per-core timing outcome. */
+struct CoreTimingResult
+{
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    std::uint64_t covered = 0;
+    std::uint64_t uncovered = 0;
+    std::uint64_t lateCovered = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+            static_cast<double>(cycles) : 0.0;
+    }
+};
+
+/** Whole-chip timing outcome. */
+struct TimingResult
+{
+    std::vector<CoreTimingResult> cores;
+    OffChipTraffic traffic;
+
+    /** Total instructions across cores. */
+    std::uint64_t totalInstructions() const;
+    /** Total cycles across cores (sum; homogeneous cores). */
+    Cycles totalCycles() const;
+    /** System throughput metric: instructions per aggregate cycle. */
+    double systemIpc() const;
+    /** Speedup of this run over a baseline run. */
+    double speedupOver(const TimingResult &baseline) const;
+    /** Achieved off-chip bandwidth in GB/s. */
+    double bandwidthGBs(double core_ghz) const;
+};
+
+/** The timing simulator. */
+class TimingSimulator
+{
+  public:
+    explicit TimingSimulator(const SystemConfig &config = {});
+
+    /**
+     * Run all cores to the exhaustion of their sources.  Cores are
+     * interleaved round-robin one access at a time and share the
+     * LLC.
+     */
+    TimingResult run(std::vector<CoreSetup> &setups);
+
+  private:
+    SystemConfig cfg;
+};
+
+} // namespace domino
+
+#endif // DOMINO_SIM_TIMING_SIM_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The memory-access record carried from workload generators into the
+ * cache hierarchy.
+ */
+
+#ifndef DOMINO_TRACE_ACCESS_H
+#define DOMINO_TRACE_ACCESS_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace domino
+{
+
+/**
+ * One L1-D access as seen by the simulated core.
+ *
+ * The paper trains all prefetchers on L1-D miss sequences; the
+ * access trace is the input that the cache model filters into that
+ * miss sequence.  PC is carried because ISB is PC-localized.
+ */
+struct Access
+{
+    /** Program counter of the load/store instruction. */
+    Addr pc = 0;
+    /** Byte address touched. */
+    Addr addr = 0;
+    /** True for stores (stores also trigger fills on miss). */
+    bool isWrite = false;
+
+    /** Cache-line address of the access. */
+    LineAddr line() const { return lineOf(addr); }
+
+    bool
+    operator==(const Access &other) const
+    {
+        return pc == other.pc && addr == other.addr &&
+            isWrite == other.isWrite;
+    }
+};
+
+} // namespace domino
+
+#endif // DOMINO_TRACE_ACCESS_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * In-memory access trace container and streaming source interface.
+ */
+
+#ifndef DOMINO_TRACE_TRACE_BUFFER_H
+#define DOMINO_TRACE_TRACE_BUFFER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/access.h"
+
+namespace domino
+{
+
+/**
+ * Abstract source of accesses.  Both stored traces and on-the-fly
+ * workload generators implement this, so simulators can consume
+ * either without materialising multi-gigabyte traces.
+ */
+class AccessSource
+{
+  public:
+    virtual ~AccessSource() = default;
+
+    /**
+     * Produce the next access.
+     * @param out filled with the next access when available.
+     * @return false when the source is exhausted.
+     */
+    virtual bool next(Access &out) = 0;
+
+    /** Restart the source from the beginning, if supported. */
+    virtual void reset() = 0;
+};
+
+/**
+ * A trace held fully in memory.  Used by tests and by experiments
+ * that must replay the identical access stream under several
+ * prefetchers (coverage comparisons need this).
+ */
+class TraceBuffer : public AccessSource
+{
+  public:
+    TraceBuffer() = default;
+    explicit TraceBuffer(std::vector<Access> recs)
+        : records(std::move(recs))
+    {}
+
+    /** Append one access. */
+    void push(const Access &a) { records.push_back(a); }
+
+    /** Append a read access by address (pc defaults to 0). */
+    void
+    pushRead(Addr addr, Addr pc = 0)
+    {
+        records.push_back(Access{pc, addr, false});
+    }
+
+    std::size_t size() const { return records.size(); }
+    bool empty() const { return records.empty(); }
+    const Access &operator[](std::size_t i) const { return records[i]; }
+    const std::vector<Access> &data() const { return records; }
+    std::vector<Access> &data() { return records; }
+
+    bool
+    next(Access &out) override
+    {
+        if (cursor >= records.size())
+            return false;
+        out = records[cursor++];
+        return true;
+    }
+
+    void reset() override { cursor = 0; }
+
+  private:
+    std::vector<Access> records;
+    std::size_t cursor = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_TRACE_TRACE_BUFFER_H

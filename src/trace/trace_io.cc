@@ -1,0 +1,132 @@
+#include "trace_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace domino
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'D', 'O', 'M', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t version = 1;
+constexpr std::size_t recordBytes = 8 + 8 + 1;
+
+} // anonymous namespace
+
+IoResult
+writeTrace(const std::string &path, const TraceBuffer &trace)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return IoResult::failure("cannot open for writing: " + path);
+
+    os.write(magic, sizeof(magic));
+    std::uint32_t ver = version;
+    os.write(reinterpret_cast<const char *>(&ver), sizeof(ver));
+    std::uint64_t count = trace.size();
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+
+    std::vector<char> buf;
+    buf.reserve(trace.size() * recordBytes);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Access &a = trace[i];
+        char rec[recordBytes];
+        std::memcpy(rec, &a.pc, 8);
+        std::memcpy(rec + 8, &a.addr, 8);
+        rec[16] = a.isWrite ? 1 : 0;
+        buf.insert(buf.end(), rec, rec + recordBytes);
+    }
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!os)
+        return IoResult::failure("short write: " + path);
+    return IoResult::success();
+}
+
+IoResult
+readTrace(const std::string &path, TraceBuffer &trace)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return IoResult::failure("cannot open for reading: " + path);
+
+    char got_magic[8];
+    is.read(got_magic, sizeof(got_magic));
+    if (!is || std::memcmp(got_magic, magic, sizeof(magic)) != 0)
+        return IoResult::failure("bad magic: " + path);
+
+    std::uint32_t ver = 0;
+    is.read(reinterpret_cast<char *>(&ver), sizeof(ver));
+    if (!is || ver != version)
+        return IoResult::failure("unsupported version in: " + path);
+
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is)
+        return IoResult::failure("truncated header: " + path);
+
+    trace.data().clear();
+    trace.data().reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        char rec[recordBytes];
+        is.read(rec, recordBytes);
+        if (!is)
+            return IoResult::failure("truncated record in: " + path);
+        Access a;
+        std::memcpy(&a.pc, rec, 8);
+        std::memcpy(&a.addr, rec + 8, 8);
+        a.isWrite = rec[16] != 0;
+        trace.push(a);
+    }
+    trace.reset();
+    return IoResult::success();
+}
+
+IoResult
+writeTextTrace(const std::string &path, const TraceBuffer &trace)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        return IoResult::failure("cannot open for writing: " + path);
+    os << std::hex;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Access &a = trace[i];
+        os << a.pc << ' ' << a.addr << ' '
+           << (a.isWrite ? 'W' : 'R') << '\n';
+    }
+    if (!os)
+        return IoResult::failure("short write: " + path);
+    return IoResult::success();
+}
+
+IoResult
+readTextTrace(const std::string &path, TraceBuffer &trace)
+{
+    std::ifstream is(path);
+    if (!is)
+        return IoResult::failure("cannot open for reading: " + path);
+    trace.data().clear();
+    std::string kind;
+    std::uint64_t pc = 0, addr = 0;
+    std::size_t line_no = 0;
+    while (is >> std::hex >> pc >> addr >> kind) {
+        ++line_no;
+        if (kind != "R" && kind != "W") {
+            return IoResult::failure(
+                "bad access kind at record " +
+                std::to_string(line_no) + " in: " + path);
+        }
+        trace.push(Access{pc, addr, kind == "W"});
+    }
+    if (!is.eof() && is.fail() && !trace.empty()) {
+        return IoResult::failure("parse error at record " +
+            std::to_string(line_no + 1) + " in: " + path);
+    }
+    trace.reset();
+    return IoResult::success();
+}
+
+} // namespace domino

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Binary trace serialisation.
+ *
+ * Format: a 16-byte header ("DOMTRACE", version u32, count u32's
+ * high half reserved) followed by packed little-endian records of
+ * (pc u64, addr u64, flags u8).  Deliberately simple so external
+ * tools (ChampSim converters, python) can parse it.
+ */
+
+#ifndef DOMINO_TRACE_TRACE_IO_H
+#define DOMINO_TRACE_TRACE_IO_H
+
+#include <string>
+
+#include "trace/trace_buffer.h"
+
+namespace domino
+{
+
+/** Result of a trace I/O operation. */
+struct IoResult
+{
+    bool ok = true;
+    std::string error;
+
+    static IoResult success() { return {}; }
+    static IoResult failure(std::string msg) { return {false,
+        std::move(msg)}; }
+};
+
+/** Write a trace to a file. */
+IoResult writeTrace(const std::string &path, const TraceBuffer &trace);
+
+/** Read a trace from a file. */
+IoResult readTrace(const std::string &path, TraceBuffer &trace);
+
+/**
+ * Write a trace in the text interchange format: one access per
+ * line, "<pc-hex> <addr-hex> R|W".  Intended for importing traces
+ * from other simulators (e.g. converted ChampSim traces) and for
+ * eyeballing generated workloads.
+ */
+IoResult writeTextTrace(const std::string &path,
+                        const TraceBuffer &trace);
+
+/** Read the text interchange format (see writeTextTrace). */
+IoResult readTextTrace(const std::string &path, TraceBuffer &trace);
+
+} // namespace domino
+
+#endif // DOMINO_TRACE_TRACE_IO_H

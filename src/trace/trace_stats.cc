@@ -1,0 +1,50 @@
+#include "trace_stats.h"
+
+#include <unordered_set>
+
+namespace domino
+{
+
+TraceStats
+computeTraceStats(const TraceBuffer &trace)
+{
+    TraceStats stats;
+    stats.accesses = trace.size();
+
+    std::unordered_set<LineAddr> lines;
+    std::unordered_set<std::uint64_t> pages;
+    std::unordered_set<Addr> pcs;
+    std::uint64_t reused = 0;
+    std::uint64_t same_page = 0;
+    std::uint64_t prev_page = ~0ULL;
+    bool have_prev = false;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Access &a = trace[i];
+        const LineAddr line = a.line();
+        const std::uint64_t page = pageOfLine(line);
+        if (!lines.insert(line).second)
+            ++reused;
+        pages.insert(page);
+        pcs.insert(a.pc);
+        if (have_prev && page == prev_page)
+            ++same_page;
+        prev_page = page;
+        have_prev = true;
+    }
+
+    stats.distinctLines = lines.size();
+    stats.distinctPages = pages.size();
+    stats.distinctPcs = pcs.size();
+    if (stats.accesses) {
+        stats.lineReuseFraction = static_cast<double>(reused) /
+            static_cast<double>(stats.accesses);
+    }
+    if (stats.accesses > 1) {
+        stats.samePageFraction = static_cast<double>(same_page) /
+            static_cast<double>(stats.accesses - 1);
+    }
+    return stats;
+}
+
+} // namespace domino

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Descriptive statistics over an access trace (footprint, reuse,
+ * spatial locality).  Used by tests to validate that the synthetic
+ * workloads have the structure the paper's workloads exhibit.
+ */
+
+#ifndef DOMINO_TRACE_TRACE_STATS_H
+#define DOMINO_TRACE_TRACE_STATS_H
+
+#include <cstdint>
+
+#include "trace/trace_buffer.h"
+
+namespace domino
+{
+
+/** Summary statistics of an access trace. */
+struct TraceStats
+{
+    /** Number of accesses. */
+    std::uint64_t accesses = 0;
+    /** Number of distinct cache lines touched. */
+    std::uint64_t distinctLines = 0;
+    /** Number of distinct pages touched. */
+    std::uint64_t distinctPages = 0;
+    /** Number of distinct PCs. */
+    std::uint64_t distinctPcs = 0;
+    /** Fraction of accesses whose line was seen before. */
+    double lineReuseFraction = 0.0;
+    /** Fraction of successive accesses falling in the same page. */
+    double samePageFraction = 0.0;
+    /** Footprint in bytes (distinct lines x block size). */
+    std::uint64_t footprintBytes() const
+    {
+        return distinctLines * blockBytes;
+    }
+};
+
+/** Compute summary statistics for a trace. */
+TraceStats computeTraceStats(const TraceBuffer &trace);
+
+} // namespace domino
+
+#endif // DOMINO_TRACE_TRACE_STATS_H

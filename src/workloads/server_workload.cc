@@ -1,0 +1,225 @@
+#include "server_workload.h"
+
+#include <algorithm>
+
+namespace domino
+{
+
+namespace
+{
+
+/** Region offset for runtime cold-miss allocation (see header). */
+constexpr std::uint64_t coldRegionOffset = 0x20'0000'0000ULL;
+
+} // anonymous namespace
+
+ServerWorkload::ServerWorkload(const WorkloadParams &params,
+                               std::uint64_t seed_in,
+                               std::uint64_t limit_in)
+    : p(params),
+      seed(seed_in),
+      limit(limit_in ? limit_in : params.defaultAccesses),
+      lib(std::make_shared<StreamLibrary>(params, seed_in)),
+      zipf(std::make_unique<ZipfSampler>(lib->size(), params.zipfTheta)),
+      coldAlloc(std::make_unique<AddressAllocator>(
+          mix64(seed_in ^ params.seedSalt ^ 0xc01d), coldRegionOffset)),
+      rng(mix64(seed_in ^ params.seedSalt ^ 0x9e4))
+{}
+
+void
+ServerWorkload::reset()
+{
+    queue.clear();
+    emitted = 0;
+    rng = Prng(mix64(seed ^ p.seedSalt ^ 0x9e4));
+    coldAlloc = std::make_unique<AddressAllocator>(
+        mix64(seed ^ p.seedSalt ^ 0xc01d), coldRegionOffset);
+}
+
+bool
+ServerWorkload::next(Access &out)
+{
+    if (emitted >= limit)
+        return false;
+    while (queue.empty())
+        refill();
+    out = queue.front();
+    queue.pop_front();
+    ++emitted;
+    return true;
+}
+
+void
+ServerWorkload::pushHotBurst()
+{
+    // Mean p.hotPerMiss hot accesses per miss; these hit in the
+    // 64 KB L1-D and never reach the prefetchers.
+    const double prob = 1.0 / (1.0 + std::max(p.hotPerMiss, 0.0));
+    const std::uint64_t n = rng.geometric(prob);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Access a;
+        const LineAddr line = hotBase + rng.below(p.hotLines);
+        a.addr = byteOf(line) + 8 * rng.below(8);
+        a.pc = 0x10'0000 + 4 * rng.below(256);
+        a.isWrite = rng.chance(0.2);
+        queue.push_back(a);
+    }
+}
+
+void
+ServerWorkload::pushMiss(LineAddr line, Addr pc)
+{
+    pushHotBurst();
+    Access a;
+    a.addr = byteOf(line);
+    a.pc = pc;
+    a.isWrite = rng.chance(0.1);
+    queue.push_back(a);
+
+    // Remember the line for noise revisits.
+    if (recentMisses.size() < p.noiseWindow) {
+        recentMisses.push_back(line);
+    } else if (!recentMisses.empty()) {
+        recentMisses[recentCursor] = line;
+        recentCursor = (recentCursor + 1) % recentMisses.size();
+    }
+}
+
+void
+ServerWorkload::pushNoise()
+{
+    if (recentMisses.empty())
+        return;
+    pushMiss(recentMisses[rng.below(recentMisses.size())],
+             lib->randomPc(rng));
+}
+
+ServerWorkload::Replay
+ServerWorkload::materializeTemporal(const StreamDef &def)
+{
+    Replay replay;
+    std::size_t len = def.lines.size();
+    if (len > 1 && rng.chance(p.truncateProb))
+        len = 1 + rng.below(len);
+    replay.reserve(len);
+    for (std::size_t k = 0; k < len; ++k) {
+        LineAddr line = def.lines[k];
+        if (rng.chance(p.mutateProb))
+            line = coldAlloc->freshLine();
+        const Addr pc = rng.chance(p.pcStability)
+            ? def.pcs[k] : lib->randomPc(rng);
+        replay.emplace_back(line, pc);
+    }
+    return replay;
+}
+
+ServerWorkload::Replay
+ServerWorkload::materializeSpatial(const StreamDef &def)
+{
+    Replay replay;
+    replay.reserve(def.offsets.size());
+    const LineAddr base = rng.chance(p.spatialNewPageProb)
+        ? coldAlloc->freshPageBase() : def.homePage;
+    for (std::size_t k = 0; k < def.offsets.size(); ++k) {
+        const Addr pc = rng.chance(p.pcStability)
+            ? def.pcs[k] : lib->randomPc(rng);
+        replay.emplace_back(base + def.offsets[k], pc);
+    }
+    return replay;
+}
+
+ServerWorkload::Replay
+ServerWorkload::materialize(const StreamDef &def)
+{
+    return def.spatial ? materializeSpatial(def)
+                       : materializeTemporal(def);
+}
+
+void
+ServerWorkload::emitReplay(const Replay &replay)
+{
+    // A third of the noise volume lands inside runs (breaking some
+    // recorded pairs), the rest between runs (isolated touches).
+    const double inside = p.noiseRate * 0.3;
+    for (const auto &[line, pc] : replay) {
+        if (rng.chance(inside))
+            pushNoise();
+        pushMiss(line, pc);
+    }
+    const double between_mean =
+        p.noiseRate * 0.7 * static_cast<double>(replay.size());
+    if (between_mean > 0) {
+        const std::uint64_t n =
+            rng.geometric(1.0 / (1.0 + between_mean));
+        for (std::uint64_t i = 0; i < n; ++i)
+            pushNoise();
+    }
+}
+
+void
+ServerWorkload::refill()
+{
+    const double u = rng.uniform();
+    if (u < p.coldRunProb) {
+        // A run of brand-new addresses: unpredictable by any
+        // history-based prefetcher.
+        const std::uint64_t n =
+            1 + rng.geometric(1.0 / std::max(p.coldRunLen, 1.0));
+        for (std::uint64_t i = 0; i < n; ++i)
+            pushMiss(coldAlloc->freshLine(), lib->randomPc(rng));
+        return;
+    }
+    Replay a = materialize(lib->stream(zipf->draw(rng)));
+    if (rng.chance(p.interleaveProb)) {
+        // Several contexts miss concurrently: fine-grain merge two
+        // or three streams, preserving each stream's internal order
+        // (see WorkloadParams::interleaveProb).  Merged recordings
+        // are what fragment the history for single-address lookups.
+        const unsigned extra =
+            1 + static_cast<unsigned>(rng.below(2));
+        std::vector<Replay> parts;
+        parts.push_back(std::move(a));
+        for (unsigned k = 0; k < extra; ++k)
+            parts.push_back(materialize(lib->stream(zipf->draw(rng))));
+
+        Replay merged;
+        std::size_t total = 0;
+        std::vector<std::size_t> pos(parts.size(), 0);
+        for (const auto &part : parts)
+            total += part.size();
+        merged.reserve(total);
+        while (merged.size() < total) {
+            // Pick a part with probability proportional to its
+            // remaining length (uniform random interleaving).
+            std::size_t remaining = 0;
+            for (std::size_t j = 0; j < parts.size(); ++j)
+                remaining += parts[j].size() - pos[j];
+            std::size_t pick = rng.below(remaining);
+            for (std::size_t j = 0; j < parts.size(); ++j) {
+                const std::size_t rem = parts[j].size() - pos[j];
+                if (pick < rem) {
+                    merged.push_back(parts[j][pos[j]++]);
+                    break;
+                }
+                pick -= rem;
+            }
+        }
+        a = std::move(merged);
+    }
+    emitReplay(a);
+}
+
+TraceBuffer
+generateTrace(const WorkloadParams &params, std::uint64_t seed,
+              std::uint64_t limit)
+{
+    ServerWorkload gen(params, seed, limit);
+    TraceBuffer trace;
+    Access a;
+    while (gen.next(a))
+        trace.push(a);
+    trace.reset();
+    return trace;
+}
+
+} // namespace domino

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The synthetic server-workload access generator.
+ *
+ * Emits an L1-D access trace whose miss sequence (after L1
+ * filtering) consists of interleaved temporal-stream replays,
+ * spatial in-page runs, cold-miss runs, and noise revisits, in the
+ * proportions given by WorkloadParams.  See workload_params.h for
+ * how each property maps to a mechanism in the paper.
+ */
+
+#ifndef DOMINO_WORKLOADS_SERVER_WORKLOAD_H
+#define DOMINO_WORKLOADS_SERVER_WORKLOAD_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/prng.h"
+#include "trace/trace_buffer.h"
+#include "workloads/stream_library.h"
+#include "workloads/workload_params.h"
+
+namespace domino
+{
+
+/**
+ * Streaming generator implementing AccessSource.
+ *
+ * Deterministic: (params, seed, limit) fully determine the emitted
+ * sequence; reset() restarts it identically.
+ */
+class ServerWorkload : public AccessSource
+{
+  public:
+    /**
+     * @param params workload description.
+     * @param seed experiment seed.
+     * @param limit number of accesses to emit (0 = params default).
+     */
+    ServerWorkload(const WorkloadParams &params, std::uint64_t seed,
+                   std::uint64_t limit = 0);
+
+    bool next(Access &out) override;
+    void reset() override;
+
+    const WorkloadParams &params() const { return p; }
+    const StreamLibrary &library() const { return *lib; }
+
+  private:
+    /** A materialised replay: (line, pc) per miss. */
+    using Replay = std::vector<std::pair<LineAddr, Addr>>;
+
+    void refill();
+    void pushMiss(LineAddr line, Addr pc);
+    void pushHotBurst();
+    void pushNoise();
+    Replay materialize(const StreamDef &def);
+    Replay materializeTemporal(const StreamDef &def);
+    Replay materializeSpatial(const StreamDef &def);
+    void emitReplay(const Replay &replay);
+
+    WorkloadParams p;
+    std::uint64_t seed;
+    std::uint64_t limit;
+
+    std::shared_ptr<StreamLibrary> lib;
+    std::unique_ptr<ZipfSampler> zipf;
+    std::unique_ptr<AddressAllocator> coldAlloc;
+    Prng rng;
+
+    std::deque<Access> queue;
+    std::uint64_t emitted = 0;
+
+    /** Ring of recently missed lines (noise revisits draw here). */
+    std::vector<LineAddr> recentMisses;
+    std::size_t recentCursor = 0;
+
+    /** Hot-set line base (distinct region, stays L1-resident). */
+    static constexpr LineAddr hotBase = 0x100;
+};
+
+/**
+ * Convenience: materialise a full trace for a workload.
+ *
+ * @param params workload description.
+ * @param seed experiment seed.
+ * @param limit accesses (0 = params default).
+ */
+TraceBuffer generateTrace(const WorkloadParams &params,
+                          std::uint64_t seed, std::uint64_t limit = 0);
+
+} // namespace domino
+
+#endif // DOMINO_WORKLOADS_SERVER_WORKLOAD_H

@@ -1,0 +1,148 @@
+#include "stream_library.h"
+
+#include <algorithm>
+
+namespace domino
+{
+
+AddressAllocator::AddressAllocator(std::uint64_t seed,
+                                   std::uint64_t region_offset)
+    : rng(mix64(seed ^ 0xa110c)),
+      cursor(temporalBase + region_offset),
+      pageCursor(spatialBase + region_offset)
+{}
+
+LineAddr
+AddressAllocator::freshLine()
+{
+    // Jump 64..1087 lines (i.e. at least one page) between
+    // consecutive allocations so temporal sequences have no in-page
+    // delta regularity.
+    cursor += blocksPerPage + rng.below(16 * blocksPerPage);
+    ++lineCount;
+    return cursor;
+}
+
+LineAddr
+AddressAllocator::freshPageBase()
+{
+    pageCursor += blocksPerPage * (1 + rng.below(7));
+    return pageCursor & ~(blocksPerPage - 1);
+}
+
+StreamLibrary::StreamLibrary(const WorkloadParams &params,
+                             std::uint64_t seed)
+    : alloc(mix64(seed ^ params.seedSalt)),
+      pcPoolBase(0x40'0000),
+      pcPoolSize(params.numPcs)
+{
+    Prng rng(mix64(seed ^ params.seedSalt ^ 0x5eed));
+    streams.reserve(params.numStreams);
+
+    // Pool of lines shared across streams (see
+    // WorkloadParams::sharedElementProb).
+    const std::uint32_t pool_size = params.sharedPoolLines
+        ? params.sharedPoolLines
+        : std::max<std::uint32_t>(1024, params.numStreams);
+    std::vector<LineAddr> shared_pool(pool_size);
+    for (auto &line : shared_pool)
+        line = alloc.freshLine();
+
+    // A small family of recurring in-page delta patterns shared by
+    // the spatial streams; VLDP learns these and can then prefetch
+    // them on pages it has never seen.
+    const std::vector<std::vector<std::uint32_t>> delta_patterns = {
+        {1, 1, 1, 1, 1, 1, 1},
+        {2, 2, 2, 2, 2, 2},
+        {1, 2, 1, 2, 1, 2, 1, 2},
+        {3, 3, 3, 3, 3},
+        {1, 1, 2, 1, 1, 2, 1, 1, 2},
+        {4, 4, 4, 4},
+    };
+
+    for (std::uint32_t i = 0; i < params.numStreams; ++i) {
+        StreamDef def;
+        def.spatial = rng.chance(params.spatialFraction);
+
+        // Draw the length from the short/long mixture; minimum 1.
+        const double mean = rng.chance(params.longFraction)
+            ? params.longLenMean : params.shortLenMean;
+        const double p = 1.0 / std::max(mean, 1.0);
+        std::size_t len = 1 + rng.geometric(std::min(p, 1.0));
+        len = std::min<std::size_t>(len, 512);
+
+        if (def.spatial) {
+            const auto &pattern =
+                delta_patterns[rng.below(delta_patterns.size())];
+            std::uint32_t off =
+                static_cast<std::uint32_t>(rng.below(8));
+            def.offsets.push_back(off);
+            for (std::size_t k = 1; k < std::max<std::size_t>(len, 3);
+                 ++k) {
+                off += pattern[(k - 1) % pattern.size()];
+                if (off >= blocksPerPage)
+                    break;
+                def.offsets.push_back(off);
+            }
+            def.homePage = alloc.freshPageBase();
+            def.pcs.resize(def.offsets.size());
+        } else {
+            def.lines.resize(len);
+            for (auto &line : def.lines) {
+                line = rng.chance(params.sharedElementProb)
+                    ? shared_pool[rng.below(shared_pool.size())]
+                    : alloc.freshLine();
+            }
+            def.pcs.resize(len);
+
+            // Prefix sharing: copy the first one or two addresses
+            // from an earlier temporal stream so that a lookup with
+            // one (or two) previous misses is ambiguous.
+            if (!streams.empty() && len >= 2 &&
+                rng.chance(params.sharedPrefixProb)) {
+                // Find a temporal donor (bounded scan).
+                for (int attempt = 0; attempt < 8; ++attempt) {
+                    const auto &donor =
+                        streams[rng.below(streams.size())];
+                    if (donor.spatial || donor.lines.empty())
+                        continue;
+                    def.lines[0] = donor.lines[0];
+                    if (donor.lines.size() >= 2 && len >= 3 &&
+                        rng.chance(params.sharedPairProb /
+                                   std::max(params.sharedPrefixProb,
+                                            1e-9))) {
+                        def.lines[1] = donor.lines[1];
+                    }
+                    break;
+                }
+            }
+        }
+
+        // Assign PCs with the loop-body model: the stream cycles
+        // through a small per-stream set of load PCs drawn from the
+        // shared static pool.  The same PC appears in many different
+        // streams, which de-localises per-PC miss sequences (the
+        // effect that hurts ISB in the paper).
+        std::vector<Addr> loop_pcs(std::max(params.pcsPerStream, 1u));
+        for (auto &pc : loop_pcs)
+            pc = randomPc(rng);
+        for (std::size_t k = 0; k < def.pcs.size(); ++k)
+            def.pcs[k] = loop_pcs[k % loop_pcs.size()];
+
+        streams.push_back(std::move(def));
+    }
+}
+
+double
+StreamLibrary::meanLength() const
+{
+    if (streams.empty())
+        return 0.0;
+    std::uint64_t total = 0;
+    for (const auto &s : streams)
+        total += s.length();
+    return static_cast<double>(total) /
+        static_cast<double>(streams.size());
+}
+
+} // namespace domino

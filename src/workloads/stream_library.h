@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The library of temporal and spatial streams a synthetic workload
+ * replays.
+ */
+
+#ifndef DOMINO_WORKLOADS_STREAM_LIBRARY_H
+#define DOMINO_WORKLOADS_STREAM_LIBRARY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.h"
+#include "common/types.h"
+#include "workloads/workload_params.h"
+
+namespace domino
+{
+
+/**
+ * One stream definition.
+ *
+ * A temporal stream is a fixed sequence of cache-line addresses
+ * scattered across pages (no spatial pattern), each with an
+ * associated load PC.  A spatial stream is an in-page delta pattern
+ * that replays on recurring or fresh pages.
+ */
+struct StreamDef
+{
+    /** True for an in-page delta-pattern (spatial) stream. */
+    bool spatial = false;
+
+    /** Temporal: the cache-line sequence (empty when spatial). */
+    std::vector<LineAddr> lines;
+
+    /** Load PC for each element (same length as the sequence). */
+    std::vector<Addr> pcs;
+
+    /** Spatial: block offsets within the page, first to last. */
+    std::vector<std::uint32_t> offsets;
+
+    /** Spatial: the recurring "home" page (line-address base). */
+    std::uint64_t homePage = 0;
+
+    /** Length of one full replay in misses. */
+    std::size_t length() const
+    {
+        return spatial ? offsets.size() : lines.size();
+    }
+};
+
+/**
+ * Allocates fresh, never-before-used cache-line addresses.
+ *
+ * Consecutive allocations jump pseudo-randomly across pages so that
+ * temporal streams carry no incidental spatial pattern for VLDP to
+ * exploit.  Distinct regions are used for temporal lines, spatial
+ * pages, and the hot set, so they can never collide.
+ */
+class AddressAllocator
+{
+  public:
+    /**
+     * @param seed PRNG seed for the jump sizes.
+     * @param region_offset added to both region bases; pass a
+     *        distinct offset per allocator so independent allocators
+     *        (library vs. runtime cold misses) never collide.
+     */
+    explicit AddressAllocator(std::uint64_t seed,
+                              std::uint64_t region_offset = 0);
+
+    /** A fresh line for temporal streams / cold misses. */
+    LineAddr freshLine();
+
+    /** A fresh page base (as a line address) for spatial replays. */
+    LineAddr freshPageBase();
+
+    /** Number of lines handed out so far. */
+    std::uint64_t linesAllocated() const { return lineCount; }
+
+  private:
+    Prng rng;
+    std::uint64_t cursor;
+    std::uint64_t pageCursor;
+    std::uint64_t lineCount = 0;
+
+    /** Line-address base of the temporal region (16 GB in). */
+    static constexpr std::uint64_t temporalBase = 0x1000'0000ULL;
+    /** Line-address base of the spatial region (1 TB in). */
+    static constexpr std::uint64_t spatialBase = 0x4'0000'0000ULL;
+};
+
+/**
+ * The full stream library of one workload, built deterministically
+ * from (params, seed).
+ */
+class StreamLibrary
+{
+  public:
+    StreamLibrary(const WorkloadParams &params, std::uint64_t seed);
+
+    std::size_t size() const { return streams.size(); }
+    const StreamDef &stream(std::size_t i) const { return streams[i]; }
+
+    /** The allocator, positioned after all library addresses. */
+    AddressAllocator &allocator() { return alloc; }
+
+    /** Draw a PC uniformly from the workload's static PC pool. */
+    Addr
+    randomPc(Prng &rng) const
+    {
+        return pcPoolBase + 4 * rng.below(pcPoolSize);
+    }
+
+    /** Mean stream length over the library. */
+    double meanLength() const;
+
+  private:
+    std::vector<StreamDef> streams;
+    AddressAllocator alloc;
+    Addr pcPoolBase;
+    std::uint32_t pcPoolSize;
+};
+
+} // namespace domino
+
+#endif // DOMINO_WORKLOADS_STREAM_LIBRARY_H

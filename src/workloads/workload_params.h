@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Parameter set describing one synthetic server workload.
+ *
+ * The paper evaluates nine commercial server workloads (Table II)
+ * captured with Flexus full-system simulation.  Those traces are not
+ * publicly available, so this reproduction generates access traces
+ * with the statistical structure that the paper's mechanisms key on:
+ *
+ *  - *temporal streams*: recurring sequences of cache misses with a
+ *    short-dominated length distribution (Figure 12: 10-47 % of
+ *    streams have length <= 2, most are < 8, Sequitur mean = 7.6);
+ *  - *prefix ambiguity*: many streams share their first miss
+ *    address, which is exactly what defeats single-address lookup
+ *    (STMS) and what two-address lookup (Digram/Domino) resolves;
+ *  - *PC delocalisation*: the same static load PC participates in
+ *    many different global streams, which breaks PC-localised
+ *    temporal correlation (ISB);
+ *  - *spatial runs*: a workload-dependent fraction of misses follows
+ *    in-page delta patterns that recur on fresh pages (capturable by
+ *    VLDP but not by temporal prefetchers -> Figure 16);
+ *  - *cold/irregular misses*: brand-new addresses that no history
+ *    prefetcher can cover (dominant in SAT Solver).
+ *
+ * Each knob below controls one of these properties.
+ */
+
+#ifndef DOMINO_WORKLOADS_WORKLOAD_PARAMS_H
+#define DOMINO_WORKLOADS_WORKLOAD_PARAMS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace domino
+{
+
+/** Tunable description of one synthetic server workload. */
+struct WorkloadParams
+{
+    /** Display name (matches Table II of the paper). */
+    std::string name;
+
+    // --- Stream library shape -------------------------------------
+
+    /** Number of distinct temporal streams in the library. */
+    std::uint32_t numStreams = 1500;
+    /** Mean length of the short-stream component (geometric). */
+    double shortLenMean = 5.0;
+    /** Mean length of the long-stream component (geometric). */
+    double longLenMean = 32.0;
+    /** Fraction of streams drawn from the long component. */
+    double longFraction = 0.35;
+    /** Zipf exponent for picking streams (higher = more skewed). */
+    double zipfTheta = 0.3;
+
+    // --- Lookup-ambiguity structure -------------------------------
+
+    /**
+     * Probability that a stream's first address is copied from an
+     * earlier stream (single-address lookup ambiguity).
+     */
+    double sharedPrefixProb = 0.35;
+    /**
+     * Probability that a stream's first *two* addresses are copied
+     * from an earlier stream (two-address lookup ambiguity; the
+     * paper finds matching more than two addresses adds little).
+     */
+    double sharedPairProb = 0.04;
+    /**
+     * Per-element probability that a stream element is drawn from a
+     * pool of lines shared across streams (index inner nodes, lock
+     * words, metadata blocks).  Shared elements are what make a
+     * single-address lookup point at the wrong context: the last
+     * occurrence of such a line is usually inside a *different*
+     * stream, so STMS picks a wrong stream (Figure 3's low
+     * single-address accuracy), while the (address, successor) pair
+     * still identifies the right one.
+     */
+    double sharedElementProb = 0.30;
+    /** Size of the shared-line pool (0 = max(1024, numStreams)). */
+    std::uint32_t sharedPoolLines = 8192;
+
+    // --- Replay perturbation --------------------------------------
+
+    /** Per-element probability of substituting a fresh cold line. */
+    double mutateProb = 0.02;
+    /** Per-replay probability of truncating the stream. */
+    double truncateProb = 0.15;
+    /** Fraction of inter-stream gaps that emit a cold-miss run. */
+    double coldRunProb = 0.05;
+    /** Mean length of a cold-miss run (geometric). */
+    double coldRunLen = 3.0;
+    /**
+     * Volume of isolated *noise revisits*, as a fraction of stream
+     * misses.  A noise revisit touches one recently-missed line out
+     * of context (cache conflicts, OS interference, other
+     * transaction types touching shared structures).  Noise is the
+     * key corrupter of single-address indices: the *last* occurrence
+     * of a line is frequently such an isolated touch, so STMS
+     * replays garbage after it (Figure 2's stream length of 1.4),
+     * while the (address, successor) pair of a real run survives in
+     * the EIT super-entry's LRU entries -- this is exactly what the
+     * paper's three entries per super-entry filter out.
+     */
+    double noiseRate = 0.12;
+    /** Recently-missed window from which noise revisits draw. */
+    std::uint32_t noiseWindow = 32768;
+    /**
+     * Probability that a stream replay is fine-grain interleaved
+     * with a second stream (two execution contexts missing
+     * concurrently).  Interleaving is what fragments the *last*
+     * occurrence of an address in the global history: a
+     * single-address index (STMS) then replays the fragmented
+     * context and breaks after a couple of prefetches (Figure 2's
+     * stream length of 1.4), while a pair entry (Domino's EIT)
+     * still points at the last *clean* occurrence of that pair.
+     */
+    double interleaveProb = 0.40;
+
+    // --- Spatial component (VLDP territory) -----------------------
+
+    /** Fraction of library streams that are in-page delta runs. */
+    double spatialFraction = 0.10;
+    /**
+     * Probability that a spatial stream replays on a *fresh* page
+     * (temporal prefetchers cannot cover those misses; VLDP can).
+     */
+    double spatialNewPageProb = 0.7;
+
+    // --- PC structure (ISB territory) -----------------------------
+
+    /** Size of the static load-PC pool. */
+    std::uint32_t numPcs = 2048;
+    /**
+     * Number of distinct load PCs a stream cycles through (the
+     * loop-body model: element k uses PC k mod pcsPerStream).  The
+     * PCs themselves are shared across streams, which is what
+     * de-localises per-PC miss sequences.
+     */
+    std::uint32_t pcsPerStream = 4;
+    /**
+     * Probability that a replayed element keeps the PC it had when
+     * the stream was created (lower = more PC churn, worse for ISB).
+     */
+    double pcStability = 0.62;
+
+    // --- L1-filtering / instruction mix ---------------------------
+
+    /** Number of hot lines that stay resident in the 64 KB L1-D. */
+    std::uint32_t hotLines = 64;
+    /** Mean number of hot (L1-hit) accesses between misses. */
+    double hotPerMiss = 4.0;
+    /** Instructions represented by each trace access (timing). */
+    double instPerAccess = 3.0;
+
+    // --- Timing-model characterisation ----------------------------
+
+    /**
+     * Memory-level-parallelism factor: average number of outstanding
+     * demand misses the OOO core overlaps (Web Search and Media
+     * Streaming are high-MLP in the paper, so prefetching buys them
+     * less).
+     */
+    double mlpFactor = 1.3;
+
+    /** Total accesses to generate in one standard run. */
+    std::uint64_t defaultAccesses = 2'000'000;
+
+    /** Base seed mixed with the user seed (per-workload decoupling). */
+    std::uint64_t seedSalt = 0;
+};
+
+/** The nine server workloads of Table II, paper order. */
+std::vector<WorkloadParams> serverSuite();
+
+/**
+ * Look up one workload of the suite by (case-sensitive) name.
+ * Returns true and fills @p out on success.
+ */
+bool findWorkload(const std::string &name, WorkloadParams &out);
+
+/** Names of all suite workloads, paper order. */
+std::vector<std::string> suiteNames();
+
+} // namespace domino
+
+#endif // DOMINO_WORKLOADS_WORKLOAD_PARAMS_H

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/prng.h"
+#include "mem/cache.h"
+
+namespace domino
+{
+namespace
+{
+
+TEST(Cache, MissThenHitAfterFill)
+{
+    SetAssocCache cache(64 * 1024, 2);
+    EXPECT_FALSE(cache.access(42));
+    cache.fill(42);
+    EXPECT_TRUE(cache.access(42));
+    EXPECT_EQ(cache.stats().accesses, 2u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, GeometryFromSize)
+{
+    SetAssocCache l1(64 * 1024, 2);
+    EXPECT_EQ(l1.numSets(), 512u);
+    EXPECT_EQ(l1.numWays(), 2u);
+    SetAssocCache llc(4ULL * 1024 * 1024, 16);
+    EXPECT_EQ(llc.numSets(), 4096u);
+}
+
+TEST(Cache, ContainsIsSideEffectFree)
+{
+    SetAssocCache cache(4096, 2);
+    cache.fill(7);
+    const auto accesses = cache.stats().accesses;
+    EXPECT_TRUE(cache.contains(7));
+    EXPECT_FALSE(cache.contains(8));
+    EXPECT_EQ(cache.stats().accesses, accesses);
+}
+
+TEST(Cache, LruEviction)
+{
+    // Direct construction of a tiny cache: 2 sets x 2 ways.
+    SetAssocCache cache(4 * blockBytes, 2);
+    ASSERT_EQ(cache.numSets(), 2u);
+
+    // Find three lines mapping to the same set.
+    std::vector<LineAddr> same_set;
+    std::uint32_t target_set = 2;  // decided by the first line found
+    for (LineAddr line = 0; same_set.size() < 3 && line < 10000;
+         ++line) {
+        const std::uint32_t set =
+            static_cast<std::uint32_t>(mix64(line) & 1);
+        if (same_set.empty()) {
+            target_set = set;
+            same_set.push_back(line);
+        } else if (set == target_set) {
+            same_set.push_back(line);
+        }
+    }
+    ASSERT_EQ(same_set.size(), 3u);
+
+    cache.fill(same_set[0]);
+    cache.fill(same_set[1]);
+    // Touch [0] so [1] becomes LRU.
+    EXPECT_TRUE(cache.access(same_set[0]));
+    LineAddr evicted = invalidAddr;
+    EXPECT_TRUE(cache.fill(same_set[2], evicted));
+    EXPECT_EQ(evicted, same_set[1]);
+    EXPECT_TRUE(cache.contains(same_set[0]));
+    EXPECT_FALSE(cache.contains(same_set[1]));
+}
+
+TEST(Cache, FillExistingDoesNotEvict)
+{
+    SetAssocCache cache(4096, 2);
+    cache.fill(1);
+    LineAddr evicted;
+    EXPECT_FALSE(cache.fill(1, evicted));
+    EXPECT_EQ(cache.stats().fills, 1u);
+}
+
+TEST(Cache, Invalidate)
+{
+    SetAssocCache cache(4096, 2);
+    cache.fill(5);
+    EXPECT_TRUE(cache.invalidate(5));
+    EXPECT_FALSE(cache.contains(5));
+    EXPECT_FALSE(cache.invalidate(5));
+}
+
+TEST(Cache, ClearEmptiesContents)
+{
+    SetAssocCache cache(4096, 2);
+    for (LineAddr l = 0; l < 10; ++l)
+        cache.fill(l);
+    cache.clear();
+    for (LineAddr l = 0; l < 10; ++l)
+        EXPECT_FALSE(cache.contains(l));
+}
+
+TEST(Cache, CapacityBounds)
+{
+    // Fill with far more lines than capacity; hit rate on re-access
+    // must reflect capacity misses.
+    SetAssocCache cache(64 * 1024, 2);  // 1024 lines
+    for (LineAddr l = 0; l < 4096; ++l)
+        if (!cache.access(l))
+            cache.fill(l);
+    std::uint64_t resident = 0;
+    for (LineAddr l = 0; l < 4096; ++l)
+        if (cache.contains(l))
+            ++resident;
+    EXPECT_LE(resident, 1024u);
+    EXPECT_GT(resident, 512u);  // should be nearly full
+}
+
+TEST(Cache, SmallWorkingSetStaysResident)
+{
+    SetAssocCache cache(64 * 1024, 2);
+    // 64 lines touched repeatedly must stay resident.
+    for (int round = 0; round < 10; ++round)
+        for (LineAddr l = 0; l < 64; ++l)
+            if (!cache.access(l))
+                cache.fill(l);
+    // Final round: all hits.
+    for (LineAddr l = 0; l < 64; ++l)
+        EXPECT_TRUE(cache.access(l)) << "line " << l;
+}
+
+class CacheReplacementTest
+    : public ::testing::TestWithParam<ReplPolicy>
+{};
+
+TEST_P(CacheReplacementTest, NeverExceedsCapacity)
+{
+    SetAssocCache cache(8 * 1024, 4, GetParam());  // 128 lines
+    Prng rng(33);
+    for (int i = 0; i < 10000; ++i) {
+        const LineAddr line = rng.below(1000);
+        if (!cache.access(line))
+            cache.fill(line);
+    }
+    std::uint64_t resident = 0;
+    for (LineAddr l = 0; l < 1000; ++l)
+        if (cache.contains(l))
+            ++resident;
+    EXPECT_LE(resident, 128u);
+    EXPECT_EQ(cache.stats().fills,
+              cache.stats().evictions + resident);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CacheReplacementTest,
+                         ::testing::Values(ReplPolicy::LRU,
+                                           ReplPolicy::Random));
+
+} // anonymous namespace
+} // namespace domino

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Unit tests for src/common: types, PRNG, stats, LRU, histogram,
+ * table formatting, CLI parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/histogram.h"
+#include "common/lru.h"
+#include "common/prng.h"
+#include "common/stats.h"
+#include "common/table_format.h"
+#include "common/types.h"
+
+namespace domino
+{
+namespace
+{
+
+// --- types ---------------------------------------------------------
+
+TEST(Types, LineConversionRoundTrips)
+{
+    EXPECT_EQ(lineOf(0), 0u);
+    EXPECT_EQ(lineOf(63), 0u);
+    EXPECT_EQ(lineOf(64), 1u);
+    EXPECT_EQ(byteOf(lineOf(0x12345678)), 0x12345678ULL & ~63ULL);
+}
+
+TEST(Types, PageHelpers)
+{
+    const LineAddr line = (5 << 6) | 3;  // page 5, offset 3
+    EXPECT_EQ(pageOfLine(line), 5u);
+    EXPECT_EQ(pageOffsetOfLine(line), 3u);
+    EXPECT_EQ(blocksPerPage, 64u);
+}
+
+TEST(Types, Mix64Avalanches)
+{
+    // Consecutive inputs must map to wildly different outputs.
+    std::set<std::uint64_t> outs;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        outs.insert(mix64(i));
+    EXPECT_EQ(outs.size(), 1000u);
+}
+
+TEST(Types, PairKeyOrderSensitive)
+{
+    EXPECT_NE(pairKey(1, 2), pairKey(2, 1));
+    EXPECT_EQ(pairKey(7, 9), pairKey(7, 9));
+}
+
+// --- prng ----------------------------------------------------------
+
+TEST(Prng, Deterministic)
+{
+    Prng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, BelowStaysInRange)
+{
+    Prng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Prng, BelowCoversRange)
+{
+    Prng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, UniformInUnitInterval)
+{
+    Prng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, GeometricMeanMatches)
+{
+    Prng rng(11);
+    const double p = 0.25;
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean of geometric (failures) is (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Prng, ChanceProbability)
+{
+    Prng rng(5);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.chance(0.125))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.125, 0.01);
+}
+
+TEST(ZipfSampler, SkewsTowardLowIndices)
+{
+    Prng rng(17);
+    ZipfSampler zipf(100, 1.0);
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[zipf.draw(rng)];
+    EXPECT_GT(counts[0], counts[50]);
+    EXPECT_GT(counts[0], 20000 / 100);
+}
+
+TEST(ZipfSampler, ThetaZeroIsUniform)
+{
+    Prng rng(19);
+    ZipfSampler zipf(10, 0.0);
+    std::map<std::size_t, int> counts;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.draw(rng)];
+    for (const auto &[idx, c] : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02)
+            << "index " << idx;
+}
+
+// --- stats ---------------------------------------------------------
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(RunningStat, EmptyIsSafe)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(GeoMean, KnownValue)
+{
+    GeoMean g;
+    g.add(1.0);
+    g.add(4.0);
+    EXPECT_NEAR(g.value(), 2.0, 1e-12);
+}
+
+TEST(GeoMean, EmptyIsOne)
+{
+    GeoMean g;
+    EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(StatsHelpers, RatioAndPct)
+{
+    EXPECT_DOUBLE_EQ(ratio(1.0, 2.0), 0.5);
+    EXPECT_DOUBLE_EQ(ratio(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(pct(1.0, 4.0), 25.0);
+}
+
+// --- lru -----------------------------------------------------------
+
+TEST(LruSet, InsertAndEvict)
+{
+    LruSet<int> lru(3);
+    EXPECT_FALSE(lru.insert(1));
+    EXPECT_FALSE(lru.insert(2));
+    EXPECT_FALSE(lru.insert(3));
+    // MRU order: 3 2 1
+    EXPECT_EQ(lru.at(0), 3);
+    EXPECT_EQ(lru.at(2), 1);
+    EXPECT_TRUE(lru.insert(4));  // evicts 1
+    EXPECT_EQ(lru.size(), 3u);
+    EXPECT_EQ(lru.at(0), 4);
+    EXPECT_EQ(lru.find([](int x) { return x == 1; }), lru.size());
+}
+
+TEST(LruSet, TouchPromotes)
+{
+    LruSet<int> lru(3);
+    lru.insert(1);
+    lru.insert(2);
+    lru.insert(3);
+    const std::size_t idx = lru.find([](int x) { return x == 1; });
+    ASSERT_LT(idx, lru.size());
+    lru.touch(idx);
+    EXPECT_EQ(lru.at(0), 1);
+    lru.insert(4);  // evicts LRU, which is now 2
+    EXPECT_EQ(lru.find([](int x) { return x == 2; }), lru.size());
+    EXPECT_LT(lru.find([](int x) { return x == 1; }), lru.size());
+}
+
+TEST(LruSet, EraseAndClear)
+{
+    LruSet<int> lru(4);
+    lru.insert(1);
+    lru.insert(2);
+    lru.erase(0);
+    EXPECT_EQ(lru.size(), 1u);
+    EXPECT_EQ(lru.at(0), 1);
+    lru.clear();
+    EXPECT_TRUE(lru.empty());
+}
+
+TEST(LruSet, ZeroCapacityRejectsInserts)
+{
+    LruSet<int> lru(0);
+    EXPECT_FALSE(lru.insert(1));
+    EXPECT_TRUE(lru.empty());
+}
+
+TEST(LruSet, ShrinkDropsLru)
+{
+    LruSet<int> lru(4);
+    for (int i = 1; i <= 4; ++i)
+        lru.insert(i);
+    lru.setCapacity(2);
+    EXPECT_EQ(lru.size(), 2u);
+    EXPECT_EQ(lru.at(0), 4);
+    EXPECT_EQ(lru.at(1), 3);
+}
+
+// --- histogram -----------------------------------------------------
+
+TEST(EdgeHistogram, BucketAssignment)
+{
+    EdgeHistogram h({0, 2, 4, 8});
+    h.add(0);   // bucket 0 (<= 0)
+    h.add(1);   // bucket 1 (<= 2)
+    h.add(2);   // bucket 1
+    h.add(5);   // bucket 3 (<= 8)
+    h.add(100); // overflow
+    EXPECT_EQ(h.buckets(), 5u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.totalCount(), 5u);
+}
+
+TEST(EdgeHistogram, CumulativeAndMean)
+{
+    EdgeHistogram h({2, 4});
+    h.add(1);
+    h.add(3);
+    h.add(9);
+    EXPECT_NEAR(h.cumulative(0), 1.0 / 3, 1e-12);
+    EXPECT_NEAR(h.cumulative(1), 2.0 / 3, 1e-12);
+    EXPECT_NEAR(h.mean(), (1 + 3 + 9) / 3.0, 1e-12);
+}
+
+// --- table format ---------------------------------------------------
+
+TEST(TextTable, AlignedOutputContainsCells)
+{
+    TextTable t({"Workload", "Coverage"});
+    t.newRow();
+    t.cell("OLTP");
+    t.cellPct(0.56);
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("Workload"), std::string::npos);
+    EXPECT_NE(s.find("OLTP"), std::string::npos);
+    EXPECT_NE(s.find("56.0%"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.newRow();
+    t.cell(std::uint64_t{1});
+    t.cell(2.5, 1);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Format, Helpers)
+{
+    EXPECT_EQ(formatFixed(1.2345, 2), "1.23");
+    EXPECT_EQ(formatPct(0.1234, 1), "12.3%");
+    EXPECT_EQ(formatBytes(64), "64.0 B");
+    EXPECT_EQ(formatBytes(85ULL * 1024 * 1024), "85.0 MB");
+}
+
+// --- cli -----------------------------------------------------------
+
+TEST(CliArgs, ParsesAllForms)
+{
+    const char *argv[] = {"prog", "--n", "100", "--csv",
+                          "--seed=7", "pos1"};
+    CliArgs args(6, const_cast<char **>(argv));
+    EXPECT_EQ(args.getU64("n", 0), 100u);
+    EXPECT_TRUE(args.getBool("csv"));
+    EXPECT_EQ(args.getU64("seed", 0), 7u);
+    EXPECT_FALSE(args.has("missing"));
+    EXPECT_EQ(args.getU64("missing", 42), 42u);
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(CliArgs, DoubleAndStringValues)
+{
+    const char *argv[] = {"prog", "--theta=0.7", "--name", "OLTP"};
+    CliArgs args(4, const_cast<char **>(argv));
+    EXPECT_DOUBLE_EQ(args.getDouble("theta", 0), 0.7);
+    EXPECT_EQ(args.get("name"), "OLTP");
+}
+
+} // anonymous namespace
+} // namespace domino

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the coverage simulator: metric definitions, the
+ * baseline-miss-equality property, trigger-sequence collection,
+ * stream-run accounting, and redundant-prefetch filtering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.h"
+#include "analysis/factory.h"
+#include "prefetch/next_line.h"
+#include "workloads/server_workload.h"
+
+namespace domino
+{
+namespace
+{
+
+TraceBuffer
+sequentialTrace(std::uint64_t lines)
+{
+    TraceBuffer t;
+    for (LineAddr l = 0; l < lines; ++l)
+        t.pushRead(byteOf(l + 1000000));
+    t.reset();
+    return t;
+}
+
+TEST(CoverageSim, BaselineHasNoCoverage)
+{
+    TraceBuffer t = sequentialTrace(1000);
+    CoverageSimulator sim;
+    const CoverageResult r = sim.run(t, nullptr);
+    EXPECT_EQ(r.covered, 0u);
+    EXPECT_EQ(r.uncovered, 1000u);
+    EXPECT_EQ(r.accesses, 1000u);
+    EXPECT_EQ(r.overpredictions, 0u);
+}
+
+TEST(CoverageSim, NextLineCoversSequential)
+{
+    TraceBuffer t = sequentialTrace(1000);
+    NextLinePrefetcher pf(1);
+    CoverageSimulator sim;
+    const CoverageResult r = sim.run(t, &pf);
+    // Every access except the first is covered by next-line.
+    EXPECT_EQ(r.covered, 999u);
+    EXPECT_EQ(r.uncovered, 1u);
+    EXPECT_NEAR(r.coverage(), 0.999, 1e-3);
+}
+
+TEST(CoverageSim, L1HitsNeverReachPrefetcher)
+{
+    // Repeated access to one line: 1 miss, rest L1 hits.
+    TraceBuffer t;
+    for (int i = 0; i < 100; ++i)
+        t.pushRead(0x100000);
+    t.reset();
+    NextLinePrefetcher pf(1);
+    CoverageSimulator sim;
+    const CoverageResult r = sim.run(t, &pf);
+    EXPECT_EQ(r.l1Hits, 99u);
+    EXPECT_EQ(r.baselineMisses(), 1u);
+}
+
+TEST(CoverageSim, BaselineMissEquality)
+{
+    // The file-comment property: covered + uncovered with a
+    // prefetcher equals the baseline miss count.
+    WorkloadParams p;
+    findWorkload("OLTP", p);
+    ServerWorkload src1(p, 3, 50000);
+    CoverageSimulator base_sim;
+    const CoverageResult base = base_sim.run(src1, nullptr);
+
+    FactoryConfig f;
+    f.degree = 4;
+    auto pf = makePrefetcher("Domino", f);
+    ServerWorkload src2(p, 3, 50000);
+    CoverageSimulator sim;
+    const CoverageResult r = sim.run(src2, pf.get());
+
+    EXPECT_EQ(r.baselineMisses(), base.baselineMisses());
+    EXPECT_EQ(r.l1Hits, base.l1Hits);
+}
+
+TEST(CoverageSim, TriggerSequenceEqualsBaselineMisses)
+{
+    WorkloadParams p;
+    findWorkload("Web Zeus", p);
+    ServerWorkload src(p, 5, 30000);
+    CoverageOptions opts;
+    opts.collectTriggerSequence = true;
+    CoverageSimulator sim(opts);
+    const CoverageResult r = sim.run(src, nullptr);
+    EXPECT_EQ(sim.triggerSequence().size(), r.baselineMisses());
+
+    ServerWorkload src2(p, 5, 30000);
+    const auto misses = baselineMissSequence(src2);
+    EXPECT_EQ(misses, sim.triggerSequence());
+}
+
+TEST(CoverageSim, StreamRunsRecorded)
+{
+    TraceBuffer t = sequentialTrace(100);
+    NextLinePrefetcher pf(1);
+    CoverageSimulator sim;
+    const CoverageResult r = sim.run(t, &pf);
+    // One long covered run of 99.
+    EXPECT_EQ(r.streamRuns.totalCount(), 1u);
+    EXPECT_NEAR(r.meanStreamRun(), 99.0, 1e-9);
+}
+
+TEST(CoverageSim, RedundantIssuesFiltered)
+{
+    /** Issues the same line many times. */
+    class SpammyPrefetcher : public Prefetcher
+    {
+      public:
+        std::string name() const override { return "Spam"; }
+        void
+        onTrigger(const TriggerEvent &event,
+                  PrefetchSink &sink) override
+        {
+            for (int i = 0; i < 10; ++i)
+                sink.issue(event.line + 1, 0, 0);
+        }
+    };
+    TraceBuffer t = sequentialTrace(100);
+    SpammyPrefetcher pf;
+    CoverageSimulator sim;
+    const CoverageResult r = sim.run(t, &pf);
+    // Each line is inserted once despite 10 issue calls (the
+    // final access's successor is issued too, never used).
+    EXPECT_EQ(r.issued, 100u);
+}
+
+TEST(CoverageSim, OverpredictionsCounted)
+{
+    /** Prefetches a line that is never accessed. */
+    class WrongPrefetcher : public Prefetcher
+    {
+      public:
+        std::string name() const override { return "Wrong"; }
+        void
+        onTrigger(const TriggerEvent &event,
+                  PrefetchSink &sink) override
+        {
+            sink.issue(event.line + 1'000'000, 0, 0);
+        }
+    };
+    TraceBuffer t = sequentialTrace(100);
+    WrongPrefetcher pf;
+    CoverageSimulator sim;
+    const CoverageResult r = sim.run(t, &pf);
+    EXPECT_EQ(r.covered, 0u);
+    // 100 wrong prefetches, 32 still resident, 68 evicted unused.
+    EXPECT_EQ(r.overpredictions, 68u);
+}
+
+TEST(CoverageSim, FactoryKnowsAllNames)
+{
+    FactoryConfig f;
+    for (const char *name :
+         {"STMS", "Digram", "Domino", "ISB", "VLDP", "NextLine",
+          "NLookup", "VLDP+Domino"}) {
+        EXPECT_NE(makePrefetcher(name, f), nullptr) << name;
+    }
+    EXPECT_EQ(makePrefetcher("Bogus", f), nullptr);
+}
+
+} // anonymous namespace
+} // namespace domino

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the Enhanced Index Table: super-entry/entry
+ * allocation, LRU order at both levels, pointer updates, row
+ * capacity pressure, and lazy row accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "common/prng.h"
+#include "domino/eit.h"
+
+namespace domino
+{
+namespace
+{
+
+EitConfig
+smallConfig()
+{
+    EitConfig cfg;
+    cfg.rows = 64;
+    cfg.supersPerRow = 2;
+    cfg.entriesPerSuper = 3;
+    return cfg;
+}
+
+TEST(Eit, LookupMissOnEmpty)
+{
+    EnhancedIndexTable eit(smallConfig());
+    EXPECT_EQ(eit.lookup(42), nullptr);
+    EXPECT_EQ(eit.touchedRows(), 0u);
+}
+
+TEST(Eit, UpdateThenLookup)
+{
+    EnhancedIndexTable eit(smallConfig());
+    eit.update(10, 11, 100);
+    const SuperEntry *s = eit.lookup(10);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->tag, 10u);
+    ASSERT_EQ(s->entries.size(), 1u);
+    EXPECT_EQ(s->entries.at(0).next, 11u);
+    EXPECT_EQ(s->entries.at(0).pos, 100u);
+}
+
+TEST(Eit, EntryPointerUpdatedInPlace)
+{
+    EnhancedIndexTable eit(smallConfig());
+    eit.update(10, 11, 100);
+    eit.update(10, 11, 200);  // same successor, newer position
+    const SuperEntry *s = eit.lookup(10);
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->entries.size(), 1u);
+    EXPECT_EQ(s->entries.at(0).pos, 200u);
+}
+
+TEST(Eit, EntriesKeptInRecencyOrder)
+{
+    EnhancedIndexTable eit(smallConfig());
+    eit.update(10, 11, 1);
+    eit.update(10, 12, 2);
+    eit.update(10, 13, 3);
+    const SuperEntry *s = eit.lookup(10);
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->entries.size(), 3u);
+    EXPECT_EQ(s->entries.at(0).next, 13u);  // MRU
+    EXPECT_EQ(s->entries.at(2).next, 11u);  // LRU
+
+    // Re-touching an old successor promotes it.
+    eit.update(10, 11, 4);
+    s = eit.lookup(10);
+    EXPECT_EQ(s->entries.at(0).next, 11u);
+}
+
+TEST(Eit, EntryLruEvictionAtCapacity)
+{
+    EnhancedIndexTable eit(smallConfig());  // 3 entries/super
+    eit.update(10, 11, 1);
+    eit.update(10, 12, 2);
+    eit.update(10, 13, 3);
+    eit.update(10, 14, 4);  // evicts 11
+    const SuperEntry *s = eit.lookup(10);
+    ASSERT_EQ(s->entries.size(), 3u);
+    EXPECT_EQ(s->entries.find([](const EitEntry &e) {
+        return e.next == 11;
+    }), s->entries.size());
+    EXPECT_EQ(s->entries.at(0).next, 14u);
+}
+
+TEST(Eit, SuperEntryLruWithinRow)
+{
+    // Force three tags into the same row of a 2-super-per-row EIT.
+    EitConfig cfg = smallConfig();
+    cfg.rows = 1;  // everything collides
+    EnhancedIndexTable eit(cfg);
+    eit.update(1, 100, 1);
+    eit.update(2, 200, 2);
+    ASSERT_NE(eit.lookup(1), nullptr);
+    ASSERT_NE(eit.lookup(2), nullptr);
+    // Touch tag 1 so tag 2 becomes LRU, then insert tag 3.
+    eit.update(1, 101, 3);
+    eit.update(3, 300, 4);
+    EXPECT_NE(eit.lookup(1), nullptr);
+    EXPECT_EQ(eit.lookup(2), nullptr);  // evicted
+    EXPECT_NE(eit.lookup(3), nullptr);
+    EXPECT_EQ(eit.superEvictions(), 1u);
+}
+
+TEST(Eit, DistinctTagsDistinctSuperEntries)
+{
+    EnhancedIndexTable eit(smallConfig());
+    eit.update(10, 11, 1);
+    eit.update(20, 21, 2);
+    const SuperEntry *a = eit.lookup(10);
+    const SuperEntry *b = eit.lookup(20);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->entries.at(0).next, 11u);
+    EXPECT_EQ(b->entries.at(0).next, 21u);
+}
+
+TEST(Eit, TouchedRowsGrowLazily)
+{
+    EitConfig cfg;
+    cfg.rows = 1 << 20;
+    EnhancedIndexTable eit(cfg);
+    for (LineAddr t = 0; t < 100; ++t)
+        eit.update(t, t + 1, t);
+    EXPECT_LE(eit.touchedRows(), 100u);
+    EXPECT_GT(eit.touchedRows(), 50u);  // few collisions expected
+}
+
+TEST(Eit, ManyRowsNoCrosstalk)
+{
+    EitConfig cfg;
+    cfg.rows = 1 << 16;
+    EnhancedIndexTable eit(cfg);
+    for (LineAddr t = 0; t < 5000; ++t)
+        eit.update(t, t * 2 + 1, t);
+    for (LineAddr t = 0; t < 5000; ++t) {
+        const SuperEntry *s = eit.lookup(t);
+        // With 64 K rows and 2+ supers per row, evictions are rare;
+        // verify content where present.
+        if (s) {
+            const std::size_t i = s->entries.find(
+                [&](const EitEntry &e) { return e.next == t * 2 + 1; });
+            EXPECT_LT(i, s->entries.size()) << "tag " << t;
+        }
+    }
+}
+
+/**
+ * Reference model: per-tag LRU successor list with the same
+ * capacity rules, ignoring row-level super-entry eviction (checked
+ * by forcing a huge row count so rows never overflow).
+ */
+class EitReferenceModel
+{
+  public:
+    explicit EitReferenceModel(unsigned entries_per_super)
+        : cap(entries_per_super)
+    {}
+
+    void
+    update(LineAddr tag, LineAddr next, std::uint64_t pos)
+    {
+        auto &lst = model[tag];
+        for (auto it = lst.begin(); it != lst.end(); ++it) {
+            if (it->first == next) {
+                lst.erase(it);
+                break;
+            }
+        }
+        lst.emplace_front(next, pos);
+        if (lst.size() > cap)
+            lst.pop_back();
+    }
+
+    const std::deque<std::pair<LineAddr, std::uint64_t>> *
+    lookup(LineAddr tag) const
+    {
+        const auto it = model.find(tag);
+        return it == model.end() ? nullptr : &it->second;
+    }
+
+  private:
+    unsigned cap;
+    std::map<LineAddr,
+             std::deque<std::pair<LineAddr, std::uint64_t>>> model;
+};
+
+class EitPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(EitPropertyTest, MatchesReferenceModel)
+{
+    Prng rng(static_cast<std::uint64_t>(GetParam()) ^ 0xe17);
+    EitConfig cfg;
+    cfg.rows = 1 << 16;  // effectively no row pressure
+    cfg.supersPerRow = 8;
+    cfg.entriesPerSuper = 1 + GetParam() % 4;
+    EnhancedIndexTable eit(cfg);
+    EitReferenceModel ref(cfg.entriesPerSuper);
+
+    const std::uint64_t tags = 64;
+    for (int op = 0; op < 20000; ++op) {
+        const LineAddr tag = rng.below(tags);
+        const LineAddr next = rng.below(16);
+        eit.update(tag, next, op);
+        ref.update(tag, next, op);
+    }
+    for (LineAddr tag = 0; tag < tags; ++tag) {
+        const SuperEntry *got = eit.lookup(tag);
+        const auto *want = ref.lookup(tag);
+        if (!want) {
+            EXPECT_EQ(got, nullptr) << "tag " << tag;
+            continue;
+        }
+        ASSERT_NE(got, nullptr) << "tag " << tag;
+        ASSERT_EQ(got->entries.size(), want->size())
+            << "tag " << tag;
+        for (std::size_t i = 0; i < want->size(); ++i) {
+            EXPECT_EQ(got->entries.at(i).next, (*want)[i].first)
+                << "tag " << tag << " slot " << i;
+            EXPECT_EQ(got->entries.at(i).pos, (*want)[i].second)
+                << "tag " << tag << " slot " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EitPropertyTest,
+                         ::testing::Range(0, 8));
+
+} // anonymous namespace
+} // namespace domino

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Integration tests: the paper's headline orderings end-to-end on
+ * the synthetic suite -- the properties every figure harness relies
+ * on.  These run the real pipeline (workload -> L1 -> prefetch
+ * buffer -> prefetcher) at reduced trace lengths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/coverage.h"
+#include "analysis/factory.h"
+#include "sequitur/opportunity.h"
+#include "workloads/server_workload.h"
+
+namespace domino
+{
+namespace
+{
+
+constexpr std::uint64_t kAccesses = 150'000;
+constexpr std::uint64_t kSeed = 1;
+
+CoverageResult
+runTech(const WorkloadParams &wl, const std::string &tech,
+        unsigned degree)
+{
+    FactoryConfig f;
+    f.degree = degree;
+    f.samplingProb = 0.5;
+    auto pf = makePrefetcher(tech, f);
+    ServerWorkload src(wl, kSeed, kAccesses);
+    CoverageSimulator sim;
+    return sim.run(src, pf.get());
+}
+
+/** Suite-average coverage of one technique. */
+double
+suiteAverage(const std::string &tech, unsigned degree)
+{
+    double sum = 0;
+    const auto suite = serverSuite();
+    for (const auto &wl : suite)
+        sum += runTech(wl, tech, degree).coverage();
+    return sum / static_cast<double>(suite.size());
+}
+
+TEST(Integration, OrderingDominoStmsDigramIsbVldp)
+{
+    // Figure 11's average ordering at degree 1.
+    const double domino = suiteAverage("Domino", 1);
+    const double stms = suiteAverage("STMS", 1);
+    const double digram = suiteAverage("Digram", 1);
+    const double isb = suiteAverage("ISB", 1);
+    const double vldp = suiteAverage("VLDP", 1);
+
+    EXPECT_GE(domino, stms);
+    EXPECT_GT(stms, digram);
+    EXPECT_GT(digram, isb);
+    EXPECT_GT(isb, vldp);
+}
+
+TEST(Integration, OpportunityExceedsAllPrefetchers)
+{
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    ServerWorkload src(wl, kSeed, kAccesses);
+    const auto misses = baselineMissSequence(src);
+    const double opportunity = analyzeOpportunity(misses).coverage();
+    for (const char *tech : {"Domino", "STMS", "Digram", "ISB"}) {
+        EXPECT_GT(opportunity,
+                  runTech(wl, tech, 1).coverage())
+            << tech;
+    }
+}
+
+TEST(Integration, DominoOverpredictionsWellBelowStms)
+{
+    // Figure 13's headline at degree 4 (paper: about one third).
+    double stms_over = 0, domino_over = 0;
+    for (const auto &wl : serverSuite()) {
+        stms_over += runTech(wl, "STMS", 4).overpredictionRate();
+        domino_over += runTech(wl, "Domino", 4).overpredictionRate();
+    }
+    EXPECT_LT(domino_over, 0.6 * stms_over);
+}
+
+TEST(Integration, DegreeFourRaisesCoverageAndOverpredictions)
+{
+    WorkloadParams wl;
+    findWorkload("Web Apache", wl);
+    const CoverageResult d1 = runTech(wl, "STMS", 1);
+    const CoverageResult d4 = runTech(wl, "STMS", 4);
+    EXPECT_GT(d4.coverage(), d1.coverage());
+    EXPECT_GT(d4.overpredictionRate(), d1.overpredictionRate());
+}
+
+TEST(Integration, SpatioTemporalStackingOrthogonal)
+{
+    // Figure 16 on the most spatial workload.
+    WorkloadParams wl;
+    findWorkload("Data Serving", wl);
+    const double vldp = runTech(wl, "VLDP", 4).coverage();
+    const double domino = runTech(wl, "Domino", 4).coverage();
+    const double stack = runTech(wl, "VLDP+Domino", 4).coverage();
+    EXPECT_GT(stack, vldp + 0.03);
+    EXPECT_GT(stack, domino + 0.03);
+}
+
+TEST(Integration, SatSolverHardestWorkload)
+{
+    // SAT Solver generates its dataset on the fly: lowest coverage
+    // for the temporal prefetchers (paper Section V.C).
+    WorkloadParams sat, oltp;
+    findWorkload("SAT Solver", sat);
+    findWorkload("OLTP", oltp);
+    EXPECT_LT(runTech(sat, "Domino", 4).coverage(),
+              runTech(oltp, "Domino", 4).coverage());
+}
+
+TEST(Integration, StreamLengthOrderingStmsDigramSequitur)
+{
+    // Figure 2: Sequitur > Digram > STMS on mean stream length.
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    const double stms = runTech(wl, "STMS", 1).meanStreamRun();
+    const double digram = runTech(wl, "Digram", 1).meanStreamRun();
+    ServerWorkload src(wl, kSeed, kAccesses);
+    const auto misses = baselineMissSequence(src);
+    const double seq = analyzeOpportunity(misses).meanStreamLength();
+    EXPECT_GT(digram, stms);
+    EXPECT_GT(seq, digram);
+}
+
+TEST(Integration, HtSensitivityMonotoneToSaturation)
+{
+    // Figure 9's shape: growing the HT never hurts much and helps
+    // up to saturation.
+    WorkloadParams wl;
+    findWorkload("Web Zeus", wl);
+    std::map<std::uint64_t, double> cov;
+    for (const std::uint64_t entries :
+         {1ULL << 11, 1ULL << 14, 1ULL << 18}) {
+        FactoryConfig f;
+        f.degree = 4;
+        f.samplingProb = 0.5;
+        f.htEntries = entries;
+        auto pf = makePrefetcher("Domino", f);
+        ServerWorkload src(wl, kSeed, kAccesses);
+        CoverageSimulator sim;
+        cov[entries] = sim.run(src, pf.get()).coverage();
+    }
+    EXPECT_GT(cov[1ULL << 14], cov[1ULL << 11]);
+    EXPECT_GE(cov[1ULL << 18] + 0.02, cov[1ULL << 14]);
+}
+
+TEST(Integration, Figure5ShapeDepthTwoSufficient)
+{
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    const auto run_depth = [&](unsigned depth) {
+        FactoryConfig f;
+        f.degree = 1;
+        f.nlookupDepth = depth;
+        auto pf = makePrefetcher("NLookup", f);
+        ServerWorkload src(wl, kSeed, kAccesses);
+        CoverageSimulator sim;
+        return sim.run(src, pf.get());
+    };
+    const CoverageResult d1 = run_depth(1);
+    const CoverageResult d2 = run_depth(2);
+    const CoverageResult d4 = run_depth(4);
+    // Depth 2 improves on depth 1 markedly; depth 4 adds little.
+    EXPECT_GT(d2.coverage(), d1.coverage() + 0.02);
+    EXPECT_LT(d4.coverage() - d2.coverage(),
+              d2.coverage() - d1.coverage());
+    EXPECT_LT(d2.overpredictionRate(), d1.overpredictionRate());
+}
+
+} // anonymous namespace
+} // namespace domino

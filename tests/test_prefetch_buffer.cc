@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the 32-block prefetch buffer: LRU eviction,
+ * overprediction accounting, stream invalidation, timing metadata.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/prefetch_buffer.h"
+
+namespace domino
+{
+namespace
+{
+
+TEST(PrefetchBuffer, InsertAndHit)
+{
+    PrefetchBuffer buf(4);
+    EXPECT_TRUE(buf.insert(100, 7, 55, 18));
+    EXPECT_TRUE(buf.contains(100));
+
+    const auto hit = buf.lookup(100);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.streamId, 7u);
+    EXPECT_EQ(hit.readyCycle, 55u);
+    EXPECT_EQ(hit.altLatency, 18u);
+    // A hit removes the entry.
+    EXPECT_FALSE(buf.contains(100));
+    EXPECT_EQ(buf.stats().hits, 1u);
+    EXPECT_EQ(buf.stats().evictedUnused, 0u);
+}
+
+TEST(PrefetchBuffer, MissReturnsNoHit)
+{
+    PrefetchBuffer buf(4);
+    EXPECT_FALSE(buf.lookup(1).hit);
+}
+
+TEST(PrefetchBuffer, DuplicatesDropped)
+{
+    PrefetchBuffer buf(4);
+    EXPECT_TRUE(buf.insert(1));
+    EXPECT_FALSE(buf.insert(1));
+    EXPECT_EQ(buf.stats().duplicateDrops, 1u);
+    EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(PrefetchBuffer, LruEvictionCountsUnused)
+{
+    PrefetchBuffer buf(2);
+    buf.insert(1);
+    buf.insert(2);
+    buf.insert(3);  // evicts 1, never used
+    EXPECT_FALSE(buf.contains(1));
+    EXPECT_TRUE(buf.contains(2));
+    EXPECT_TRUE(buf.contains(3));
+    EXPECT_EQ(buf.stats().evictedUnused, 1u);
+}
+
+TEST(PrefetchBuffer, StreamInvalidation)
+{
+    PrefetchBuffer buf(8);
+    buf.insert(1, 10);
+    buf.insert(2, 10);
+    buf.insert(3, 20);
+    buf.invalidateStream(10);
+    EXPECT_FALSE(buf.contains(1));
+    EXPECT_FALSE(buf.contains(2));
+    EXPECT_TRUE(buf.contains(3));
+    EXPECT_EQ(buf.stats().evictedUnused, 2u);
+}
+
+TEST(PrefetchBuffer, FlushCountsRemaining)
+{
+    PrefetchBuffer buf(8);
+    buf.insert(1);
+    buf.insert(2);
+    buf.lookup(1);  // used
+    buf.flush();
+    EXPECT_EQ(buf.stats().evictedUnused, 1u);
+    EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(PrefetchBuffer, EvictionInvariant)
+{
+    // inserted == hits + evictedUnused + resident, always.
+    PrefetchBuffer buf(4);
+    for (LineAddr l = 0; l < 100; ++l) {
+        buf.insert(l);
+        if (l % 3 == 0)
+            buf.lookup(l);
+    }
+    const auto &s = buf.stats();
+    EXPECT_EQ(s.inserted, s.hits + s.evictedUnused + buf.size());
+}
+
+TEST(PrefetchBuffer, CapacityNeverExceeded)
+{
+    PrefetchBuffer buf(32);
+    for (LineAddr l = 0; l < 1000; ++l)
+        buf.insert(l);
+    EXPECT_EQ(buf.size(), 32u);
+}
+
+} // anonymous namespace
+} // namespace domino

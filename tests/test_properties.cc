@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Cross-module property tests: end-to-end determinism, accounting
+ * identities, and per-workload sanity bands that every figure
+ * harness implicitly relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.h"
+#include "analysis/factory.h"
+#include "sequitur/opportunity.h"
+#include "workloads/server_workload.h"
+
+namespace domino
+{
+namespace
+{
+
+constexpr std::uint64_t kAccesses = 100'000;
+
+CoverageResult
+runOnce(const std::string &workload, const std::string &tech,
+        std::uint64_t seed, double sampling = 0.5)
+{
+    WorkloadParams wl;
+    EXPECT_TRUE(findWorkload(workload, wl));
+    FactoryConfig f;
+    f.degree = 4;
+    f.samplingProb = sampling;
+    auto pf = makePrefetcher(tech, f);
+    ServerWorkload src(wl, seed, kAccesses);
+    CoverageSimulator sim;
+    return sim.run(src, pf.get());
+}
+
+TEST(Properties, PipelineFullyDeterministic)
+{
+    const CoverageResult a = runOnce("OLTP", "Domino", 7);
+    const CoverageResult b = runOnce("OLTP", "Domino", 7);
+    EXPECT_EQ(a.covered, b.covered);
+    EXPECT_EQ(a.uncovered, b.uncovered);
+    EXPECT_EQ(a.issued, b.issued);
+    EXPECT_EQ(a.overpredictions, b.overpredictions);
+    EXPECT_EQ(a.metadata.readBlocks, b.metadata.readBlocks);
+    EXPECT_EQ(a.metadata.writeBlocks, b.metadata.writeBlocks);
+}
+
+TEST(Properties, SeedChangesTraceNotBehaviourBand)
+{
+    const CoverageResult a = runOnce("Web Zeus", "Domino", 1);
+    const CoverageResult b = runOnce("Web Zeus", "Domino", 999);
+    // Different sequences...
+    EXPECT_NE(a.covered, b.covered);
+    // ...statistically equivalent behaviour.
+    EXPECT_NEAR(a.coverage(), b.coverage(), 0.06);
+}
+
+TEST(Properties, BufferAccountingIdentity)
+{
+    // inserted == hits + evicted-unused + still-resident, so the
+    // residual is bounded by the buffer capacity.
+    for (const char *tech : {"STMS", "Domino", "VLDP"}) {
+        const CoverageResult r = runOnce("Web Apache", tech, 3);
+        ASSERT_GE(r.issued, r.covered + r.overpredictions) << tech;
+        EXPECT_LE(r.issued - r.covered - r.overpredictions, 32u)
+            << tech;
+    }
+}
+
+TEST(Properties, SamplingMonotoneInUpdateTraffic)
+{
+    const CoverageResult low =
+        runOnce("OLTP", "Domino", 5, 0.125);
+    const CoverageResult high =
+        runOnce("OLTP", "Domino", 5, 1.0);
+    EXPECT_GT(high.metadata.writeBlocks, low.metadata.writeBlocks);
+    // More index state must not reduce coverage.
+    EXPECT_GE(high.coverage() + 0.02, low.coverage());
+}
+
+class WorkloadBandTest
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(WorkloadBandTest, OpportunityAndCoverageInBand)
+{
+    WorkloadParams wl;
+    ASSERT_TRUE(findWorkload(GetParam(), wl));
+    ServerWorkload src(wl, 1, kAccesses);
+    const auto misses = baselineMissSequence(src);
+    ASSERT_GT(misses.size(), 5000u);
+    const double opp = analyzeOpportunity(misses).coverage();
+    // Every suite workload must show substantial-but-imperfect
+    // temporal opportunity.
+    EXPECT_GT(opp, 0.06) << "opportunity degenerate";
+    EXPECT_LT(opp, 0.85) << "opportunity implausibly high";
+
+    const CoverageResult r = runOnce(GetParam(), "Domino", 1);
+    EXPECT_GT(r.coverage(), 0.05);
+    // A practical prefetcher cannot exceed the oracle by much
+    // (small excess possible: the oracle does not count cold
+    // first occurrences a prefetcher can luckily cover).
+    EXPECT_LT(r.coverage(), opp + 0.12);
+}
+
+TEST_P(WorkloadBandTest, TriggerSequenceStableUnderPrefetching)
+{
+    // The trigger sequence with a prefetcher equals the baseline
+    // miss sequence (prefetch-buffer hits fill the same lines),
+    // for every workload in the suite.
+    WorkloadParams wl;
+    ASSERT_TRUE(findWorkload(GetParam(), wl));
+
+    ServerWorkload src1(wl, 2, 30'000);
+    const auto baseline = baselineMissSequence(src1);
+
+    FactoryConfig f;
+    f.degree = 4;
+    auto pf = makePrefetcher("Domino", f);
+    ServerWorkload src2(wl, 2, 30'000);
+    CoverageOptions opts;
+    opts.collectTriggerSequence = true;
+    CoverageSimulator sim(opts);
+    sim.run(src2, pf.get());
+    EXPECT_EQ(sim.triggerSequence(), baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadBandTest,
+                         ::testing::ValuesIn(suiteNames()));
+
+} // anonymous namespace
+} // namespace domino

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the Sequitur grammar and the opportunity analysis:
+ * reconstruction property tests, grammar invariants (digram
+ * uniqueness, rule utility), compression behaviour, and the
+ * opportunity/stream metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/prng.h"
+#include "sequitur/opportunity.h"
+#include "sequitur/sequitur.h"
+
+namespace domino
+{
+namespace
+{
+
+std::vector<std::uint64_t>
+feed(SequiturGrammar &g, const std::vector<std::uint64_t> &input)
+{
+    for (const auto s : input)
+        g.push(s);
+    return g.reconstruct();
+}
+
+TEST(Sequitur, EmptyGrammar)
+{
+    SequiturGrammar g;
+    EXPECT_EQ(g.inputLength(), 0u);
+    EXPECT_TRUE(g.reconstruct().empty());
+    EXPECT_EQ(g.checkInvariants(), "");
+}
+
+TEST(Sequitur, SingleSymbol)
+{
+    SequiturGrammar g;
+    g.push(42);
+    EXPECT_EQ(g.reconstruct(), std::vector<std::uint64_t>{42});
+    EXPECT_EQ(g.checkInvariants(), "");
+}
+
+TEST(Sequitur, ClassicAbcabc)
+{
+    // "abcabc" must form a rule for "abc" (via "ab" + c hierarchy
+    // or directly); reconstruction must be exact and invariants
+    // hold.
+    SequiturGrammar g;
+    const std::vector<std::uint64_t> in = {1, 2, 3, 1, 2, 3};
+    EXPECT_EQ(feed(g, in), in);
+    EXPECT_EQ(g.checkInvariants(), "");
+    EXPECT_GT(g.liveRuleIds().size(), 1u);  // at least one rule
+}
+
+TEST(Sequitur, OverlappingPairs)
+{
+    // "aaa" has overlapping digrams that must NOT form a rule.
+    SequiturGrammar g;
+    const std::vector<std::uint64_t> in = {7, 7, 7};
+    EXPECT_EQ(feed(g, in), in);
+    EXPECT_EQ(g.checkInvariants(), "");
+}
+
+TEST(Sequitur, LongRunOfOneSymbol)
+{
+    SequiturGrammar g;
+    const std::vector<std::uint64_t> in(64, 9);
+    EXPECT_EQ(feed(g, in), in);
+    EXPECT_EQ(g.checkInvariants(), "");
+    // Heavy compression expected: the start rule must be much
+    // shorter than the input.
+    EXPECT_LT(g.ruleBody(0).size(), in.size() / 2);
+}
+
+TEST(Sequitur, RuleUtilityExpandsSingletons)
+{
+    // "abcdbcabcd": rules form and partially dissolve; the final
+    // grammar must satisfy rule utility (every rule used >= 2x).
+    SequiturGrammar g;
+    const std::vector<std::uint64_t> in =
+        {1, 2, 3, 4, 2, 3, 1, 2, 3, 4};
+    EXPECT_EQ(feed(g, in), in);
+    EXPECT_EQ(g.checkInvariants(), "");
+}
+
+TEST(Sequitur, ExpandedLengthMatchesInput)
+{
+    SequiturGrammar g;
+    Prng rng(5);
+    std::vector<std::uint64_t> in;
+    for (int i = 0; i < 500; ++i)
+        in.push_back(rng.below(20));
+    feed(g, in);
+    EXPECT_EQ(g.expandedLength(0), in.size());
+}
+
+TEST(Sequitur, RepeatedBlockCompresses)
+{
+    // 50 copies of a 10-symbol block: grammar must be tiny.
+    SequiturGrammar g;
+    std::vector<std::uint64_t> in;
+    for (int r = 0; r < 50; ++r)
+        for (std::uint64_t s = 0; s < 10; ++s)
+            in.push_back(100 + s);
+    EXPECT_EQ(feed(g, in), in);
+    EXPECT_EQ(g.checkInvariants(), "");
+    std::size_t grammar_size = 0;
+    for (const int id : g.liveRuleIds())
+        grammar_size += g.ruleBody(id).size();
+    EXPECT_LT(grammar_size, in.size() / 5);
+}
+
+class SequiturPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SequiturPropertyTest, RandomSequenceRoundTrips)
+{
+    // Property: for any input, reconstruct() == input and the two
+    // grammar invariants hold.  Exercised across alphabet sizes and
+    // lengths.
+    const int seed = GetParam();
+    Prng rng(static_cast<std::uint64_t>(seed));
+    const std::size_t len = 200 + rng.below(2000);
+    const std::uint64_t alphabet = 2 + rng.below(40);
+    std::vector<std::uint64_t> in;
+    for (std::size_t i = 0; i < len; ++i)
+        in.push_back(rng.below(alphabet));
+
+    SequiturGrammar g;
+    EXPECT_EQ(feed(g, in), in) << "seed " << seed;
+    EXPECT_EQ(g.checkInvariants(), "") << "seed " << seed;
+}
+
+TEST_P(SequiturPropertyTest, StreamySequenceRoundTrips)
+{
+    // Property test on miss-like inputs: repeated multi-symbol
+    // streams with noise, mimicking the opportunity-analysis input.
+    const int seed = GetParam();
+    Prng rng(static_cast<std::uint64_t>(seed) ^ 0xbeef);
+    std::vector<std::vector<std::uint64_t>> streams;
+    for (int s = 0; s < 10; ++s) {
+        std::vector<std::uint64_t> st;
+        const std::size_t len = 2 + rng.below(12);
+        for (std::size_t k = 0; k < len; ++k)
+            st.push_back(1000 * (s + 1) + k);
+        streams.push_back(st);
+    }
+    std::vector<std::uint64_t> in;
+    for (int r = 0; r < 60; ++r) {
+        const auto &st = streams[rng.below(streams.size())];
+        in.insert(in.end(), st.begin(), st.end());
+        if (rng.chance(0.3))
+            in.push_back(rng.below(100));  // noise
+    }
+
+    SequiturGrammar g;
+    EXPECT_EQ(feed(g, in), in) << "seed " << seed;
+    EXPECT_EQ(g.checkInvariants(), "") << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequiturPropertyTest,
+                         ::testing::Range(0, 20));
+
+// --- opportunity analysis -------------------------------------------
+
+TEST(Opportunity, EmptySequence)
+{
+    const OpportunityResult r = analyzeOpportunity({});
+    EXPECT_EQ(r.totalMisses, 0u);
+    EXPECT_EQ(r.coverage(), 0.0);
+}
+
+TEST(Opportunity, NoRepetitionNoCoverage)
+{
+    std::vector<LineAddr> misses;
+    for (LineAddr l = 0; l < 500; ++l)
+        misses.push_back(l);
+    const OpportunityResult r = analyzeOpportunity(misses);
+    EXPECT_EQ(r.coveredMisses, 0u);
+    EXPECT_EQ(r.streamCount, 0u);
+}
+
+TEST(Opportunity, PerfectRepetitionHighCoverage)
+{
+    // A 16-miss stream repeated 20 times: everything after the
+    // first occurrence is covered.
+    std::vector<LineAddr> misses;
+    for (int r = 0; r < 20; ++r)
+        for (LineAddr l = 0; l < 16; ++l)
+            misses.push_back(100 + l);
+    const OpportunityResult res = analyzeOpportunity(misses);
+    EXPECT_GT(res.coverage(), 0.85);
+    EXPECT_GT(res.meanStreamLength(), 3.0);
+}
+
+TEST(Opportunity, MixedStreamsMatchExpectation)
+{
+    // Two streams replayed alternately with distinct content: the
+    // opportunity must be high and the stream-length histogram
+    // populated.
+    std::vector<LineAddr> misses;
+    for (int r = 0; r < 30; ++r) {
+        for (LineAddr l = 0; l < 8; ++l)
+            misses.push_back(1000 + l);
+        for (LineAddr l = 0; l < 5; ++l)
+            misses.push_back(2000 + l);
+    }
+    const OpportunityResult res = analyzeOpportunity(misses);
+    EXPECT_GT(res.coverage(), 0.8);
+    // Sequitur merges repeats hierarchically (rules of rules), so
+    // the oracle stream count is far below the replay count.
+    EXPECT_GT(res.streamCount, 3u);
+    EXPECT_GT(res.streamLengths.totalCount(), 0u);
+}
+
+TEST(Opportunity, ColdMissesReduceCoverage)
+{
+    Prng rng(17);
+    std::vector<LineAddr> repeated, with_cold;
+    for (int r = 0; r < 40; ++r)
+        for (LineAddr l = 0; l < 8; ++l)
+            repeated.push_back(100 + l);
+    LineAddr cold = 1'000'000;
+    for (std::size_t i = 0; i < repeated.size(); ++i) {
+        with_cold.push_back(repeated[i]);
+        if (rng.chance(0.5))
+            with_cold.push_back(cold++);
+    }
+    const double cov_repeated =
+        analyzeOpportunity(repeated).coverage();
+    const double cov_cold = analyzeOpportunity(with_cold).coverage();
+    EXPECT_GT(cov_repeated, cov_cold + 0.15);
+}
+
+TEST(TopStreams, SurfacesHotStream)
+{
+    // One dominant 6-miss stream replayed 40 times plus a rare
+    // 3-miss stream replayed 3 times.
+    std::vector<LineAddr> misses;
+    for (int r = 0; r < 40; ++r) {
+        for (LineAddr l = 0; l < 6; ++l)
+            misses.push_back(500 + l);
+        if (r % 13 == 0)
+            for (LineAddr l = 0; l < 3; ++l)
+                misses.push_back(900 + l);
+    }
+    const auto streams = topStreams(misses, 3);
+    ASSERT_FALSE(streams.empty());
+    // The top stream must be (part of) the dominant one: its
+    // prefix lies inside [500, 506).
+    ASSERT_FALSE(streams[0].prefix.empty());
+    EXPECT_GE(streams[0].prefix[0], 500u);
+    EXPECT_LT(streams[0].prefix[0], 506u);
+    EXPECT_GE(streams[0].occurrences, 2u);
+}
+
+TEST(TopStreams, EmptyAndBoundaries)
+{
+    EXPECT_TRUE(topStreams({}, 5).empty());
+    EXPECT_TRUE(topStreams({1, 2, 3}, 0).empty());
+    // No repetition: no rules, no streams.
+    std::vector<LineAddr> unique;
+    for (LineAddr l = 0; l < 100; ++l)
+        unique.push_back(l);
+    EXPECT_TRUE(topStreams(unique, 5).empty());
+}
+
+TEST(TopStreams, RespectsK)
+{
+    std::vector<LineAddr> misses;
+    for (int r = 0; r < 20; ++r)
+        for (int s = 0; s < 6; ++s)
+            for (LineAddr l = 0; l < 4; ++l)
+                misses.push_back(1000 * (s + 1) + l);
+    const auto streams = topStreams(misses, 2);
+    EXPECT_LE(streams.size(), 2u);
+    ASSERT_GE(streams.size(), 1u);
+    // Sorted by volume.
+    for (std::size_t i = 1; i < streams.size(); ++i)
+        EXPECT_GE(streams[i - 1].volume(), streams[i].volume());
+}
+
+} // anonymous namespace
+} // namespace domino

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit tests for the simple baselines: next-line, per-PC stride,
+ * the first-order Markov prefetcher, and the Blue Gene/Q-style
+ * list prefetcher, including the paper's Section I claim that
+ * simple designs are ineffective on pointer-chasing server misses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.h"
+#include "analysis/factory.h"
+#include "prefetch/list.h"
+#include "prefetch/markov.h"
+#include "prefetch/next_line.h"
+#include "prefetch/stride.h"
+#include "test_util.h"
+#include "workloads/server_workload.h"
+
+namespace domino
+{
+namespace
+{
+
+using test::MiniSim;
+using test::RecordingSink;
+
+void
+trigger(Prefetcher &pf, RecordingSink &sink, LineAddr line,
+        Addr pc = 0)
+{
+    TriggerEvent e;
+    e.line = line;
+    e.pc = pc;
+    pf.onTrigger(e, sink);
+}
+
+// --- next-line -----------------------------------------------------
+
+TEST(NextLine, IssuesSequentialLines)
+{
+    NextLinePrefetcher pf(3);
+    RecordingSink sink;
+    trigger(pf, sink, 100);
+    ASSERT_EQ(sink.issues.size(), 3u);
+    EXPECT_EQ(sink.issues[0].line, 101u);
+    EXPECT_EQ(sink.issues[2].line, 103u);
+}
+
+// --- stride --------------------------------------------------------
+
+TEST(Stride, DetectsConstantStride)
+{
+    StridePrefetcher pf(StrideConfig{2, 256});
+    RecordingSink sink;
+    // Same PC, stride +3 lines: steady after two confirmations.
+    trigger(pf, sink, 10, 7);
+    trigger(pf, sink, 13, 7);
+    sink.issues.clear();
+    trigger(pf, sink, 16, 7);
+    ASSERT_EQ(sink.issues.size(), 2u);
+    EXPECT_EQ(sink.issues[0].line, 19u);
+    EXPECT_EQ(sink.issues[1].line, 22u);
+}
+
+TEST(Stride, NoPrefetchWhileTransient)
+{
+    StridePrefetcher pf(StrideConfig{2, 256});
+    RecordingSink sink;
+    trigger(pf, sink, 10, 7);
+    trigger(pf, sink, 13, 7);  // first stride observation
+    // Only the steady state prefetches; the two training accesses
+    // must not have issued anything.
+    EXPECT_TRUE(sink.issues.empty());
+}
+
+TEST(Stride, BreaksOnIrregularPattern)
+{
+    StridePrefetcher pf(StrideConfig{2, 256});
+    RecordingSink sink;
+    trigger(pf, sink, 10, 7);
+    trigger(pf, sink, 13, 7);
+    trigger(pf, sink, 16, 7);  // steady, prefetches
+    sink.issues.clear();
+    trigger(pf, sink, 99, 7);  // pattern broken
+    EXPECT_TRUE(sink.issues.empty());
+}
+
+TEST(Stride, PcsTrackedIndependently)
+{
+    StridePrefetcher pf(StrideConfig{1, 256});
+    RecordingSink sink;
+    // PC 1 strides by +1, PC 2 by +10, interleaved.
+    for (int k = 0; k < 3; ++k) {
+        trigger(pf, sink, 100 + k, 1);
+        trigger(pf, sink, 500 + 10 * k, 2);
+    }
+    sink.issues.clear();
+    trigger(pf, sink, 103, 1);
+    ASSERT_EQ(sink.issues.size(), 1u);
+    EXPECT_EQ(sink.issues[0].line, 104u);
+    sink.issues.clear();
+    trigger(pf, sink, 530, 2);
+    ASSERT_EQ(sink.issues.size(), 1u);
+    EXPECT_EQ(sink.issues[0].line, 540u);
+}
+
+TEST(Stride, NegativeStrideSupported)
+{
+    StridePrefetcher pf(StrideConfig{1, 256});
+    RecordingSink sink;
+    trigger(pf, sink, 100, 7);
+    trigger(pf, sink, 95, 7);
+    sink.issues.clear();
+    trigger(pf, sink, 90, 7);
+    ASSERT_EQ(sink.issues.size(), 1u);
+    EXPECT_EQ(sink.issues[0].line, 85u);
+}
+
+TEST(Stride, IneffectiveOnPointerChasing)
+{
+    // The paper's Section I claim, pinned: stride coverage on the
+    // OLTP-like workload is negligible.
+    FactoryConfig f;
+    f.degree = 4;
+    auto pf = makePrefetcher("Stride", f);
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    ServerWorkload src(wl, 1, 80000);
+    CoverageSimulator sim;
+    EXPECT_LT(sim.run(src, pf.get()).coverage(), 0.05);
+}
+
+// --- markov --------------------------------------------------------
+
+TEST(Markov, LearnsSuccessors)
+{
+    MarkovPrefetcher pf(MarkovConfig{2, 0});
+    RecordingSink sink;
+    trigger(pf, sink, 1);
+    trigger(pf, sink, 2);
+    trigger(pf, sink, 3);
+    sink.issues.clear();
+    trigger(pf, sink, 1);
+    ASSERT_EQ(sink.issues.size(), 1u);
+    EXPECT_EQ(sink.issues[0].line, 2u);
+}
+
+TEST(Markov, KeepsMultipleSuccessorsMruFirst)
+{
+    MarkovPrefetcher pf(MarkovConfig{2, 0});
+    RecordingSink sink;
+    // 1 -> 2, then 1 -> 5: both remembered, 5 more recent.
+    trigger(pf, sink, 1);
+    trigger(pf, sink, 2);
+    trigger(pf, sink, 1);
+    trigger(pf, sink, 5);
+    sink.issues.clear();
+    trigger(pf, sink, 1);
+    ASSERT_EQ(sink.issues.size(), 2u);
+    EXPECT_EQ(sink.issues[0].line, 5u);
+    EXPECT_EQ(sink.issues[1].line, 2u);
+}
+
+TEST(Markov, FanOutBounded)
+{
+    MarkovPrefetcher pf(MarkovConfig{2, 0});
+    RecordingSink sink;
+    // Five distinct successors of 1: only the two most recent kept.
+    for (LineAddr succ : {10, 20, 30, 40, 50}) {
+        trigger(pf, sink, 1);
+        trigger(pf, sink, succ);
+    }
+    sink.issues.clear();
+    trigger(pf, sink, 1);
+    ASSERT_EQ(sink.issues.size(), 2u);
+    EXPECT_EQ(sink.issues[0].line, 50u);
+    EXPECT_EQ(sink.issues[1].line, 40u);
+}
+
+TEST(Markov, TableCapacityBounded)
+{
+    MarkovPrefetcher pf(MarkovConfig{2, 16});
+    RecordingSink sink;
+    for (LineAddr l = 0; l < 200; ++l)
+        trigger(pf, sink, l);
+    EXPECT_LE(pf.trainedAddresses(), 17u);
+}
+
+TEST(Markov, NoReplayDepth)
+{
+    // Markov covers at most `successors` ahead per trigger; a long
+    // stream still misses when the fan-out cannot keep pace with a
+    // deeper prefetch degree -- the structural gap to streaming
+    // designs like Domino.
+    MarkovPrefetcher markov(MarkovConfig{1, 0});
+    MiniSim sim(markov);
+    const std::vector<LineAddr> stream = {1, 2, 3, 4, 5, 6, 7, 8};
+    sim.run(stream);
+    const std::uint64_t covered_before = sim.covered();
+    sim.run(stream);
+    // Fan-out 1 chains one-ahead on every trigger: covers the tail
+    // but can never run ahead of the demand stream.
+    EXPECT_GE(sim.covered() - covered_before, 6u);
+    EXPECT_LE(sim.issuedCount(), 2 * stream.size());
+}
+
+// --- list (Blue Gene/Q style) ---------------------------------------
+
+TEST(List, RecordsAndReplaysRegion)
+{
+    ListPrefetcher pf(ListConfig{});
+    MiniSim sim(pf);
+    const std::vector<LineAddr> region = {1, 2, 3, 4, 5, 6};
+    // First pass records (head 1 starts a region).
+    sim.run(region);
+    // A fresh head seals the list, then replaying the region must
+    // cover its tail from the recorded list.
+    sim.demand(999);
+    const std::uint64_t covered_before = sim.covered();
+    sim.run(region);
+    EXPECT_GE(sim.covered() - covered_before, 4u);
+    EXPECT_GE(pf.recordedLists(), 1u);
+}
+
+TEST(List, ResynchronisesAfterDeviation)
+{
+    ListPrefetcher pf(ListConfig{4, 8, 64, 1 << 16});
+    MiniSim sim(pf);
+    const std::vector<LineAddr> region = {1, 2, 3, 4, 5, 6, 7, 8};
+    sim.run(region);
+    sim.demand(999);  // seal
+    sim.run(region);  // arm a clean replay pass
+    sim.demand(998);  // seal again
+    // Deviant replay: skip elements 2 and 3; the window must pull
+    // the pointer forward at 4 and keep covering 5..8.
+    const std::vector<LineAddr> deviant = {1, 4, 5, 6, 7, 8};
+    const std::uint64_t covered_before = sim.covered();
+    sim.run(deviant);
+    EXPECT_GE(sim.covered() - covered_before, 4u);
+}
+
+TEST(List, NoReplayWithoutRecordedList)
+{
+    ListPrefetcher pf(ListConfig{});
+    RecordingSink sink;
+    trigger(pf, sink, 42);
+    trigger(pf, sink, 43);
+    EXPECT_TRUE(sink.issues.empty());
+}
+
+TEST(List, LongRegionSplitsIntoChainedLists)
+{
+    // A region longer than maxListLength is split into several
+    // lists (hardware list splitting); replay chains across them,
+    // so the long region is still mostly covered.
+    ListPrefetcher pf(ListConfig{4, 8, 8, 1 << 16});
+    MiniSim sim(pf);
+    std::vector<LineAddr> region;
+    for (LineAddr l = 0; l < 40; ++l)
+        region.push_back(100 + l);
+    sim.run(region);
+    sim.demand(999);
+    EXPECT_GE(pf.recordedLists(), 4u);  // ~40/8 splits
+    const std::uint64_t covered_before = sim.covered();
+    sim.run(region);
+    EXPECT_GE(sim.covered() - covered_before, 25u);
+}
+
+} // anonymous namespace
+} // namespace domino

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the STMS baseline: recording, single-address
+ * lookup, stream replay, sampling, serial-trip accounting, and
+ * stream-end detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/stms.h"
+#include "test_util.h"
+
+namespace domino
+{
+namespace
+{
+
+using test::MiniSim;
+using test::RecordingSink;
+
+TemporalConfig
+alwaysSampleConfig(unsigned degree = 1)
+{
+    TemporalConfig cfg;
+    cfg.degree = degree;
+    cfg.samplingProb = 1.0;
+    return cfg;
+}
+
+TEST(Stms, NoPrefetchWithoutHistory)
+{
+    StmsPrefetcher pf(alwaysSampleConfig());
+    RecordingSink sink;
+    TriggerEvent e;
+    e.line = 100;
+    pf.onTrigger(e, sink);
+    EXPECT_TRUE(sink.issues.empty());
+}
+
+TEST(Stms, ReplaysRecordedSequence)
+{
+    StmsPrefetcher pf(alwaysSampleConfig(2));
+    RecordingSink sink;
+    // Record A B C D, then trigger A again: B and C should be
+    // prefetched (degree 2) after a 2-trip stream start.
+    for (LineAddr l : {10, 11, 12, 13}) {
+        TriggerEvent e;
+        e.line = l;
+        pf.onTrigger(e, sink);
+    }
+    sink.issues.clear();
+    TriggerEvent e;
+    e.line = 10;
+    pf.onTrigger(e, sink);
+    ASSERT_EQ(sink.issues.size(), 2u);
+    EXPECT_EQ(sink.issues[0].line, 11u);
+    EXPECT_EQ(sink.issues[1].line, 12u);
+    EXPECT_EQ(sink.issues[0].metadataTrips, 2u);
+    EXPECT_EQ(pf.streamsStarted(), 1u);
+}
+
+TEST(Stms, LookupUsesLastOccurrence)
+{
+    StmsPrefetcher pf(alwaysSampleConfig(1));
+    RecordingSink sink;
+    // A followed by B, later A followed by C: lookup must pick the
+    // most recent occurrence (C).
+    for (LineAddr l : {10, 20, 99, 10, 30, 98}) {
+        TriggerEvent e;
+        e.line = l;
+        pf.onTrigger(e, sink);
+    }
+    sink.issues.clear();
+    TriggerEvent e;
+    e.line = 10;
+    pf.onTrigger(e, sink);
+    ASSERT_FALSE(sink.issues.empty());
+    EXPECT_EQ(sink.issues[0].line, 30u);
+}
+
+TEST(Stms, PrefetchHitAdvancesStream)
+{
+    TemporalConfig cfg = alwaysSampleConfig(1);
+    StmsPrefetcher pf(cfg);
+    MiniSim sim(pf);
+    // Train a 6-long stream twice; on the third replay the tail
+    // must be covered.
+    const std::vector<LineAddr> stream = {1, 2, 3, 4, 5, 6};
+    sim.run(stream);
+    sim.run(stream);
+    const std::uint64_t covered_before = sim.covered();
+    sim.run(stream);
+    EXPECT_GE(sim.covered() - covered_before, 4u);
+}
+
+TEST(Stms, SamplingZeroDisablesIndex)
+{
+    TemporalConfig cfg;
+    cfg.degree = 4;
+    cfg.samplingProb = 0.0;
+    StmsPrefetcher pf(cfg);
+    MiniSim sim(pf);
+    const std::vector<LineAddr> stream = {1, 2, 3, 4, 5, 6};
+    for (int r = 0; r < 5; ++r)
+        sim.run(stream);
+    EXPECT_EQ(sim.covered(), 0u);
+}
+
+TEST(Stms, MetadataTrafficAccounted)
+{
+    StmsPrefetcher pf(alwaysSampleConfig(1));
+    RecordingSink sink;
+    for (LineAddr l = 0; l < 100; ++l) {
+        TriggerEvent e;
+        e.line = l;
+        pf.onTrigger(e, sink);
+    }
+    const MetadataStats m = pf.metadata();
+    // Index updates (1 read + 1 write each at sampling 1.0) plus
+    // index lookups (1 read per miss) plus HT row writes.
+    EXPECT_GE(m.readBlocks, 200u);
+    EXPECT_GE(m.writeBlocks, 100u);
+}
+
+TEST(Stms, HistoryCapacityLimitsReplay)
+{
+    TemporalConfig cfg = alwaysSampleConfig(4);
+    cfg.htEntries = 32;  // tiny history
+    StmsPrefetcher pf(cfg);
+    MiniSim sim(pf);
+    const std::vector<LineAddr> stream = {1, 2, 3, 4, 5, 6, 7, 8};
+    sim.run(stream);
+    // Push the stream out of the retention window.
+    for (LineAddr l = 100; l < 164; ++l)
+        sim.demand(l);
+    const std::uint64_t covered_before = sim.covered();
+    sim.run(stream);
+    // The old occurrence fell out of the 32-entry window; its
+    // pointer is stale, so (at most) nothing is covered.
+    EXPECT_LE(sim.covered() - covered_before, 1u);
+}
+
+TEST(Stms, StreamEndDetectionStopsReplay)
+{
+    // Recorded: [1..4] boundary [50..53].  A replay of [1..4] with
+    // end detection must not run into the 50s.
+    TemporalConfig cfg = alwaysSampleConfig(4);
+    cfg.endDetection = true;
+    StmsPrefetcher pf(cfg);
+    MiniSim sim(pf);
+    const std::vector<LineAddr> a = {1, 2, 3, 4};
+    const std::vector<LineAddr> b = {50, 51, 52, 53};
+    // Unique cold misses separate the streams each round, so the
+    // miss-after-covered-run heuristic marks a boundary after `a`
+    // once `a` is covered (from round 2 on).
+    LineAddr cold = 100000;
+    for (int r = 0; r < 4; ++r) {
+        sim.run(a);
+        sim.demand(cold++);
+        sim.run(b);
+        sim.demand(cold++);
+    }
+    // After training, replay `a` alone and inspect what was issued
+    // beyond it.
+    RecordingSink probe;
+    TriggerEvent e;
+    e.line = 1;
+    pf.onTrigger(e, probe);
+    for (const auto &i : probe.issues)
+        EXPECT_LT(i.line, 50u)
+            << "replay crossed a recorded context boundary";
+}
+
+TEST(Stms, ContinuationTripsCheaperThanStart)
+{
+    StmsPrefetcher pf(alwaysSampleConfig(1));
+    RecordingSink sink;
+    for (LineAddr l : {10, 11, 12, 13, 14, 15}) {
+        TriggerEvent e;
+        e.line = l;
+        pf.onTrigger(e, sink);
+    }
+    sink.issues.clear();
+    TriggerEvent e;
+    e.line = 10;
+    pf.onTrigger(e, sink);
+    ASSERT_EQ(sink.issues.size(), 1u);
+    const std::uint32_t sid = sink.issues[0].streamId;
+    EXPECT_EQ(sink.issues[0].metadataTrips, 2u);
+
+    // Prefetch hit: continuation costs 0 trips (PointBuf).
+    TriggerEvent hit;
+    hit.line = 11;
+    hit.wasPrefetchHit = true;
+    hit.hitStreamId = sid;
+    sink.issues.clear();
+    pf.onTrigger(hit, sink);
+    ASSERT_EQ(sink.issues.size(), 1u);
+    EXPECT_EQ(sink.issues[0].line, 12u);
+    EXPECT_EQ(sink.issues[0].metadataTrips, 0u);
+}
+
+TEST(Stms, StreamReplacementDropsBuffered)
+{
+    TemporalConfig cfg = alwaysSampleConfig(1);
+    cfg.activeStreams = 1;  // single slot: every start replaces
+    StmsPrefetcher pf(cfg);
+    RecordingSink sink;
+    for (LineAddr l : {10, 11, 12, 20, 21, 22}) {
+        TriggerEvent e;
+        e.line = l;
+        pf.onTrigger(e, sink);
+    }
+    sink.drops.clear();
+    TriggerEvent e1;
+    e1.line = 10;
+    pf.onTrigger(e1, sink);  // starts stream 1
+    TriggerEvent e2;
+    e2.line = 20;
+    pf.onTrigger(e2, sink);  // replaces it
+    EXPECT_FALSE(sink.drops.empty());
+}
+
+} // anonymous namespace
+} // namespace domino

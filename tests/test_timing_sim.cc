@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the timing simulator: cycle accounting, speedup
+ * directionality, timeliness (metadata-trip) effects, traffic
+ * accounting, and multi-core interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/factory.h"
+#include "sim/timing_sim.h"
+#include "workloads/server_workload.h"
+
+namespace domino
+{
+namespace
+{
+
+SystemConfig
+scaledSystem()
+{
+    SystemConfig sys;
+    sys.cores = 2;
+    sys.llcBytes = 512 * 1024;  // scaled (see bench docs)
+    return sys;
+}
+
+TimingResult
+runWorkload(const std::string &tech, unsigned cores,
+            std::uint64_t accesses, const SystemConfig &sys,
+            double sampling = 0.5)
+{
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    std::vector<std::unique_ptr<ServerWorkload>> sources;
+    std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+    std::vector<CoreSetup> setups;
+    for (unsigned c = 0; c < cores; ++c) {
+        sources.push_back(std::make_unique<ServerWorkload>(
+            wl, 1 + c, accesses));
+        CoreSetup setup;
+        setup.source = sources.back().get();
+        if (!tech.empty()) {
+            FactoryConfig f;
+            f.degree = 4;
+            f.samplingProb = sampling;
+            prefetchers.push_back(makePrefetcher(tech, f));
+            setup.prefetcher = prefetchers.back().get();
+        }
+        setup.mlpFactor = wl.mlpFactor;
+        setup.instPerAccess = wl.instPerAccess;
+        setups.push_back(setup);
+    }
+    TimingSimulator sim(sys);
+    return sim.run(setups);
+}
+
+TEST(TimingSim, BaselineProducesSaneIpc)
+{
+    const SystemConfig sys = scaledSystem();
+    const TimingResult r = runWorkload("", 2, 30000, sys);
+    ASSERT_EQ(r.cores.size(), 2u);
+    for (const auto &c : r.cores) {
+        EXPECT_GT(c.instructions, 0u);
+        EXPECT_GT(c.cycles, c.instructions / 4);  // 4-wide bound
+        EXPECT_GT(c.ipc(), 0.01);
+        EXPECT_LT(c.ipc(), 4.0);
+    }
+    EXPECT_GT(r.traffic.demandBytes, 0u);
+}
+
+TEST(TimingSim, CoverageImprovesIpc)
+{
+    const SystemConfig sys = scaledSystem();
+    const TimingResult base = runWorkload("", 2, 60000, sys);
+    const TimingResult dom = runWorkload("Domino", 2, 60000, sys);
+    EXPECT_GT(dom.speedupOver(base), 1.0);
+}
+
+TEST(TimingSim, PracticalDominoBeatsNaive)
+{
+    // The one-round-trip first prefetch must buy measurable
+    // timeliness over the naive two-trip design, all else equal.
+    const SystemConfig sys = scaledSystem();
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+
+    const auto run = [&](bool naive) {
+        std::vector<std::unique_ptr<ServerWorkload>> sources;
+        std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+        std::vector<CoreSetup> setups;
+        for (unsigned c = 0; c < 2; ++c) {
+            sources.push_back(std::make_unique<ServerWorkload>(
+                wl, 1 + c, 60000));
+            FactoryConfig f;
+            f.degree = 4;
+            f.samplingProb = 0.5;
+            f.naiveDomino = naive;
+            prefetchers.push_back(makePrefetcher("Domino", f));
+            CoreSetup setup;
+            setup.source = sources.back().get();
+            setup.prefetcher = prefetchers.back().get();
+            setup.mlpFactor = wl.mlpFactor;
+            setup.instPerAccess = wl.instPerAccess;
+            setups.push_back(setup);
+        }
+        TimingSimulator sim(sys);
+        return sim.run(setups);
+    };
+    const TimingResult practical = run(false);
+    const TimingResult naive = run(true);
+    EXPECT_GT(practical.systemIpc(), naive.systemIpc());
+}
+
+TEST(TimingSim, TrafficBreakdownPopulated)
+{
+    const SystemConfig sys = scaledSystem();
+    const TimingResult r = runWorkload("STMS", 2, 40000, sys);
+    EXPECT_GT(r.traffic.demandBytes, 0u);
+    EXPECT_GT(r.traffic.usefulPrefetchBytes, 0u);
+    EXPECT_GT(r.traffic.incorrectPrefetchBytes, 0u);
+    EXPECT_GT(r.traffic.metadataReadBytes, 0u);
+    EXPECT_GT(r.traffic.metadataUpdateBytes, 0u);
+    EXPECT_GT(r.bandwidthGBs(sys.mem.coreGhz), 0.0);
+}
+
+TEST(TimingSim, StmsTrafficExceedsDomino)
+{
+    // Figure 15's headline: STMS moves more off-chip bytes.
+    const SystemConfig sys = scaledSystem();
+    const TimingResult stms = runWorkload("STMS", 2, 60000, sys,
+                                          0.125);
+    const TimingResult dom = runWorkload("Domino", 2, 60000, sys,
+                                         0.125);
+    EXPECT_GT(stms.traffic.incorrectPrefetchBytes,
+              dom.traffic.incorrectPrefetchBytes);
+}
+
+TEST(TimingSim, HighMlpReducesPrefetchGain)
+{
+    // The same workload with a higher MLP factor gains less from
+    // prefetching (Web Search / Media Streaming in the paper).
+    const SystemConfig sys = scaledSystem();
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+
+    const auto speedup_at = [&](double mlp) {
+        const auto run = [&](bool with_pf) {
+            std::vector<std::unique_ptr<ServerWorkload>> sources;
+            std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+            std::vector<CoreSetup> setups;
+            sources.push_back(std::make_unique<ServerWorkload>(
+                wl, 1, 60000));
+            CoreSetup setup;
+            setup.source = sources.back().get();
+            if (with_pf) {
+                FactoryConfig f;
+                f.degree = 4;
+                f.samplingProb = 0.5;
+                prefetchers.push_back(makePrefetcher("Domino", f));
+                setup.prefetcher = prefetchers.back().get();
+            }
+            setup.mlpFactor = mlp;
+            setup.instPerAccess = wl.instPerAccess;
+            setups.push_back(setup);
+            TimingSimulator sim(sys);
+            return sim.run(setups);
+        };
+        const TimingResult base = run(false);
+        const TimingResult pf = run(true);
+        return pf.speedupOver(base);
+    };
+    EXPECT_GT(speedup_at(1.1), speedup_at(3.0));
+}
+
+TEST(TimingSim, AggregatesAcrossCores)
+{
+    const SystemConfig sys = scaledSystem();
+    const TimingResult r = runWorkload("", 2, 20000, sys);
+    EXPECT_EQ(r.totalInstructions(),
+              r.cores[0].instructions + r.cores[1].instructions);
+    EXPECT_EQ(r.totalCycles(),
+              r.cores[0].cycles + r.cores[1].cycles);
+    EXPECT_NEAR(r.systemIpc(),
+                static_cast<double>(r.totalInstructions()) /
+                    static_cast<double>(r.totalCycles()),
+                1e-12);
+}
+
+} // anonymous namespace
+} // namespace domino

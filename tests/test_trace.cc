@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for src/trace: access records, trace buffer, binary
+ * I/O round trips, and trace statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/prng.h"
+#include "trace/access.h"
+#include "trace/trace_buffer.h"
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+#include "workloads/server_workload.h"
+
+namespace domino
+{
+namespace
+{
+
+TEST(Access, LineDerivation)
+{
+    Access a;
+    a.addr = 0x1234;
+    EXPECT_EQ(a.line(), 0x1234ULL >> 6);
+}
+
+TEST(TraceBuffer, PushAndIterate)
+{
+    TraceBuffer t;
+    t.pushRead(0x1000, 0x400000);
+    t.pushRead(0x2000);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].addr, 0x1000u);
+    EXPECT_EQ(t[0].pc, 0x400000u);
+    EXPECT_FALSE(t[0].isWrite);
+
+    Access a;
+    ASSERT_TRUE(t.next(a));
+    EXPECT_EQ(a.addr, 0x1000u);
+    ASSERT_TRUE(t.next(a));
+    EXPECT_EQ(a.addr, 0x2000u);
+    EXPECT_FALSE(t.next(a));
+
+    t.reset();
+    ASSERT_TRUE(t.next(a));
+    EXPECT_EQ(a.addr, 0x1000u);
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    TraceBuffer t;
+    Prng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        Access a;
+        a.addr = rng.next();
+        a.pc = rng.next();
+        a.isWrite = rng.chance(0.3);
+        t.push(a);
+    }
+
+    const std::string path = "/tmp/domino_test_trace.bin";
+    ASSERT_TRUE(writeTrace(path, t).ok);
+
+    TraceBuffer back;
+    ASSERT_TRUE(readTrace(path, back).ok);
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_TRUE(back[i] == t[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFails)
+{
+    TraceBuffer t;
+    const IoResult r = readTrace("/nonexistent/path/trace.bin", t);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+}
+
+TEST(TraceIo, BadMagicFails)
+{
+    const std::string path = "/tmp/domino_test_badmagic.bin";
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTATRACEFILE___", f);
+    std::fclose(f);
+
+    TraceBuffer t;
+    EXPECT_FALSE(readTrace(path, t).ok);
+    std::remove(path.c_str());
+}
+
+TEST(TraceStats, CountsDistinctAndReuse)
+{
+    TraceBuffer t;
+    // Lines 0, 1, 0 -> one reuse; two distinct lines; pcs 1 and 2.
+    t.push(Access{1, 0 * blockBytes, false});
+    t.push(Access{2, 1 * blockBytes, false});
+    t.push(Access{1, 0 * blockBytes, false});
+
+    const TraceStats s = computeTraceStats(t);
+    EXPECT_EQ(s.accesses, 3u);
+    EXPECT_EQ(s.distinctLines, 2u);
+    EXPECT_EQ(s.distinctPcs, 2u);
+    EXPECT_NEAR(s.lineReuseFraction, 1.0 / 3, 1e-12);
+    EXPECT_EQ(s.footprintBytes(), 2 * blockBytes);
+}
+
+TEST(TraceStats, SamePageFraction)
+{
+    TraceBuffer t;
+    // Two consecutive accesses in page 0, then a jump to page 100.
+    t.pushRead(0);
+    t.pushRead(64);
+    t.pushRead(100 * pageBytes);
+    const TraceStats s = computeTraceStats(t);
+    EXPECT_NEAR(s.samePageFraction, 0.5, 1e-12);
+    EXPECT_EQ(s.distinctPages, 2u);
+}
+
+TEST(TraceIo, TextRoundTrip)
+{
+    TraceBuffer t;
+    Prng rng(13);
+    for (int i = 0; i < 500; ++i) {
+        Access a;
+        a.addr = rng.next() >> 8;
+        a.pc = rng.next() >> 40;
+        a.isWrite = rng.chance(0.25);
+        t.push(a);
+    }
+    const std::string path = "/tmp/domino_test_trace.txt";
+    ASSERT_TRUE(writeTextTrace(path, t).ok);
+    TraceBuffer back;
+    ASSERT_TRUE(readTextTrace(path, back).ok);
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_TRUE(back[i] == t[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TextRejectsBadKind)
+{
+    const std::string path = "/tmp/domino_test_badkind.txt";
+    FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("400 1000 R\n400 1040 X\n", f);
+    std::fclose(f);
+    TraceBuffer t;
+    EXPECT_FALSE(readTextTrace(path, t).ok);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, BinaryAndTextAgree)
+{
+    WorkloadParams p;  // default-parameterised workload
+    p.name = "test";
+    const TraceBuffer t = generateTrace(p, 7, 2000);
+    ASSERT_TRUE(writeTrace("/tmp/domino_agree.bin", t).ok);
+    ASSERT_TRUE(writeTextTrace("/tmp/domino_agree.txt", t).ok);
+    TraceBuffer bin, txt;
+    ASSERT_TRUE(readTrace("/tmp/domino_agree.bin", bin).ok);
+    ASSERT_TRUE(readTextTrace("/tmp/domino_agree.txt", txt).ok);
+    ASSERT_EQ(bin.size(), txt.size());
+    for (std::size_t i = 0; i < bin.size(); ++i)
+        EXPECT_TRUE(bin[i] == txt[i]);
+    std::remove("/tmp/domino_agree.bin");
+    std::remove("/tmp/domino_agree.txt");
+}
+
+} // anonymous namespace
+} // namespace domino

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Shared helpers for the prefetcher unit tests: a recording sink
+ * and a miniature trigger-level simulator (prefetch buffer
+ * semantics without the L1), so tests can drive prefetchers with
+ * hand-built trigger sequences and inspect every issued request.
+ */
+
+#ifndef DOMINO_TESTS_TEST_UTIL_H
+#define DOMINO_TESTS_TEST_UTIL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+
+namespace domino::test
+{
+
+/** Records every issue()/dropStream() call. */
+class RecordingSink : public PrefetchSink
+{
+  public:
+    struct Issue
+    {
+        LineAddr line;
+        std::uint32_t streamId;
+        unsigned metadataTrips;
+    };
+
+    void
+    issue(LineAddr line, std::uint32_t stream_id,
+          unsigned metadata_trips) override
+    {
+        issues.push_back(Issue{line, stream_id, metadata_trips});
+    }
+
+    void
+    dropStream(std::uint32_t stream_id) override
+    {
+        drops.push_back(stream_id);
+    }
+
+    std::vector<Issue> issues;
+    std::vector<std::uint32_t> drops;
+
+    /** Lines issued, in order. */
+    std::vector<LineAddr>
+    lines() const
+    {
+        std::vector<LineAddr> out;
+        for (const auto &i : issues)
+            out.push_back(i.line);
+        return out;
+    }
+
+    bool
+    issued(LineAddr line) const
+    {
+        for (const auto &i : issues)
+            if (i.line == line)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Trigger-level mini simulator: a small prefetch "buffer" plus
+ * coverage counters, for driving a prefetcher with raw trigger
+ * sequences (no L1 model, every address is a demand).
+ */
+class MiniSim : public PrefetchSink
+{
+  public:
+    explicit MiniSim(Prefetcher &pf, std::uint32_t capacity = 32)
+        : pf(pf), cap(capacity)
+    {}
+
+    void
+    issue(LineAddr line, std::uint32_t stream_id,
+          unsigned metadata_trips) override
+    {
+        (void)metadata_trips;
+        for (const auto &e : buf)
+            if (e.first == line)
+                return;
+        if (buf.size() >= cap)
+            buf.erase(buf.begin());
+        buf.emplace_back(line, stream_id);
+        ++issuedCnt;
+    }
+
+    void
+    dropStream(std::uint32_t stream_id) override
+    {
+        for (std::size_t i = 0; i < buf.size();) {
+            if (buf[i].second == stream_id)
+                buf.erase(buf.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            else
+                ++i;
+        }
+    }
+
+    /** Feed one demand; returns true if it was a prefetch hit. */
+    bool
+    demand(LineAddr line, Addr pc = 0)
+    {
+        TriggerEvent event;
+        event.line = line;
+        event.pc = pc;
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            if (buf[i].first == line) {
+                event.wasPrefetchHit = true;
+                event.hitStreamId = buf[i].second;
+                buf.erase(buf.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+        if (event.wasPrefetchHit)
+            ++coveredCnt;
+        else
+            ++uncoveredCnt;
+        pf.onTrigger(event, *this);
+        return event.wasPrefetchHit;
+    }
+
+    /** Feed a whole sequence. */
+    void
+    run(const std::vector<LineAddr> &seq)
+    {
+        for (const LineAddr line : seq)
+            demand(line);
+    }
+
+    double
+    coverage() const
+    {
+        const std::uint64_t total = coveredCnt + uncoveredCnt;
+        return total ? static_cast<double>(coveredCnt) /
+            static_cast<double>(total) : 0.0;
+    }
+
+    std::uint64_t covered() const { return coveredCnt; }
+    std::uint64_t uncovered() const { return uncoveredCnt; }
+    std::uint64_t issuedCount() const { return issuedCnt; }
+    bool buffered(LineAddr line) const
+    {
+        for (const auto &e : buf)
+            if (e.first == line)
+                return true;
+        return false;
+    }
+
+  private:
+    Prefetcher &pf;
+    std::uint32_t cap;
+    std::vector<std::pair<LineAddr, std::uint32_t>> buf;
+    std::uint64_t coveredCnt = 0;
+    std::uint64_t uncoveredCnt = 0;
+    std::uint64_t issuedCnt = 0;
+};
+
+} // namespace domino::test
+
+#endif // DOMINO_TESTS_TEST_UTIL_H

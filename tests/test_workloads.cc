@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the synthetic server-workload generators: determinism,
+ * suite completeness, and the statistical structure the paper's
+ * mechanisms depend on (temporal repetition, stream-length shape,
+ * shared elements, spatial runs, PC structure).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/trace_stats.h"
+#include "workloads/server_workload.h"
+#include "workloads/stream_library.h"
+#include "workloads/workload_params.h"
+
+namespace domino
+{
+namespace
+{
+
+TEST(WorkloadSuite, HasNinePaperWorkloads)
+{
+    const auto suite = serverSuite();
+    ASSERT_EQ(suite.size(), 9u);
+    const std::vector<std::string> expected = {
+        "Data Serving", "MapReduce-C", "MapReduce-W",
+        "Media Streaming", "OLTP", "SAT Solver", "Web Apache",
+        "Web Search", "Web Zeus"};
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(suite[i].name, expected[i]);
+}
+
+TEST(WorkloadSuite, FindByName)
+{
+    WorkloadParams p;
+    EXPECT_TRUE(findWorkload("OLTP", p));
+    EXPECT_EQ(p.name, "OLTP");
+    EXPECT_FALSE(findWorkload("NoSuchWorkload", p));
+}
+
+TEST(AddressAllocator, FreshLinesNeverRepeat)
+{
+    AddressAllocator alloc(1);
+    std::unordered_set<LineAddr> seen;
+    for (int i = 0; i < 100000; ++i)
+        EXPECT_TRUE(seen.insert(alloc.freshLine()).second);
+}
+
+TEST(AddressAllocator, RegionsDisjoint)
+{
+    AddressAllocator a(1);
+    AddressAllocator b(2, 0x20'0000'0000ULL);
+    std::unordered_set<LineAddr> lines_a;
+    for (int i = 0; i < 10000; ++i)
+        lines_a.insert(a.freshLine());
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_EQ(lines_a.count(b.freshLine()), 0u);
+}
+
+TEST(AddressAllocator, PageBasesAligned)
+{
+    AddressAllocator alloc(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(alloc.freshPageBase() % blocksPerPage, 0u);
+}
+
+TEST(StreamLibrary, DeterministicConstruction)
+{
+    WorkloadParams p;
+    findWorkload("OLTP", p);
+    p.numStreams = 200;
+    StreamLibrary a(p, 7), b(p, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.stream(i).lines, b.stream(i).lines);
+        EXPECT_EQ(a.stream(i).pcs, b.stream(i).pcs);
+        EXPECT_EQ(a.stream(i).offsets, b.stream(i).offsets);
+    }
+}
+
+TEST(StreamLibrary, DifferentSeedsDiffer)
+{
+    WorkloadParams p;
+    findWorkload("OLTP", p);
+    p.numStreams = 50;
+    StreamLibrary a(p, 7), b(p, 8);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size() && !any_diff; ++i)
+        any_diff = a.stream(i).lines != b.stream(i).lines ||
+            a.stream(i).offsets != b.stream(i).offsets;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(StreamLibrary, SpatialFractionRespected)
+{
+    WorkloadParams p;
+    findWorkload("Data Serving", p);  // spatialFraction 0.22
+    p.numStreams = 2000;
+    StreamLibrary lib(p, 3);
+    std::size_t spatial = 0;
+    for (std::size_t i = 0; i < lib.size(); ++i)
+        if (lib.stream(i).spatial)
+            ++spatial;
+    const double frac =
+        static_cast<double>(spatial) / static_cast<double>(lib.size());
+    EXPECT_NEAR(frac, p.spatialFraction, 0.04);
+}
+
+TEST(StreamLibrary, SharedElementsExist)
+{
+    WorkloadParams p;
+    findWorkload("OLTP", p);
+    p.numStreams = 500;
+    StreamLibrary lib(p, 3);
+    // Count lines that appear in more than one temporal stream.
+    std::unordered_map<LineAddr, int> owners;
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+        if (lib.stream(i).spatial)
+            continue;
+        std::unordered_set<LineAddr> mine(
+            lib.stream(i).lines.begin(), lib.stream(i).lines.end());
+        for (const LineAddr l : mine)
+            ++owners[l];
+    }
+    std::size_t shared = 0;
+    for (const auto &[line, count] : owners)
+        if (count > 1)
+            ++shared;
+    EXPECT_GT(shared, 100u);
+}
+
+TEST(StreamLibrary, SpatialOffsetsInPage)
+{
+    WorkloadParams p;
+    findWorkload("Media Streaming", p);
+    p.numStreams = 500;
+    StreamLibrary lib(p, 5);
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+        const StreamDef &s = lib.stream(i);
+        if (!s.spatial)
+            continue;
+        for (const auto off : s.offsets)
+            EXPECT_LT(off, blocksPerPage);
+        // Offsets strictly increase (positive delta patterns).
+        for (std::size_t k = 1; k < s.offsets.size(); ++k)
+            EXPECT_GT(s.offsets[k], s.offsets[k - 1]);
+    }
+}
+
+TEST(ServerWorkload, DeterministicAndResettable)
+{
+    WorkloadParams p;
+    findWorkload("Web Search", p);
+    ServerWorkload a(p, 5, 20000), b(p, 5, 20000);
+    Access x, y;
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(a.next(x));
+        ASSERT_TRUE(b.next(y));
+        ASSERT_TRUE(x == y) << "at access " << i;
+    }
+    EXPECT_FALSE(a.next(x));
+
+    a.reset();
+    b.reset();
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(a.next(x));
+        ASSERT_TRUE(b.next(y));
+        ASSERT_TRUE(x == y);
+    }
+}
+
+TEST(ServerWorkload, RespectsLimit)
+{
+    WorkloadParams p;
+    findWorkload("OLTP", p);
+    ServerWorkload gen(p, 1, 5000);
+    Access a;
+    std::uint64_t count = 0;
+    while (gen.next(a))
+        ++count;
+    EXPECT_EQ(count, 5000u);
+}
+
+TEST(ServerWorkload, GenerateTraceMatchesStreaming)
+{
+    WorkloadParams p;
+    findWorkload("OLTP", p);
+    const TraceBuffer t = generateTrace(p, 3, 5000);
+    ServerWorkload gen(p, 3, 5000);
+    Access a;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        ASSERT_TRUE(gen.next(a));
+        ASSERT_TRUE(a == t[i]);
+    }
+}
+
+TEST(ServerWorkload, HasSubstantialLineReuse)
+{
+    // The temporal structure the whole paper depends on: a large
+    // fraction of misses must be to previously seen lines.
+    WorkloadParams p;
+    findWorkload("OLTP", p);
+    const TraceBuffer t = generateTrace(p, 1, 100000);
+    const TraceStats s = computeTraceStats(t);
+    EXPECT_GT(s.lineReuseFraction, 0.5);
+}
+
+TEST(ServerWorkload, FootprintExceedsL1)
+{
+    // If the footprint fit in the 64 KB L1-D, there would be no
+    // misses to prefetch.
+    WorkloadParams p;
+    findWorkload("Web Apache", p);
+    const TraceBuffer t = generateTrace(p, 1, 100000);
+    const TraceStats s = computeTraceStats(t);
+    EXPECT_GT(s.footprintBytes(), 512u * 1024);
+}
+
+class SuiteWorkloadTest
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SuiteWorkloadTest, ProducesValidAccesses)
+{
+    WorkloadParams p;
+    ASSERT_TRUE(findWorkload(GetParam(), p));
+    ServerWorkload gen(p, 11, 20000);
+    Access a;
+    std::uint64_t count = 0;
+    while (gen.next(a)) {
+        ASSERT_NE(a.addr, invalidAddr);
+        ++count;
+    }
+    EXPECT_EQ(count, 20000u);
+}
+
+TEST_P(SuiteWorkloadTest, MissRateInServerBand)
+{
+    // Every workload's L1 in-flow must be neither trivial nor
+    // saturated: hot accesses hit, stream accesses mostly miss.
+    WorkloadParams p;
+    ASSERT_TRUE(findWorkload(GetParam(), p));
+    const TraceBuffer t = generateTrace(p, 11, 50000);
+    const TraceStats s = computeTraceStats(t);
+    EXPECT_GT(s.distinctLines, 1000u);
+    EXPECT_GT(s.lineReuseFraction, 0.3);
+    EXPECT_LT(s.lineReuseFraction, 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SuiteWorkloadTest,
+                         ::testing::ValuesIn(suiteNames()));
+
+} // anonymous namespace
+} // namespace domino
