@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_degree.dir/bench_ablation_degree.cc.o"
+  "CMakeFiles/bench_ablation_degree.dir/bench_ablation_degree.cc.o.d"
+  "bench_ablation_degree"
+  "bench_ablation_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

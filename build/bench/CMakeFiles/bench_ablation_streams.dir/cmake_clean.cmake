@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_streams.dir/bench_ablation_streams.cc.o"
+  "CMakeFiles/bench_ablation_streams.dir/bench_ablation_streams.cc.o.d"
+  "bench_ablation_streams"
+  "bench_ablation_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

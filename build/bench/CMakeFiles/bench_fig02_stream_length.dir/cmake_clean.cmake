@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_stream_length.dir/bench_fig02_stream_length.cc.o"
+  "CMakeFiles/bench_fig02_stream_length.dir/bench_fig02_stream_length.cc.o.d"
+  "bench_fig02_stream_length"
+  "bench_fig02_stream_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_stream_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_lookup_match.dir/bench_fig04_lookup_match.cc.o"
+  "CMakeFiles/bench_fig04_lookup_match.dir/bench_fig04_lookup_match.cc.o.d"
+  "bench_fig04_lookup_match"
+  "bench_fig04_lookup_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_lookup_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_stream_histogram.dir/bench_fig12_stream_histogram.cc.o"
+  "CMakeFiles/bench_fig12_stream_histogram.dir/bench_fig12_stream_histogram.cc.o.d"
+  "bench_fig12_stream_histogram"
+  "bench_fig12_stream_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_stream_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_coverage_deg4.dir/bench_fig13_coverage_deg4.cc.o"
+  "CMakeFiles/bench_fig13_coverage_deg4.dir/bench_fig13_coverage_deg4.cc.o.d"
+  "bench_fig13_coverage_deg4"
+  "bench_fig13_coverage_deg4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_coverage_deg4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_spatio_temporal.dir/bench_fig16_spatio_temporal.cc.o"
+  "CMakeFiles/bench_fig16_spatio_temporal.dir/bench_fig16_spatio_temporal.cc.o.d"
+  "bench_fig16_spatio_temporal"
+  "bench_fig16_spatio_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_spatio_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

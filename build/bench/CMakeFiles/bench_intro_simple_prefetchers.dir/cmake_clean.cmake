@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_simple_prefetchers.dir/bench_intro_simple_prefetchers.cc.o"
+  "CMakeFiles/bench_intro_simple_prefetchers.dir/bench_intro_simple_prefetchers.cc.o.d"
+  "bench_intro_simple_prefetchers"
+  "bench_intro_simple_prefetchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_simple_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_intro_simple_prefetchers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_ops.cc" "bench/CMakeFiles/bench_micro_ops.dir/bench_micro_ops.cc.o" "gcc" "bench/CMakeFiles/bench_micro_ops.dir/bench_micro_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/domino_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/domino_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequitur/CMakeFiles/domino_sequitur.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/domino_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/domino/CMakeFiles/domino_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/domino_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/domino_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/domino_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/domino_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_prefetch_study.dir/oltp_prefetch_study.cpp.o"
+  "CMakeFiles/oltp_prefetch_study.dir/oltp_prefetch_study.cpp.o.d"
+  "oltp_prefetch_study"
+  "oltp_prefetch_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_prefetch_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

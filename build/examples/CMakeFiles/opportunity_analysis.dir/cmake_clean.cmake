@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opportunity_analysis.dir/opportunity_analysis.cpp.o"
+  "CMakeFiles/opportunity_analysis.dir/opportunity_analysis.cpp.o.d"
+  "opportunity_analysis"
+  "opportunity_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opportunity_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatio_temporal_stack.dir/spatio_temporal_stack.cpp.o"
+  "CMakeFiles/spatio_temporal_stack.dir/spatio_temporal_stack.cpp.o.d"
+  "spatio_temporal_stack"
+  "spatio_temporal_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatio_temporal_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

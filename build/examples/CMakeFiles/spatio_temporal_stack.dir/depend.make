@@ -1,0 +1,2 @@
+# Empty dependencies file for spatio_temporal_stack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/coverage.cc" "src/analysis/CMakeFiles/domino_analysis.dir/coverage.cc.o" "gcc" "src/analysis/CMakeFiles/domino_analysis.dir/coverage.cc.o.d"
+  "/root/repo/src/analysis/factory.cc" "src/analysis/CMakeFiles/domino_analysis.dir/factory.cc.o" "gcc" "src/analysis/CMakeFiles/domino_analysis.dir/factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/domino_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/domino_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/domino_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/domino_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/domino/CMakeFiles/domino_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_analysis.dir/coverage.cc.o"
+  "CMakeFiles/domino_analysis.dir/coverage.cc.o.d"
+  "CMakeFiles/domino_analysis.dir/factory.cc.o"
+  "CMakeFiles/domino_analysis.dir/factory.cc.o.d"
+  "libdomino_analysis.a"
+  "libdomino_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_common.dir/cli.cc.o"
+  "CMakeFiles/domino_common.dir/cli.cc.o.d"
+  "CMakeFiles/domino_common.dir/table_format.cc.o"
+  "CMakeFiles/domino_common.dir/table_format.cc.o.d"
+  "libdomino_common.a"
+  "libdomino_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

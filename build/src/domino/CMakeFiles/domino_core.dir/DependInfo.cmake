@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domino/domino_prefetcher.cc" "src/domino/CMakeFiles/domino_core.dir/domino_prefetcher.cc.o" "gcc" "src/domino/CMakeFiles/domino_core.dir/domino_prefetcher.cc.o.d"
+  "/root/repo/src/domino/eit.cc" "src/domino/CMakeFiles/domino_core.dir/eit.cc.o" "gcc" "src/domino/CMakeFiles/domino_core.dir/eit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/domino_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/domino_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

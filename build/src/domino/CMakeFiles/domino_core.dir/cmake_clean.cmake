@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_core.dir/domino_prefetcher.cc.o"
+  "CMakeFiles/domino_core.dir/domino_prefetcher.cc.o.d"
+  "CMakeFiles/domino_core.dir/eit.cc.o"
+  "CMakeFiles/domino_core.dir/eit.cc.o.d"
+  "libdomino_core.a"
+  "libdomino_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

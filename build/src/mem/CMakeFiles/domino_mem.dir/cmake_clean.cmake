@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_mem.dir/cache.cc.o"
+  "CMakeFiles/domino_mem.dir/cache.cc.o.d"
+  "CMakeFiles/domino_mem.dir/prefetch_buffer.cc.o"
+  "CMakeFiles/domino_mem.dir/prefetch_buffer.cc.o.d"
+  "libdomino_mem.a"
+  "libdomino_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

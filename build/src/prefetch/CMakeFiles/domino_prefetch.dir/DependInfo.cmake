@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/digram.cc" "src/prefetch/CMakeFiles/domino_prefetch.dir/digram.cc.o" "gcc" "src/prefetch/CMakeFiles/domino_prefetch.dir/digram.cc.o.d"
+  "/root/repo/src/prefetch/isb.cc" "src/prefetch/CMakeFiles/domino_prefetch.dir/isb.cc.o" "gcc" "src/prefetch/CMakeFiles/domino_prefetch.dir/isb.cc.o.d"
+  "/root/repo/src/prefetch/list.cc" "src/prefetch/CMakeFiles/domino_prefetch.dir/list.cc.o" "gcc" "src/prefetch/CMakeFiles/domino_prefetch.dir/list.cc.o.d"
+  "/root/repo/src/prefetch/markov.cc" "src/prefetch/CMakeFiles/domino_prefetch.dir/markov.cc.o" "gcc" "src/prefetch/CMakeFiles/domino_prefetch.dir/markov.cc.o.d"
+  "/root/repo/src/prefetch/nlookup.cc" "src/prefetch/CMakeFiles/domino_prefetch.dir/nlookup.cc.o" "gcc" "src/prefetch/CMakeFiles/domino_prefetch.dir/nlookup.cc.o.d"
+  "/root/repo/src/prefetch/stacked.cc" "src/prefetch/CMakeFiles/domino_prefetch.dir/stacked.cc.o" "gcc" "src/prefetch/CMakeFiles/domino_prefetch.dir/stacked.cc.o.d"
+  "/root/repo/src/prefetch/stms.cc" "src/prefetch/CMakeFiles/domino_prefetch.dir/stms.cc.o" "gcc" "src/prefetch/CMakeFiles/domino_prefetch.dir/stms.cc.o.d"
+  "/root/repo/src/prefetch/stride.cc" "src/prefetch/CMakeFiles/domino_prefetch.dir/stride.cc.o" "gcc" "src/prefetch/CMakeFiles/domino_prefetch.dir/stride.cc.o.d"
+  "/root/repo/src/prefetch/vldp.cc" "src/prefetch/CMakeFiles/domino_prefetch.dir/vldp.cc.o" "gcc" "src/prefetch/CMakeFiles/domino_prefetch.dir/vldp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/domino_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_prefetch.dir/digram.cc.o"
+  "CMakeFiles/domino_prefetch.dir/digram.cc.o.d"
+  "CMakeFiles/domino_prefetch.dir/isb.cc.o"
+  "CMakeFiles/domino_prefetch.dir/isb.cc.o.d"
+  "CMakeFiles/domino_prefetch.dir/list.cc.o"
+  "CMakeFiles/domino_prefetch.dir/list.cc.o.d"
+  "CMakeFiles/domino_prefetch.dir/markov.cc.o"
+  "CMakeFiles/domino_prefetch.dir/markov.cc.o.d"
+  "CMakeFiles/domino_prefetch.dir/nlookup.cc.o"
+  "CMakeFiles/domino_prefetch.dir/nlookup.cc.o.d"
+  "CMakeFiles/domino_prefetch.dir/stacked.cc.o"
+  "CMakeFiles/domino_prefetch.dir/stacked.cc.o.d"
+  "CMakeFiles/domino_prefetch.dir/stms.cc.o"
+  "CMakeFiles/domino_prefetch.dir/stms.cc.o.d"
+  "CMakeFiles/domino_prefetch.dir/stride.cc.o"
+  "CMakeFiles/domino_prefetch.dir/stride.cc.o.d"
+  "CMakeFiles/domino_prefetch.dir/vldp.cc.o"
+  "CMakeFiles/domino_prefetch.dir/vldp.cc.o.d"
+  "libdomino_prefetch.a"
+  "libdomino_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_sequitur.dir/opportunity.cc.o"
+  "CMakeFiles/domino_sequitur.dir/opportunity.cc.o.d"
+  "CMakeFiles/domino_sequitur.dir/sequitur.cc.o"
+  "CMakeFiles/domino_sequitur.dir/sequitur.cc.o.d"
+  "libdomino_sequitur.a"
+  "libdomino_sequitur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_sequitur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdomino_sequitur.a"
+)

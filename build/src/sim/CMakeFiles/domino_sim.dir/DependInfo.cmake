@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/timing_sim.cc" "src/sim/CMakeFiles/domino_sim.dir/timing_sim.cc.o" "gcc" "src/sim/CMakeFiles/domino_sim.dir/timing_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/domino_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/domino_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/domino_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/domino_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

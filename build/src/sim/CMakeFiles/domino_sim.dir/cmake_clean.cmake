@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_sim.dir/timing_sim.cc.o"
+  "CMakeFiles/domino_sim.dir/timing_sim.cc.o.d"
+  "libdomino_sim.a"
+  "libdomino_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

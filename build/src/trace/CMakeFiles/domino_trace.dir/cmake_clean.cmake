@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_trace.dir/trace_io.cc.o"
+  "CMakeFiles/domino_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/domino_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/domino_trace.dir/trace_stats.cc.o.d"
+  "libdomino_trace.a"
+  "libdomino_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/server_workload.cc" "src/workloads/CMakeFiles/domino_workloads.dir/server_workload.cc.o" "gcc" "src/workloads/CMakeFiles/domino_workloads.dir/server_workload.cc.o.d"
+  "/root/repo/src/workloads/stream_library.cc" "src/workloads/CMakeFiles/domino_workloads.dir/stream_library.cc.o" "gcc" "src/workloads/CMakeFiles/domino_workloads.dir/stream_library.cc.o.d"
+  "/root/repo/src/workloads/workload_params.cc" "src/workloads/CMakeFiles/domino_workloads.dir/workload_params.cc.o" "gcc" "src/workloads/CMakeFiles/domino_workloads.dir/workload_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/domino_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/domino_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

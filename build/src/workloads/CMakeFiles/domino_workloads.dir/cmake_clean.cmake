@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_workloads.dir/server_workload.cc.o"
+  "CMakeFiles/domino_workloads.dir/server_workload.cc.o.d"
+  "CMakeFiles/domino_workloads.dir/stream_library.cc.o"
+  "CMakeFiles/domino_workloads.dir/stream_library.cc.o.d"
+  "CMakeFiles/domino_workloads.dir/workload_params.cc.o"
+  "CMakeFiles/domino_workloads.dir/workload_params.cc.o.d"
+  "libdomino_workloads.a"
+  "libdomino_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

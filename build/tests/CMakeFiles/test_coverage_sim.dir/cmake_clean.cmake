@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coverage_sim.dir/test_coverage_sim.cc.o"
+  "CMakeFiles/test_coverage_sim.dir/test_coverage_sim.cc.o.d"
+  "test_coverage_sim"
+  "test_coverage_sim.pdb"
+  "test_coverage_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coverage_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

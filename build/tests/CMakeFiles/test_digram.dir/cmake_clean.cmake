@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digram.dir/test_digram.cc.o"
+  "CMakeFiles/test_digram.dir/test_digram.cc.o.d"
+  "test_digram"
+  "test_digram.pdb"
+  "test_digram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

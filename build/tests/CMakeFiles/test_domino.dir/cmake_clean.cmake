@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_domino.dir/test_domino.cc.o"
+  "CMakeFiles/test_domino.dir/test_domino.cc.o.d"
+  "test_domino"
+  "test_domino.pdb"
+  "test_domino[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_domino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eit.dir/test_eit.cc.o"
+  "CMakeFiles/test_eit.dir/test_eit.cc.o.d"
+  "test_eit"
+  "test_eit.pdb"
+  "test_eit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

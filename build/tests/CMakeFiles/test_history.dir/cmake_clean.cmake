@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_history.dir/test_history.cc.o"
+  "CMakeFiles/test_history.dir/test_history.cc.o.d"
+  "test_history"
+  "test_history.pdb"
+  "test_history[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

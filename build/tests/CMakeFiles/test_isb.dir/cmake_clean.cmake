@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isb.dir/test_isb.cc.o"
+  "CMakeFiles/test_isb.dir/test_isb.cc.o.d"
+  "test_isb"
+  "test_isb.pdb"
+  "test_isb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

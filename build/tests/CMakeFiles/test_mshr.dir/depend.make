@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mshr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlookup.dir/test_nlookup.cc.o"
+  "CMakeFiles/test_nlookup.dir/test_nlookup.cc.o.d"
+  "test_nlookup"
+  "test_nlookup.pdb"
+  "test_nlookup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetch_buffer.dir/test_prefetch_buffer.cc.o"
+  "CMakeFiles/test_prefetch_buffer.dir/test_prefetch_buffer.cc.o.d"
+  "test_prefetch_buffer"
+  "test_prefetch_buffer.pdb"
+  "test_prefetch_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetch_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequitur.dir/test_sequitur.cc.o"
+  "CMakeFiles/test_sequitur.dir/test_sequitur.cc.o.d"
+  "test_sequitur"
+  "test_sequitur.pdb"
+  "test_sequitur[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequitur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

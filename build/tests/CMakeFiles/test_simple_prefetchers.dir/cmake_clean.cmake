@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simple_prefetchers.dir/test_simple_prefetchers.cc.o"
+  "CMakeFiles/test_simple_prefetchers.dir/test_simple_prefetchers.cc.o.d"
+  "test_simple_prefetchers"
+  "test_simple_prefetchers.pdb"
+  "test_simple_prefetchers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simple_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

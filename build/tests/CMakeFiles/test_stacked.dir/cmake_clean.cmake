@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stacked.dir/test_stacked.cc.o"
+  "CMakeFiles/test_stacked.dir/test_stacked.cc.o.d"
+  "test_stacked"
+  "test_stacked.pdb"
+  "test_stacked[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stacked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

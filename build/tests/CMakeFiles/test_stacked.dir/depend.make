@@ -1,0 +1,2 @@
+# Empty dependencies file for test_stacked.
+# This may be replaced when dependencies are built.

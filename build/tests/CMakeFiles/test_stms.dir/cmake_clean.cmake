@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stms.dir/test_stms.cc.o"
+  "CMakeFiles/test_stms.dir/test_stms.cc.o.d"
+  "test_stms"
+  "test_stms.pdb"
+  "test_stms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

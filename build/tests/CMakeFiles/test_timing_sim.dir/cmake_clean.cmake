@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_sim.dir/test_timing_sim.cc.o"
+  "CMakeFiles/test_timing_sim.dir/test_timing_sim.cc.o.d"
+  "test_timing_sim"
+  "test_timing_sim.pdb"
+  "test_timing_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vldp.dir/test_vldp.cc.o"
+  "CMakeFiles/test_vldp.dir/test_vldp.cc.o.d"
+  "test_vldp"
+  "test_vldp.pdb"
+  "test_vldp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vldp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_prefetch_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_sequitur[1]_include.cmake")
+include("/root/repo/build/tests/test_stms[1]_include.cmake")
+include("/root/repo/build/tests/test_digram[1]_include.cmake")
+include("/root/repo/build/tests/test_eit[1]_include.cmake")
+include("/root/repo/build/tests/test_domino[1]_include.cmake")
+include("/root/repo/build/tests/test_isb[1]_include.cmake")
+include("/root/repo/build/tests/test_vldp[1]_include.cmake")
+include("/root/repo/build/tests/test_nlookup[1]_include.cmake")
+include("/root/repo/build/tests/test_stacked[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_timing_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_simple_prefetchers[1]_include.cmake")
+include("/root/repo/build/tests/test_mshr[1]_include.cmake")
+include("/root/repo/build/tests/test_history[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
