@@ -21,26 +21,42 @@ main(int argc, char **argv)
     const std::string tech = args.get("prefetcher", "Domino");
     banner("Ablation: prefetch degree (" + tech + ")", opts);
 
+    struct CellResult
+    {
+        double coverage = 0.0;
+        double overprediction = 0.0;
+    };
+
     const std::vector<unsigned> degrees = {1, 2, 4, 8};
+    const auto workloads = selectedWorkloads(opts, args);
+
+    const auto cells = runWorkloadGrid(
+        opts, workloads, degrees.size(),
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            FactoryConfig f = defaultFactory(args, degrees[config]);
+            auto pf = makePrefetcher(tech, f);
+            ServerWorkload src(wl, seed, opts.accesses);
+            CoverageSimulator sim;
+            const CoverageResult r = sim.run(src, pf.get());
+            return CellResult{r.coverage(), r.overpredictionRate()};
+        });
+
     TextTable table({"Workload", "Degree", "Coverage",
                      "Overpredictions"});
     std::vector<RunningStat> avg_cov(degrees.size());
     std::vector<RunningStat> avg_over(degrees.size());
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         for (std::size_t i = 0; i < degrees.size(); ++i) {
-            FactoryConfig f = defaultFactory(args, degrees[i]);
-            auto pf = makePrefetcher(tech, f);
-            ServerWorkload src(wl, opts.seed, opts.accesses);
-            CoverageSimulator sim;
-            const CoverageResult r = sim.run(src, pf.get());
+            const CellResult &r = cells[w * degrees.size() + i];
             table.newRow();
-            table.cell(wl.name);
+            table.cell(workloads[w].name);
             table.cell(std::uint64_t{degrees[i]});
-            table.cellPct(r.coverage());
-            table.cellPct(r.overpredictionRate());
-            avg_cov[i].add(r.coverage());
-            avg_over[i].add(r.overpredictionRate());
+            table.cellPct(r.coverage);
+            table.cellPct(r.overprediction);
+            avg_cov[i].add(r.coverage);
+            avg_over[i].add(r.overprediction);
         }
     }
 

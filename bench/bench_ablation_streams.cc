@@ -23,22 +23,31 @@ main(int argc, char **argv)
            ", degree 4)", opts);
 
     const std::vector<unsigned> slot_counts = {1, 2, 4, 8};
+    const auto workloads = selectedWorkloads(opts, args);
+
+    const auto cells = runWorkloadGrid(
+        opts, workloads, slot_counts.size(),
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            FactoryConfig f = defaultFactory(args, 4);
+            f.activeStreams = slot_counts[config];
+            auto pf = makePrefetcher(tech, f);
+            ServerWorkload src(wl, seed, opts.accesses);
+            CoverageSimulator sim;
+            return sim.run(src, pf.get()).coverage();
+        });
+
     std::vector<std::string> headers = {"Workload"};
     for (const unsigned n : slot_counts)
         headers.push_back(std::to_string(n) + " slots");
     TextTable table(headers);
     std::vector<RunningStat> avg(slot_counts.size());
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         table.newRow();
-        table.cell(wl.name);
+        table.cell(workloads[w].name);
         for (std::size_t i = 0; i < slot_counts.size(); ++i) {
-            FactoryConfig f = defaultFactory(args, 4);
-            f.activeStreams = slot_counts[i];
-            auto pf = makePrefetcher(tech, f);
-            ServerWorkload src(wl, opts.seed, opts.accesses);
-            CoverageSimulator sim;
-            const double cov = sim.run(src, pf.get()).coverage();
+            const double cov = cells[w * slot_counts.size() + i];
             table.cellPct(cov);
             avg[i].add(cov);
         }

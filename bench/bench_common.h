@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared harness glue for the figure-reproduction benchmarks: a
- * common CLI (--n, --seed, --csv, --workload), workload iteration,
- * and header printing.
+ * common CLI (--n, --seed, --jobs, --csv, --json, --workload),
+ * parallel (workload x config) fan-out through the experiment
+ * runner, and header printing.
  */
 
 #ifndef DOMINO_BENCH_BENCH_COMMON_H
@@ -18,6 +19,7 @@
 #include "common/table_format.h"
 #include "analysis/coverage.h"
 #include "analysis/factory.h"
+#include "runner/experiment_grid.h"
 #include "workloads/server_workload.h"
 #include "workloads/workload_params.h"
 
@@ -30,7 +32,12 @@ struct BenchOptions
     /** Accesses per workload run (0 = workload default). */
     std::uint64_t accesses = 600'000;
     std::uint64_t seed = 1;
+    /** Worker threads for the cell sweep (0 = all hardware threads). */
+    unsigned jobs = 1;
     bool csv = false;
+    bool json = false;
+    /** Paint a live cells-completed line on stderr. */
+    bool progress = false;
     /** Restrict to one workload (empty = whole suite). */
     std::string workload;
 
@@ -40,7 +47,12 @@ struct BenchOptions
         BenchOptions o;
         o.accesses = args.getU64("n", o.accesses);
         o.seed = args.getU64("seed", o.seed);
+        o.jobs = static_cast<unsigned>(args.getU64("jobs", o.jobs));
+        if (o.jobs == 0)
+            o.jobs = runner::ThreadPool::defaultJobs();
         o.csv = args.getBool("csv");
+        o.json = args.getBool("json");
+        o.progress = args.getBool("progress");
         o.workload = args.get("workload");
         return o;
     }
@@ -87,7 +99,7 @@ selectedWorkloads(const BenchOptions &opts, const CliArgs &args)
 inline void
 banner(const std::string &title, const BenchOptions &opts)
 {
-    if (opts.csv)
+    if (opts.csv || opts.json)
         return;
     std::cout << "\n=== " << title << " ===\n"
               << "(synthetic server suite, " << opts.accesses
@@ -98,10 +110,42 @@ banner(const std::string &title, const BenchOptions &opts)
 inline void
 emit(const TextTable &table, const BenchOptions &opts)
 {
-    if (opts.csv)
+    if (opts.json)
+        table.printJson(std::cout);
+    else if (opts.csv)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+}
+
+/**
+ * Fan one figure's (workload x config) cells across the runner.
+ *
+ * `fn(workload, configIndex, seed)` evaluates one cell and returns
+ * its measurements; the result vector is in workload-major order
+ * (index `w * configs + c`), identical for every `--jobs` value.
+ * The per-cell `seed` equals `opts.seed` today (single-rep grids);
+ * harnesses must use it rather than `opts.seed` so that replicated
+ * grids keep deterministic positional seeding.
+ */
+template <typename Fn>
+auto
+runWorkloadGrid(const BenchOptions &opts,
+                const std::vector<WorkloadParams> &workloads,
+                std::size_t configs, Fn fn)
+{
+    runner::ExperimentGrid grid(
+        {workloads.size(), configs, 1}, opts.seed);
+    ProgressMeter progress(grid.size(), opts.progress);
+    auto results = grid.run(
+        opts.jobs,
+        [&](const runner::Cell &cell) {
+            return fn(workloads[cell.workload], cell.config,
+                      cell.seed);
+        },
+        &progress);
+    progress.finish();
+    return results;
 }
 
 /**

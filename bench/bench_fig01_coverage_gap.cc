@@ -23,32 +23,42 @@ main(int argc, char **argv)
     banner("Figure 1: temporal prefetcher coverage vs opportunity",
            opts);
 
+    const auto workloads = selectedWorkloads(opts, args);
+    // Configs: 0 = ISB, 1 = STMS, 2 = Sequitur opportunity.
+    const char *tech[2] = {"ISB", "STMS"};
+    const std::size_t configs = 3;
+
+    const auto cells = runWorkloadGrid(
+        opts, workloads, configs,
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            ServerWorkload src(wl, seed, opts.accesses);
+            if (config < 2) {
+                FactoryConfig f = defaultFactory(args, 1);
+                auto pf = makePrefetcher(tech[config], f);
+                CoverageSimulator sim;
+                return sim.run(src, pf.get()).coverage();
+            }
+            const auto misses = baselineMissSequence(src);
+            return analyzeOpportunity(misses).coverage();
+        });
+
     TextTable table({"Workload", "ISB", "STMS", "Opportunity",
                      "STMS/Opportunity"});
     RunningStat avg_isb, avg_stms, avg_opp;
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
-        double cov[2];
-        const char *tech[2] = {"ISB", "STMS"};
-        for (int i = 0; i < 2; ++i) {
-            FactoryConfig f = defaultFactory(args, 1);
-            auto pf = makePrefetcher(tech[i], f);
-            ServerWorkload src(wl, opts.seed, opts.accesses);
-            CoverageSimulator sim;
-            cov[i] = sim.run(src, pf.get()).coverage();
-        }
-        ServerWorkload src(wl, opts.seed, opts.accesses);
-        const auto misses = baselineMissSequence(src);
-        const double opp = analyzeOpportunity(misses).coverage();
-
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const double isb = cells[w * configs + 0];
+        const double stms = cells[w * configs + 1];
+        const double opp = cells[w * configs + 2];
         table.newRow();
-        table.cell(wl.name);
-        table.cellPct(cov[0]);
-        table.cellPct(cov[1]);
+        table.cell(workloads[w].name);
+        table.cellPct(isb);
+        table.cellPct(stms);
         table.cellPct(opp);
-        table.cellPct(opp > 0 ? cov[1] / opp : 0.0);
-        avg_isb.add(cov[0]);
-        avg_stms.add(cov[1]);
+        table.cellPct(opp > 0 ? stms / opp : 0.0);
+        avg_isb.add(isb);
+        avg_stms.add(stms);
         avg_opp.add(opp);
     }
 

@@ -23,31 +23,40 @@ main(int argc, char **argv)
     const BenchOptions opts = BenchOptions::fromCli(args);
     banner("Figure 2: average stream length", opts);
 
+    const auto workloads = selectedWorkloads(opts, args);
+    // Configs: 0 = STMS, 1 = Digram, 2 = Sequitur oracle.
+    const char *tech[2] = {"STMS", "Digram"};
+    const std::size_t configs = 3;
+
+    const auto cells = runWorkloadGrid(
+        opts, workloads, configs,
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            ServerWorkload src(wl, seed, opts.accesses);
+            if (config < 2) {
+                FactoryConfig f = defaultFactory(args, 1);
+                auto pf = makePrefetcher(tech[config], f);
+                CoverageSimulator sim;
+                return sim.run(src, pf.get()).meanStreamRun();
+            }
+            const auto misses = baselineMissSequence(src);
+            return analyzeOpportunity(misses).meanStreamLength();
+        });
+
     TextTable table({"Workload", "STMS", "Digram", "Sequitur"});
     RunningStat avg_stms, avg_digram, avg_seq;
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
-        double runlen[2];
-        const char *tech[2] = {"STMS", "Digram"};
-        for (int i = 0; i < 2; ++i) {
-            FactoryConfig f = defaultFactory(args, 1);
-            auto pf = makePrefetcher(tech[i], f);
-            ServerWorkload src(wl, opts.seed, opts.accesses);
-            CoverageSimulator sim;
-            runlen[i] = sim.run(src, pf.get()).meanStreamRun();
-        }
-        ServerWorkload src(wl, opts.seed, opts.accesses);
-        const auto misses = baselineMissSequence(src);
-        const double seq =
-            analyzeOpportunity(misses).meanStreamLength();
-
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const double stms = cells[w * configs + 0];
+        const double digram = cells[w * configs + 1];
+        const double seq = cells[w * configs + 2];
         table.newRow();
-        table.cell(wl.name);
-        table.cell(runlen[0]);
-        table.cell(runlen[1]);
+        table.cell(workloads[w].name);
+        table.cell(stms);
+        table.cell(digram);
         table.cell(seq);
-        avg_stms.add(runlen[0]);
-        avg_digram.add(runlen[1]);
+        avg_stms.add(stms);
+        avg_digram.add(digram);
         avg_seq.add(seq);
     }
 

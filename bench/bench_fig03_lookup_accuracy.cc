@@ -23,24 +23,34 @@ main(int argc, char **argv)
         static_cast<unsigned>(args.getU64("depth", 5));
     banner("Figure 3: correct predictions per matched lookup", opts);
 
+    const auto workloads = selectedWorkloads(opts, args);
+    // One cell per workload: a single N-gram pass yields every depth.
+    const auto cells = runWorkloadGrid(
+        opts, workloads, 1,
+        [&](const WorkloadParams &wl, std::size_t,
+            std::uint64_t seed) {
+            ServerWorkload src(wl, seed, opts.accesses);
+            const auto misses = baselineMissSequence(src);
+            NGramAnalyzer analyzer(max_depth);
+            for (const LineAddr m : misses)
+                analyzer.observe(m);
+            std::vector<double> fracs(max_depth);
+            for (unsigned n = 1; n <= max_depth; ++n)
+                fracs[n - 1] = analyzer.stats(n).correctFraction();
+            return fracs;
+        });
+
     std::vector<std::string> headers = {"Workload"};
     for (unsigned n = 1; n <= max_depth; ++n)
         headers.push_back("n=" + std::to_string(n));
     TextTable table(headers);
     std::vector<RunningStat> avg(max_depth);
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
-        ServerWorkload src(wl, opts.seed, opts.accesses);
-        const auto misses = baselineMissSequence(src);
-        NGramAnalyzer analyzer(max_depth);
-        for (const LineAddr m : misses)
-            analyzer.observe(m);
-
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         table.newRow();
-        table.cell(wl.name);
+        table.cell(workloads[w].name);
         for (unsigned n = 1; n <= max_depth; ++n) {
-            const double frac =
-                analyzer.stats(n).correctFraction();
+            const double frac = cells[w][n - 1];
             table.cellPct(frac);
             avg[n - 1].add(frac);
         }

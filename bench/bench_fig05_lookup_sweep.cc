@@ -24,25 +24,40 @@ main(int argc, char **argv)
     banner("Figure 5: coverage/overpredictions vs lookup depth",
            opts);
 
+    struct CellResult
+    {
+        double coverage = 0.0;
+        double overprediction = 0.0;
+    };
+
+    const auto workloads = selectedWorkloads(opts, args);
+    // Config axis: lookup depth N = config + 1.
+    const auto cells = runWorkloadGrid(
+        opts, workloads, max_depth,
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            FactoryConfig f = defaultFactory(args, 1);
+            f.nlookupDepth = static_cast<unsigned>(config + 1);
+            auto pf = makePrefetcher("NLookup", f);
+            ServerWorkload src(wl, seed, opts.accesses);
+            CoverageSimulator sim;
+            const CoverageResult r = sim.run(src, pf.get());
+            return CellResult{r.coverage(), r.overpredictionRate()};
+        });
+
     TextTable table({"Workload", "N", "Coverage", "Overpredictions"});
     std::vector<RunningStat> avg_cov(max_depth), avg_over(max_depth);
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         for (unsigned n = 1; n <= max_depth; ++n) {
-            FactoryConfig f = defaultFactory(args, 1);
-            f.nlookupDepth = n;
-            auto pf = makePrefetcher("NLookup", f);
-            ServerWorkload src(wl, opts.seed, opts.accesses);
-            CoverageSimulator sim;
-            const CoverageResult r = sim.run(src, pf.get());
-
+            const CellResult &r = cells[w * max_depth + (n - 1)];
             table.newRow();
-            table.cell(wl.name);
+            table.cell(workloads[w].name);
             table.cell(std::uint64_t{n});
-            table.cellPct(r.coverage());
-            table.cellPct(r.overpredictionRate());
-            avg_cov[n - 1].add(r.coverage());
-            avg_over[n - 1].add(r.overpredictionRate());
+            table.cellPct(r.coverage);
+            table.cellPct(r.overprediction);
+            avg_cov[n - 1].add(r.coverage);
+            avg_over[n - 1].add(r.overprediction);
         }
     }
 

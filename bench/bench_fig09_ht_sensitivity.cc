@@ -27,6 +27,21 @@ main(int argc, char **argv)
         sizes.push_back(e);
     }
 
+    const auto workloads = selectedWorkloads(opts, args);
+    // Config axis: one HT capacity per column.
+    const auto cells = runWorkloadGrid(
+        opts, workloads, sizes.size(),
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            FactoryConfig f = defaultFactory(args, 4);
+            f.htEntries = sizes[config];
+            f.eitRows = 1ULL << 22;  // effectively unlimited
+            auto pf = makePrefetcher("Domino", f);
+            ServerWorkload src(wl, seed, opts.accesses);
+            CoverageSimulator sim;
+            return sim.run(src, pf.get()).coverage();
+        });
+
     std::vector<std::string> headers = {"Workload"};
     for (const auto e : sizes) {
         headers.push_back(e >= (1ULL << 20)
@@ -36,17 +51,11 @@ main(int argc, char **argv)
     TextTable table(headers);
     std::vector<RunningStat> avg(sizes.size());
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         table.newRow();
-        table.cell(wl.name);
+        table.cell(workloads[w].name);
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            FactoryConfig f = defaultFactory(args, 4);
-            f.htEntries = sizes[i];
-            f.eitRows = 1ULL << 22;  // effectively unlimited
-            auto pf = makePrefetcher("Domino", f);
-            ServerWorkload src(wl, opts.seed, opts.accesses);
-            CoverageSimulator sim;
-            const double cov = sim.run(src, pf.get()).coverage();
+            const double cov = cells[w * sizes.size() + i];
             table.cellPct(cov);
             avg[i].add(cov);
         }

@@ -20,27 +20,37 @@ namespace
 void
 entriesSweep(const CliArgs &args, const BenchOptions &opts)
 {
+    const auto workloads = selectedWorkloads(opts, args);
+    // Config axis: entries per super-entry = config + 1.
+    const std::size_t configs = 4;
+    const auto cells = runWorkloadGrid(
+        opts, workloads, configs,
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            FactoryConfig f = defaultFactory(args, 4);
+            f.entriesPerSuper = static_cast<unsigned>(config + 1);
+            auto pf = makePrefetcher("Domino", f);
+            ServerWorkload src(wl, seed, opts.accesses);
+            CoverageSimulator sim;
+            return sim.run(src, pf.get()).coverage();
+        });
+
     TextTable table({"Workload", "entries=1", "entries=2",
                      "entries=3", "entries=4"});
-    std::vector<RunningStat> avg(4);
-    for (const auto &wl : selectedWorkloads(opts, args)) {
+    std::vector<RunningStat> avg(configs);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         table.newRow();
-        table.cell(wl.name);
-        for (unsigned e = 1; e <= 4; ++e) {
-            FactoryConfig f = defaultFactory(args, 4);
-            f.entriesPerSuper = e;
-            auto pf = makePrefetcher("Domino", f);
-            ServerWorkload src(wl, opts.seed, opts.accesses);
-            CoverageSimulator sim;
-            const double cov = sim.run(src, pf.get()).coverage();
+        table.cell(workloads[w].name);
+        for (std::size_t e = 0; e < configs; ++e) {
+            const double cov = cells[w * configs + e];
             table.cellPct(cov);
-            avg[e - 1].add(cov);
+            avg[e].add(cov);
         }
     }
     table.newRow();
     table.cell("Average");
-    for (unsigned e = 1; e <= 4; ++e)
-        table.cellPct(avg[e - 1].mean());
+    for (std::size_t e = 0; e < configs; ++e)
+        table.cellPct(avg[e].mean());
     emit(table, opts);
 }
 
@@ -66,6 +76,20 @@ main(int argc, char **argv)
         sizes.push_back(r);
     }
 
+    const auto workloads = selectedWorkloads(opts, args);
+    // Config axis: one EIT row count per column.
+    const auto cells = runWorkloadGrid(
+        opts, workloads, sizes.size(),
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            FactoryConfig f = defaultFactory(args, 4);
+            f.eitRows = sizes[config];
+            auto pf = makePrefetcher("Domino", f);
+            ServerWorkload src(wl, seed, opts.accesses);
+            CoverageSimulator sim;
+            return sim.run(src, pf.get()).coverage();
+        });
+
     std::vector<std::string> headers = {"Workload"};
     for (const auto r : sizes) {
         headers.push_back(r >= (1ULL << 20)
@@ -75,16 +99,11 @@ main(int argc, char **argv)
     TextTable table(headers);
     std::vector<RunningStat> avg(sizes.size());
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         table.newRow();
-        table.cell(wl.name);
+        table.cell(workloads[w].name);
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            FactoryConfig f = defaultFactory(args, 4);
-            f.eitRows = sizes[i];
-            auto pf = makePrefetcher("Domino", f);
-            ServerWorkload src(wl, opts.seed, opts.accesses);
-            CoverageSimulator sim;
-            const double cov = sim.run(src, pf.get()).coverage();
+            const double cov = cells[w * sizes.size() + i];
             table.cellPct(cov);
             avg[i].add(cov);
         }

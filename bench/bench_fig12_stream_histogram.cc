@@ -22,23 +22,41 @@ main(int argc, char **argv)
     banner("Figure 12: Sequitur stream-length histogram "
            "(cumulative % of streams)", opts);
 
+    struct CellResult
+    {
+        std::vector<double> cumulative;
+        double mean = 0.0;
+    };
+
+    const auto workloads = selectedWorkloads(opts, args);
+    const auto cells = runWorkloadGrid(
+        opts, workloads, 1,
+        [&](const WorkloadParams &wl, std::size_t,
+            std::uint64_t seed) {
+            ServerWorkload src(wl, seed, opts.accesses);
+            const auto misses = baselineMissSequence(src);
+            const OpportunityResult opp = analyzeOpportunity(misses);
+            const EdgeHistogram &h = opp.streamLengths;
+            CellResult out;
+            // Buckets: 0 at index 0; the "<=2" column is cumulative
+            // through index 1, and so on; "all" includes the
+            // overflow.
+            for (std::size_t b = 1; b + 1 < h.buckets(); ++b)
+                out.cumulative.push_back(h.cumulative(b));
+            out.mean = opp.meanStreamLength();
+            return out;
+        });
+
     TextTable table({"Workload", "<=2", "<=4", "<=8", "<=16",
                      "<=32", "<=64", "<=128", "all", "mean"});
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
-        ServerWorkload src(wl, opts.seed, opts.accesses);
-        const auto misses = baselineMissSequence(src);
-        const OpportunityResult opp = analyzeOpportunity(misses);
-        const EdgeHistogram &h = opp.streamLengths;
-
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         table.newRow();
-        table.cell(wl.name);
-        // Buckets: 0 at index 0; the "<=2" column is cumulative
-        // through index 1, and so on; "all" includes the overflow.
-        for (std::size_t b = 1; b + 1 < h.buckets(); ++b)
-            table.cellPct(h.cumulative(b));
+        table.cell(workloads[w].name);
+        for (const double c : cells[w].cumulative)
+            table.cellPct(c);
         table.cellPct(1.0);
-        table.cell(opp.meanStreamLength());
+        table.cell(cells[w].mean);
     }
 
     emit(table, opts);

@@ -110,32 +110,45 @@ main(int argc, char **argv)
     if (args.getBool("naive"))
         techniques.push_back("Domino-naive");
 
+    // Per-core accesses: a quarter of the requested budget so the
+    // default run costs the same as the coverage benches.
+    const std::uint64_t per_core =
+        std::max<std::uint64_t>(opts.accesses / sys.cores, 50'000);
+
+    const auto workloads = selectedWorkloads(opts, args);
+    // Config axis: 0 = no-prefetcher baseline, then one technique
+    // per column; every cell is a full timing run.
+    const std::size_t configs = techniques.size() + 1;
+
+    const auto cells = runWorkloadGrid(
+        opts, workloads, configs,
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            if (config == 0) {
+                return runTiming(wl, "", FactoryConfig{}, sys, seed,
+                                 per_core);
+            }
+            FactoryConfig f = defaultFactory(args, 4);
+            std::string tech = techniques[config - 1];
+            if (tech == "Domino-naive") {
+                tech = "Domino";
+                f.naiveDomino = true;
+            }
+            return runTiming(wl, tech, f, sys, seed, per_core);
+        });
+
     std::vector<std::string> headers = {"Workload"};
     for (const auto &t : techniques)
         headers.push_back(t);
     TextTable table(headers);
     std::vector<GeoMean> gmean(techniques.size());
 
-    // Per-core accesses: a quarter of the requested budget so the
-    // default run costs the same as the coverage benches.
-    const std::uint64_t per_core =
-        std::max<std::uint64_t>(opts.accesses / sys.cores, 50'000);
-
-    for (const auto &wl : selectedWorkloads(opts, args)) {
-        const TimingResult baseline = runTiming(
-            wl, "", FactoryConfig{}, sys, opts.seed, per_core);
-
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const TimingResult &baseline = cells[w * configs];
         table.newRow();
-        table.cell(wl.name);
+        table.cell(workloads[w].name);
         for (std::size_t i = 0; i < techniques.size(); ++i) {
-            FactoryConfig f = defaultFactory(args, 4);
-            std::string tech = techniques[i];
-            if (tech == "Domino-naive") {
-                tech = "Domino";
-                f.naiveDomino = true;
-            }
-            const TimingResult r = runTiming(
-                wl, tech, f, sys, opts.seed, per_core);
+            const TimingResult &r = cells[w * configs + i + 1];
             const double speedup = r.speedupOver(baseline);
             table.cellPct(speedup - 1.0);
             gmean[i].add(speedup);

@@ -89,29 +89,49 @@ main(int argc, char **argv)
         std::max<std::uint64_t>(opts.accesses / sys.cores, 50'000);
     const std::vector<std::string> techniques =
         {"STMS", "Digram", "Domino"};
+    const auto workloads = selectedWorkloads(opts, args);
 
     if (args.getBool("sampling-sweep")) {
         banner("Ablation: traffic overhead vs sampling probability "
                "(Domino)", opts);
-        TextTable table({"Workload", "Sampling", "Coverage",
-                         "Update", "Read"});
-        for (const auto &wl : selectedWorkloads(opts, args)) {
-            for (double s : {0.0625, 0.125, 0.25, 0.5, 1.0}) {
+        const std::vector<double> sampling =
+            {0.0625, 0.125, 0.25, 0.5, 1.0};
+
+        struct SweepCell
+        {
+            double coverage = 0;
+            double update = 0;
+            double read = 0;
+        };
+
+        const auto cells = runWorkloadGrid(
+            opts, workloads, sampling.size(),
+            [&](const WorkloadParams &wl, std::size_t config,
+                std::uint64_t seed) {
                 FactoryConfig f = defaultFactory(args, 4);
-                f.samplingProb = s;
+                f.samplingProb = sampling[config];
                 // Coverage from the trace-based simulator.
                 auto pf = makePrefetcher("Domino", f);
-                ServerWorkload src(wl, opts.seed, opts.accesses);
+                ServerWorkload src(wl, seed, opts.accesses);
                 CoverageSimulator csim;
                 const CoverageResult cr = csim.run(src, pf.get());
                 const TrafficRow row = runOne(
-                    wl, "Domino", f, sys, opts.seed, per_core);
+                    wl, "Domino", f, sys, seed, per_core);
+                return SweepCell{cr.coverage(), row.update,
+                                 row.read};
+            });
+
+        TextTable table({"Workload", "Sampling", "Coverage",
+                         "Update", "Read"});
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            for (std::size_t s = 0; s < sampling.size(); ++s) {
+                const SweepCell &r = cells[w * sampling.size() + s];
                 table.newRow();
-                table.cell(wl.name);
-                table.cell(s, 4);
-                table.cellPct(cr.coverage());
-                table.cellPct(row.update);
-                table.cellPct(row.read);
+                table.cell(workloads[w].name);
+                table.cell(sampling[s], 4);
+                table.cellPct(r.coverage);
+                table.cellPct(r.update);
+                table.cellPct(r.read);
             }
         }
         emit(table, opts);
@@ -121,25 +141,32 @@ main(int argc, char **argv)
     banner("Figure 15: off-chip traffic overhead over baseline",
            opts);
 
-    TextTable table({"Workload", "Prefetcher", "Incorrect",
-                     "MetaUpdate", "MetaRead", "Total",
-                     "GB/s", "Utilisation"});
-    std::vector<RunningStat> avg_total(techniques.size());
-
-    for (const auto &wl : selectedWorkloads(opts, args)) {
-        for (std::size_t i = 0; i < techniques.size(); ++i) {
+    const auto cells = runWorkloadGrid(
+        opts, workloads, techniques.size(),
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
             // The paper's sampling probability (12.5 %) is the
             // default here because this figure measures the
             // metadata traffic the sampling exists to bound.
             FactoryConfig f = defaultFactory(args, 4);
             if (!args.has("sampling"))
                 f.samplingProb = 0.125;
-            const TrafficRow row = runOne(
-                wl, techniques[i], f, sys, opts.seed, per_core);
+            return runOne(wl, techniques[config], f, sys, seed,
+                          per_core);
+        });
+
+    TextTable table({"Workload", "Prefetcher", "Incorrect",
+                     "MetaUpdate", "MetaRead", "Total",
+                     "GB/s", "Utilisation"});
+    std::vector<RunningStat> avg_total(techniques.size());
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (std::size_t i = 0; i < techniques.size(); ++i) {
+            const TrafficRow &row = cells[w * techniques.size() + i];
             const double total =
                 row.incorrect + row.update + row.read;
             table.newRow();
-            table.cell(wl.name);
+            table.cell(workloads[w].name);
             table.cell(techniques[i]);
             table.cellPct(row.incorrect);
             table.cellPct(row.update);

@@ -23,24 +23,31 @@ main(int argc, char **argv)
     banner("Figure 16: spatio-temporal prefetching (degree 4)",
            opts);
 
-    TextTable table({"Workload", "VLDP", "Domino", "VLDP+Domino",
-                     "Gain vs VLDP", "Gain vs Domino"});
     const std::vector<std::string> techniques =
         {"VLDP", "Domino", "VLDP+Domino"};
+    const auto workloads = selectedWorkloads(opts, args);
+
+    const auto cells = runWorkloadGrid(
+        opts, workloads, techniques.size(),
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            FactoryConfig f = defaultFactory(args, 4);
+            auto pf = makePrefetcher(techniques[config], f);
+            ServerWorkload src(wl, seed, opts.accesses);
+            CoverageSimulator sim;
+            return sim.run(src, pf.get()).coverage();
+        });
+
+    TextTable table({"Workload", "VLDP", "Domino", "VLDP+Domino",
+                     "Gain vs VLDP", "Gain vs Domino"});
     std::vector<RunningStat> avg(techniques.size());
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
-        double cov[3];
-        for (std::size_t i = 0; i < techniques.size(); ++i) {
-            FactoryConfig f = defaultFactory(args, 4);
-            auto pf = makePrefetcher(techniques[i], f);
-            ServerWorkload src(wl, opts.seed, opts.accesses);
-            CoverageSimulator sim;
-            cov[i] = sim.run(src, pf.get()).coverage();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const double *cov = &cells[w * techniques.size()];
+        for (std::size_t i = 0; i < techniques.size(); ++i)
             avg[i].add(cov[i]);
-        }
         table.newRow();
-        table.cell(wl.name);
+        table.cell(workloads[w].name);
         table.cellPct(cov[0]);
         table.cellPct(cov[1]);
         table.cellPct(cov[2]);

@@ -27,19 +27,28 @@ main(int argc, char **argv)
 
     const std::vector<std::string> techniques =
         {"NextLine", "Stride", "Markov", "List", "Domino"};
+    const auto workloads = selectedWorkloads(opts, args);
+
+    const auto cells = runWorkloadGrid(
+        opts, workloads, techniques.size(),
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            FactoryConfig f = defaultFactory(args, degree);
+            auto pf = makePrefetcher(techniques[config], f);
+            ServerWorkload src(wl, seed, opts.accesses);
+            CoverageSimulator sim;
+            return sim.run(src, pf.get()).coverage();
+        });
+
     TextTable table({"Workload", "NextLine", "Stride", "Markov",
                      "List", "Domino"});
     std::vector<RunningStat> avg(techniques.size());
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         table.newRow();
-        table.cell(wl.name);
+        table.cell(workloads[w].name);
         for (std::size_t i = 0; i < techniques.size(); ++i) {
-            FactoryConfig f = defaultFactory(args, degree);
-            auto pf = makePrefetcher(techniques[i], f);
-            ServerWorkload src(wl, opts.seed, opts.accesses);
-            CoverageSimulator sim;
-            const double cov = sim.run(src, pf.get()).coverage();
+            const double cov = cells[w * techniques.size() + i];
             table.cellPct(cov);
             avg[i].add(cov);
         }

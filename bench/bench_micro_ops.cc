@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "analysis/coverage.h"
 #include "analysis/factory.h"
 #include "domino/eit.h"
@@ -157,4 +160,37 @@ BENCHMARK(BM_CoveragePipeline)->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: accept and discard the suite-wide --jobs flag (so
+ * driver scripts can pass it to every bench binary uniformly)
+ * before handing the remaining arguments to google-benchmark,
+ * which rejects flags it does not recognise.  Microbenchmarks
+ * measure single-threaded operation latency; parallelising them
+ * would perturb the numbers they exist to report.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> kept;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs") {
+            // Skip an attached "--jobs N" value as well.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0)
+                ++i;
+            continue;
+        }
+        if (arg.rfind("--jobs=", 0) == 0)
+            continue;
+        kept.push_back(argv[i]);
+    }
+    int kept_argc = static_cast<int>(kept.size());
+    benchmark::Initialize(&kept_argc, kept.data());
+    if (benchmark::ReportUnrecognizedArguments(kept_argc,
+                                               kept.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

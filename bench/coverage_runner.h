@@ -15,7 +15,8 @@ namespace domino::bench
 /**
  * Run the evaluated-prefetcher roster plus the Sequitur opportunity
  * over the selected workloads and print the coverage /
- * overprediction table (the layout of Figures 11 and 13).
+ * overprediction table (the layout of Figures 11 and 13).  Cells
+ * fan out over the experiment runner (--jobs).
  */
 inline void
 runCoverageComparison(const CliArgs &args, unsigned default_degree,
@@ -26,53 +27,68 @@ runCoverageComparison(const CliArgs &args, unsigned default_degree,
         args.getU64("degree", default_degree));
     banner(title, opts);
 
+    const auto workloads = selectedWorkloads(opts, args);
+    const std::vector<std::string> techniques = evaluatedPrefetchers();
+    // One config per technique plus the Sequitur opportunity.
+    const std::size_t configs = techniques.size() + 1;
+
+    struct CellResult
+    {
+        double coverage = 0.0;
+        double overprediction = 0.0;
+    };
+
+    const auto cells = runWorkloadGrid(
+        opts, workloads, configs,
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            CellResult out;
+            ServerWorkload src(wl, seed, opts.accesses);
+            if (config < techniques.size()) {
+                FactoryConfig f = defaultFactory(args, degree);
+                auto pf = makePrefetcher(techniques[config], f);
+                CoverageSimulator sim;
+                const CoverageResult r = sim.run(src, pf.get());
+                out.coverage = r.coverage();
+                out.overprediction = r.overpredictionRate();
+            } else {
+                const auto misses = baselineMissSequence(src);
+                out.coverage = analyzeOpportunity(misses).coverage();
+            }
+            return out;
+        });
+
     TextTable table({"Workload", "Prefetcher", "Coverage",
                      "Uncovered", "Overpredictions"});
-    const std::vector<std::string> techniques = evaluatedPrefetchers();
-    std::vector<RunningStat> avg_cov(techniques.size() + 1);
-    std::vector<RunningStat> avg_over(techniques.size() + 1);
+    std::vector<RunningStat> avg_cov(configs);
+    std::vector<RunningStat> avg_over(configs);
 
-    for (const auto &wl : selectedWorkloads(opts, args)) {
-        std::size_t col = 0;
-        for (const auto &tech : techniques) {
-            FactoryConfig f = defaultFactory(args, degree);
-            auto pf = makePrefetcher(tech, f);
-            ServerWorkload src(wl, opts.seed, opts.accesses);
-            CoverageSimulator sim;
-            const CoverageResult r = sim.run(src, pf.get());
+    const auto techName = [&](std::size_t c) {
+        return c < techniques.size() ? techniques[c]
+                                     : std::string("Sequitur");
+    };
 
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (std::size_t c = 0; c < configs; ++c) {
+            const CellResult &r = cells[w * configs + c];
             table.newRow();
-            table.cell(wl.name);
-            table.cell(tech);
-            table.cellPct(r.coverage());
-            table.cellPct(1.0 - r.coverage());
-            table.cellPct(r.overpredictionRate());
-            avg_cov[col].add(r.coverage());
-            avg_over[col].add(r.overpredictionRate());
-            ++col;
+            table.cell(workloads[w].name);
+            table.cell(techName(c));
+            table.cellPct(r.coverage);
+            table.cellPct(1.0 - r.coverage);
+            table.cellPct(r.overprediction);
+            avg_cov[c].add(r.coverage);
+            avg_over[c].add(r.overprediction);
         }
-
-        ServerWorkload src(wl, opts.seed, opts.accesses);
-        const auto misses = baselineMissSequence(src);
-        const OpportunityResult opp = analyzeOpportunity(misses);
-        table.newRow();
-        table.cell(wl.name);
-        table.cell("Sequitur");
-        table.cellPct(opp.coverage());
-        table.cellPct(1.0 - opp.coverage());
-        table.cellPct(0.0);
-        avg_cov[col].add(opp.coverage());
-        avg_over[col].add(0.0);
     }
 
-    for (std::size_t i = 0; i <= techniques.size(); ++i) {
+    for (std::size_t c = 0; c < configs; ++c) {
         table.newRow();
         table.cell("Average");
-        table.cell(i < techniques.size() ? techniques[i]
-                                         : std::string("Sequitur"));
-        table.cellPct(avg_cov[i].mean());
-        table.cellPct(1.0 - avg_cov[i].mean());
-        table.cellPct(avg_over[i].mean());
+        table.cell(techName(c));
+        table.cellPct(avg_cov[c].mean());
+        table.cellPct(1.0 - avg_cov[c].mean());
+        table.cellPct(avg_over[c].mean());
     }
 
     emit(table, opts);

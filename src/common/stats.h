@@ -7,9 +7,13 @@
 #define DOMINO_COMMON_STATS_H
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
+#include <mutex>
 
 namespace domino
 {
@@ -96,6 +100,62 @@ class GeoMean
   private:
     double logSum = 0.0;
     std::uint64_t n = 0;
+};
+
+/**
+ * Thread-safe progress reporter for grid sweeps: counts completed
+ * cells against a known total and, when enabled, repaints a
+ * one-line "[done/total cells] elapsed" status on stderr so it
+ * never interleaves with the result tables on stdout.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(std::uint64_t totalCells, bool enabled)
+        : total(totalCells), live(enabled),
+          start(std::chrono::steady_clock::now())
+    {}
+
+    /** Record one completed cell (callable from any thread). */
+    void
+    tick()
+    {
+        const std::uint64_t n = done.fetch_add(1) + 1;
+        if (!live)
+            return;
+        std::lock_guard<std::mutex> lock(io);
+        std::fprintf(stderr, "\r[%llu/%llu cells] %.1fs",
+                     static_cast<unsigned long long>(n),
+                     static_cast<unsigned long long>(total),
+                     elapsedSeconds());
+        std::fflush(stderr);
+    }
+
+    /** Terminate the status line once the sweep is over. */
+    void
+    finish()
+    {
+        if (live && done.load() > 0)
+            std::fputc('\n', stderr);
+    }
+
+    /** Cells completed so far. */
+    std::uint64_t completed() const { return done.load(); }
+
+    /** Seconds since construction. */
+    double
+    elapsedSeconds() const
+    {
+        const auto dt = std::chrono::steady_clock::now() - start;
+        return std::chrono::duration<double>(dt).count();
+    }
+
+  private:
+    std::uint64_t total;
+    bool live;
+    std::atomic<std::uint64_t> done{0};
+    std::mutex io;
+    std::chrono::steady_clock::time_point start;
 };
 
 /** Safe ratio helper: a/b, 0 when b == 0. */

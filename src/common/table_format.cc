@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -92,6 +93,54 @@ TextTable::printCsv(std::ostream &os) const
     emit_row(header);
     for (const auto &row : data)
         emit_row(row);
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+void
+TextTable::printJson(std::ostream &os) const
+{
+    os << "[\n";
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        os << "  {";
+        const auto &row = data[r];
+        for (std::size_t c = 0; c < row.size() && c < header.size();
+             ++c) {
+            if (c)
+                os << ", ";
+            os << '"' << jsonEscape(header[c]) << "\": \""
+               << jsonEscape(row[c]) << '"';
+        }
+        os << (r + 1 < data.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
 }
 
 std::string

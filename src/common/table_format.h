@@ -52,6 +52,14 @@ class TextTable
     /** Render as CSV. */
     void printCsv(std::ostream &os) const;
 
+    /**
+     * Render as a JSON array of row objects keyed by the column
+     * headers.  Cell values are emitted as the formatted strings
+     * the other renderers print (e.g. "12.3%"), so the three
+     * formats always agree.
+     */
+    void printJson(std::ostream &os) const;
+
   private:
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> data;

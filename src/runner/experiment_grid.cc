@@ -1,0 +1,46 @@
+#include "experiment_grid.h"
+
+#include <algorithm>
+
+#include "common/prng.h"
+
+namespace domino::runner
+{
+
+std::uint64_t
+deriveCellSeed(std::uint64_t baseSeed, std::size_t workload,
+               std::size_t rep)
+{
+    if (rep == 0)
+        return baseSeed;
+    // Two SplitMix64 steps keyed by the coordinates: statistically
+    // independent streams per (workload, rep), stable across runs.
+    SplitMix64 sm(baseSeed ^
+                  (0x9e3779b97f4a7c15ULL * (workload + 1)) ^
+                  (0xd1b54a32d192ed03ULL * rep));
+    sm.next();
+    return sm.next();
+}
+
+ExperimentGrid::ExperimentGrid(GridShape shape, std::uint64_t baseSeed)
+    : dims(shape), base(baseSeed)
+{
+    dims.workloads = std::max<std::size_t>(dims.workloads, 1);
+    dims.configs = std::max<std::size_t>(dims.configs, 1);
+    dims.reps = std::max<std::size_t>(dims.reps, 1);
+}
+
+Cell
+ExperimentGrid::cell(std::size_t flat) const
+{
+    Cell c;
+    c.flat = flat;
+    c.rep = flat % dims.reps;
+    flat /= dims.reps;
+    c.config = flat % dims.configs;
+    c.workload = flat / dims.configs;
+    c.seed = deriveCellSeed(base, c.workload, c.rep);
+    return c;
+}
+
+} // namespace domino::runner

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * ExperimentGrid: deterministic parallel fan-out of experiment
+ * cells over a (workload x config x rep) lattice.
+ *
+ * Every figure harness enumerates the same kind of lattice: each
+ * workload is evaluated under several configurations (techniques,
+ * table sizes, lookup depths, ...), optionally replicated over
+ * seeds.  The grid owns two invariants that make a parallel sweep
+ * indistinguishable from a serial one:
+ *
+ *  1. *Seeding is positional.*  A cell's PRNG seed is a pure
+ *     function of its coordinates and the base seed
+ *     (deriveCellSeed), never of which worker picked it up or
+ *     when.  Rep 0 maps to the base seed itself, so single-rep
+ *     runs reproduce the numbers historically measured by the
+ *     serial harnesses.  The config axis deliberately does not
+ *     participate: all techniques in one figure row must observe
+ *     the identical workload trace to be comparable.
+ *
+ *  2. *Results are assembled in flat order* (rep fastest, then
+ *     config, then workload), regardless of completion order.
+ *
+ * Together these guarantee `--jobs N` produces byte-identical
+ * output for every N (asserted by tests/test_runner.cc).
+ */
+
+#ifndef DOMINO_RUNNER_EXPERIMENT_GRID_H
+#define DOMINO_RUNNER_EXPERIMENT_GRID_H
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/stats.h"
+#include "runner/thread_pool.h"
+
+namespace domino::runner
+{
+
+/** Extent of each grid axis (all at least one cell). */
+struct GridShape
+{
+    std::size_t workloads = 1;
+    std::size_t configs = 1;
+    std::size_t reps = 1;
+};
+
+/** One experiment cell: coordinates plus the derived seed. */
+struct Cell
+{
+    std::size_t workload = 0;
+    std::size_t config = 0;
+    std::size_t rep = 0;
+    /** Row-major flat index: (workload * configs + config) * reps + rep. */
+    std::size_t flat = 0;
+    /** Positional PRNG seed (see deriveCellSeed). */
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Per-cell seed: base for rep 0 (serial-harness compatibility),
+ * a SplitMix64-mixed function of (base, workload, rep) for
+ * higher reps.  Independent of the config axis and of execution
+ * order by construction.
+ */
+std::uint64_t deriveCellSeed(std::uint64_t baseSeed,
+                             std::size_t workload, std::size_t rep);
+
+/** The (workload x config x rep) lattice and its parallel driver. */
+class ExperimentGrid
+{
+  public:
+    ExperimentGrid(GridShape shape, std::uint64_t baseSeed);
+
+    /** Total number of cells. */
+    std::size_t
+    size() const
+    {
+        return dims.workloads * dims.configs * dims.reps;
+    }
+
+    const GridShape &shape() const { return dims; }
+
+    /** Reconstruct a cell from its flat index. */
+    Cell cell(std::size_t flat) const;
+
+    /**
+     * Evaluate `fn(const Cell &)` over every cell using `jobs`
+     * worker threads (<=1 runs inline on the calling thread) and
+     * return the results in flat order.  `progress`, when given,
+     * is ticked once per completed cell from whichever thread
+     * finished it.
+     *
+     * If any cell throws, the exception of the lowest-flat-index
+     * failing cell is rethrown after all cells have run.
+     */
+    template <typename Fn>
+    auto
+    run(unsigned jobs, Fn fn, ProgressMeter *progress = nullptr) const
+        -> std::vector<std::invoke_result_t<Fn, const Cell &>>
+    {
+        using R = std::invoke_result_t<Fn, const Cell &>;
+        static_assert(!std::is_void_v<R>,
+                      "grid cells must return a value");
+        const std::size_t n = size();
+        std::vector<R> results;
+        results.reserve(n);
+
+        if (jobs <= 1) {
+            for (std::size_t flat = 0; flat < n; ++flat) {
+                results.push_back(fn(cell(flat)));
+                if (progress)
+                    progress->tick();
+            }
+            return results;
+        }
+
+        ThreadPool pool(jobs);
+        std::vector<std::future<R>> futures;
+        futures.reserve(n);
+        for (std::size_t flat = 0; flat < n; ++flat) {
+            futures.push_back(pool.submit(
+                [this, flat, &fn, progress]() {
+                    R r = fn(cell(flat));
+                    if (progress)
+                        progress->tick();
+                    return r;
+                }));
+        }
+        for (auto &f : futures)
+            results.push_back(f.get());
+        return results;
+    }
+
+  private:
+    GridShape dims;
+    std::uint64_t base;
+};
+
+} // namespace domino::runner
+
+#endif // DOMINO_RUNNER_EXPERIMENT_GRID_H

@@ -1,0 +1,61 @@
+#include "thread_pool.h"
+
+#include <algorithm>
+
+namespace domino::runner
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = std::max(threads, 1u);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        queue.push_back(std::move(job));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock,
+                    [this]() { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and fully drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        job(); // packaged_task captures any exception
+    }
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    return std::max(std::thread::hardware_concurrency(), 1u);
+}
+
+} // namespace domino::runner

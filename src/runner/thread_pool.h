@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-size worker pool for the experiment runner.
+ *
+ * Tasks are dequeued in FIFO submission order; results and
+ * exceptions propagate through the std::future returned by
+ * submit().  The destructor drains every queued task before
+ * joining, so a pool can be destroyed immediately after the last
+ * submit() without losing work.
+ */
+
+#ifndef DOMINO_RUNNER_THREAD_POOL_H
+#define DOMINO_RUNNER_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace domino::runner
+{
+
+/** A fixed-size pool of worker threads executing queued tasks. */
+class ThreadPool
+{
+  public:
+    /** Start `threads` workers (clamped to at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * Queue a nullary callable; its return value (or exception)
+     * is delivered through the returned future.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using R = std::invoke_result_t<Fn>;
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> result = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return result;
+    }
+
+    /**
+     * The job count meaning "use all hardware threads"
+     * (`--jobs 0`): hardware_concurrency, at least one.
+     */
+    static unsigned defaultJobs();
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+} // namespace domino::runner
+
+#endif // DOMINO_RUNNER_THREAD_POOL_H

@@ -2,10 +2,12 @@
  * @file
  * Binary trace serialisation.
  *
- * Format: a 16-byte header ("DOMTRACE", version u32, count u32's
- * high half reserved) followed by packed little-endian records of
+ * Format: a 20-byte header ("DOMTRACE" magic, version u32, record
+ * count u64) followed by packed little-endian 17-byte records of
  * (pc u64, addr u64, flags u8).  Deliberately simple so external
- * tools (ChampSim converters, python) can parse it.
+ * tools (ChampSim converters, python) can parse it.  The layout
+ * and its versioning rules are specified in docs/TRACE_FORMAT.md;
+ * any record-layout change must bump the version there and here.
  */
 
 #ifndef DOMINO_TRACE_TRACE_IO_H

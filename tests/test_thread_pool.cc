@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the runner thread pool: submission-order results,
+ * exception propagation, drain-on-destruction, and actual
+ * concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runner/thread_pool.h"
+
+namespace domino::runner
+{
+namespace
+{
+
+TEST(ThreadPool, ResultsArriveThroughFuturesInSubmissionOrder)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SingleWorkerExecutesFifo)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::mutex mtx;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.submit([i, &order, &mtx]() {
+            std::lock_guard<std::mutex> lock(mtx);
+            order.push_back(i);
+        }));
+    }
+    for (auto &f : futures)
+        f.get();
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughTheFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 7; });
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("cell exploded");
+    });
+    EXPECT_EQ(ok.get(), 7);
+    try {
+        bad.get();
+        FAIL() << "expected the task's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "cell exploded");
+    }
+    // The pool stays usable after a task threw.
+    EXPECT_EQ(pool.submit([]() { return 42; }).get(), 42);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> completed{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&completed]() {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                completed.fetch_add(1);
+            });
+        }
+        // Destruction must wait for all 64, not abandon the queue.
+    }
+    EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPool, TasksRunConcurrently)
+{
+    // Two tasks each wait (bounded) until both have started; they
+    // can only both finish with `true` if two workers run them in
+    // overlapping time.
+    ThreadPool pool(2);
+    std::atomic<int> started{0};
+    auto rendezvous = [&started]() {
+        started.fetch_add(1);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(10);
+        while (started.load() < 2) {
+            if (std::chrono::steady_clock::now() > deadline)
+                return false;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        return true;
+    };
+    auto a = pool.submit(rendezvous);
+    auto b = pool.submit(rendezvous);
+    EXPECT_TRUE(a.get());
+    EXPECT_TRUE(b.get());
+}
+
+TEST(ThreadPool, ZeroThreadRequestClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    EXPECT_EQ(pool.submit([]() { return 3; }).get(), 3);
+}
+
+TEST(ThreadPool, DefaultJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+} // anonymous namespace
+} // namespace domino::runner
