@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -98,17 +99,15 @@ BM_SequiturPush(benchmark::State &state)
     for (int i = 0; i < 1 << 14; ++i)
         symbols.push_back(rng.below(256));
     std::size_t idx = 0;
-    SequiturGrammar *g = new SequiturGrammar;
+    auto g = std::make_unique<SequiturGrammar>();
     std::uint64_t pushed = 0;
     for (auto _ : state) {
         g->push(symbols[idx++ & ((1 << 14) - 1)]);
         if (++pushed % 100'000 == 0) {
             // Bound grammar growth across iterations.
-            delete g;
-            g = new SequiturGrammar;
+            g = std::make_unique<SequiturGrammar>();
         }
     }
-    delete g;
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SequiturPush);

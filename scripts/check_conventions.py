@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Repo-convention lint for the Domino reproduction.
+
+Checks conventions that clang-tidy cannot express, using nothing but
+the standard library (the container ships no Python packages):
+
+  raw-new        no raw `new` / `delete` in C++ sources -- containers
+                 and std::make_unique own everything.  Waivable per
+                 file with a justification comment:
+                     // conventions: allow-file(raw-new) -- <reason>
+  unseeded-prng  no default-constructed or literal-free PRNGs and no
+                 banned randomness sources (std::mt19937, rand(),
+                 std::random_device): every experiment must replay
+                 bit-for-bit from an explicit 64-bit seed.
+  bare-assert    no <cassert>/assert() in src/ -- invariants use the
+                 CHECK/DCHECK family (src/common/check.h) so they
+                 print values and participate in DOMINO_CHECKS
+                 builds (static_assert is fine and encouraged).
+  record-layout  src/trace/trace_io.cc must static_assert the
+                 on-disk header/record sizes against the contract in
+                 docs/TRACE_FORMAT.md.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+See docs/STATIC_ANALYSIS.md for policy; run via scripts/lint.sh.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CXX_DIRS = ("src", "bench", "tests", "examples")
+CXX_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
+
+WAIVER_RE = re.compile(
+    r"conventions:\s*allow-file\((?P<rule>[a-z-]+)\)\s*--\s*\S")
+
+# `new` / `delete` as allocation expressions.  Placement variants and
+# `= delete` / `delete []` member functions are matched deliberately:
+# none should appear outside the waived files either.
+RAW_NEW_RE = re.compile(
+    r"\bnew\s+[A-Za-z_:<]|\bdelete\b\s*(\[\s*\]\s*)?[A-Za-z_(]")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+
+# Note: `Prng name;` (default construction) is a *compile* error --
+# Prng deliberately has no default seed -- so the lint only needs to
+# catch explicit no-seed spellings and banned randomness sources.
+UNSEEDED_RES = [
+    (re.compile(r"\bPrng\s*\(\s*\)"), "Prng() without a seed"),
+    (re.compile(r"\bPrng\s+\w+\s*\{\s*\}"), "Prng{} without a seed"),
+    (re.compile(r"\bstd::mt19937"), "std::mt19937 is banned (bulky "
+     "state, easy to misseed); use domino::Prng"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device is "
+     "nondeterministic; experiments must replay from a seed"),
+    (re.compile(r"(?<![\w:.])s?rand\s*\(\s*\)"), "C rand()/srand() is "
+     "banned; use domino::Prng"),
+]
+
+BARE_ASSERT_RES = [
+    (re.compile(r"#\s*include\s*<cassert>"), "<cassert> include"),
+    (re.compile(r"#\s*include\s*<assert\.h>"), "<assert.h> include"),
+    (re.compile(r"(?<!static_)(?<!_)\bassert\s*\("), "assert() call"),
+]
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of string/char literals and // comments.
+
+    Keeps the check honest on lines like `return "new rule";`.
+    Block comments spanning lines are handled by the caller.
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            out.append('""' if quote == '"' else "''")
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def cxx_files() -> list[Path]:
+    files = []
+    for top in CXX_DIRS:
+        root = REPO / top
+        if not root.is_dir():
+            continue
+        files.extend(
+            p for p in sorted(root.rglob("*")) if p.suffix in CXX_SUFFIXES)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    waivers = {m.group("rule") for m in WAIVER_RE.finditer(text)}
+    rel = path.relative_to(REPO)
+    findings = []
+
+    in_block_comment = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        # Drop complete /* ... */ runs, then note a trailing opener.
+        line = re.sub(r"/\*.*?\*/", " ", line)
+        start = line.find("/*")
+        if start >= 0:
+            line = line[:start]
+            in_block_comment = True
+        code = strip_comments_and_strings(line)
+
+        def report(rule: str, message: str) -> None:
+            if rule not in waivers:
+                findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+        if RAW_NEW_RE.search(code) and not DELETED_FN_RE.search(code):
+            report("raw-new",
+                   "raw new/delete (use containers or make_unique); "
+                   f"offending line: {raw.strip()}")
+        for pattern, message in UNSEEDED_RES:
+            if pattern.search(code):
+                report("unseeded-prng", message)
+        if str(rel).startswith("src/"):
+            for pattern, message in BARE_ASSERT_RES:
+                if pattern.search(code):
+                    report("bare-assert",
+                           message + " (use CHECK/DCHECK from "
+                           "common/check.h)")
+    return findings
+
+
+def check_record_layout() -> list[str]:
+    """src/trace must pin the on-disk sizes with static_asserts."""
+    source = REPO / "src" / "trace" / "trace_io.cc"
+    text = source.read_text(encoding="utf-8")
+    asserts = re.findall(r"static_assert\s*\(([^;]*?)\)\s*;", text,
+                         re.DOTALL)
+    joined = " ".join(asserts)
+    findings = []
+    if "traceHeaderBytes == 20" not in joined:
+        findings.append(
+            "src/trace/trace_io.cc: [record-layout] missing "
+            "static_assert(traceHeaderBytes == 20) tying the header "
+            "to docs/TRACE_FORMAT.md")
+    if "traceRecordBytes == 17" not in joined:
+        findings.append(
+            "src/trace/trace_io.cc: [record-layout] missing "
+            "static_assert(traceRecordBytes == 17) tying the record "
+            "to docs/TRACE_FORMAT.md")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    findings: list[str] = []
+    for path in cxx_files():
+        findings.extend(check_file(path))
+    findings.extend(check_record_layout())
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"check_conventions: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_conventions: OK ({len(cxx_files())} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

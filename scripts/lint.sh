@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Static-analysis gate: clang-tidy (config in .clang-tidy) over every
+# translation unit, then the repo-convention lint.  Used by CI's lint
+# job and runnable locally; see docs/STATIC_ANALYSIS.md.
+#
+# Usage: scripts/lint.sh [build-dir]
+#
+#   build-dir   a configured CMake build tree to take
+#               compile_commands.json from (default: build-lint,
+#               configured on demand).
+#
+# clang-tidy is optional at runtime (the benchmark containers ship
+# only g++): when absent, the clang-tidy phase is SKIPPED with a
+# notice and only the convention lint gates.  CI always installs
+# clang-tidy, so absence never hides findings from the gate.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo/build-lint"}
+
+tidy=""
+for candidate in clang-tidy clang-tidy-19 clang-tidy-18 \
+                 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+        tidy=$candidate
+        break
+    fi
+done
+
+if [ -n "$tidy" ]; then
+    if [ ! -f "$build_dir/compile_commands.json" ]; then
+        echo "lint.sh: configuring $build_dir for compile_commands"
+        cmake -B "$build_dir" -S "$repo" \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+    fi
+    echo "lint.sh: running $tidy over src/ bench/ tests/ examples/"
+    # shellcheck disable=SC2046 -- the file list is one per line and
+    # none of the repo's paths contain whitespace.
+    "$tidy" -p "$build_dir" --quiet $(
+        find "$repo/src" "$repo/bench" "$repo/tests" "$repo/examples" \
+            -name '*.cc' -o -name '*.cpp' | sort)
+    echo "lint.sh: clang-tidy clean"
+else
+    echo "lint.sh: NOTICE: clang-tidy not found; skipping the" \
+         "static-analysis phase (CI runs it)"
+fi
+
+python3 "$repo/scripts/check_conventions.py"
+echo "lint.sh: OK"

@@ -1,5 +1,7 @@
 #include "coverage.h"
 
+#include "common/check.h"
+
 namespace domino
 {
 
@@ -67,6 +69,16 @@ CoverageSimulator::run(AccessSource &source, Prefetcher *prefetcher)
 
         if (prefetcher)
             prefetcher->onTrigger(event, *this);
+
+        // Sampled structural audits (Debug / DOMINO_CHECKS only).
+        if constexpr (checksEnabled) {
+            if ((result.baselineMisses() & 2047) == 0) {
+                CHECK_EQ(l1.audit(), "");
+                CHECK_EQ(buffer.audit(), "");
+                if (prefetcher)
+                    CHECK_EQ(prefetcher->audit(), "");
+            }
+        }
     }
     if (run_len)
         result.streamRuns.add(run_len);

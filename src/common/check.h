@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Runtime invariant checking: the CHECK / DCHECK macro family.
+ *
+ * Three tiers, chosen so the Release benchmark binaries stay
+ * byte-identical in behaviour and cost:
+ *
+ *  - CHECK(...)   always on, in every build type.  For conditions
+ *    whose violation means the process must not continue (corrupt
+ *    metadata, out-of-contract call).  Prints the condition, the
+ *    values involved, and the source location, then aborts.
+ *  - DCHECK(...)  on in Debug builds and in any build configured
+ *    with -DDOMINO_CHECKS=ON (which defines DOMINO_ENABLE_CHECKS).
+ *    Compiled to nothing otherwise: operands are not evaluated, so
+ *    hot paths may DCHECK freely.
+ *  - domino::checksEnabled  a constexpr flag for code that wants to
+ *    gate *algorithmic* checking (sampled audit() sweeps in the
+ *    timing simulator) rather than a single predicate.
+ *
+ * The comparison forms (CHECK_EQ, DCHECK_LT, ...) print both
+ * operand values on failure, which a plain CHECK(a < b) cannot.
+ *
+ * See docs/STATIC_ANALYSIS.md for how this fits the wider
+ * correctness tooling (clang-tidy gate, sanitizer CI, audits).
+ */
+
+#ifndef DOMINO_COMMON_CHECK_H
+#define DOMINO_COMMON_CHECK_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace domino
+{
+
+#if !defined(NDEBUG) || defined(DOMINO_ENABLE_CHECKS)
+/** True when DCHECKs and sampled audits are compiled in. */
+inline constexpr bool checksEnabled = true;
+#else
+inline constexpr bool checksEnabled = false;
+#endif
+
+namespace detail
+{
+
+/** Render a value for a failure message; falls back for types
+ *  without operator<<. */
+template <typename T>
+std::string
+checkValueString(const T &value)
+{
+    std::ostringstream os;
+    os << value;
+    return os.str();
+}
+
+[[noreturn]] inline void
+checkFailed(const char *file, int line, const char *kind,
+            const char *expr, const std::string &detail)
+{
+    std::cerr << file << ':' << line << ": " << kind
+              << " failed: " << expr;
+    if (!detail.empty())
+        std::cerr << " (" << detail << ')';
+    std::cerr << std::endl;
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace domino
+
+/** Abort with a message unless @p cond holds.  Always compiled in. */
+#define DOMINO_CHECK(cond)                                           \
+    do {                                                             \
+        if (!(cond)) {                                               \
+            ::domino::detail::checkFailed(__FILE__, __LINE__,        \
+                                          "CHECK", #cond, "");       \
+        }                                                            \
+    } while (false)
+
+/** CHECK variant printing both operands on failure. */
+#define DOMINO_CHECK_OP(op, a, b)                                    \
+    do {                                                             \
+        const auto &domino_check_a_ = (a);                           \
+        const auto &domino_check_b_ = (b);                           \
+        if (!(domino_check_a_ op domino_check_b_)) {                 \
+            ::domino::detail::checkFailed(                           \
+                __FILE__, __LINE__, "CHECK", #a " " #op " " #b,      \
+                ::domino::detail::checkValueString(domino_check_a_)  \
+                    + " vs " +                                       \
+                ::domino::detail::checkValueString(domino_check_b_));\
+        }                                                            \
+    } while (false)
+
+#define CHECK(cond) DOMINO_CHECK(cond)
+#define CHECK_EQ(a, b) DOMINO_CHECK_OP(==, a, b)
+#define CHECK_NE(a, b) DOMINO_CHECK_OP(!=, a, b)
+#define CHECK_LT(a, b) DOMINO_CHECK_OP(<, a, b)
+#define CHECK_LE(a, b) DOMINO_CHECK_OP(<=, a, b)
+#define CHECK_GT(a, b) DOMINO_CHECK_OP(>, a, b)
+#define CHECK_GE(a, b) DOMINO_CHECK_OP(>=, a, b)
+
+#if !defined(NDEBUG) || defined(DOMINO_ENABLE_CHECKS)
+#define DCHECK(cond) DOMINO_CHECK(cond)
+#define DCHECK_EQ(a, b) DOMINO_CHECK_OP(==, a, b)
+#define DCHECK_NE(a, b) DOMINO_CHECK_OP(!=, a, b)
+#define DCHECK_LT(a, b) DOMINO_CHECK_OP(<, a, b)
+#define DCHECK_LE(a, b) DOMINO_CHECK_OP(<=, a, b)
+#define DCHECK_GT(a, b) DOMINO_CHECK_OP(>, a, b)
+#define DCHECK_GE(a, b) DOMINO_CHECK_OP(>=, a, b)
+#else
+/* Compiled out: operands are never evaluated, matching the
+ * documented contract that DCHECK costs nothing in Release. */
+#define DOMINO_DCHECK_NOP(...)                                       \
+    do {                                                             \
+    } while (false)
+#define DCHECK(cond) DOMINO_DCHECK_NOP(cond)
+#define DCHECK_EQ(a, b) DOMINO_DCHECK_NOP(a, b)
+#define DCHECK_NE(a, b) DOMINO_DCHECK_NOP(a, b)
+#define DCHECK_LT(a, b) DOMINO_DCHECK_NOP(a, b)
+#define DCHECK_LE(a, b) DOMINO_DCHECK_NOP(a, b)
+#define DCHECK_GT(a, b) DOMINO_DCHECK_NOP(a, b)
+#define DCHECK_GE(a, b) DOMINO_DCHECK_NOP(a, b)
+#endif
+
+#endif // DOMINO_COMMON_CHECK_H

@@ -50,8 +50,13 @@ class SplitMix64
 class Prng
 {
   public:
-    /** Construct from a 64-bit seed (expanded via SplitMix64). */
-    explicit Prng(std::uint64_t seed = 1)
+    /**
+     * Construct from a 64-bit seed (expanded via SplitMix64).
+     * Deliberately no default: every PRNG in the repo is seeded
+     * explicitly so experiments replay bit-for-bit (enforced by
+     * scripts/check_conventions.py).
+     */
+    explicit Prng(std::uint64_t seed)
     {
         SplitMix64 sm(seed);
         for (auto &word : s)

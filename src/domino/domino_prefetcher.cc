@@ -1,5 +1,7 @@
 #include "domino_prefetcher.h"
 
+#include <unordered_set>
+
 namespace domino
 {
 
@@ -170,6 +172,45 @@ DominoPrefetcher::advanceStream(Stream &stream, PrefetchSink &sink)
     }
     stream.pending.pop_front();
     ++stream.replayed;
+}
+
+std::string
+DominoPrefetcher::audit() const
+{
+    std::unordered_set<std::uint32_t> ids;
+    for (const Stream &s : slots) {
+        if (!s.valid) {
+            continue;
+        }
+        if (s.id == 0 || s.id >= nextStreamId)
+            return "stream id outside the issued range";
+        if (!ids.insert(s.id).second)
+            return "duplicate stream id";
+        if (s.lastUse > useTick)
+            return "stream recency stamp from the future";
+        if (s.embryonic) {
+            if (s.trigger == invalidAddr)
+                return "embryonic stream without a trigger";
+            if (s.entries.size() > cfg.eit.entriesPerSuper)
+                return "embryonic stream holds more entries than "
+                    "the EIT geometry allows";
+        } else {
+            // Replay cursor: at most one row beyond the last
+            // readable position (refill stops at the row boundary
+            // after the newest appended address).
+            if (s.nextPos > ht.size() + ht.addrsPerRow())
+                return "replay cursor runs past the history";
+            if (s.pending.size() > cfg.degree + ht.addrsPerRow())
+                return "PointBuf overfilled";
+        }
+    }
+    if (const std::string eit_issue = eit.audit(ht.size());
+        !eit_issue.empty()) {
+        return "EIT: " + eit_issue;
+    }
+    if (const std::string ht_issue = ht.audit(); !ht_issue.empty())
+        return "HT: " + ht_issue;
+    return "";
 }
 
 void

@@ -86,10 +86,20 @@ class DominoPrefetcher : public Prefetcher
     void onTrigger(const TriggerEvent &event,
                    PrefetchSink &sink) override;
 
+    /**
+     * Verify stream-slot invariants (unique ids, embryonic entry
+     * counts within EIT geometry, replay cursors inside the HT) and
+     * delegate to the EIT and HT audits.
+     */
+    std::string audit() const override;
+
     const DominoCounters &counters() const { return counts; }
     const EnhancedIndexTable &eitTable() const { return eit; }
 
   private:
+    /** Test-only backdoor for corrupting internals in audit tests. */
+    friend struct DominoTestPeer;
+
     /** One stream slot: embryonic (super-entry held) or active. */
     struct Stream
     {

@@ -1,5 +1,9 @@
 #include "eit.h"
 
+#include <unordered_set>
+
+#include "common/check.h"
+
 namespace domino
 {
 
@@ -31,6 +35,8 @@ void
 EnhancedIndexTable::update(LineAddr tag, LineAddr next,
                            std::uint64_t pos)
 {
+    DCHECK_NE(tag, invalidAddr);
+    DCHECK_NE(next, invalidAddr);
     Row &row = table.try_emplace(rowIndex(tag),
                                  Row(cfg.supersPerRow)).first->second;
 
@@ -57,6 +63,49 @@ EnhancedIndexTable::update(LineAddr tag, LineAddr next,
         super.entries.at(e).pos = pos;
         super.entries.touch(e);
     }
+}
+
+std::string
+EnhancedIndexTable::audit(std::uint64_t ht_positions) const
+{
+    for (const auto &[row_idx, row] : table) {
+        const std::string where =
+            "row " + std::to_string(row_idx) + ": ";
+        if (row_idx >= cfg.rows)
+            return where + "index outside configured geometry";
+        if (row.capacity() != cfg.supersPerRow)
+            return where + "capacity drifted from supersPerRow";
+        if (row.size() > cfg.supersPerRow)
+            return where + "holds more super-entries than ways";
+        std::unordered_set<LineAddr> tags;
+        for (const SuperEntry &super : row) {
+            if (super.tag == invalidAddr)
+                return where + "invalid super-entry tag";
+            if (rowIndex(super.tag) != row_idx)
+                return where + "super-entry tag hashes elsewhere";
+            if (!tags.insert(super.tag).second)
+                return where + "duplicate super-entry tag";
+            if (super.entries.capacity() != cfg.entriesPerSuper)
+                return where + "entry capacity drifted";
+            if (super.entries.size() > cfg.entriesPerSuper)
+                return where + "super-entry holds more than " +
+                    std::to_string(cfg.entriesPerSuper) + " entries";
+            std::unordered_set<LineAddr> nexts;
+            for (const EitEntry &entry : super.entries) {
+                if (entry.next == invalidAddr)
+                    return where + "invalid successor address";
+                if (!nexts.insert(entry.next).second)
+                    return where + "duplicate successor in "
+                        "super-entry";
+                if (entry.pos >= ht_positions)
+                    return where + "HT pointer " +
+                        std::to_string(entry.pos) +
+                        " out of range (>= " +
+                        std::to_string(ht_positions) + ")";
+            }
+        }
+    }
+    return "";
 }
 
 } // namespace domino

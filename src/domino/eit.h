@@ -22,6 +22,7 @@
 #define DOMINO_DOMINO_EIT_H
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -92,8 +93,26 @@ class EnhancedIndexTable
     /** Count of super-entry evictions (diagnostics). */
     std::uint64_t superEvictions() const { return superEvictCnt; }
 
+    /**
+     * Verify the table's structural invariants: every materialised
+     * row is within the configured geometry and holds at most
+     * supersPerRow super-entries with unique, correctly-hashed,
+     * valid tags; every super-entry holds at most entriesPerSuper
+     * entries with unique successor addresses; and, when
+     * @p ht_positions is given, every HT pointer is in range
+     * (pos < ht_positions).
+     *
+     * @return empty string if OK, else a description of the first
+     *         violation (same contract as
+     *         SequiturGrammar::checkInvariants).
+     */
+    std::string audit(std::uint64_t ht_positions = ~0ULL) const;
+
   private:
     using Row = LruSet<SuperEntry>;
+
+    /** Test-only backdoor for corrupting the table in audit tests. */
+    friend struct EitTestPeer;
 
     std::uint64_t rowIndex(LineAddr tag) const;
 

@@ -1,6 +1,6 @@
 #include "cache.h"
 
-#include <cassert>
+#include <unordered_set>
 
 namespace domino
 {
@@ -130,6 +130,38 @@ SetAssocCache::clear()
 {
     for (auto &w : ways)
         w = Way{};
+}
+
+std::string
+SetAssocCache::audit() const
+{
+    if (sets == 0 || (sets & (sets - 1)) != 0)
+        return "set count is not a power of two";
+    if (ways.size() != std::uint64_t(sets) * assoc)
+        return "way storage does not match geometry";
+    if (stat.hits + stat.misses != stat.accesses)
+        return "hit/miss counters do not sum to accesses";
+    for (std::uint32_t set = 0; set < sets; ++set) {
+        const std::string where =
+            "set " + std::to_string(set) + ": ";
+        const Way *base = &ways[std::uint64_t(set) * assoc];
+        std::unordered_set<LineAddr> tags;
+        std::unordered_set<std::uint64_t> stamps;
+        for (std::uint32_t w = 0; w < assoc; ++w) {
+            if (!base[w].valid)
+                continue;
+            if (setIndex(base[w].tag) != set)
+                return where + "tag hashes to a different set";
+            if (!tags.insert(base[w].tag).second)
+                return where + "duplicate tag";
+            if (base[w].lastUse > tick)
+                return where + "recency stamp from the future";
+            if (!stamps.insert(base[w].lastUse).second)
+                return where + "duplicate recency stamp (LRU "
+                    "order is not a permutation)";
+        }
+    }
+    return "";
 }
 
 } // namespace domino

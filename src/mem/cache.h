@@ -11,6 +11,7 @@
 #define DOMINO_MEM_CACHE_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -97,7 +98,19 @@ class SetAssocCache
     std::uint32_t numWays() const { return assoc; }
     const CacheStats &stats() const { return stat; }
 
+    /**
+     * Verify the cache's structural invariants: the set count is a
+     * power of two, every valid tag is unique within its set and
+     * hashes to it, recency stamps never exceed the global tick and
+     * are distinct within a set (the LRU order is a permutation),
+     * and the hit/miss counters sum to the access count.
+     * @return empty string if OK, else a description.
+     */
+    std::string audit() const;
+
   private:
+    /** Test-only backdoor for corrupting ways in audit tests. */
+    friend struct CacheTestPeer;
     struct Way
     {
         LineAddr tag = invalidAddr;

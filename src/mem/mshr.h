@@ -15,6 +15,7 @@
 #define DOMINO_MEM_MSHR_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -94,7 +95,32 @@ class MshrFile
 
     const MshrStats &stats() const { return stat; }
 
+    /**
+     * Verify the file's invariants: occupancy never exceeds the
+     * configured capacity, no line has two entries (allocate merges
+     * instead), and the entry lifecycle is consistent -- every
+     * in-flight entry came from a counted allocation.
+     * @return empty string if OK, else a description.
+     */
+    std::string
+    audit() const
+    {
+        if (slots.size() > cap)
+            return "occupancy " + std::to_string(slots.size()) +
+                " exceeds capacity " + std::to_string(cap);
+        if (slots.size() > stat.allocations)
+            return "more in-flight entries than allocations";
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            for (std::size_t j = i + 1; j < slots.size(); ++j)
+                if (slots[i].line == slots[j].line)
+                    return "duplicate in-flight line (merge "
+                        "invariant broken)";
+        return "";
+    }
+
   private:
+    /** Test-only backdoor for corrupting slots in audit tests. */
+    friend struct MshrTestPeer;
     struct Slot
     {
         LineAddr line;

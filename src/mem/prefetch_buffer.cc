@@ -1,6 +1,7 @@
 #include "prefetch_buffer.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace domino
 {
@@ -71,6 +72,32 @@ PrefetchBuffer::flush()
 {
     stat.evictedUnused += entries.size();
     entries.clear();
+}
+
+std::string
+PrefetchBuffer::audit() const
+{
+    if (entries.size() > cap)
+        return "occupancy " + std::to_string(entries.size()) +
+            " exceeds capacity " + std::to_string(cap);
+    std::unordered_set<LineAddr> lines;
+    std::unordered_set<std::uint64_t> stamps;
+    for (const Entry &e : entries) {
+        if (e.line == invalidAddr)
+            return "invalid buffered line";
+        if (!lines.insert(e.line).second)
+            return "duplicate buffered line";
+        if (e.lastUse > tick)
+            return "recency stamp from the future";
+        if (!stamps.insert(e.lastUse).second)
+            return "duplicate recency stamp";
+    }
+    if (stat.inserted != stat.hits + stat.evictedUnused +
+            entries.size()) {
+        return "lifecycle imbalance: inserted != hits + "
+            "evicted-unused + buffered";
+    }
+    return "";
 }
 
 } // namespace domino

@@ -13,6 +13,7 @@
 #define DOMINO_MEM_PREFETCH_BUFFER_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -99,7 +100,20 @@ class PrefetchBuffer
 
     const PrefetchBufferStats &stats() const { return stat; }
 
+    /**
+     * Verify the buffer's invariants: occupancy never exceeds
+     * capacity, buffered lines are unique and valid, recency stamps
+     * never exceed the global tick and are distinct (insertion
+     * dedupes, hits remove), and the entry lifecycle balances --
+     * every inserted block is either still buffered, was hit, or
+     * was evicted unused.
+     * @return empty string if OK, else a description.
+     */
+    std::string audit() const;
+
   private:
+    /** Test-only backdoor for corrupting entries in audit tests. */
+    friend struct PrefetchBufferTestPeer;
     struct Entry
     {
         LineAddr line;

@@ -13,8 +13,10 @@
 #define DOMINO_PREFETCH_HISTORY_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 
 namespace domino
@@ -47,6 +49,7 @@ class CircularHistory
     std::uint64_t
     append(LineAddr line, bool stream_start = false)
     {
+        DCHECK_NE(line, invalidAddr);
         const std::uint64_t pos = total;
         buf[pos % cap] = line;
         startFlag[pos % cap] = stream_start ? 1 : 0;
@@ -93,7 +96,34 @@ class CircularHistory
         return (rowOf(pos) + 1) * rowSize;
     }
 
+    /**
+     * Verify the circular log's invariants: backing storage matches
+     * the configured capacity, start flags are boolean, and every
+     * position inside the retention window holds a written (valid)
+     * address.  @return empty string if OK, else a description.
+     */
+    std::string
+    audit() const
+    {
+        if (cap == 0 || rowSize == 0)
+            return "degenerate geometry (cap or row size is 0)";
+        if (buf.size() != cap || startFlag.size() != cap)
+            return "backing storage does not match capacity";
+        for (std::uint64_t i = 0; i < cap; ++i)
+            if (startFlag[i] > 1)
+                return "non-boolean start flag at slot " +
+                    std::to_string(i);
+        const std::uint64_t oldest = total > cap ? total - cap : 0;
+        for (std::uint64_t pos = oldest; pos < total; ++pos)
+            if (buf[pos % cap] == invalidAddr)
+                return "unwritten address inside the retention "
+                    "window at position " + std::to_string(pos);
+        return "";
+    }
+
   private:
+    /** Test-only backdoor for corrupting the log in audit tests. */
+    friend struct HistoryTestPeer;
     std::uint64_t cap;
     unsigned rowSize;
     std::vector<LineAddr> buf;

@@ -96,6 +96,15 @@ class Prefetcher
     /** Off-chip metadata traffic so far (zero for on-chip designs). */
     virtual MetadataStats metadata() const { return meta; }
 
+    /**
+     * Verify the technique's internal metadata invariants.
+     * @return empty string if OK, else a description of the first
+     *         violation.  The default has nothing to check; the
+     *         simulators call this under sampled checking
+     *         (DOMINO_CHECKS), so implementations may be thorough.
+     */
+    virtual std::string audit() const { return ""; }
+
   protected:
     MetadataStats meta;
 };

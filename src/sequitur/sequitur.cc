@@ -1,8 +1,13 @@
 #include "sequitur.h"
 
-#include <cassert>
-
 #include "common/types.h"
+
+// conventions: allow-file(raw-new) -- the classical linear-time
+// Sequitur implementation is an intrusive doubly-linked symbol list
+// whose nodes change owner as rules form and dissolve; individual
+// new/delete with the destructor walking live rules is the clearest
+// correct formulation (see checkInvariants for the machine-checked
+// structure).
 
 namespace domino
 {

@@ -1,5 +1,6 @@
 #include "timing_sim.h"
 
+#include "common/check.h"
 #include "mem/mshr.h"
 
 #include <algorithm>
@@ -130,7 +131,27 @@ class CoreState : public PrefetchSink
 
         if (setup.prefetcher)
             setup.prefetcher->onTrigger(event, *this);
+
+        // Sampled structural audits: compiled in only for Debug /
+        // DOMINO_CHECKS builds, so Release timing numbers are
+        // untouched.
+        if constexpr (checksEnabled) {
+            if ((++stepsSinceAudit & (auditInterval - 1)) == 0)
+                auditAll();
+        }
         return true;
+    }
+
+    /** Run every structural audit; aborts on the first violation. */
+    void
+    auditAll() const
+    {
+        CHECK_EQ(l1.audit(), "");
+        CHECK_EQ(llc.audit(), "");
+        CHECK_EQ(buffer.audit(), "");
+        CHECK_EQ(mshrs.audit(), "");
+        if (setup.prefetcher)
+            CHECK_EQ(setup.prefetcher->audit(), "");
     }
 
     /** Finalise counters at the end of the run. */
@@ -206,6 +227,10 @@ class CoreState : public PrefetchSink
     CoreTimingResult result;
     Cycles now = 0;
     std::uint64_t incorrectPrefetches = 0;
+
+    /** Audit cadence in triggering events (power of two). */
+    static constexpr std::uint64_t auditInterval = 2048;
+    std::uint64_t stepsSinceAudit = 0;
 };
 
 } // anonymous namespace

@@ -13,7 +13,22 @@ namespace
 
 constexpr char magic[8] = {'D', 'O', 'M', 'T', 'R', 'A', 'C', 'E'};
 constexpr std::uint32_t version = 1;
-constexpr std::size_t recordBytes = 8 + 8 + 1;
+constexpr std::size_t recordBytes = traceRecordBytes;
+
+// The on-disk layout is a contract with external tools
+// (docs/TRACE_FORMAT.md); any change here is a version bump there.
+static_assert(traceHeaderBytes == 20,
+              "header layout changed: bump the version and update "
+              "docs/TRACE_FORMAT.md");
+static_assert(traceRecordBytes == 17,
+              "record layout changed: bump the version and update "
+              "docs/TRACE_FORMAT.md");
+static_assert(sizeof(magic) + sizeof(version) +
+                  sizeof(std::uint64_t) == traceHeaderBytes,
+              "header fields no longer sum to the documented size");
+static_assert(sizeof(Access::pc) == 8 && sizeof(Access::addr) == 8,
+              "Access field widths no longer match the documented "
+              "8-byte pc/addr record fields");
 
 } // anonymous namespace
 
@@ -49,9 +64,14 @@ writeTrace(const std::string &path, const TraceBuffer &trace)
 IoResult
 readTrace(const std::string &path, TraceBuffer &trace)
 {
-    std::ifstream is(path, std::ios::binary);
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
     if (!is)
         return IoResult::failure("cannot open for reading: " + path);
+    const std::streamoff file_bytes = is.tellg();
+    is.seekg(0);
+
+    if (file_bytes < static_cast<std::streamoff>(traceHeaderBytes))
+        return IoResult::failure("truncated header: " + path);
 
     char got_magic[8];
     is.read(got_magic, sizeof(got_magic));
@@ -68,8 +88,28 @@ readTrace(const std::string &path, TraceBuffer &trace)
     if (!is)
         return IoResult::failure("truncated header: " + path);
 
-    trace.data().clear();
-    trace.data().reserve(count);
+    // The byte length must match the declared record count exactly;
+    // a short body would silently yield a partial trace and a long
+    // one indicates a corrupt count or a concatenated file.
+    const std::uint64_t body_bytes =
+        static_cast<std::uint64_t>(file_bytes) - traceHeaderBytes;
+    if (body_bytes < count * recordBytes) {
+        return IoResult::failure(
+            "truncated body: " + path + " declares " +
+            std::to_string(count) + " records (" +
+            std::to_string(count * recordBytes) + " bytes) but holds "
+            + std::to_string(body_bytes) + " body bytes");
+    }
+    if (body_bytes > count * recordBytes) {
+        return IoResult::failure(
+            "trailing bytes after " + std::to_string(count) +
+            " declared records in: " + path);
+    }
+
+    // Parse into a scratch buffer so a failure cannot leave the
+    // caller holding a partial trace.
+    std::vector<Access> records;
+    records.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         char rec[recordBytes];
         is.read(rec, recordBytes);
@@ -79,8 +119,9 @@ readTrace(const std::string &path, TraceBuffer &trace)
         std::memcpy(&a.pc, rec, 8);
         std::memcpy(&a.addr, rec + 8, 8);
         a.isWrite = rec[16] != 0;
-        trace.push(a);
+        records.push_back(a);
     }
+    trace.data() = std::move(records);
     trace.reset();
     return IoResult::success();
 }
@@ -108,7 +149,7 @@ readTextTrace(const std::string &path, TraceBuffer &trace)
     std::ifstream is(path);
     if (!is)
         return IoResult::failure("cannot open for reading: " + path);
-    trace.data().clear();
+    std::vector<Access> records;
     std::string kind;
     std::uint64_t pc = 0, addr = 0;
     std::size_t line_no = 0;
@@ -119,12 +160,16 @@ readTextTrace(const std::string &path, TraceBuffer &trace)
                 "bad access kind at record " +
                 std::to_string(line_no) + " in: " + path);
         }
-        trace.push(Access{pc, addr, kind == "W"});
+        records.push_back(Access{pc, addr, kind == "W"});
     }
-    if (!is.eof() && is.fail() && !trace.empty()) {
+    // eof with a clean partial extraction is the normal end; a fail
+    // mid-stream means an unparsable field (previously this slipped
+    // through when it happened on the very first record).
+    if (!is.eof() && is.fail()) {
         return IoResult::failure("parse error at record " +
             std::to_string(line_no + 1) + " in: " + path);
     }
+    trace.data() = std::move(records);
     trace.reset();
     return IoResult::success();
 }

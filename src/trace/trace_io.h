@@ -20,6 +20,14 @@
 namespace domino
 {
 
+/** Binary header size: 8-byte magic + u32 version + u64 count
+ *  (docs/TRACE_FORMAT.md "Header"). */
+inline constexpr std::size_t traceHeaderBytes = 8 + 4 + 8;
+
+/** Binary record size: u64 pc + u64 addr + u8 flags
+ *  (docs/TRACE_FORMAT.md "Record"). */
+inline constexpr std::size_t traceRecordBytes = 8 + 8 + 1;
+
 /** Result of a trace I/O operation. */
 struct IoResult
 {
@@ -34,7 +42,13 @@ struct IoResult
 /** Write a trace to a file. */
 IoResult writeTrace(const std::string &path, const TraceBuffer &trace);
 
-/** Read a trace from a file. */
+/**
+ * Read a trace from a file.  Rejects (with a clear error and
+ * without touching @p trace) a bad magic, an unknown version, a
+ * truncated header or body, and a file whose byte length does not
+ * match its declared record count (docs/TRACE_FORMAT.md "Error
+ * handling").
+ */
 IoResult readTrace(const std::string &path, TraceBuffer &trace);
 
 /**

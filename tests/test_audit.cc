@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Tests for the structural audit() methods: every table audits
+ * clean after normal use, and each encoded invariant trips when the
+ * structure is deliberately corrupted through its test peer.  Under
+ * checks-enabled builds the simulators' sampled audits must also
+ * catch a corruption mid-run (death test).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/coverage.h"
+#include "common/check.h"
+#include "common/prng.h"
+#include "domino/domino_prefetcher.h"
+#include "domino/eit.h"
+#include "mem/cache.h"
+#include "mem/mshr.h"
+#include "mem/prefetch_buffer.h"
+#include "prefetch/history.h"
+#include "trace/trace_buffer.h"
+
+namespace domino
+{
+
+/* Test peers: friend structs giving the audit tests (and nothing
+ * else) access to the tables' internals so they can corrupt them. */
+
+struct EitTestPeer
+{
+    static auto &table(EnhancedIndexTable &eit) { return eit.table; }
+    static std::uint64_t
+    rowIndex(const EnhancedIndexTable &eit, LineAddr tag)
+    {
+        return eit.rowIndex(tag);
+    }
+};
+
+struct HistoryTestPeer
+{
+    static auto &buf(CircularHistory &ht) { return ht.buf; }
+    static auto &startFlag(CircularHistory &ht) { return ht.startFlag; }
+};
+
+struct CacheTestPeer
+{
+    static auto &ways(SetAssocCache &cache) { return cache.ways; }
+    static std::uint32_t
+    setIndex(const SetAssocCache &cache, LineAddr line)
+    {
+        return cache.setIndex(line);
+    }
+};
+
+struct MshrTestPeer
+{
+    static auto &slots(MshrFile &mshrs) { return mshrs.slots; }
+};
+
+struct PrefetchBufferTestPeer
+{
+    static auto &entries(PrefetchBuffer &buffer)
+    {
+        return buffer.entries;
+    }
+    static auto &stat(PrefetchBuffer &buffer) { return buffer.stat; }
+};
+
+struct DominoTestPeer
+{
+    static EnhancedIndexTable &eit(DominoPrefetcher &d)
+    {
+        return d.eit;
+    }
+};
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// EIT
+
+EitConfig
+smallEit()
+{
+    EitConfig cfg;
+    cfg.rows = 64;
+    cfg.supersPerRow = 2;
+    cfg.entriesPerSuper = 3;
+    return cfg;
+}
+
+EnhancedIndexTable
+populatedEit()
+{
+    EnhancedIndexTable eit(smallEit());
+    Prng rng(0xa0d17);
+    for (int i = 0; i < 400; ++i)
+        eit.update(rng.below(64), rng.below(64) + 100, i);
+    return eit;
+}
+
+TEST(EitAudit, CleanAfterHeavyUse)
+{
+    EnhancedIndexTable eit = populatedEit();
+    EXPECT_EQ(eit.audit(), "");
+    EXPECT_EQ(eit.audit(/*ht_positions=*/400), "");
+}
+
+TEST(EitAudit, CatchesDuplicateTags)
+{
+    EnhancedIndexTable eit = populatedEit();
+    for (auto &[idx, row] : EitTestPeer::table(eit)) {
+        if (row.size() < 2)
+            continue;
+        row.at(1).tag = row.at(0).tag;
+        break;
+    }
+    EXPECT_NE(eit.audit().find("duplicate super-entry tag"),
+              std::string::npos);
+}
+
+TEST(EitAudit, CatchesMisplacedTag)
+{
+    EnhancedIndexTable eit(smallEit());
+    eit.update(10, 11, 1);
+    auto &row = EitTestPeer::table(eit).begin()->second;
+    // Find a tag that hashes to a different row and plant it here.
+    LineAddr alien = 10;
+    while (EitTestPeer::rowIndex(eit, alien) ==
+           EitTestPeer::rowIndex(eit, 10)) {
+        ++alien;
+    }
+    row.at(0).tag = alien;
+    EXPECT_NE(eit.audit().find("hashes elsewhere"),
+              std::string::npos);
+}
+
+TEST(EitAudit, CatchesInvalidTag)
+{
+    EnhancedIndexTable eit(smallEit());
+    eit.update(10, 11, 1);
+    EitTestPeer::table(eit).begin()->second.at(0).tag = invalidAddr;
+    EXPECT_NE(eit.audit().find("invalid super-entry tag"),
+              std::string::npos);
+}
+
+TEST(EitAudit, CatchesEntryOverflow)
+{
+    EnhancedIndexTable eit(smallEit());
+    eit.update(10, 11, 1);
+    auto &super = EitTestPeer::table(eit).begin()->second.at(0);
+    super.entries.setCapacity(99);
+    for (LineAddr next = 20; next < 26; ++next)
+        super.entries.insert(EitEntry{next, 2});
+    const std::string report = eit.audit();
+    EXPECT_NE(report.find("capacity drifted"), std::string::npos);
+}
+
+TEST(EitAudit, CatchesHtPointerOutOfRange)
+{
+    EnhancedIndexTable eit(smallEit());
+    eit.update(10, 11, /*pos=*/500);
+    EXPECT_EQ(eit.audit(/*ht_positions=*/501), "");
+    EXPECT_NE(eit.audit(/*ht_positions=*/500).find("out of range"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// History Table
+
+TEST(HistoryAudit, CleanAcrossWraparound)
+{
+    CircularHistory ht(16, 4);
+    for (std::uint64_t i = 0; i < 50; ++i)
+        ht.append(1000 + i, i % 7 == 0);
+    EXPECT_EQ(ht.audit(), "");
+}
+
+TEST(HistoryAudit, CatchesCorruptWindowEntry)
+{
+    CircularHistory ht(16, 4);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        ht.append(1000 + i);
+    HistoryTestPeer::buf(ht)[5] = invalidAddr;
+    EXPECT_NE(ht.audit().find("retention window"),
+              std::string::npos);
+}
+
+TEST(HistoryAudit, CatchesNonBooleanFlag)
+{
+    CircularHistory ht(16, 4);
+    ht.append(1);
+    HistoryTestPeer::startFlag(ht)[0] = 7;
+    EXPECT_NE(ht.audit().find("non-boolean start flag"),
+              std::string::npos);
+}
+
+TEST(HistoryAudit, CatchesShrunkenStorage)
+{
+    CircularHistory ht(16, 4);
+    ht.append(1);
+    HistoryTestPeer::buf(ht).resize(3);
+    EXPECT_NE(ht.audit().find("does not match capacity"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Set-associative cache
+
+SetAssocCache
+populatedCache()
+{
+    SetAssocCache cache(4 * 1024, 2);
+    Prng rng(0xcac4e);
+    for (int i = 0; i < 500; ++i) {
+        const LineAddr line = rng.below(256);
+        if (!cache.access(line))
+            cache.fill(line);
+    }
+    return cache;
+}
+
+TEST(CacheAudit, CleanAfterHeavyUse)
+{
+    SetAssocCache cache = populatedCache();
+    EXPECT_EQ(cache.audit(), "");
+}
+
+TEST(CacheAudit, CatchesDuplicateTag)
+{
+    SetAssocCache cache(4 * 1024, 2);
+    // Two lines in the same set, then clone the tag.
+    LineAddr a = 1, b = 2;
+    while (CacheTestPeer::setIndex(cache, b) !=
+           CacheTestPeer::setIndex(cache, a)) {
+        ++b;
+    }
+    cache.fill(a);
+    cache.fill(b);
+    auto &ways = CacheTestPeer::ways(cache);
+    bool cloned = false;
+    for (auto &way : ways) {
+        if (way.valid && way.tag == b) {
+            way.tag = a;
+            cloned = true;
+        }
+    }
+    ASSERT_TRUE(cloned);
+    EXPECT_NE(cache.audit().find("duplicate tag"),
+              std::string::npos);
+}
+
+TEST(CacheAudit, CatchesMisplacedTag)
+{
+    SetAssocCache cache = populatedCache();
+    auto &ways = CacheTestPeer::ways(cache);
+    for (auto &way : ways) {
+        if (!way.valid)
+            continue;
+        // Move the tag until it hashes to some other set.
+        const std::uint32_t home =
+            CacheTestPeer::setIndex(cache, way.tag);
+        while (CacheTestPeer::setIndex(cache, way.tag) == home)
+            ++way.tag;
+        break;
+    }
+    EXPECT_NE(cache.audit().find("different set"),
+              std::string::npos);
+}
+
+TEST(CacheAudit, CatchesFutureRecencyStamp)
+{
+    SetAssocCache cache = populatedCache();
+    for (auto &way : CacheTestPeer::ways(cache)) {
+        if (way.valid) {
+            way.lastUse = ~0ULL;
+            break;
+        }
+    }
+    EXPECT_NE(cache.audit().find("from the future"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// MSHR file
+
+TEST(MshrAudit, CleanAfterChurn)
+{
+    MshrFile mshrs(4);
+    for (Cycles c = 0; c < 100; ++c) {
+        mshrs.retire(c);
+        mshrs.allocate(c % 7, c + 50);
+    }
+    EXPECT_EQ(mshrs.audit(), "");
+}
+
+TEST(MshrAudit, CatchesDuplicateLine)
+{
+    MshrFile mshrs(4);
+    mshrs.allocate(1, 100);
+    mshrs.allocate(2, 100);
+    auto &slots = MshrTestPeer::slots(mshrs);
+    slots[1].line = slots[0].line;
+    EXPECT_NE(mshrs.audit().find("duplicate in-flight line"),
+              std::string::npos);
+}
+
+TEST(MshrAudit, CatchesOverflowAndLifecycle)
+{
+    MshrFile mshrs(2);
+    mshrs.allocate(1, 100);
+    mshrs.allocate(2, 100);
+    auto &slots = MshrTestPeer::slots(mshrs);
+    slots.push_back(slots[0]);
+    slots.back().line = 3;
+    // Three slots now: both over capacity and more entries than
+    // counted allocations; occupancy is reported first.
+    EXPECT_NE(mshrs.audit().find("exceeds capacity"),
+              std::string::npos);
+    slots.pop_back();
+    EXPECT_EQ(mshrs.audit(), "");
+}
+
+// ---------------------------------------------------------------
+// Prefetch buffer
+
+PrefetchBuffer
+populatedBuffer()
+{
+    PrefetchBuffer buffer(8);
+    for (LineAddr line = 0; line < 20; ++line)
+        buffer.insert(100 + line, static_cast<std::uint32_t>(line));
+    buffer.lookup(115);  // one hit (still resident: last 8 survive)
+    return buffer;
+}
+
+TEST(PrefetchBufferAudit, CleanAfterChurn)
+{
+    PrefetchBuffer buffer = populatedBuffer();
+    EXPECT_EQ(buffer.audit(), "");
+}
+
+TEST(PrefetchBufferAudit, CatchesDuplicateLine)
+{
+    PrefetchBuffer buffer = populatedBuffer();
+    auto &entries = PrefetchBufferTestPeer::entries(buffer);
+    ASSERT_GE(entries.size(), 2u);
+    entries[1].line = entries[0].line;
+    EXPECT_NE(buffer.audit().find("duplicate buffered line"),
+              std::string::npos);
+}
+
+TEST(PrefetchBufferAudit, CatchesLifecycleImbalance)
+{
+    PrefetchBuffer buffer = populatedBuffer();
+    // Drop an entry behind the stats' back: inserted no longer
+    // equals hits + evicted-unused + buffered.
+    PrefetchBufferTestPeer::entries(buffer).pop_back();
+    EXPECT_NE(buffer.audit().find("lifecycle imbalance"),
+              std::string::npos);
+}
+
+TEST(PrefetchBufferAudit, CatchesOverflow)
+{
+    PrefetchBuffer buffer = populatedBuffer();
+    auto &entries = PrefetchBufferTestPeer::entries(buffer);
+    auto &stat = PrefetchBufferTestPeer::stat(buffer);
+    while (entries.size() <= buffer.capacity()) {
+        entries.push_back(entries[0]);
+        entries.back().line = 10'000 + entries.size();
+        entries.back().lastUse = 1'000 + entries.size();
+        ++stat.inserted;
+    }
+    EXPECT_NE(buffer.audit().find("exceeds capacity"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Domino end to end
+
+DominoConfig
+smallDomino()
+{
+    DominoConfig cfg;
+    cfg.eit.rows = 256;
+    cfg.htEntries = 1 << 12;
+    return cfg;
+}
+
+TraceBuffer
+loopTrace(int laps, int stride)
+{
+    TraceBuffer trace;
+    for (int lap = 0; lap < laps; ++lap)
+        for (int i = 0; i < stride; ++i)
+            trace.pushRead(byteOf(LineAddr(1000 + i)));
+    return trace;
+}
+
+TEST(DominoAudit, CleanAfterReplayHeavyRun)
+{
+    DominoPrefetcher domino(smallDomino());
+    TraceBuffer trace = loopTrace(20, 300);
+    CoverageSimulator sim;
+    sim.run(trace, &domino);
+    EXPECT_EQ(domino.audit(), "");
+}
+
+TEST(DominoAudit, CatchesCorruptedEmbeddedEit)
+{
+    DominoPrefetcher domino(smallDomino());
+    TraceBuffer trace = loopTrace(20, 300);
+    CoverageSimulator sim;
+    sim.run(trace, &domino);
+
+    EnhancedIndexTable &eit = DominoTestPeer::eit(domino);
+    ASSERT_GT(eit.touchedRows(), 0u);
+    auto &row = EitTestPeer::table(eit).begin()->second;
+    ASSERT_GT(row.size(), 0u);
+    row.at(0).tag = invalidAddr;
+    const std::string report = domino.audit();
+    EXPECT_NE(report.find("EIT:"), std::string::npos);
+    EXPECT_NE(report.find("invalid super-entry tag"),
+              std::string::npos);
+}
+
+TEST(SimulatorAuditDeathTest, SampledAuditCatchesCorruptionMidRun)
+{
+    if constexpr (!checksEnabled) {
+        GTEST_SKIP() << "sampled audits are compiled out of this "
+                        "build (enable with -DDOMINO_CHECKS=ON)";
+    }
+    DominoPrefetcher domino(smallDomino());
+    TraceBuffer warmup = loopTrace(4, 300);
+    CoverageSimulator sim;
+    sim.run(warmup, &domino);
+
+    EnhancedIndexTable &eit = DominoTestPeer::eit(domino);
+    ASSERT_GT(eit.touchedRows(), 0u);
+    auto &row = EitTestPeer::table(eit).begin()->second;
+    ASSERT_GT(row.size(), 0u);
+    row.at(0).tag = invalidAddr;
+
+    // > 2048 further misses guarantee a sampled audit fires.
+    TraceBuffer rest;
+    for (LineAddr line = 1; line <= 5000; ++line)
+        rest.pushRead(byteOf(line * 64));
+    EXPECT_DEATH(
+        {
+            CoverageSimulator fresh;
+            fresh.run(rest, &domino);
+        },
+        "invalid super-entry tag");
+}
+
+} // anonymous namespace
+} // namespace domino

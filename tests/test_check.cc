@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the CHECK/DCHECK macro family (common/check.h):
+ * passing checks are silent, failing CHECKs abort with the
+ * condition and both operand values in the message, and DCHECK
+ * follows the build mode (on in Debug/DOMINO_CHECKS, compiled out
+ * -- operands unevaluated -- otherwise).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace domino
+{
+namespace
+{
+
+TEST(Check, PassingChecksAreSilent)
+{
+    CHECK(true);
+    CHECK_EQ(1, 1);
+    CHECK_NE(1, 2);
+    CHECK_LT(1, 2);
+    CHECK_LE(2, 2);
+    CHECK_GT(3, 2);
+    CHECK_GE(3, 3);
+    DCHECK(true);
+    DCHECK_EQ(std::uint64_t{5}, 5u);
+}
+
+TEST(CheckDeathTest, CheckAbortsWithCondition)
+{
+    EXPECT_DEATH(CHECK(1 + 1 == 3), "CHECK failed: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, ComparisonPrintsBothValues)
+{
+    const int lhs = 7;
+    const int rhs = 9;
+    EXPECT_DEATH(CHECK_EQ(lhs, rhs), "lhs == rhs.*7 vs 9");
+    EXPECT_DEATH(CHECK_GE(lhs, rhs), "lhs >= rhs.*7 vs 9");
+}
+
+TEST(CheckDeathTest, MessageNamesTheSourceFile)
+{
+    EXPECT_DEATH(CHECK(false), "test_check.cc");
+}
+
+TEST(Check, OperandsEvaluatedExactlyOnceOnSuccess)
+{
+    int evaluations = 0;
+    const auto bump = [&evaluations]() { return ++evaluations; };
+    CHECK_GE(bump(), 1);
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, DcheckFollowsBuildMode)
+{
+    int evaluations = 0;
+    const auto bump = [&evaluations]() {
+        ++evaluations;
+        return true;
+    };
+    DCHECK(bump());
+    if constexpr (checksEnabled) {
+        EXPECT_EQ(evaluations, 1);
+    } else {
+        // Compiled out: the operand must not be evaluated.
+        EXPECT_EQ(evaluations, 0);
+    }
+}
+
+TEST(CheckDeathTest, DcheckAbortsWhenChecksEnabled)
+{
+    if constexpr (checksEnabled) {
+        EXPECT_DEATH(DCHECK_LT(2, 1), "CHECK failed: 2 < 1");
+    } else {
+        DCHECK_LT(2, 1);  // no-op in this build mode
+        SUCCEED();
+    }
+}
+
+} // anonymous namespace
+} // namespace domino

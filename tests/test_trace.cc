@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/prng.h"
 #include "trace/access.h"
@@ -152,6 +154,176 @@ TEST(TraceIo, TextRejectsBadKind)
     std::fclose(f);
     TraceBuffer t;
     EXPECT_FALSE(readTextTrace(path, t).ok);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Error paths of the binary reader (docs/TRACE_FORMAT.md: the file
+// must be exactly 20 + 17 * count bytes; failures leave the
+// caller's buffer untouched).
+
+std::vector<char>
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    EXPECT_TRUE(is.good());
+    std::vector<char> bytes(static_cast<std::size_t>(is.tellg()));
+    is.seekg(0);
+    is.read(bytes.data(),
+            static_cast<std::streamsize>(bytes.size()));
+    return bytes;
+}
+
+void
+spit(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(os.good());
+}
+
+TraceBuffer
+tinyTrace()
+{
+    TraceBuffer t;
+    t.pushRead(0x1000, 0x400000);
+    t.pushRead(0x2000, 0x400004);
+    t.pushRead(0x3000, 0x400008);
+    return t;
+}
+
+/** The caller's buffer before a read that is expected to fail. */
+TraceBuffer
+sentinelBuffer()
+{
+    TraceBuffer t;
+    t.pushRead(0xdead0000);
+    return t;
+}
+
+void
+expectUntouched(const TraceBuffer &t)
+{
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].addr, 0xdead0000u);
+}
+
+TEST(TraceIoErrors, TruncatedBodyFails)
+{
+    const std::string path = "/tmp/domino_test_truncbody.bin";
+    ASSERT_TRUE(writeTrace(path, tinyTrace()).ok);
+    std::vector<char> bytes = slurp(path);
+    bytes.resize(bytes.size() - 5);  // chop mid-record
+    spit(path, bytes);
+
+    TraceBuffer t = sentinelBuffer();
+    const IoResult r = readTrace(path, t);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("truncated body"), std::string::npos)
+        << r.error;
+    expectUntouched(t);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoErrors, TrailingBytesFail)
+{
+    const std::string path = "/tmp/domino_test_trailing.bin";
+    ASSERT_TRUE(writeTrace(path, tinyTrace()).ok);
+    std::vector<char> bytes = slurp(path);
+    bytes.push_back('\0');  // one byte too many
+    spit(path, bytes);
+
+    TraceBuffer t = sentinelBuffer();
+    const IoResult r = readTrace(path, t);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("trailing bytes"), std::string::npos)
+        << r.error;
+    expectUntouched(t);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoErrors, CorruptCountIsATruncatedBody)
+{
+    const std::string path = "/tmp/domino_test_badcount.bin";
+    ASSERT_TRUE(writeTrace(path, tinyTrace()).ok);
+    std::vector<char> bytes = slurp(path);
+    // Inflate the record count (little-endian u64 at offset 12).
+    bytes[12] = 100;
+    spit(path, bytes);
+
+    TraceBuffer t = sentinelBuffer();
+    const IoResult r = readTrace(path, t);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("truncated body"), std::string::npos)
+        << r.error;
+    expectUntouched(t);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoErrors, UnknownVersionFails)
+{
+    const std::string path = "/tmp/domino_test_badversion.bin";
+    ASSERT_TRUE(writeTrace(path, tinyTrace()).ok);
+    std::vector<char> bytes = slurp(path);
+    bytes[8] = 99;  // version field (little-endian u32 at offset 8)
+    spit(path, bytes);
+
+    TraceBuffer t = sentinelBuffer();
+    const IoResult r = readTrace(path, t);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("version"), std::string::npos)
+        << r.error;
+    expectUntouched(t);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoErrors, TruncatedHeaderFails)
+{
+    const std::string path = "/tmp/domino_test_truncheader.bin";
+    spit(path, {'D', 'O', 'M', 'T', 'R', 'A'});
+
+    TraceBuffer t = sentinelBuffer();
+    const IoResult r = readTrace(path, t);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("truncated header"), std::string::npos)
+        << r.error;
+    expectUntouched(t);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoErrors, BadMagicLeavesBufferUntouched)
+{
+    const std::string path = "/tmp/domino_test_badmagic2.bin";
+    // Full header size, wrong magic.
+    spit(path, std::vector<char>(traceHeaderBytes, 'x'));
+
+    TraceBuffer t = sentinelBuffer();
+    const IoResult r = readTrace(path, t);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("bad magic"), std::string::npos)
+        << r.error;
+    expectUntouched(t);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoErrors, TextParseErrorOnFirstRecord)
+{
+    // Regression: an unparsable FIRST record used to slip through as
+    // an empty success because the error test required a non-empty
+    // parse.
+    const std::string path = "/tmp/domino_test_badtext.txt";
+    FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not-a-number 1000 R\n", f);
+    std::fclose(f);
+
+    TraceBuffer t = sentinelBuffer();
+    const IoResult r = readTextTrace(path, t);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("parse error"), std::string::npos)
+        << r.error;
+    expectUntouched(t);
     std::remove(path.c_str());
 }
 
