@@ -34,9 +34,10 @@ main(int argc, char **argv)
         opts, workloads, degrees.size(),
         [&](const WorkloadParams &wl, std::size_t config,
             std::uint64_t seed) {
-            FactoryConfig f = defaultFactory(args, degrees[config]);
+            FactoryConfig f =
+                defaultFactory(args, degrees[config], seed);
             auto pf = makePrefetcher(tech, f);
-            ServerWorkload src(wl, seed, opts.accesses);
+            TraceView src = cachedTrace(wl, seed, opts.accesses);
             CoverageSimulator sim;
             const CoverageResult r = sim.run(src, pf.get());
             return CellResult{r.coverage(), r.overpredictionRate()};

@@ -29,10 +29,10 @@ main(int argc, char **argv)
         opts, workloads, slot_counts.size(),
         [&](const WorkloadParams &wl, std::size_t config,
             std::uint64_t seed) {
-            FactoryConfig f = defaultFactory(args, 4);
+            FactoryConfig f = defaultFactory(args, 4, seed);
             f.activeStreams = slot_counts[config];
             auto pf = makePrefetcher(tech, f);
-            ServerWorkload src(wl, seed, opts.accesses);
+            TraceView src = cachedTrace(wl, seed, opts.accesses);
             CoverageSimulator sim;
             return sim.run(src, pf.get()).coverage();
         });

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "analysis/coverage.h"
 #include "analysis/factory.h"
 #include "runner/experiment_grid.h"
+#include "trace/trace_cache.h"
 #include "workloads/server_workload.h"
 #include "workloads/workload_params.h"
 
@@ -58,23 +60,62 @@ struct BenchOptions
     }
 };
 
-/** The workloads selected by the options. */
+/**
+ * The process-wide trace cache every harness cell draws from.
+ *
+ * One figure row fans several config cells over the runner's pool
+ * and all of them replay the identical access stream (the cell seed
+ * is positional, never config-dependent), so the first cell to ask
+ * generates the trace and the rest share the immutable buffer.
+ */
+inline TraceCache &
+traceCache()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+/**
+ * A fresh zero-copy cursor over the shared trace for
+ * (params, seed, limit), generating it on first request
+ * (single-flight under the runner's pool).
+ */
+inline TraceView
+cachedTrace(const WorkloadParams &params, std::uint64_t seed,
+            std::uint64_t limit)
+{
+    return traceCache().view(
+        params.cacheKey(seed, limit),
+        [&] { return generateTrace(params, seed, limit); });
+}
+
+/**
+ * The memoised L1-filtered baseline miss sequence for the same
+ * key, so the analysis cells (opportunity/Sequitur/n-gram columns)
+ * run the baseline filter once per workload instead of once per
+ * config cell.
+ */
+inline std::shared_ptr<const std::vector<LineAddr>>
+cachedBaselineMisses(const WorkloadParams &params, std::uint64_t seed,
+                     std::uint64_t limit)
+{
+    return traceCache().missSequence(
+        "miss:" + params.cacheKey(seed, limit), [&] {
+            TraceView src = cachedTrace(params, seed, limit);
+            return baselineMissSequence(src);
+        });
+}
+
+/** The workloads selected by the options, with ad-hoc overrides
+ *  from the command line (--streams, --theta, --shared-prefix:
+ *  tuning/ablation aids). */
 inline std::vector<WorkloadParams>
-selectedWorkloads(const BenchOptions &opts)
+selectedWorkloads(const BenchOptions &opts, const CliArgs &args)
 {
     std::vector<WorkloadParams> out;
     for (const auto &p : serverSuite())
         if (opts.workload.empty() || p.name == opts.workload)
             out.push_back(p);
-    return out;
-}
-
-/** Apply ad-hoc workload overrides from the command line
- *  (--streams, --theta, --shared-prefix: tuning/ablation aids). */
-inline std::vector<WorkloadParams>
-selectedWorkloads(const BenchOptions &opts, const CliArgs &args)
-{
-    auto out = selectedWorkloads(opts);
     for (auto &p : out) {
         p.numStreams = static_cast<std::uint32_t>(
             args.getU64("streams", p.numStreams));
@@ -152,9 +193,17 @@ runWorkloadGrid(const BenchOptions &opts,
  * Default factory configuration scaled to the bench trace lengths
  * (the paper's 16 M-entry HT / 2 M-row EIT are far larger than any
  * bench trace's miss count; pass --paper-scale for them).
+ *
+ * @param seed the *per-cell* seed the grid handed to the cell
+ *        function.  For today's single-rep grids it equals the CLI
+ *        --seed, but replicated grids derive a distinct seed per
+ *        rep, and the prefetcher PRNG must follow it (hashing the
+ *        CLI seed here would give every replica an identically
+ *        seeded prefetcher).
  */
 inline FactoryConfig
-defaultFactory(const CliArgs &args, unsigned degree)
+defaultFactory(const CliArgs &args, unsigned degree,
+               std::uint64_t seed)
 {
     FactoryConfig f;
     f.degree = degree;
@@ -169,7 +218,7 @@ defaultFactory(const CliArgs &args, unsigned degree)
         args.getU64("entries", f.entriesPerSuper));
     f.maxReplayPerStream = static_cast<unsigned>(
         args.getU64("max-replay", f.maxReplayPerStream));
-    f.seed = args.getU64("seed", 1) ^ 0xfac;
+    f.seed = seed ^ 0xfac;
     if (args.getBool("paper-scale")) {
         f.htEntries = 16ULL << 20;
         f.eitRows = 2ULL << 20;

@@ -32,15 +32,16 @@ main(int argc, char **argv)
         opts, workloads, configs,
         [&](const WorkloadParams &wl, std::size_t config,
             std::uint64_t seed) {
-            ServerWorkload src(wl, seed, opts.accesses);
             if (config < 2) {
-                FactoryConfig f = defaultFactory(args, 1);
+                TraceView src = cachedTrace(wl, seed, opts.accesses);
+                FactoryConfig f = defaultFactory(args, 1, seed);
                 auto pf = makePrefetcher(tech[config], f);
                 CoverageSimulator sim;
                 return sim.run(src, pf.get()).meanStreamRun();
             }
-            const auto misses = baselineMissSequence(src);
-            return analyzeOpportunity(misses).meanStreamLength();
+            const auto misses =
+                cachedBaselineMisses(wl, seed, opts.accesses);
+            return analyzeOpportunity(*misses).meanStreamLength();
         });
 
     TextTable table({"Workload", "STMS", "Digram", "Sequitur"});

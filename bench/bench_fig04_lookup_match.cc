@@ -29,10 +29,10 @@ main(int argc, char **argv)
         opts, workloads, 1,
         [&](const WorkloadParams &wl, std::size_t,
             std::uint64_t seed) {
-            ServerWorkload src(wl, seed, opts.accesses);
-            const auto misses = baselineMissSequence(src);
+            const auto misses =
+                cachedBaselineMisses(wl, seed, opts.accesses);
             NGramAnalyzer analyzer(max_depth);
-            for (const LineAddr m : misses)
+            for (const LineAddr m : *misses)
                 analyzer.observe(m);
             std::vector<double> fracs(max_depth);
             for (unsigned n = 1; n <= max_depth; ++n)

@@ -36,10 +36,10 @@ main(int argc, char **argv)
         opts, workloads, max_depth,
         [&](const WorkloadParams &wl, std::size_t config,
             std::uint64_t seed) {
-            FactoryConfig f = defaultFactory(args, 1);
+            FactoryConfig f = defaultFactory(args, 1, seed);
             f.nlookupDepth = static_cast<unsigned>(config + 1);
             auto pf = makePrefetcher("NLookup", f);
-            ServerWorkload src(wl, seed, opts.accesses);
+            TraceView src = cachedTrace(wl, seed, opts.accesses);
             CoverageSimulator sim;
             const CoverageResult r = sim.run(src, pf.get());
             return CellResult{r.coverage(), r.overpredictionRate()};

@@ -33,11 +33,11 @@ main(int argc, char **argv)
         opts, workloads, sizes.size(),
         [&](const WorkloadParams &wl, std::size_t config,
             std::uint64_t seed) {
-            FactoryConfig f = defaultFactory(args, 4);
+            FactoryConfig f = defaultFactory(args, 4, seed);
             f.htEntries = sizes[config];
             f.eitRows = 1ULL << 22;  // effectively unlimited
             auto pf = makePrefetcher("Domino", f);
-            ServerWorkload src(wl, seed, opts.accesses);
+            TraceView src = cachedTrace(wl, seed, opts.accesses);
             CoverageSimulator sim;
             return sim.run(src, pf.get()).coverage();
         });

@@ -27,10 +27,10 @@ entriesSweep(const CliArgs &args, const BenchOptions &opts)
         opts, workloads, configs,
         [&](const WorkloadParams &wl, std::size_t config,
             std::uint64_t seed) {
-            FactoryConfig f = defaultFactory(args, 4);
+            FactoryConfig f = defaultFactory(args, 4, seed);
             f.entriesPerSuper = static_cast<unsigned>(config + 1);
             auto pf = makePrefetcher("Domino", f);
-            ServerWorkload src(wl, seed, opts.accesses);
+            TraceView src = cachedTrace(wl, seed, opts.accesses);
             CoverageSimulator sim;
             return sim.run(src, pf.get()).coverage();
         });
@@ -82,10 +82,10 @@ main(int argc, char **argv)
         opts, workloads, sizes.size(),
         [&](const WorkloadParams &wl, std::size_t config,
             std::uint64_t seed) {
-            FactoryConfig f = defaultFactory(args, 4);
+            FactoryConfig f = defaultFactory(args, 4, seed);
             f.eitRows = sizes[config];
             auto pf = makePrefetcher("Domino", f);
-            ServerWorkload src(wl, seed, opts.accesses);
+            TraceView src = cachedTrace(wl, seed, opts.accesses);
             CoverageSimulator sim;
             return sim.run(src, pf.get()).coverage();
         });

@@ -33,9 +33,9 @@ main(int argc, char **argv)
         opts, workloads, 1,
         [&](const WorkloadParams &wl, std::size_t,
             std::uint64_t seed) {
-            ServerWorkload src(wl, seed, opts.accesses);
-            const auto misses = baselineMissSequence(src);
-            const OpportunityResult opp = analyzeOpportunity(misses);
+            const auto misses =
+                cachedBaselineMisses(wl, seed, opts.accesses);
+            const OpportunityResult opp = analyzeOpportunity(*misses);
             const EdgeHistogram &h = opp.streamLengths;
             CellResult out;
             // Buckets: 0 at index 0; the "<=2" column is cumulative

@@ -56,20 +56,23 @@ printParams(const SystemConfig &sys)
 }
 
 /** One timing run: all cores run the same workload (different
- *  seeds), each with its own prefetcher instance. */
+ *  seeds), each with its own prefetcher instance.  Per-core traces
+ *  come from the shared cache, so the baseline column and every
+ *  technique column replay the same buffers. */
 TimingResult
 runTiming(const WorkloadParams &wl, const std::string &tech,
           const FactoryConfig &factory, const SystemConfig &sys,
           std::uint64_t seed, std::uint64_t accesses)
 {
-    std::vector<std::unique_ptr<ServerWorkload>> sources;
+    std::vector<TraceView> sources;
     std::vector<std::unique_ptr<Prefetcher>> prefetchers;
     std::vector<CoreSetup> setups;
+    sources.reserve(sys.cores);
     for (unsigned c = 0; c < sys.cores; ++c) {
-        sources.push_back(std::make_unique<ServerWorkload>(
-            wl, seed + c * 977, accesses));
+        sources.push_back(
+            cachedTrace(wl, seed + c * 977, accesses));
         CoreSetup setup;
-        setup.source = sources.back().get();
+        setup.source = &sources.back();
         if (!tech.empty()) {
             prefetchers.push_back(makePrefetcher(tech, factory));
             setup.prefetcher = prefetchers.back().get();
@@ -128,7 +131,7 @@ main(int argc, char **argv)
                 return runTiming(wl, "", FactoryConfig{}, sys, seed,
                                  per_core);
             }
-            FactoryConfig f = defaultFactory(args, 4);
+            FactoryConfig f = defaultFactory(args, 4, seed);
             std::string tech = techniques[config - 1];
             if (tech == "Domino-naive") {
                 tech = "Domino";

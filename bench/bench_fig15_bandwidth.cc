@@ -38,14 +38,15 @@ runOne(const WorkloadParams &wl, const std::string &tech,
        const FactoryConfig &factory, const SystemConfig &sys,
        std::uint64_t seed, std::uint64_t accesses)
 {
-    std::vector<std::unique_ptr<ServerWorkload>> sources;
+    std::vector<TraceView> sources;
     std::vector<std::unique_ptr<Prefetcher>> prefetchers;
     std::vector<CoreSetup> setups;
+    sources.reserve(sys.cores);
     for (unsigned c = 0; c < sys.cores; ++c) {
-        sources.push_back(std::make_unique<ServerWorkload>(
-            wl, seed + c * 977, accesses));
+        sources.push_back(
+            cachedTrace(wl, seed + c * 977, accesses));
         CoreSetup setup;
-        setup.source = sources.back().get();
+        setup.source = &sources.back();
         if (!tech.empty()) {
             prefetchers.push_back(makePrefetcher(tech, factory));
             setup.prefetcher = prefetchers.back().get();
@@ -108,11 +109,11 @@ main(int argc, char **argv)
             opts, workloads, sampling.size(),
             [&](const WorkloadParams &wl, std::size_t config,
                 std::uint64_t seed) {
-                FactoryConfig f = defaultFactory(args, 4);
+                FactoryConfig f = defaultFactory(args, 4, seed);
                 f.samplingProb = sampling[config];
                 // Coverage from the trace-based simulator.
                 auto pf = makePrefetcher("Domino", f);
-                ServerWorkload src(wl, seed, opts.accesses);
+                TraceView src = cachedTrace(wl, seed, opts.accesses);
                 CoverageSimulator csim;
                 const CoverageResult cr = csim.run(src, pf.get());
                 const TrafficRow row = runOne(
@@ -148,7 +149,7 @@ main(int argc, char **argv)
             // The paper's sampling probability (12.5 %) is the
             // default here because this figure measures the
             // metadata traffic the sampling exists to bound.
-            FactoryConfig f = defaultFactory(args, 4);
+            FactoryConfig f = defaultFactory(args, 4, seed);
             if (!args.has("sampling"))
                 f.samplingProb = 0.125;
             return runOne(wl, techniques[config], f, sys, seed,

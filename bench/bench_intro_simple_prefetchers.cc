@@ -33,9 +33,9 @@ main(int argc, char **argv)
         opts, workloads, techniques.size(),
         [&](const WorkloadParams &wl, std::size_t config,
             std::uint64_t seed) {
-            FactoryConfig f = defaultFactory(args, degree);
+            FactoryConfig f = defaultFactory(args, degree, seed);
             auto pf = makePrefetcher(techniques[config], f);
-            ServerWorkload src(wl, seed, opts.accesses);
+            TraceView src = cachedTrace(wl, seed, opts.accesses);
             CoverageSimulator sim;
             return sim.run(src, pf.get()).coverage();
         });

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Perf-regression harness: times the hot paths of the figure suite
+ * (trace generation, the baseline L1 filter, one coverage run per
+ * evaluated technique, and EIT update/lookup micro-ops) and emits
+ * one JSON document on stdout.
+ *
+ * scripts/bench_perf.py wraps this binary: it adds machine info,
+ * writes BENCH_PERF.json, and diffs the numbers against the
+ * committed baseline so a future PR cannot silently regress the
+ * suite's throughput.  Timings use the best (minimum) of --repeats
+ * runs, which is the standard way to suppress scheduler noise for
+ * CPU-bound loops.
+ *
+ * Usage:
+ *   bench_perf [--n 120000] [--seed 1] [--repeats 3] [--quick]
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "domino/eit.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace
+{
+
+struct CellTiming
+{
+    std::string name;
+    /** Work items per repeat (accesses or table operations). */
+    std::uint64_t ops = 0;
+    /** Best wall-clock nanoseconds over all repeats. */
+    double bestNs = 0.0;
+};
+
+/** Time fn() `repeats` times; keep the best run. */
+template <typename Fn>
+CellTiming
+timeCell(const std::string &name, std::uint64_t ops, unsigned repeats,
+         Fn fn)
+{
+    using Clock = std::chrono::steady_clock;
+    CellTiming cell;
+    cell.name = name;
+    cell.ops = ops;
+    for (unsigned r = 0; r < repeats; ++r) {
+        const auto start = Clock::now();
+        fn();
+        const auto stop = Clock::now();
+        const double ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                stop - start)
+                .count());
+        if (r == 0 || ns < cell.bestNs)
+            cell.bestNs = ns;
+    }
+    return cell;
+}
+
+/** Volatile sink so the compiler cannot elide a measured loop. */
+volatile std::uint64_t sink = 0;
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t n = args.getU64("n", 120'000);
+    const std::uint64_t seed = args.getU64("seed", 1);
+    unsigned repeats =
+        static_cast<unsigned>(args.getU64("repeats", 3));
+    if (args.getBool("quick"))
+        repeats = 1;
+
+    const WorkloadParams wl = serverSuite().front();
+    std::vector<CellTiming> cells;
+
+    // --- Trace generation (the cost the trace cache deduplicates).
+    cells.push_back(timeCell("trace_generation", n, repeats, [&] {
+        const TraceBuffer trace = generateTrace(wl, seed, n);
+        sink = sink + trace.size();
+    }));
+
+    // One shared trace for the simulation cells, like the figure
+    // harnesses get from the cache.
+    const TraceBuffer trace = generateTrace(wl, seed, n);
+
+    // --- Baseline L1 filter (memoised per key by the cache).
+    cells.push_back(timeCell("baseline_filter", n, repeats, [&] {
+        TraceBuffer src = trace;
+        sink = sink + baselineMissSequence(src).size();
+    }));
+
+    // --- One coverage simulation per evaluated technique.
+    FactoryConfig f;
+    f.degree = 4;
+    f.htEntries = 1ULL << 20;
+    f.eitRows = 1ULL << 17;
+    f.samplingProb = 0.5;
+    f.seed = seed ^ 0xfac;
+    for (const std::string &tech : evaluatedPrefetchers()) {
+        cells.push_back(
+            timeCell("coverage_" + tech, n, repeats, [&] {
+                TraceBuffer src = trace;
+                auto pf = makePrefetcher(tech, f);
+                CoverageSimulator sim;
+                sink = sink + sim.run(src, pf.get()).covered;
+            }));
+    }
+
+    // --- EIT micro-ops at the factory geometry, over a tag working
+    // set sized like a bench trace's trigger footprint.
+    const std::uint64_t tag_pool = 1ULL << 15;
+    std::vector<LineAddr> tags(n);
+    {
+        Prng rng(seed ^ 0xe17);
+        for (std::uint64_t i = 0; i < n; ++i)
+            tags[i] = 1 + rng.below(tag_pool);
+    }
+    EitConfig eit_cfg;
+    eit_cfg.rows = 1ULL << 17;
+    cells.push_back(timeCell("eit_update", n, repeats, [&] {
+        // Fresh table per repeat so every run does identical work.
+        EnhancedIndexTable fresh(eit_cfg);
+        for (std::uint64_t i = 0; i + 1 < n; ++i)
+            fresh.update(tags[i], tags[i + 1], i);
+        sink = sink + fresh.touchedRows();
+    }));
+    EnhancedIndexTable eit(eit_cfg);
+    for (std::uint64_t i = 0; i + 1 < n; ++i)
+        eit.update(tags[i], tags[i + 1], i);
+    cells.push_back(timeCell("eit_lookup", n, repeats, [&] {
+        std::uint64_t found = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            found += eit.lookup(tags[i]) != nullptr;
+        sink = sink + found;
+    }));
+
+    // --- Emit JSON.
+    std::cout << "{\n"
+              << "  \"n\": " << n << ",\n"
+              << "  \"seed\": " << seed << ",\n"
+              << "  \"repeats\": " << repeats << ",\n"
+              << "  \"workload\": \"" << wl.name << "\",\n"
+              << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellTiming &c = cells[i];
+        const double ns_per_op =
+            c.ops ? c.bestNs / static_cast<double>(c.ops) : 0.0;
+        const double ops_per_sec =
+            c.bestNs > 0.0
+                ? static_cast<double>(c.ops) * 1e9 / c.bestNs
+                : 0.0;
+        std::cout << "    {\"name\": \"" << c.name << "\", "
+                  << "\"ops\": " << c.ops << ", "
+                  << "\"ns_per_op\": " << ns_per_op << ", "
+                  << "\"ops_per_sec\": " << ops_per_sec << "}"
+                  << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ]\n}\n";
+    return 0;
+}

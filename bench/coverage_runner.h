@@ -29,13 +29,16 @@ runCoverageComparison(const CliArgs &args, unsigned default_degree,
 
     const auto workloads = selectedWorkloads(opts, args);
     const std::vector<std::string> techniques = evaluatedPrefetchers();
-    // One config per technique plus the Sequitur opportunity.
-    const std::size_t configs = techniques.size() + 1;
+    // Config 0 runs the whole technique roster in lockstep off one
+    // trace replay (the L1 evolution is prefetcher-independent, so
+    // the per-lane results match separate runs exactly); config 1
+    // is the Sequitur opportunity over the memoised miss sequence.
+    const std::size_t configs = 2;
 
     struct CellResult
     {
-        double coverage = 0.0;
-        double overprediction = 0.0;
+        std::vector<double> coverage;
+        std::vector<double> overprediction;
     };
 
     const auto cells = runWorkloadGrid(
@@ -43,46 +46,70 @@ runCoverageComparison(const CliArgs &args, unsigned default_degree,
         [&](const WorkloadParams &wl, std::size_t config,
             std::uint64_t seed) {
             CellResult out;
-            ServerWorkload src(wl, seed, opts.accesses);
-            if (config < techniques.size()) {
-                FactoryConfig f = defaultFactory(args, degree);
-                auto pf = makePrefetcher(techniques[config], f);
+            if (config == 0) {
+                TraceView src = cachedTrace(wl, seed, opts.accesses);
+                const FactoryConfig f =
+                    defaultFactory(args, degree, seed);
+                std::vector<std::unique_ptr<Prefetcher>> owned;
+                std::vector<Prefetcher *> roster;
+                for (const std::string &tech : techniques) {
+                    owned.push_back(makePrefetcher(tech, f));
+                    roster.push_back(owned.back().get());
+                }
                 CoverageSimulator sim;
-                const CoverageResult r = sim.run(src, pf.get());
-                out.coverage = r.coverage();
-                out.overprediction = r.overpredictionRate();
+                for (const CoverageResult &r :
+                     sim.runMany(src, roster)) {
+                    out.coverage.push_back(r.coverage());
+                    out.overprediction.push_back(
+                        r.overpredictionRate());
+                }
             } else {
-                const auto misses = baselineMissSequence(src);
-                out.coverage = analyzeOpportunity(misses).coverage();
+                const auto misses =
+                    cachedBaselineMisses(wl, seed, opts.accesses);
+                out.coverage.push_back(
+                    analyzeOpportunity(*misses).coverage());
+                out.overprediction.push_back(0.0);
             }
             return out;
         });
 
+    // Rows keep the original (technique..., Sequitur) order.
+    const std::size_t rows = techniques.size() + 1;
     TextTable table({"Workload", "Prefetcher", "Coverage",
                      "Uncovered", "Overpredictions"});
-    std::vector<RunningStat> avg_cov(configs);
-    std::vector<RunningStat> avg_over(configs);
+    std::vector<RunningStat> avg_cov(rows);
+    std::vector<RunningStat> avg_over(rows);
 
     const auto techName = [&](std::size_t c) {
         return c < techniques.size() ? techniques[c]
                                      : std::string("Sequitur");
     };
+    const auto cellValue = [&](std::size_t w, std::size_t c,
+                               double &cov, double &over) {
+        const CellResult &r = c < techniques.size()
+            ? cells[w * configs]
+            : cells[w * configs + 1];
+        const std::size_t i = c < techniques.size() ? c : 0;
+        cov = r.coverage[i];
+        over = r.overprediction[i];
+    };
 
     for (std::size_t w = 0; w < workloads.size(); ++w) {
-        for (std::size_t c = 0; c < configs; ++c) {
-            const CellResult &r = cells[w * configs + c];
+        for (std::size_t c = 0; c < rows; ++c) {
+            double cov = 0.0, over = 0.0;
+            cellValue(w, c, cov, over);
             table.newRow();
             table.cell(workloads[w].name);
             table.cell(techName(c));
-            table.cellPct(r.coverage);
-            table.cellPct(1.0 - r.coverage);
-            table.cellPct(r.overprediction);
-            avg_cov[c].add(r.coverage);
-            avg_over[c].add(r.overprediction);
+            table.cellPct(cov);
+            table.cellPct(1.0 - cov);
+            table.cellPct(over);
+            avg_cov[c].add(cov);
+            avg_over[c].add(over);
         }
     }
 
-    for (std::size_t c = 0; c < configs; ++c) {
+    for (std::size_t c = 0; c < rows; ++c) {
         table.newRow();
         table.cell("Average");
         table.cell(techName(c));

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Tracked perf-regression harness around build/bench/bench_perf.
+
+Runs the bench_perf binary (best-of-N timings for the figure suite's
+hot paths: trace generation, the baseline L1 filter, one coverage
+simulation per technique, and EIT update/lookup micro-ops), attaches
+machine info, writes the result to BENCH_PERF.json, and compares
+each cell's ns/op against the committed baseline.
+
+The baseline file keeps one entry per trace length (``--n``):
+per-cell fixed costs (table pre-sizing, prefetcher construction)
+amortise over the trace, so ns/op is only comparable at equal n.
+
+A cell slower than ``--threshold`` times its baseline ns/op fails
+the run (exit 1) so a PR cannot silently regress the suite's
+throughput; ``--update-baseline`` rewrites the baseline in place
+after an intentional change (commit the new file alongside it).
+
+Uses nothing but the standard library (the container ships no
+Python packages).
+
+Exit status: 0 OK, 1 regression found, 2 usage/run error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_PERF.json"
+
+
+def machine_info() -> dict:
+    info = {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": None,
+        "cpu_model": None,
+    }
+    try:
+        import os
+
+        info["cpu_count"] = os.cpu_count()
+    except Exception:
+        pass
+    try:
+        for line in Path("/proc/cpuinfo").read_text().splitlines():
+            if line.lower().startswith("model name"):
+                info["cpu_model"] = line.split(":", 1)[1].strip()
+                break
+    except OSError:
+        pass
+    return info
+
+
+def run_bench(binary: Path, n: int, seed: int, repeats: int,
+              quick: bool) -> dict:
+    cmd = [str(binary), "--n", str(n), "--seed", str(seed),
+           "--repeats", str(repeats)]
+    if quick:
+        cmd.append("--quick")
+    try:
+        out = subprocess.run(cmd, check=True, capture_output=True,
+                             text=True).stdout
+    except FileNotFoundError:
+        sys.exit(f"error: bench binary not found: {binary}\n"
+                 "build it first: cmake --build <build-dir> "
+                 "--target bench_perf")
+    except subprocess.CalledProcessError as err:
+        sys.exit(f"error: bench_perf failed (exit {err.returncode})"
+                 f":\n{err.stderr}")
+    return json.loads(out)
+
+
+def compare(current: dict, baseline: dict,
+            threshold: float) -> list[str]:
+    """Return one message per regressed cell."""
+    base_cells = {c["name"]: c for c in baseline.get("cells", [])}
+    regressions = []
+    for cell in current["cells"]:
+        base = base_cells.get(cell["name"])
+        if base is None or base["ns_per_op"] <= 0:
+            continue
+        ratio = cell["ns_per_op"] / base["ns_per_op"]
+        marker = "REGRESSION" if ratio > threshold else "ok"
+        print(f"  {cell['name']:28s} {base['ns_per_op']:9.1f} -> "
+              f"{cell['ns_per_op']:9.1f} ns/op  "
+              f"({ratio:5.2f}x)  {marker}")
+        if ratio > threshold:
+            regressions.append(
+                f"{cell['name']}: {base['ns_per_op']:.1f} -> "
+                f"{cell['ns_per_op']:.1f} ns/op "
+                f"({ratio:.2f}x > {threshold:.2f}x)")
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (default: build)")
+    parser.add_argument("--n", type=int, default=120_000,
+                        help="accesses per cell (default: 120000)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best kept (default: 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="single repeat (CI smoke)")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="fail when a cell is this many times "
+                             "slower than baseline (default: 1.5)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite BENCH_PERF.json instead of "
+                             "comparing against it")
+    parser.add_argument("--output", default=None,
+                        help="where to write the measured JSON "
+                             "(default: BENCH_PERF.json when "
+                             "updating, else BENCH_PERF.local.json)")
+    args = parser.parse_args()
+
+    binary = (REPO_ROOT / args.build_dir / "bench" /
+              "bench_perf")
+    result = run_bench(binary, args.n, args.seed, args.repeats,
+                       args.quick)
+    result["machine"] = machine_info()
+
+    if args.update_baseline:
+        # Merge: one baseline entry per trace length.
+        doc = {"baselines": {}}
+        if BASELINE.exists():
+            doc = json.loads(BASELINE.read_text())
+            doc.setdefault("baselines", {})
+        doc["baselines"][str(args.n)] = result
+        out_path = Path(args.output) if args.output else BASELINE
+        out_path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out_path}")
+        print("baseline updated; commit it with the change that "
+              "moved the numbers")
+        return 0
+
+    out_path = (Path(args.output) if args.output
+                else REPO_ROOT / "BENCH_PERF.local.json")
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    if not BASELINE.exists():
+        print("no committed baseline (BENCH_PERF.json); nothing to "
+              "compare against")
+        return 0
+
+    doc = json.loads(BASELINE.read_text())
+    baseline = doc.get("baselines", {}).get(str(args.n))
+    if baseline is None:
+        print(f"no baseline entry for n={args.n} in {BASELINE}; "
+              "record one with --update-baseline "
+              f"--n {args.n} (ns/op is only comparable at equal n)")
+        return 0
+    print(f"comparing against {BASELINE} entry n={args.n} "
+          f"(threshold {args.threshold:.2f}x):")
+    regressions = compare(result, baseline, args.threshold)
+    if regressions:
+        print("\nperf regressions detected:")
+        for msg in regressions:
+            print(f"  {msg}")
+        return 1
+    print("no perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

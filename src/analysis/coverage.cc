@@ -6,9 +6,7 @@ namespace domino
 {
 
 CoverageSimulator::CoverageSimulator(const CoverageOptions &options)
-    : opts(options),
-      l1(options.l1Bytes, options.l1Ways),
-      buffer(options.prefetchBufferBlocks)
+    : opts(options), l1(options.l1Bytes, options.l1Ways)
 {}
 
 void
@@ -21,28 +19,47 @@ CoverageSimulator::issue(LineAddr line, std::uint32_t stream_id,
     // probe.
     if (l1.contains(line))
         return;
-    if (buffer.insert(line, stream_id, 0))
-        ++issuedCnt;
+    Lane &lane = lanes[current];
+    if (lane.buffer.insert(line, stream_id, 0))
+        ++lane.issuedCnt;
 }
 
 void
 CoverageSimulator::dropStream(std::uint32_t stream_id)
 {
-    buffer.invalidateStream(stream_id);
+    lanes[current].buffer.invalidateStream(stream_id);
 }
 
 CoverageResult
 CoverageSimulator::run(AccessSource &source, Prefetcher *prefetcher)
 {
-    CoverageResult result;
-    std::uint64_t run_len = 0;
+    return runMany(source, {prefetcher}).front();
+}
+
+std::vector<CoverageResult>
+CoverageSimulator::runMany(
+    AccessSource &source,
+    const std::vector<Prefetcher *> &prefetchers)
+{
+    CHECK(!prefetchers.empty());
+    lanes.clear();
+    lanes.reserve(prefetchers.size());
+    for (Prefetcher *p : prefetchers) {
+        lanes.emplace_back(opts.prefetchBufferBlocks);
+        lanes.back().prefetcher = p;
+    }
+
+    // Shared across lanes: the trace pass and L1 evolution depend
+    // only on demand accesses, never on any lane's prefetcher.
+    std::uint64_t accesses = 0;
+    std::uint64_t l1_hits = 0;
 
     Access access;
     while (source.next(access)) {
-        ++result.accesses;
+        ++accesses;
         const LineAddr line = access.line();
         if (l1.access(line)) {
-            ++result.l1Hits;
+            ++l1_hits;
             continue;
         }
 
@@ -50,44 +67,68 @@ CoverageSimulator::run(AccessSource &source, Prefetcher *prefetcher)
         event.line = line;
         event.pc = access.pc;
 
-        const PrefetchBuffer::HitInfo hit = buffer.lookup(line);
-        if (hit.hit) {
-            ++result.covered;
-            ++run_len;
-            event.wasPrefetchHit = true;
-            event.hitStreamId = hit.streamId;
-        } else {
-            ++result.uncovered;
-            if (run_len) {
-                result.streamRuns.add(run_len);
-                run_len = 0;
+        // Per-lane demand probe first (as in a single run, the
+        // buffer is probed before the line is installed).
+        for (Lane &lane : lanes) {
+            const PrefetchBuffer::HitInfo hit =
+                lane.buffer.lookup(line);
+            if (hit.hit) {
+                ++lane.result.covered;
+                ++lane.runLen;
+            } else {
+                ++lane.result.uncovered;
+                if (lane.runLen) {
+                    lane.result.streamRuns.add(lane.runLen);
+                    lane.runLen = 0;
+                }
             }
+            // Stash the per-lane hit outcome for the trigger below.
+            lane.pendingHit = hit.hit;
+            lane.pendingStream = hit.streamId;
         }
         l1.fill(line);
         if (opts.collectTriggerSequence)
             triggers.push_back(line);
 
-        if (prefetcher)
-            prefetcher->onTrigger(event, *this);
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            Lane &lane = lanes[i];
+            if (!lane.prefetcher)
+                continue;
+            current = i;
+            event.wasPrefetchHit = lane.pendingHit;
+            event.hitStreamId = lane.pendingStream;
+            lane.prefetcher->onTrigger(event, *this);
+        }
 
         // Sampled structural audits (Debug / DOMINO_CHECKS only).
         if constexpr (checksEnabled) {
-            if ((result.baselineMisses() & 2047) == 0) {
+            if ((lanes.front().result.baselineMisses() & 2047) ==
+                0) {
                 CHECK_EQ(l1.audit(), "");
-                CHECK_EQ(buffer.audit(), "");
-                if (prefetcher)
-                    CHECK_EQ(prefetcher->audit(), "");
+                for (Lane &lane : lanes) {
+                    CHECK_EQ(lane.buffer.audit(), "");
+                    if (lane.prefetcher)
+                        CHECK_EQ(lane.prefetcher->audit(), "");
+                }
             }
         }
     }
-    if (run_len)
-        result.streamRuns.add(run_len);
 
-    result.issued = issuedCnt;
-    result.overpredictions = buffer.stats().evictedUnused;
-    if (prefetcher)
-        result.metadata = prefetcher->metadata();
-    return result;
+    std::vector<CoverageResult> results;
+    results.reserve(lanes.size());
+    for (Lane &lane : lanes) {
+        if (lane.runLen)
+            lane.result.streamRuns.add(lane.runLen);
+        lane.result.accesses = accesses;
+        lane.result.l1Hits = l1_hits;
+        lane.result.issued = lane.issuedCnt;
+        lane.result.overpredictions =
+            lane.buffer.stats().evictedUnused;
+        if (lane.prefetcher)
+            lane.result.metadata = lane.prefetcher->metadata();
+        results.push_back(std::move(lane.result));
+    }
+    return results;
 }
 
 std::vector<LineAddr>

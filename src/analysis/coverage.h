@@ -99,8 +99,16 @@ struct CoverageResult
 };
 
 /**
- * The simulator.  One instance runs one (trace, prefetcher) pair;
- * it implements PrefetchSink to receive the prefetcher's requests.
+ * The simulator.  It implements PrefetchSink to receive the
+ * prefetchers' requests.
+ *
+ * Because the L1 content evolution is prefetcher-independent (see
+ * the file comment), several techniques can share one replay of the
+ * source: runMany() drives N independent (prefetcher, buffer) lanes
+ * off a single L1 + trace pass and returns exactly the results N
+ * separate run() calls would have produced.  The coverage figures
+ * use this to amortise the trace iteration and cache simulation
+ * across the whole technique roster.
  */
 class CoverageSimulator : public PrefetchSink
 {
@@ -114,23 +122,56 @@ class CoverageSimulator : public PrefetchSink
      */
     CoverageResult run(AccessSource &source, Prefetcher *prefetcher);
 
+    /**
+     * Run the full source once, evaluating every prefetcher in
+     * lockstep against its own prefetch buffer and a shared L1.
+     *
+     * @param source access stream (consumed to exhaustion).
+     * @param prefetchers one lane per entry; nullptr = baseline.
+     * @return per-lane results, index-matched to @p prefetchers and
+     *         byte-identical to separate run() calls per lane.
+     */
+    std::vector<CoverageResult> runMany(
+        AccessSource &source,
+        const std::vector<Prefetcher *> &prefetchers);
+
     /** Trigger sequence (when collection was enabled). */
     const std::vector<LineAddr> &triggerSequence() const
     {
         return triggers;
     }
 
-    // PrefetchSink interface (called by the prefetcher).
+    // PrefetchSink interface (called by the prefetcher of the lane
+    // currently being triggered).
     void issue(LineAddr line, std::uint32_t stream_id,
                unsigned metadata_trips) override;
     void dropStream(std::uint32_t stream_id) override;
 
   private:
+    /** One technique under test: its buffer and accumulators. */
+    struct Lane
+    {
+        explicit Lane(std::uint32_t buffer_blocks)
+            : buffer(buffer_blocks)
+        {}
+
+        PrefetchBuffer buffer;
+        Prefetcher *prefetcher = nullptr;
+        CoverageResult result;
+        std::uint64_t runLen = 0;
+        std::uint64_t issuedCnt = 0;
+        /** This lane's buffer-probe outcome for the current miss
+         *  (carried from the probe loop to the trigger loop). */
+        bool pendingHit = false;
+        std::uint32_t pendingStream = 0;
+    };
+
     CoverageOptions opts;
     SetAssocCache l1;
-    PrefetchBuffer buffer;
+    std::vector<Lane> lanes;
+    /** Lane whose prefetcher is inside onTrigger (sink routing). */
+    std::size_t current = 0;
     std::vector<LineAddr> triggers;
-    std::uint64_t issuedCnt = 0;
 };
 
 /**

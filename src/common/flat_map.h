@@ -1,0 +1,182 @@
+/**
+ * @file
+ * FlatHashMap: an open-addressing hash map for 64-bit keys, used by
+ * the hot metadata-table simulations (STMS/Digram index tables, ISB
+ * correlation maps, the N-gram index vectors).
+ *
+ * Those tables are *pure* key -> value stores: the simulated
+ * behaviour depends only on find/insert results, never on iteration
+ * order, so the container can be swapped for a faster layout without
+ * perturbing any figure output.  (Structures whose semantics DO
+ * depend on container order -- the Markov prefetcher picks its
+ * bounded-table victim from iteration order -- must keep their
+ * original container; see markov.h.)
+ *
+ * Layout: one flat slot array, power-of-two capacity, linear
+ * probing on mix64(key), growth at 1/2 load (scalar linear probing
+ * degrades sharply past ~60% occupancy, and these tables are tiny
+ * next to the traces, so we trade memory for short probes).
+ * Compared to
+ * std::unordered_map this removes the per-node allocation and the
+ * pointer chase per lookup, which profiles show dominating the
+ * temporal-prefetcher cells of the figure suite.  Erase is
+ * deliberately not provided (no user needs it; supporting it would
+ * require tombstones and slow every probe).
+ */
+
+#ifndef DOMINO_COMMON_FLAT_MAP_H
+#define DOMINO_COMMON_FLAT_MAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace domino
+{
+
+/**
+ * Open-addressing map from std::uint64_t to V.
+ *
+ * Any 64-bit key is valid (occupancy is tracked per slot, not with
+ * a sentinel key).  V must be default-constructible and movable.
+ */
+template <typename V>
+class FlatHashMap
+{
+  public:
+    /** @param initial_capacity pre-sized slot count (rounded up to
+     *  a power of two; the map still grows as needed). */
+    explicit FlatHashMap(std::size_t initial_capacity = 16)
+        : slots(ceilPow2(initial_capacity < 2 ? 2 : initial_capacity))
+    {}
+
+    /** Number of stored keys. */
+    std::size_t size() const { return used; }
+    bool empty() const { return used == 0; }
+
+    /** Current slot-array capacity (diagnostics/tests). */
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Pointer to the value for @p key, or nullptr. */
+    const V *
+    find(std::uint64_t key) const
+    {
+        std::size_t i = probeStart(key);
+        while (slots[i].occupied) {
+            if (slots[i].key == key)
+                return &slots[i].value;
+            i = (i + 1) & (slots.size() - 1);
+        }
+        return nullptr;
+    }
+
+    V *
+    find(std::uint64_t key)
+    {
+        return const_cast<V *>(
+            static_cast<const FlatHashMap *>(this)->find(key));
+    }
+
+    bool contains(std::uint64_t key) const { return find(key); }
+
+    /** The value for @p key, default-constructed on first use. */
+    V &
+    operator[](std::uint64_t key)
+    {
+        if ((used + 1) * 2 > slots.size())
+            grow();
+        std::size_t i = probeStart(key);
+        while (slots[i].occupied) {
+            if (slots[i].key == key)
+                return slots[i].value;
+            i = (i + 1) & (slots.size() - 1);
+        }
+        slots[i].occupied = true;
+        slots[i].key = key;
+        ++used;
+        return slots[i].value;
+    }
+
+    /** Drop all entries, keeping the slot array. */
+    void
+    clear()
+    {
+        for (Slot &s : slots)
+            s = Slot{};
+        used = 0;
+    }
+
+    /**
+     * Verify the map's structural invariants: pow2 capacity, the
+     * occupancy count matches the flags, the load factor bound
+     * holds, and every key is reachable from its probe start.
+     * @return empty string if OK, else a description.
+     */
+    std::string
+    audit() const
+    {
+        if (slots.empty() || (slots.size() & (slots.size() - 1)))
+            return "capacity is not a power of two";
+        std::size_t occupied = 0;
+        for (const Slot &s : slots)
+            occupied += s.occupied ? 1 : 0;
+        if (occupied != used)
+            return "size drifted from slot occupancy";
+        if (used * 2 > slots.size())
+            return "load factor bound violated";
+        for (const Slot &s : slots) {
+            if (s.occupied && !find(s.key))
+                return "key unreachable from its probe start "
+                       "(broken probe chain)";
+        }
+        return "";
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        V value{};
+        bool occupied = false;
+    };
+
+    static std::size_t
+    ceilPow2(std::size_t x)
+    {
+        std::size_t p = 1;
+        while (p < x)
+            p <<= 1;
+        return p;
+    }
+
+    std::size_t
+    probeStart(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(mix64(key)) &
+            (slots.size() - 1);
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots);
+        slots.assign(old.size() * 2, Slot{});
+        used = 0;
+        for (Slot &s : old) {
+            if (s.occupied)
+                (*this)[s.key] = std::move(s.value);
+        }
+    }
+
+    std::vector<Slot> slots;
+    std::size_t used = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_COMMON_FLAT_MAP_H

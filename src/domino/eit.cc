@@ -7,23 +7,39 @@
 namespace domino
 {
 
+namespace
+{
+
+std::uint64_t
+ceilPow2(std::uint64_t x)
+{
+    std::uint64_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
 EnhancedIndexTable::EnhancedIndexTable(const EitConfig &config)
-    : cfg(config)
-{}
+    : cfg(config), rowMask(ceilPow2(cfg.rows ? cfg.rows : 1) - 1)
+{
+    // Pre-size the whole geometry.  Rows start as empty LruSets
+    // (32 bytes, no heap storage), so this costs ~rows * 32 B up
+    // front and makes every later row access a plain array index.
+    table.assign(rowMask + 1, Row(cfg.supersPerRow));
+}
 
 std::uint64_t
 EnhancedIndexTable::rowIndex(LineAddr tag) const
 {
-    return mix64(tag) % cfg.rows;
+    return mix64(tag) & rowMask;
 }
 
 const SuperEntry *
 EnhancedIndexTable::lookup(LineAddr tag) const
 {
-    const auto row_it = table.find(rowIndex(tag));
-    if (row_it == table.end())
-        return nullptr;
-    const Row &row = row_it->second;
+    const Row &row = table[rowIndex(tag)];
     const std::size_t idx = row.find(
         [&](const SuperEntry &s) { return s.tag == tag; });
     if (idx == row.size())
@@ -37,8 +53,9 @@ EnhancedIndexTable::update(LineAddr tag, LineAddr next,
 {
     DCHECK_NE(tag, invalidAddr);
     DCHECK_NE(next, invalidAddr);
-    Row &row = table.try_emplace(rowIndex(tag),
-                                 Row(cfg.supersPerRow)).first->second;
+    Row &row = table[rowIndex(tag)];
+    if (row.empty())
+        ++touchedCnt;
 
     std::size_t idx = row.find(
         [&](const SuperEntry &s) { return s.tag == tag; });
@@ -68,11 +85,17 @@ EnhancedIndexTable::update(LineAddr tag, LineAddr next,
 std::string
 EnhancedIndexTable::audit(std::uint64_t ht_positions) const
 {
-    for (const auto &[row_idx, row] : table) {
+    if (table.size() != rowMask + 1)
+        return "row vector size drifted from rounded geometry";
+    std::size_t non_empty = 0;
+    for (std::uint64_t row_idx = 0; row_idx < table.size();
+         ++row_idx) {
+        const Row &row = table[row_idx];
+        if (row.empty())
+            continue;
+        ++non_empty;
         const std::string where =
             "row " + std::to_string(row_idx) + ": ";
-        if (row_idx >= cfg.rows)
-            return where + "index outside configured geometry";
         if (row.capacity() != cfg.supersPerRow)
             return where + "capacity drifted from supersPerRow";
         if (row.size() > cfg.supersPerRow)
@@ -105,6 +128,10 @@ EnhancedIndexTable::audit(std::uint64_t ht_positions) const
             }
         }
     }
+    if (non_empty != touchedCnt)
+        return "touched-row counter drifted from table contents "
+               "(counter " + std::to_string(touchedCnt) +
+               ", non-empty rows " + std::to_string(non_empty) + ")";
     return "";
 }
 

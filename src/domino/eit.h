@@ -16,6 +16,18 @@
  * events while indexing with one, and (2) issue the first prefetch
  * of a stream after a single off-chip round trip (the successor is
  * right there in the fetched row).
+ *
+ * Storage is a flat row vector of the configured geometry, matching
+ * the fixed bucketised table the paper describes: rows are rounded
+ * up to a power of two so indexing is a single mask
+ * (mix64(tag) & rowMask), and the vector is pre-sized at
+ * construction.  Untouched rows are empty LruSets (no heap
+ * allocation until first use), so capacity behaviour is unchanged
+ * from the earlier lazily-materialised map while every row access
+ * is one array index instead of a hash-map probe.  All geometries
+ * used by the factory, benches, and tests are already powers of
+ * two, for which the mask is bit-identical to the previous
+ * `mix64(tag) % rows`.
  */
 
 #ifndef DOMINO_DOMINO_EIT_H
@@ -23,7 +35,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/lru.h"
@@ -51,7 +62,8 @@ struct SuperEntry
 /** Geometry of the EIT. */
 struct EitConfig
 {
-    /** Number of rows (paper: 2 M rows = 128 MB). */
+    /** Number of rows (paper: 2 M rows = 128 MB).  Rounded up to a
+     *  power of two by the table. */
     std::uint64_t rows = 1ULL << 21;
     /** Super-entries per row. */
     unsigned supersPerRow = 4;
@@ -60,9 +72,8 @@ struct EitConfig
 };
 
 /**
- * The EIT proper.  Rows are materialised lazily (a simulator
- * convenience; capacity behaviour is identical because eviction is
- * per-row LRU and untouched rows hold nothing).
+ * The EIT proper: a pre-sized flat array of rows indexed by a mask
+ * of the mixed tag.
  */
 class EnhancedIndexTable
 {
@@ -87,20 +98,23 @@ class EnhancedIndexTable
 
     const EitConfig &config() const { return cfg; }
 
-    /** Number of rows currently materialised (diagnostics). */
-    std::size_t touchedRows() const { return table.size(); }
+    /** Actual row count after power-of-two rounding. */
+    std::uint64_t rows() const { return rowMask + 1; }
+
+    /** Number of rows ever written (diagnostics). */
+    std::size_t touchedRows() const { return touchedCnt; }
 
     /** Count of super-entry evictions (diagnostics). */
     std::uint64_t superEvictions() const { return superEvictCnt; }
 
     /**
-     * Verify the table's structural invariants: every materialised
-     * row is within the configured geometry and holds at most
-     * supersPerRow super-entries with unique, correctly-hashed,
-     * valid tags; every super-entry holds at most entriesPerSuper
-     * entries with unique successor addresses; and, when
-     * @p ht_positions is given, every HT pointer is in range
-     * (pos < ht_positions).
+     * Verify the table's structural invariants: the row vector
+     * matches the rounded geometry and the touched-row counter;
+     * every row holds at most supersPerRow super-entries with
+     * unique, correctly-hashed, valid tags; every super-entry holds
+     * at most entriesPerSuper entries with unique successor
+     * addresses; and, when @p ht_positions is given, every HT
+     * pointer is in range (pos < ht_positions).
      *
      * @return empty string if OK, else a description of the first
      *         violation (same contract as
@@ -117,7 +131,9 @@ class EnhancedIndexTable
     std::uint64_t rowIndex(LineAddr tag) const;
 
     EitConfig cfg;
-    std::unordered_map<std::uint64_t, Row> table;
+    std::uint64_t rowMask;
+    std::vector<Row> table;
+    std::size_t touchedCnt = 0;
     std::uint64_t superEvictCnt = 0;
 };
 

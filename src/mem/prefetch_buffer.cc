@@ -19,15 +19,19 @@ PrefetchBuffer::insert(LineAddr line, std::uint32_t stream_id,
     }
     if (entries.size() >= cap) {
         // Evict LRU; it was never used (hits remove entries).
+        // Recency lives in the lastUse stamps, not in element
+        // order, so the victim slot is reused in place.
         auto lru = entries.begin();
         for (auto it = entries.begin(); it != entries.end(); ++it)
             if (it->lastUse < lru->lastUse)
                 lru = it;
         ++stat.evictedUnused;
-        entries.erase(lru);
+        *lru = Entry{line, stream_id, ready_cycle, alt_latency,
+                     tick};
+    } else {
+        entries.push_back(
+            Entry{line, stream_id, ready_cycle, alt_latency, tick});
     }
-    entries.push_back(
-        Entry{line, stream_id, ready_cycle, alt_latency, tick});
     ++stat.inserted;
     return true;
 }
@@ -49,7 +53,11 @@ PrefetchBuffer::lookup(LineAddr line)
         if (it->line == line) {
             HitInfo info{true, it->streamId, it->readyCycle,
                          it->altLatency};
-            entries.erase(it);
+            // Element order carries no meaning (see insert), so the
+            // hit entry is removed with a swap-pop instead of an
+            // order-preserving erase.
+            *it = entries.back();
+            entries.pop_back();
             ++stat.hits;
             return info;
         }

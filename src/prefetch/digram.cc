@@ -35,10 +35,10 @@ DigramPrefetcher::startStream(LineAddr line, PrefetchSink &sink)
         return;
     // One off-chip trip for the index row.
     ++meta.readBlocks;
-    const auto hit = it.find(pairKey(prevTrigger, line));
-    if (hit == it.end())
+    const std::uint64_t *hit = it.find(pairKey(prevTrigger, line));
+    if (!hit)
         return;
-    const std::uint64_t pos = hit->second;
+    const std::uint64_t pos = *hit;
     if (!ht.readable(pos + 1))
         return;
 

@@ -16,8 +16,8 @@
 #define DOMINO_PREFETCH_DIGRAM_H
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/prng.h"
 #include "prefetch/history.h"
 #include "prefetch/prefetcher.h"
@@ -46,8 +46,9 @@ class DigramPrefetcher : public Prefetcher
 
     TemporalConfig cfg;
     CircularHistory ht;
-    /** Index: (previous, current) pair -> HT position of current. */
-    std::unordered_map<std::uint64_t, std::uint64_t> it;
+    /** Index: (previous, current) pair -> HT position of current.
+     *  Flat map: behaviour never depends on iteration order. */
+    FlatHashMap<std::uint64_t> it{1u << 16};
     StreamTable streams;
     Prng rng;
     std::uint32_t nextStreamId = 1;

@@ -14,18 +14,17 @@ IsbPrefetcher::onTrigger(const TriggerEvent &event, PrefetchSink &sink)
     auto &succ = nextByPc[pc];
     LineAddr cur = line;
     for (unsigned d = 0; d < cfg.degree; ++d) {
-        const auto it = succ.find(cur);
-        if (it == succ.end())
+        const LineAddr *next = succ.find(cur);
+        if (!next)
             break;
         // Idealized: metadata is on-chip, no off-chip trips.
-        sink.issue(it->second, 0, 0);
-        cur = it->second;
+        sink.issue(*next, 0, 0);
+        cur = *next;
     }
 
     // Train: link the previous miss of this PC to the current one.
-    const auto last = lastByPc.find(pc);
-    if (last != lastByPc.end())
-        succ[last->second] = line;
+    if (const LineAddr *last = lastByPc.find(pc))
+        succ[*last] = line;
     lastByPc[pc] = line;
 }
 

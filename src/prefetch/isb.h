@@ -15,8 +15,8 @@
 #define DOMINO_PREFETCH_ISB_H
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "prefetch/prefetcher.h"
 
 namespace domino
@@ -44,11 +44,11 @@ class IsbPrefetcher : public Prefetcher
 
   private:
     IsbConfig cfg;
-    /** Per-PC successor map: addr -> next addr for that PC. */
-    std::unordered_map<Addr,
-        std::unordered_map<LineAddr, LineAddr>> nextByPc;
+    /** Per-PC successor map: addr -> next addr for that PC.
+     *  Flat maps: behaviour never depends on iteration order. */
+    FlatHashMap<FlatHashMap<LineAddr>> nextByPc;
     /** Last miss address observed per PC. */
-    std::unordered_map<Addr, LineAddr> lastByPc;
+    FlatHashMap<LineAddr> lastByPc;
 };
 
 } // namespace domino

@@ -53,7 +53,15 @@ class MarkovPrefetcher : public Prefetcher
 
   private:
     MarkovConfig cfg;
-    /** addr -> LRU list of observed successors. */
+    /** addr -> LRU list of observed successors.
+     *
+     *  Deliberately NOT a FlatHashMap: the bounded-table mode picks
+     *  its eviction victim as `table.erase(table.begin())`, i.e. the
+     *  victim depends on container iteration order, which is part of
+     *  the committed figure output.  Changing the container would
+     *  silently change bench_intro results.  (The pure maps in
+     *  STMS/Digram/ISB/NLookup carry no such dependence and were
+     *  flattened.) */
     std::unordered_map<LineAddr, LruSet<LineAddr>> table;
     LineAddr prev = invalidAddr;
     bool havePrev = false;

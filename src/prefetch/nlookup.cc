@@ -48,12 +48,11 @@ NGramAnalyzer::observe(LineAddr line)
         ++depthStats[n - 1].lookups;
         const std::uint64_t key = ngramKey(hist, end, n);
         auto &map = lastPos[n - 1];
-        const auto it = map.find(key);
-        if (it != map.end()) {
+        if (const std::uint64_t *pos = map.find(key)) {
             ++depthStats[n - 1].matches;
-            // The match ends at position it->second < end; the
+            // The match ends at position *pos < end; the
             // prediction is the address that followed it.
-            pendingPred[n - 1] = hist[it->second + 1];
+            pendingPred[n - 1] = hist[*pos + 1];
         }
         map[key] = end;
     }
@@ -82,9 +81,8 @@ NLookupPrefetcher::onTrigger(const TriggerEvent &event,
     std::optional<std::uint64_t> match_end;
     for (unsigned n = max_n; n >= 1; --n) {
         const std::uint64_t key = ngramKey(hist, end, n);
-        const auto it = lastPos[n - 1].find(key);
-        if (it != lastPos[n - 1].end()) {
-            match_end = it->second;
+        if (const std::uint64_t *pos = lastPos[n - 1].find(key)) {
+            match_end = *pos;
             break;
         }
     }

@@ -19,9 +19,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "prefetch/prefetcher.h"
 
 namespace domino
@@ -69,9 +69,9 @@ class NGramAnalyzer
 
     unsigned maxN;
     std::vector<LineAddr> hist;
-    /** Per depth: n-gram key -> position of the n-gram's end. */
-    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
-        lastPos;
+    /** Per depth: n-gram key -> position of the n-gram's end.
+     *  Flat maps: behaviour never depends on iteration order. */
+    std::vector<FlatHashMap<std::uint64_t>> lastPos;
     std::vector<DepthStats> depthStats;
     /** Prediction made at the previous trigger, per depth. */
     std::vector<std::optional<LineAddr>> pendingPred;
@@ -102,8 +102,7 @@ class NLookupPrefetcher : public Prefetcher
   private:
     NLookupConfig cfg;
     std::vector<LineAddr> hist;
-    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
-        lastPos;
+    std::vector<FlatHashMap<std::uint64_t>> lastPos;
 };
 
 } // namespace domino

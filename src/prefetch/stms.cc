@@ -33,10 +33,10 @@ StmsPrefetcher::startStream(LineAddr line, PrefetchSink &sink)
 {
     // First off-chip trip: read the index row.
     ++meta.readBlocks;
-    const auto hit = it.find(line);
-    if (hit == it.end())
+    const std::uint64_t *hit = it.find(line);
+    if (!hit)
         return;
-    const std::uint64_t pos = hit->second;
+    const std::uint64_t pos = *hit;
     if (!ht.readable(pos + 1))
         return;
 

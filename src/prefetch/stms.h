@@ -16,8 +16,8 @@
 #define DOMINO_PREFETCH_STMS_H
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/prng.h"
 #include "prefetch/history.h"
 #include "prefetch/prefetcher.h"
@@ -47,8 +47,10 @@ class StmsPrefetcher : public Prefetcher
     TemporalConfig cfg;
     CircularHistory ht;
     /** Index Table: last HT position of each miss address.
-     *  Modelled unlimited, as in the paper's STMS configuration. */
-    std::unordered_map<LineAddr, std::uint64_t> it;
+     *  Modelled unlimited, as in the paper's STMS configuration.
+     *  Flat map: the simulated behaviour depends only on
+     *  find/insert results, never on iteration order. */
+    FlatHashMap<std::uint64_t> it{1u << 16};
     StreamTable streams;
     Prng rng;
     std::uint32_t nextStreamId = 1;

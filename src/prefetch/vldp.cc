@@ -7,6 +7,9 @@ namespace domino
 
 VldpPrefetcher::VldpPrefetcher(const VldpConfig &config)
     : cfg(config), dhb(config.dhbEntries),
+      dpt{FlatHashMap<std::int32_t>(1u << 12),
+          FlatHashMap<std::int32_t>(1u << 12),
+          FlatHashMap<std::int32_t>(1u << 12)},
       opt(config.optEntries, 0)
 {}
 
@@ -59,9 +62,8 @@ VldpPrefetcher::lookupDelta(const std::vector<std::int32_t> &history,
     for (unsigned n = depth; n >= 1; --n) {
         const std::uint64_t key =
             packKey(history.data() + history.size() - n, n);
-        const auto it = dpt[n - 1].find(key);
-        if (it != dpt[n - 1].end()) {
-            out = it->second;
+        if (const std::int32_t *hit = dpt[n - 1].find(key)) {
+            out = *hit;
             return true;
         }
     }

@@ -16,9 +16,9 @@
 #define DOMINO_PREFETCH_VLDP_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "prefetch/prefetcher.h"
 
 namespace domino
@@ -71,8 +71,11 @@ class VldpPrefetcher : public Prefetcher
 
     VldpConfig cfg;
     std::vector<DhbEntry> dhb;
-    /** DPTs indexed by the number of deltas in the key (1..3). */
-    std::unordered_map<std::uint64_t, std::int32_t> dpt[3];
+    /** DPTs indexed by the number of deltas in the key (1..3).
+     *  Flatten-safe: only point lookups and overwrites, never
+     *  iterated, so the container cannot leak iteration order into
+     *  figure output. */
+    FlatHashMap<std::int32_t> dpt[3];
     /** OPT: first offset -> predicted first delta (0 = invalid). */
     std::vector<std::int32_t> opt;
     std::uint64_t tick = 0;

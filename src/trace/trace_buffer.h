@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/check.h"
 #include "trace/access.h"
 
 namespace domino
@@ -60,7 +61,12 @@ class TraceBuffer : public AccessSource
 
     std::size_t size() const { return records.size(); }
     bool empty() const { return records.empty(); }
-    const Access &operator[](std::size_t i) const { return records[i]; }
+    const Access &
+    operator[](std::size_t i) const
+    {
+        DCHECK_LT(i, records.size());
+        return records[i];
+    }
     const std::vector<Access> &data() const { return records; }
     std::vector<Access> &data() { return records; }
 

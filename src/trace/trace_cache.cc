@@ -1,0 +1,73 @@
+#include "trace_cache.h"
+
+namespace domino
+{
+
+template <typename V, typename G>
+std::shared_ptr<const V>
+TraceCache::getOrGenerate(FutureMap<V> &map, const std::string &key,
+                          const G &generate)
+{
+    std::promise<std::shared_ptr<const V>> promise;
+    std::shared_future<std::shared_ptr<const V>> future;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        const auto it = map.find(key);
+        if (it != map.end()) {
+            future = it->second;
+            hitCnt.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            future = promise.get_future().share();
+            map.emplace(key, future);
+            leader = true;
+        }
+    }
+    if (leader) {
+        try {
+            auto value = std::make_shared<const V>(generate());
+            generationCnt.fetch_add(1, std::memory_order_relaxed);
+            promise.set_value(std::move(value));
+        } catch (...) {
+            // Don't cache failures: unpublish the entry so a later
+            // request retries, then deliver the exception to this
+            // caller and every waiter via the shared future.
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                map.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+std::shared_ptr<const TraceBuffer>
+TraceCache::get(const std::string &key, const Generator &generate)
+{
+    return getOrGenerate(traces, key, generate);
+}
+
+std::shared_ptr<const std::vector<LineAddr>>
+TraceCache::missSequence(const std::string &key,
+                         const MissGenerator &generate)
+{
+    return getOrGenerate(misses, key, generate);
+}
+
+std::size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return traces.size() + misses.size();
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    traces.clear();
+    misses.clear();
+}
+
+} // namespace domino

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Generate-once trace cache: materialise each workload trace a
+ * single time and share the immutable buffer across every
+ * experiment cell that replays it.
+ *
+ * The experiment runner fans (workload x config) cells over a
+ * thread pool, and every config cell of one figure row consumes the
+ * *identical* access stream (the determinism contract pins the
+ * per-cell seed to the grid position, not the config).  Before this
+ * cache each cell regenerated that stream from scratch; now the
+ * first cell to ask for a key generates it and every other cell --
+ * concurrent or later -- replays the shared buffer through a
+ * zero-copy TraceView.
+ *
+ * Concurrency model: *single-flight generation*.  Cells requesting
+ * a key that is being generated block on the generator's future
+ * instead of racing duplicate generations.  Once published, a
+ * buffer is immutable (std::shared_ptr<const TraceBuffer>), so
+ * replay needs no synchronisation at all.
+ *
+ * The cache is keyed by an opaque string so this layer stays below
+ * the workload generators (src/workloads depends on src/trace, not
+ * the other way around); WorkloadParams::cacheKey() produces the
+ * canonical key for synthetic workloads.
+ */
+
+#ifndef DOMINO_TRACE_TRACE_CACHE_H
+#define DOMINO_TRACE_TRACE_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "trace/trace_buffer.h"
+
+namespace domino
+{
+
+/**
+ * Zero-copy read cursor over a shared immutable trace.
+ *
+ * Each cell owns its own TraceView (and thus its own cursor) while
+ * all views of one key share the underlying records; a view is two
+ * words plus a reference count, so passing it by value is cheap.
+ */
+class TraceView : public AccessSource
+{
+  public:
+    /** An empty view (no buffer): next() immediately reports
+     *  exhaustion.  Exists so views can be members/placeholders. */
+    TraceView() = default;
+
+    explicit TraceView(std::shared_ptr<const TraceBuffer> buffer)
+        : buf(std::move(buffer))
+    {}
+
+    bool
+    next(Access &out) override
+    {
+        if (!buf || cursor >= buf->size())
+            return false;
+        out = (*buf)[cursor++];
+        return true;
+    }
+
+    void reset() override { cursor = 0; }
+
+    /** Records in the underlying trace (0 for an empty view). */
+    std::size_t size() const { return buf ? buf->size() : 0; }
+
+    /** Records already consumed since construction/reset(). */
+    std::size_t position() const { return cursor; }
+
+    /** The shared buffer itself (null for an empty view). */
+    const std::shared_ptr<const TraceBuffer> &buffer() const
+    {
+        return buf;
+    }
+
+    /**
+     * Verify the view's structural invariants: the cursor never
+     * runs past the trace, and an empty view has no progress.
+     *
+     * @return empty string if OK, else a description of the first
+     *         violation (same contract as the table audits).
+     */
+    std::string
+    audit() const
+    {
+        if (!buf)
+            return cursor == 0 ? ""
+                               : "cursor advanced on an empty view";
+        if (cursor > buf->size())
+            return "cursor " + std::to_string(cursor) +
+                " past trace size " + std::to_string(buf->size());
+        return "";
+    }
+
+  private:
+    std::shared_ptr<const TraceBuffer> buf;
+    std::size_t cursor = 0;
+};
+
+/**
+ * The generate-once cache.  Thread-safe; generators run outside
+ * the cache lock (only one per key, see file comment).
+ *
+ * Two value planes share the keyspace conventions: full traces
+ * (get/view) and derived baseline miss sequences (missSequence) --
+ * the latter so the L1-filter pass that several analysis cells need
+ * (opportunity/Sequitur columns) also runs once per key.
+ *
+ * A generator that throws is not cached: the exception propagates
+ * to the generating cell *and* to every cell blocked on the same
+ * key, and a later request retries generation.
+ */
+class TraceCache
+{
+  public:
+    using Generator = std::function<TraceBuffer()>;
+    using MissGenerator = std::function<std::vector<LineAddr>()>;
+
+    TraceCache() = default;
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /**
+     * The shared trace for @p key, generating it via @p generate
+     * if this is the first request (single-flight: concurrent
+     * requests for one key block on one generation).
+     */
+    std::shared_ptr<const TraceBuffer> get(const std::string &key,
+                                           const Generator &generate);
+
+    /** Convenience: a fresh cursor over get(key, generate). */
+    TraceView
+    view(const std::string &key, const Generator &generate)
+    {
+        return TraceView(get(key, generate));
+    }
+
+    /**
+     * The memoised baseline miss sequence for @p key (same
+     * single-flight semantics as get(), separate value plane --
+     * callers conventionally prefix the trace key, e.g. "miss:").
+     */
+    std::shared_ptr<const std::vector<LineAddr>> missSequence(
+        const std::string &key, const MissGenerator &generate);
+
+    /** Traces actually generated (cache misses that ran a
+     *  generator to completion, both planes). */
+    std::uint64_t
+    generations() const
+    {
+        return generationCnt.load(std::memory_order_relaxed);
+    }
+
+    /** Requests served from an existing or in-flight entry. */
+    std::uint64_t
+    hits() const
+    {
+        return hitCnt.load(std::memory_order_relaxed);
+    }
+
+    /** Entries currently cached (both planes). */
+    std::size_t size() const;
+
+    /** Drop every cached entry (counters keep accumulating). */
+    void clear();
+
+  private:
+    template <typename V>
+    using FutureMap = std::unordered_map<
+        std::string, std::shared_future<std::shared_ptr<const V>>>;
+
+    /** Single-flight lookup-or-generate over one value plane. */
+    template <typename V, typename G>
+    std::shared_ptr<const V> getOrGenerate(FutureMap<V> &map,
+                                           const std::string &key,
+                                           const G &generate);
+
+    mutable std::mutex mu;
+    FutureMap<TraceBuffer> traces;
+    FutureMap<std::vector<LineAddr>> misses;
+    std::atomic<std::uint64_t> generationCnt{0};
+    std::atomic<std::uint64_t> hitCnt{0};
+};
+
+} // namespace domino
+
+#endif // DOMINO_TRACE_TRACE_CACHE_H

@@ -1,5 +1,8 @@
 #include "workload_params.h"
 
+#include <ios>
+#include <sstream>
+
 namespace domino
 {
 
@@ -174,6 +177,50 @@ serverSuite()
     }
 
     return suite;
+}
+
+std::string
+WorkloadParams::cacheKey(std::uint64_t seed,
+                         std::uint64_t limit) const
+{
+    // Every generation-relevant field, '|'-separated, doubles in
+    // hexfloat (exact round-trip -- a calibration tweak of any knob
+    // must produce a different key).  `name` goes last because it
+    // is the only free-form field; nothing is parsed back out.
+    std::ostringstream key;
+    key << std::hexfloat;
+    key << "wl|v1"
+        << "|seed=" << seed
+        << "|limit=" << limit
+        << "|streams=" << numStreams
+        << "|shortLen=" << shortLenMean
+        << "|longLen=" << longLenMean
+        << "|longFrac=" << longFraction
+        << "|theta=" << zipfTheta
+        << "|sharedPrefix=" << sharedPrefixProb
+        << "|sharedPair=" << sharedPairProb
+        << "|sharedElem=" << sharedElementProb
+        << "|pool=" << sharedPoolLines
+        << "|mutate=" << mutateProb
+        << "|truncate=" << truncateProb
+        << "|coldRun=" << coldRunProb
+        << "|coldLen=" << coldRunLen
+        << "|noise=" << noiseRate
+        << "|noiseWin=" << noiseWindow
+        << "|interleave=" << interleaveProb
+        << "|spatial=" << spatialFraction
+        << "|newPage=" << spatialNewPageProb
+        << "|pcs=" << numPcs
+        << "|pcsPerStream=" << pcsPerStream
+        << "|pcStability=" << pcStability
+        << "|hotLines=" << hotLines
+        << "|hotPerMiss=" << hotPerMiss
+        << "|instPerAccess=" << instPerAccess
+        << "|mlp=" << mlpFactor
+        << "|defaultAccesses=" << defaultAccesses
+        << "|salt=" << seedSalt
+        << "|name=" << name;
+    return key.str();
 }
 
 bool

@@ -169,6 +169,16 @@ struct WorkloadParams
 
     /** Base seed mixed with the user seed (per-workload decoupling). */
     std::uint64_t seedSalt = 0;
+
+    /**
+     * Canonical trace-cache key for this parameter set at the given
+     * generation seed and access limit.  Serialises *every* field
+     * (doubles in hexfloat, so the key is exact, not a rounded
+     * display form): two parameter sets produce the same key iff
+     * ServerWorkload would produce the same trace for them.
+     */
+    std::string cacheKey(std::uint64_t seed,
+                         std::uint64_t limit) const;
 };
 
 /** The nine server workloads of Table II, paper order. */

@@ -37,6 +37,22 @@ struct EitTestPeer
     {
         return eit.rowIndex(tag);
     }
+    /** The row holding @p tag's super-entries (flat-vector layout). */
+    static auto &
+    rowOf(EnhancedIndexTable &eit, LineAddr tag)
+    {
+        return eit.table[eit.rowIndex(tag)];
+    }
+    /** The first populated row (for corruption tests that only need
+     *  some occupied row). */
+    static auto &
+    firstNonEmptyRow(EnhancedIndexTable &eit)
+    {
+        for (auto &row : eit.table)
+            if (!row.empty())
+                return row;
+        return eit.table.front();
+    }
 };
 
 struct HistoryTestPeer
@@ -113,7 +129,7 @@ TEST(EitAudit, CleanAfterHeavyUse)
 TEST(EitAudit, CatchesDuplicateTags)
 {
     EnhancedIndexTable eit = populatedEit();
-    for (auto &[idx, row] : EitTestPeer::table(eit)) {
+    for (auto &row : EitTestPeer::table(eit)) {
         if (row.size() < 2)
             continue;
         row.at(1).tag = row.at(0).tag;
@@ -127,7 +143,7 @@ TEST(EitAudit, CatchesMisplacedTag)
 {
     EnhancedIndexTable eit(smallEit());
     eit.update(10, 11, 1);
-    auto &row = EitTestPeer::table(eit).begin()->second;
+    auto &row = EitTestPeer::rowOf(eit, 10);
     // Find a tag that hashes to a different row and plant it here.
     LineAddr alien = 10;
     while (EitTestPeer::rowIndex(eit, alien) ==
@@ -143,7 +159,7 @@ TEST(EitAudit, CatchesInvalidTag)
 {
     EnhancedIndexTable eit(smallEit());
     eit.update(10, 11, 1);
-    EitTestPeer::table(eit).begin()->second.at(0).tag = invalidAddr;
+    EitTestPeer::rowOf(eit, 10).at(0).tag = invalidAddr;
     EXPECT_NE(eit.audit().find("invalid super-entry tag"),
               std::string::npos);
 }
@@ -152,7 +168,7 @@ TEST(EitAudit, CatchesEntryOverflow)
 {
     EnhancedIndexTable eit(smallEit());
     eit.update(10, 11, 1);
-    auto &super = EitTestPeer::table(eit).begin()->second.at(0);
+    auto &super = EitTestPeer::rowOf(eit, 10).at(0);
     super.entries.setCapacity(99);
     for (LineAddr next = 20; next < 26; ++next)
         super.entries.insert(EitEntry{next, 2});
@@ -419,7 +435,7 @@ TEST(DominoAudit, CatchesCorruptedEmbeddedEit)
 
     EnhancedIndexTable &eit = DominoTestPeer::eit(domino);
     ASSERT_GT(eit.touchedRows(), 0u);
-    auto &row = EitTestPeer::table(eit).begin()->second;
+    auto &row = EitTestPeer::firstNonEmptyRow(eit);
     ASSERT_GT(row.size(), 0u);
     row.at(0).tag = invalidAddr;
     const std::string report = domino.audit();
@@ -441,7 +457,7 @@ TEST(SimulatorAuditDeathTest, SampledAuditCatchesCorruptionMidRun)
 
     EnhancedIndexTable &eit = DominoTestPeer::eit(domino);
     ASSERT_GT(eit.touchedRows(), 0u);
-    auto &row = EitTestPeer::table(eit).begin()->second;
+    auto &row = EitTestPeer::firstNonEmptyRow(eit);
     ASSERT_GT(row.size(), 0u);
     row.at(0).tag = invalidAddr;
 

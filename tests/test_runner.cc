@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "common/table_format.h"
 #include "runner/experiment_grid.h"
+#include "trace/trace_cache.h"
 #include "workloads/server_workload.h"
 #include "workloads/workload_params.h"
 
@@ -192,6 +193,76 @@ TEST(RunnerDeterminism, AggregatedStatsByteIdenticalAcrossJobs)
     EXPECT_EQ(serial, coverageSweepCsv(8));
     // And stable across repeated parallel runs.
     EXPECT_EQ(serial, coverageSweepCsv(8));
+}
+
+/**
+ * The same sweep through a shared TraceCache, as the bench binaries
+ * run it: cells race on the cache under the worker pool, each
+ * replays a zero-copy TraceView of the single generated buffer.
+ */
+std::string
+cachedSweepCsv(unsigned jobs, TraceCache &cache)
+{
+    std::vector<WorkloadParams> workloads;
+    for (const auto &p : serverSuite()) {
+        if (workloads.size() < 3)
+            workloads.push_back(p);
+    }
+    const std::vector<std::string> techniques = {"STMS", "Domino"};
+    const std::uint64_t accesses = 30'000;
+
+    const ExperimentGrid grid(
+        {workloads.size(), techniques.size(), 1}, 1);
+    const auto cells = grid.run(jobs, [&](const Cell &cell) {
+        const WorkloadParams &wl = workloads[cell.workload];
+        FactoryConfig f;
+        f.seed = cell.seed ^ 0xfac;
+        auto pf = makePrefetcher(techniques[cell.config], f);
+        TraceView src = cache.view(
+            wl.cacheKey(cell.seed, accesses),
+            [&] { return generateTrace(wl, cell.seed, accesses); });
+        CoverageSimulator sim;
+        const CoverageResult r = sim.run(src, pf.get());
+        return std::pair<double, double>(r.coverage(),
+                                         r.overpredictionRate());
+    });
+
+    TextTable table({"Workload", "Prefetcher", "Coverage",
+                     "Overpredictions"});
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (std::size_t t = 0; t < techniques.size(); ++t) {
+            const auto &r = cells[w * techniques.size() + t];
+            table.newRow();
+            table.cell(workloads[w].name);
+            table.cell(techniques[t]);
+            table.cellPct(r.first);
+            table.cellPct(r.second);
+        }
+    }
+    std::ostringstream os;
+    table.printCsv(os);
+    return os.str();
+}
+
+TEST(RunnerDeterminism, TraceCacheSweepByteIdenticalAcrossJobs)
+{
+    // Fresh generation under --jobs 1 vs. races under --jobs 8 vs.
+    // pure cache replay: all three must agree byte-for-byte, and
+    // the fresh-workload sweep above must agree too (the cached
+    // trace is the same access stream).
+    TraceCache cold;
+    const std::string serial = cachedSweepCsv(1, cold);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(cold.generations(), 3u);  // one per workload
+
+    TraceCache racy;
+    EXPECT_EQ(serial, cachedSweepCsv(8, racy));
+    EXPECT_EQ(racy.generations(), 3u);
+
+    // Replay from the warm cache (all hits, no generation).
+    const std::uint64_t gens = racy.generations();
+    EXPECT_EQ(serial, cachedSweepCsv(8, racy));
+    EXPECT_EQ(racy.generations(), gens);
 }
 
 // --- JSON emission (the --json bench output path) ------------------

@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Tests for the generate-once trace cache and its TraceView cursor:
+ * single-flight generation under concurrency, byte-identity of
+ * cached replay vs. fresh generation, cursor/reset semantics, the
+ * memoised miss-sequence plane, failure retry, and the FlatHashMap
+ * the flat tables are built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <memory>
+#include <unordered_map>
+
+#include "analysis/coverage.h"
+#include "analysis/factory.h"
+#include "common/flat_map.h"
+#include "common/prng.h"
+#include "domino/eit.h"
+#include "trace/trace_cache.h"
+#include "workloads/server_workload.h"
+#include "workloads/workload_params.h"
+
+namespace domino
+{
+namespace
+{
+
+WorkloadParams
+testWorkload()
+{
+    WorkloadParams p = serverSuite().front();
+    return p;
+}
+
+TraceBuffer
+smallTrace(std::uint64_t first, std::size_t count)
+{
+    TraceBuffer t;
+    for (std::size_t i = 0; i < count; ++i)
+        t.pushRead((first + i) * 64);
+    return t;
+}
+
+// ---------------------------------------------------------------
+// TraceView
+
+TEST(TraceView, EmptyViewIsExhaustedAndAuditsClean)
+{
+    TraceView view;
+    Access a;
+    EXPECT_FALSE(view.next(a));
+    EXPECT_EQ(view.size(), 0u);
+    EXPECT_EQ(view.position(), 0u);
+    EXPECT_EQ(view.audit(), "");
+}
+
+TEST(TraceView, StreamsSharedBufferAndResets)
+{
+    auto buf = std::make_shared<const TraceBuffer>(smallTrace(10, 5));
+    TraceView view(buf);
+    EXPECT_EQ(view.size(), 5u);
+
+    Access a;
+    std::vector<Addr> seen;
+    while (view.next(a))
+        seen.push_back(a.addr);
+    ASSERT_EQ(seen.size(), 5u);
+    EXPECT_EQ(view.position(), 5u);
+    EXPECT_FALSE(view.next(a));
+    EXPECT_EQ(view.audit(), "");
+
+    view.reset();
+    EXPECT_EQ(view.position(), 0u);
+    ASSERT_TRUE(view.next(a));
+    EXPECT_EQ(a.addr, seen.front());
+}
+
+TEST(TraceView, ViewsShareTheBufferButNotTheCursor)
+{
+    auto buf = std::make_shared<const TraceBuffer>(smallTrace(7, 4));
+    TraceView a_view(buf);
+    TraceView b_view(buf);
+    EXPECT_EQ(a_view.buffer().get(), b_view.buffer().get());
+
+    Access a;
+    ASSERT_TRUE(a_view.next(a));
+    ASSERT_TRUE(a_view.next(a));
+    EXPECT_EQ(a_view.position(), 2u);
+    EXPECT_EQ(b_view.position(), 0u);
+}
+
+// ---------------------------------------------------------------
+// TraceCache
+
+TEST(TraceCache, GeneratesOncePerKey)
+{
+    TraceCache cache;
+    std::atomic<int> calls{0};
+    const auto gen = [&] {
+        ++calls;
+        return smallTrace(1, 8);
+    };
+    const auto first = cache.get("k", gen);
+    const auto second = cache.get("k", gen);
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.generations(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TraceCache, DistinctKeysGenerateSeparately)
+{
+    TraceCache cache;
+    std::atomic<int> calls{0};
+    const auto gen = [&] {
+        ++calls;
+        return smallTrace(1, 4);
+    };
+    cache.get("a", gen);
+    cache.get("b", gen);
+    EXPECT_EQ(calls.load(), 2);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TraceCache, SingleFlightUnderEightThreads)
+{
+    TraceCache cache;
+    std::atomic<int> calls{0};
+    constexpr int threads = 8;
+    constexpr int keys = 4;
+    std::vector<std::thread> pool;
+    std::vector<std::shared_ptr<const TraceBuffer>>
+        results(threads * keys);
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (int k = 0; k < keys; ++k) {
+                results[t * keys + k] = cache.get(
+                    "key" + std::to_string(k), [&, k] {
+                        ++calls;
+                        return smallTrace(
+                            static_cast<std::uint64_t>(k) * 100, 64);
+                    });
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    // Exactly one generation per key, and all requesters of one key
+    // share one buffer instance.
+    EXPECT_EQ(calls.load(), keys);
+    EXPECT_EQ(cache.generations(),
+              static_cast<std::uint64_t>(keys));
+    for (int k = 0; k < keys; ++k) {
+        for (int t = 1; t < threads; ++t) {
+            EXPECT_EQ(results[t * keys + k].get(),
+                      results[0 * keys + k].get());
+        }
+    }
+}
+
+TEST(TraceCache, ViewIsByteIdenticalToFreshServerWorkload)
+{
+    const WorkloadParams wl = testWorkload();
+    const std::uint64_t seed = 42;
+    const std::uint64_t limit = 20'000;
+
+    TraceCache cache;
+    TraceView cached = cache.view(
+        wl.cacheKey(seed, limit),
+        [&] { return generateTrace(wl, seed, limit); });
+
+    ServerWorkload fresh(wl, seed, limit);
+    Access a, b;
+    std::size_t n = 0;
+    while (true) {
+        const bool more_cached = cached.next(a);
+        const bool more_fresh = fresh.next(b);
+        ASSERT_EQ(more_cached, more_fresh) << "length mismatch at "
+                                           << n;
+        if (!more_cached)
+            break;
+        ASSERT_EQ(a.addr, b.addr) << "addr diverged at " << n;
+        ASSERT_EQ(a.pc, b.pc) << "pc diverged at " << n;
+        ASSERT_EQ(a.isWrite, b.isWrite) << "kind diverged at " << n;
+        ++n;
+    }
+    EXPECT_EQ(n, cached.size());
+}
+
+TEST(TraceCache, MissSequenceIsMemoisedAndMatchesDirectFilter)
+{
+    const WorkloadParams wl = testWorkload();
+    const std::uint64_t seed = 7;
+    const std::uint64_t limit = 20'000;
+    const std::string key = wl.cacheKey(seed, limit);
+
+    TraceCache cache;
+    std::atomic<int> calls{0};
+    const auto gen = [&] {
+        ++calls;
+        TraceView src = cache.view(
+            key, [&] { return generateTrace(wl, seed, limit); });
+        return baselineMissSequence(src);
+    };
+    const auto first = cache.missSequence("miss:" + key, gen);
+    const auto second = cache.missSequence("miss:" + key, gen);
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(first.get(), second.get());
+
+    ServerWorkload fresh(wl, seed, limit);
+    EXPECT_EQ(*first, baselineMissSequence(fresh));
+}
+
+TEST(TraceCache, FailedGenerationIsRetriedNotCached)
+{
+    TraceCache cache;
+    std::atomic<int> calls{0};
+    const auto failing = [&]() -> TraceBuffer {
+        ++calls;
+        throw std::runtime_error("generator exploded");
+    };
+    EXPECT_THROW(cache.get("k", failing), std::runtime_error);
+    EXPECT_EQ(cache.size(), 0u);
+
+    // A later request retries and can succeed.
+    const auto ok = cache.get("k", [&] {
+        ++calls;
+        return smallTrace(3, 3);
+    });
+    EXPECT_EQ(calls.load(), 2);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(ok->size(), 3u);
+}
+
+TEST(TraceCache, ClearDropsEntriesButKeepsCounters)
+{
+    TraceCache cache;
+    cache.get("k", [] { return smallTrace(1, 2); });
+    EXPECT_EQ(cache.size(), 1u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.generations(), 1u);
+
+    std::atomic<int> calls{0};
+    cache.get("k", [&] {
+        ++calls;
+        return smallTrace(1, 2);
+    });
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(cache.generations(), 2u);
+}
+
+// ---------------------------------------------------------------
+// FlatHashMap (the container under the flattened index tables)
+
+TEST(FlatHashMap, InsertFindAndGrowth)
+{
+    FlatHashMap<std::uint64_t> map(2);
+    constexpr std::uint64_t count = 10'000;
+    for (std::uint64_t k = 0; k < count; ++k)
+        map[k * 977] = k;
+    EXPECT_EQ(map.size(), count);
+    EXPECT_EQ(map.audit(), "");
+    for (std::uint64_t k = 0; k < count; ++k) {
+        const std::uint64_t *v = map.find(k * 977);
+        ASSERT_NE(v, nullptr) << "key " << k * 977;
+        EXPECT_EQ(*v, k);
+    }
+    EXPECT_EQ(map.find(977 * count + 1), nullptr);
+}
+
+TEST(FlatHashMap, KeyZeroIsAValidKey)
+{
+    FlatHashMap<std::uint64_t> map;
+    EXPECT_EQ(map.find(0), nullptr);
+    map[0] = 99;
+    ASSERT_NE(map.find(0), nullptr);
+    EXPECT_EQ(*map.find(0), 99u);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap, OperatorBracketUpdatesInPlace)
+{
+    FlatHashMap<std::uint64_t> map;
+    map[5] = 1;
+    map[5] = 2;
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(*map.find(5), 2u);
+}
+
+TEST(FlatHashMap, ClearEmptiesButKeepsCapacity)
+{
+    FlatHashMap<std::uint64_t> map(64);
+    for (std::uint64_t k = 1; k <= 10; ++k)
+        map[k] = k;
+    const std::size_t cap = map.capacity();
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_EQ(map.find(3), nullptr);
+    EXPECT_EQ(map.audit(), "");
+}
+
+// ---------------------------------------------------------------
+// Flat EIT determinism: the flat pow2-masked row vector must behave
+// exactly like a map-based table indexed with a plain modulo.
+
+std::uint64_t
+ceilPow2(std::uint64_t x)
+{
+    std::uint64_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Map-based reference EIT: rows live in an unordered_map keyed by
+ * `mix64(tag) % rows` (modulo indexing, rows created on demand).
+ * Shares the row/LRU semantics with the real table, so any
+ * divergence isolates the flat storage + mask indexing.
+ */
+struct ReferenceEit
+{
+    explicit ReferenceEit(const EitConfig &config)
+        : cfg(config), rows(ceilPow2(config.rows ? config.rows : 1))
+    {}
+
+    LruSet<SuperEntry> &
+    rowFor(LineAddr tag)
+    {
+        return table
+            .try_emplace(mix64(tag) % rows,
+                         LruSet<SuperEntry>(cfg.supersPerRow))
+            .first->second;
+    }
+
+    void
+    update(LineAddr tag, LineAddr next, std::uint64_t pos)
+    {
+        LruSet<SuperEntry> &row = rowFor(tag);
+        std::size_t idx = row.find(
+            [&](const SuperEntry &s) { return s.tag == tag; });
+        if (idx == row.size()) {
+            SuperEntry fresh;
+            fresh.tag = tag;
+            fresh.entries.setCapacity(cfg.entriesPerSuper);
+            row.insert(std::move(fresh));
+        } else {
+            row.touch(idx);
+        }
+        SuperEntry &super = row.at(0);
+        const std::size_t e = super.entries.find(
+            [&](const EitEntry &entry) {
+                return entry.next == next;
+            });
+        if (e == super.entries.size()) {
+            super.entries.insert(EitEntry{next, pos});
+        } else {
+            super.entries.at(e).pos = pos;
+            super.entries.touch(e);
+        }
+    }
+
+    const SuperEntry *
+    lookup(LineAddr tag) const
+    {
+        const auto it = table.find(mix64(tag) % rows);
+        if (it == table.end())
+            return nullptr;
+        const LruSet<SuperEntry> &row = it->second;
+        const std::size_t idx = row.find(
+            [&](const SuperEntry &s) { return s.tag == tag; });
+        return idx == row.size() ? nullptr : &row.at(idx);
+    }
+
+    EitConfig cfg;
+    std::uint64_t rows;
+    std::unordered_map<std::uint64_t, LruSet<SuperEntry>> table;
+};
+
+void
+expectSameEntry(const SuperEntry *got, const SuperEntry *want,
+                LineAddr tag)
+{
+    ASSERT_EQ(got != nullptr, want != nullptr) << "tag " << tag;
+    if (!got)
+        return;
+    ASSERT_EQ(got->tag, want->tag);
+    ASSERT_EQ(got->entries.size(), want->entries.size());
+    for (std::size_t i = 0; i < got->entries.size(); ++i) {
+        EXPECT_EQ(got->entries.at(i).next, want->entries.at(i).next)
+            << "tag " << tag << " entry " << i;
+        EXPECT_EQ(got->entries.at(i).pos, want->entries.at(i).pos)
+            << "tag " << tag << " entry " << i;
+    }
+}
+
+TEST(FlatEit, MatchesMapBasedReferenceAtPow2Geometry)
+{
+    EitConfig cfg;
+    cfg.rows = 1ULL << 10;
+    EnhancedIndexTable eit(cfg);
+    ReferenceEit ref(cfg);
+
+    Prng rng(0xf1a7);
+    constexpr std::uint64_t tag_pool = 1ULL << 12;
+    for (std::uint64_t i = 0; i < 50'000; ++i) {
+        const LineAddr tag = 1 + rng.below(tag_pool);
+        const LineAddr next = 1 + rng.below(tag_pool);
+        eit.update(tag, next, i);
+        ref.update(tag, next, i);
+    }
+    for (LineAddr tag = 1; tag <= tag_pool; ++tag)
+        expectSameEntry(eit.lookup(tag), ref.lookup(tag), tag);
+    EXPECT_EQ(eit.audit(1ULL << 20), "");
+}
+
+TEST(FlatEit, NonPow2RowCountRoundsUpAndStillMatches)
+{
+    EitConfig cfg;
+    cfg.rows = 1000;  // rounds up to 1024
+    EnhancedIndexTable eit(cfg);
+    ReferenceEit ref(cfg);
+    EXPECT_EQ(eit.rows(), 1024u);
+
+    Prng rng(0xf1a8);
+    for (std::uint64_t i = 0; i < 20'000; ++i) {
+        const LineAddr tag = 1 + rng.below(1ULL << 11);
+        const LineAddr next = 1 + rng.below(1ULL << 11);
+        eit.update(tag, next, i);
+        ref.update(tag, next, i);
+    }
+    for (LineAddr tag = 1; tag <= (1ULL << 11); ++tag)
+        expectSameEntry(eit.lookup(tag), ref.lookup(tag), tag);
+}
+
+// ---------------------------------------------------------------
+// Lockstep coverage runs: runMany() must reproduce separate run()
+// calls exactly (the coverage figures rely on this).
+
+TEST(CoverageLockstep, MatchesSeparateRuns)
+{
+    const WorkloadParams wl = testWorkload();
+    const std::uint64_t seed = 11;
+    const std::uint64_t limit = 40'000;
+
+    TraceCache cache;
+    const std::string key = wl.cacheKey(seed, limit);
+    const auto gen = [&] { return generateTrace(wl, seed, limit); };
+
+    FactoryConfig f;
+    f.degree = 4;
+    f.seed = seed ^ 0xfac;
+    const std::vector<std::string> techs{"STMS", "Digram", "Domino"};
+
+    // Separate runs, one fresh view per technique.
+    std::vector<CoverageResult> separate;
+    for (const std::string &tech : techs) {
+        TraceView src = cache.view(key, gen);
+        auto pf = makePrefetcher(tech, f);
+        CoverageSimulator sim;
+        separate.push_back(sim.run(src, pf.get()));
+    }
+
+    // One lockstep run over the same trace.
+    std::vector<std::unique_ptr<Prefetcher>> owned;
+    std::vector<Prefetcher *> roster;
+    for (const std::string &tech : techs) {
+        owned.push_back(makePrefetcher(tech, f));
+        roster.push_back(owned.back().get());
+    }
+    TraceView src = cache.view(key, gen);
+    CoverageSimulator sim;
+    const std::vector<CoverageResult> lockstep =
+        sim.runMany(src, roster);
+
+    ASSERT_EQ(lockstep.size(), separate.size());
+    for (std::size_t i = 0; i < techs.size(); ++i) {
+        const CoverageResult &a = lockstep[i];
+        const CoverageResult &b = separate[i];
+        EXPECT_EQ(a.accesses, b.accesses) << techs[i];
+        EXPECT_EQ(a.l1Hits, b.l1Hits) << techs[i];
+        EXPECT_EQ(a.covered, b.covered) << techs[i];
+        EXPECT_EQ(a.uncovered, b.uncovered) << techs[i];
+        EXPECT_EQ(a.issued, b.issued) << techs[i];
+        EXPECT_EQ(a.overpredictions, b.overpredictions) << techs[i];
+        EXPECT_EQ(a.meanStreamRun(), b.meanStreamRun()) << techs[i];
+    }
+}
+
+} // anonymous namespace
+} // namespace domino
