@@ -21,6 +21,7 @@
 #include "analysis/coverage.h"
 #include "analysis/factory.h"
 #include "runner/experiment_grid.h"
+#include "sim/system_config.h"
 #include "trace/trace_cache.h"
 #include "workloads/server_workload.h"
 #include "workloads/workload_params.h"
@@ -59,6 +60,56 @@ struct BenchOptions
         return o;
     }
 };
+
+/**
+ * The simulated system from the command line -- one source of truth
+ * for every timing/multicore harness, so "the system" means the same
+ * thing in bench_fig14_speedup, bench_fig15_bandwidth, and
+ * bench_multicore_scaling.
+ *
+ * Geometry: --cores, --llc-kb (default 512: the synthetic footprints
+ * are ~100x smaller than the paper's multi-gigabyte datasets, so the
+ * LLC is scaled down to preserve the property that most data misses
+ * reach memory; pass --llc-kb 4096 for the Table I size), --llc-ways,
+ * --l1-kb, --l1-ways, --mshrs, --buffer-blocks.
+ *
+ * Latency/bandwidth: --l1-lat, --llc-lat, --mem-lat, --metadata-lat
+ * (0 = same DRAM as data), --ghz, --peak-bw.
+ *
+ * Multicore substrate: --shared (one HT/EIT for all cores),
+ * --free-metadata (zero-cost-metadata control: count metadata bytes
+ * but charge no bandwidth), --chunk (interleaver chunk length).
+ */
+inline SystemConfig
+systemFromCli(const CliArgs &args)
+{
+    SystemConfig sys;
+    sys.cores = static_cast<unsigned>(
+        args.getU64("cores", sys.cores));
+    sys.llcBytes = args.getU64("llc-kb", 512) * 1024;
+    sys.llcWays = static_cast<std::uint32_t>(
+        args.getU64("llc-ways", sys.llcWays));
+    sys.l1Bytes = args.getU64("l1-kb", sys.l1Bytes / 1024) * 1024;
+    sys.l1Ways = static_cast<std::uint32_t>(
+        args.getU64("l1-ways", sys.l1Ways));
+    sys.l1Mshrs = static_cast<unsigned>(
+        args.getU64("mshrs", sys.l1Mshrs));
+    sys.prefetchBufferBlocks = static_cast<std::uint32_t>(
+        args.getU64("buffer-blocks", sys.prefetchBufferBlocks));
+    sys.mem.l1Latency = args.getU64("l1-lat", sys.mem.l1Latency);
+    sys.mem.llcLatency = args.getU64("llc-lat", sys.mem.llcLatency);
+    sys.mem.memLatency = args.getU64("mem-lat", sys.mem.memLatency);
+    sys.mem.metadataTripCycles =
+        args.getU64("metadata-lat", sys.mem.metadataTripCycles);
+    sys.mem.coreGhz = args.getDouble("ghz", sys.mem.coreGhz);
+    sys.mem.peakBandwidthGBs =
+        args.getDouble("peak-bw", sys.mem.peakBandwidthGBs);
+    sys.multicore.sharedMetadata = args.getBool("shared");
+    sys.multicore.chargeMetadata = !args.getBool("free-metadata");
+    sys.multicore.shardChunk = static_cast<std::uint32_t>(
+        args.getU64("chunk", sys.multicore.shardChunk));
+    return sys;
+}
 
 /**
  * The process-wide trace cache every harness cell draws from.

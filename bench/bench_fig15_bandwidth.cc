@@ -79,13 +79,7 @@ main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
     const BenchOptions opts = BenchOptions::fromCli(args);
-    SystemConfig sys;
-    sys.cores = static_cast<unsigned>(args.getU64("cores", 4));
-    // Scaled LLC default: the synthetic footprints are ~100x smaller
-    // than the paper's multi-gigabyte datasets, so the LLC is scaled
-    // down to preserve the property that most data misses reach
-    // memory.  Pass --llc-kb 4096 for the Table I size.
-    sys.llcBytes = args.getU64("llc-kb", 512) * 1024;
+    const SystemConfig sys = systemFromCli(args);
     const std::uint64_t per_core =
         std::max<std::uint64_t>(opts.accesses / sys.cores, 50'000);
     const std::vector<std::string> techniques =

@@ -23,6 +23,8 @@
 
 #include "bench_common.h"
 #include "domino/eit.h"
+#include "multicore/multicore_sim.h"
+#include "trace/trace_interleaver.h"
 
 using namespace domino;
 using namespace domino::bench;
@@ -114,6 +116,33 @@ main(int argc, char **argv)
                 sink = sink + sim.run(src, pf.get()).covered;
             }));
     }
+
+    // --- One 4-core multicore run: Domino over the sharded trace
+    // with the charged off-chip channel (the whole-substrate hot
+    // path of bench_multicore_scaling).
+    const auto sharedTrace =
+        std::make_shared<const TraceBuffer>(trace);
+    cells.push_back(
+        timeCell("multicore_4core_Domino", n, repeats, [&] {
+            SystemConfig sys;
+            sys.llcBytes = 512 * 1024;
+            TraceInterleaver interleaver(
+                sharedTrace, sys.cores, sys.multicore.shardChunk);
+            PrefetcherSet set = makePrefetcherSet(
+                "Domino", f, sys.cores, MetadataScope::Private);
+            std::vector<ShardView> shards;
+            shards.reserve(sys.cores);
+            std::vector<CoreBinding> bindings;
+            for (unsigned c = 0; c < sys.cores; ++c) {
+                shards.push_back(interleaver.shard(c));
+                CoreBinding binding;
+                binding.source = &shards.back();
+                binding.prefetcher = set.perCore[c];
+                bindings.push_back(binding);
+            }
+            MultiCoreSim sim(sys);
+            sink = sink + sim.run(bindings).traffic.totalBytes();
+        }));
 
     // --- EIT micro-ops at the factory geometry, over a tag working
     // set sized like a bench trace's trigger footprint.

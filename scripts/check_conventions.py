@@ -12,6 +12,11 @@ the standard library (the container ships no Python packages):
                  banned randomness sources (std::mt19937, rand(),
                  std::random_device): every experiment must replay
                  bit-for-bit from an explicit 64-bit seed.
+  derived-seed   no arithmetic (`seed + core`, `seed * 977`, ...)
+                 inside a Prng constructor: nearby seeds give PRNGs
+                 with correlated streams and silently collide when
+                 grids are re-shaped.  Derive positional seeds with
+                 deriveCellSeed / deriveCoreSeed (or mix64) instead.
   bare-assert    no <cassert>/assert() in src/ -- invariants use the
                  CHECK/DCHECK family (src/common/check.h) so they
                  print values and participate in DOMINO_CHECKS
@@ -57,6 +62,19 @@ UNSEEDED_RES = [
     (re.compile(r"(?<![\w:.])s?rand\s*\(\s*\)"), "C rand()/srand() is "
      "banned; use domino::Prng"),
 ]
+
+# Additive arithmetic inside a Prng constructor expression.
+# `Prng(seed + core)` gives nearby cores correlated streams and
+# silently collides when the grid is re-shaped; positional seeds go
+# through deriveCellSeed / deriveCoreSeed (or mix64), whose avalanche
+# decorrelates the inputs.  XOR-with-salt (`seed ^ 0xe17`) is the
+# accepted idiom for *distinguishing* streams and stays legal.  Both
+# spellings are covered: `Prng(expr)` and `Prng name(expr)` /
+# `Prng name{expr}`.
+DERIVED_SEED_RE = re.compile(
+    r"\bPrng\s*(?:\w+\s*)?[({][^)}]*[-+][^)}]*[)}]")
+DERIVED_SEED_OK_RE = re.compile(
+    r"\b(mix64|deriveCellSeed|deriveCoreSeed)\s*\(")
 
 BARE_ASSERT_RES = [
     (re.compile(r"#\s*include\s*<cassert>"), "<cassert> include"),
@@ -135,6 +153,14 @@ def check_file(path: Path) -> list[str]:
         for pattern, message in UNSEEDED_RES:
             if pattern.search(code):
                 report("unseeded-prng", message)
+        if (DERIVED_SEED_RE.search(code)
+                and not DERIVED_SEED_OK_RE.search(code)):
+            report("derived-seed",
+                   "additive seed arithmetic inside a Prng "
+                   "constructor (correlated/colliding streams); "
+                   "derive the seed with deriveCellSeed/"
+                   "deriveCoreSeed or mix64; "
+                   f"offending line: {raw.strip()}")
         if str(rel).startswith("src/"):
             for pattern, message in BARE_ASSERT_RES:
                 if pattern.search(code):

@@ -1,5 +1,6 @@
 #include "factory.h"
 
+#include "common/types.h"
 #include "domino/domino_prefetcher.h"
 #include "prefetch/digram.h"
 #include "prefetch/isb.h"
@@ -107,6 +108,46 @@ std::vector<std::string>
 evaluatedPrefetchers()
 {
     return {"VLDP", "ISB", "STMS", "Digram", "Domino"};
+}
+
+std::uint64_t
+deriveCoreSeed(std::uint64_t base, unsigned core)
+{
+    if (core == 0)
+        return base;
+    return mix64(base ^ (0xC0DEC0DEULL + core));
+}
+
+PrefetcherSet
+makePrefetcherSet(const std::string &name,
+                  const FactoryConfig &config, unsigned cores,
+                  MetadataScope scope)
+{
+    PrefetcherSet set;
+    set.perCore.assign(cores, nullptr);
+    if (name.empty())
+        return set;
+    if (scope == MetadataScope::Shared) {
+        auto shared = makePrefetcher(name, config);
+        if (!shared)
+            return set;
+        Prefetcher *raw = shared.get();
+        set.owned.push_back(std::move(shared));
+        for (unsigned c = 0; c < cores; ++c)
+            set.perCore[c] = raw;
+        return set;
+    }
+    for (unsigned c = 0; c < cores; ++c) {
+        FactoryConfig coreConfig = config;
+        coreConfig.seed = deriveCoreSeed(config.seed, c);
+        auto p = makePrefetcher(name, coreConfig);
+        if (!p)
+            return PrefetcherSet{{}, std::vector<Prefetcher *>(
+                cores, nullptr)};
+        set.perCore[c] = p.get();
+        set.owned.push_back(std::move(p));
+    }
+    return set;
 }
 
 } // namespace domino

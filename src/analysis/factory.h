@@ -59,6 +59,50 @@ std::unique_ptr<Prefetcher> makePrefetcher(
 /** The evaluated prefetcher roster, paper order (Figures 11/13). */
 std::vector<std::string> evaluatedPrefetchers();
 
+/** HT/EIT placement in a multi-core run. */
+enum class MetadataScope
+{
+    /** One private table set per core. */
+    Private,
+    /** One table set observing the union of all cores' triggers. */
+    Shared,
+};
+
+/**
+ * The prefetchers of one multi-core run: `perCore[c]` is the
+ * instance core c drives (nullptr everywhere for the no-prefetcher
+ * baseline).  In shared scope every slot points at the same owned
+ * instance; in private scope each slot owns its own.
+ */
+struct PrefetcherSet
+{
+    /** Owning storage (one instance, or one per core). */
+    std::vector<std::unique_ptr<Prefetcher>> owned;
+    /** Per-core view into owned (repeats in shared scope). */
+    std::vector<Prefetcher *> perCore;
+};
+
+/**
+ * Positional per-core seed: core 0 keeps @p base (so a 1-core run
+ * reproduces the single-core configuration exactly) and every other
+ * core derives an independent stream via mix64 -- never additive
+ * `base + core`, which correlates neighbouring cores' sampling
+ * decisions.
+ */
+std::uint64_t deriveCoreSeed(std::uint64_t base, unsigned core);
+
+/**
+ * Construct the prefetchers for a multi-core run of @p name.
+ * Private scope builds @p cores instances with deriveCoreSeed()
+ * seeds; shared scope builds one instance (seeded with the base
+ * seed) and repeats it.  An empty/unknown name yields a set of
+ * nullptrs (the baseline).
+ */
+PrefetcherSet makePrefetcherSet(const std::string &name,
+                                const FactoryConfig &config,
+                                unsigned cores,
+                                MetadataScope scope);
+
 } // namespace domino
 
 #endif // DOMINO_ANALYSIS_FACTORY_H

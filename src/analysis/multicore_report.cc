@@ -1,0 +1,89 @@
+#include "multicore_report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace domino
+{
+
+double
+MulticoreSummary::imbalance() const
+{
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (const auto &row : cores) {
+        if (first) {
+            lo = hi = row.ipc;
+            first = false;
+        } else {
+            lo = std::min(lo, row.ipc);
+            hi = std::max(hi, row.ipc);
+        }
+    }
+    return lo > 0.0 ? hi / lo : 0.0;
+}
+
+MulticoreSummary
+summarizeMulticore(const MultiCoreResult &result, double core_ghz)
+{
+    MulticoreSummary s;
+    for (unsigned c = 0; c < result.cores.size(); ++c) {
+        const McCoreResult &core = result.cores[c];
+        McCoreRow row;
+        row.core = c;
+        row.ipc = core.ipc();
+        row.coverage = core.coverage();
+        row.queuePerKiloInst = core.instructions
+            ? 1000.0 * static_cast<double>(core.queueCycles) /
+                static_cast<double>(core.instructions)
+            : 0.0;
+        row.channelBytes = core.channelBytes;
+        row.droppedPrefetches = core.droppedPrefetches;
+        s.cores.push_back(row);
+    }
+    s.systemIpc = result.systemIpc();
+    s.aggregateCoverage = result.aggregateCoverage();
+    s.metadataShare = result.metadataShare();
+    s.bandwidthGBs = result.bandwidthGBs(core_ghz);
+    const Cycles span = result.makespan();
+    s.channelUtilization = span
+        ? static_cast<double>(result.channelBusyCycles) /
+            static_cast<double>(span)
+        : 0.0;
+    s.queueCycles = result.totalQueueCycles();
+    s.traffic = result.traffic;
+    return s;
+}
+
+std::string
+formatMulticoreSummary(const MulticoreSummary &summary)
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%-5s %8s %8s %10s %12s %8s\n", "core", "ipc",
+                  "cov", "q/kinst", "chanBytes", "dropped");
+    out += line;
+    for (const auto &row : summary.cores) {
+        std::snprintf(line, sizeof line,
+                      "%-5u %8.3f %8.3f %10.2f %12llu %8llu\n",
+                      row.core, row.ipc, row.coverage,
+                      row.queuePerKiloInst,
+                      static_cast<unsigned long long>(
+                          row.channelBytes),
+                      static_cast<unsigned long long>(
+                          row.droppedPrefetches));
+        out += line;
+    }
+    std::snprintf(
+        line, sizeof line,
+        "chip  ipc=%.3f cov=%.3f metaShare=%.3f bw=%.2fGB/s "
+        "util=%.3f imbalance=%.3f\n",
+        summary.systemIpc, summary.aggregateCoverage,
+        summary.metadataShare, summary.bandwidthGBs,
+        summary.channelUtilization, summary.imbalance());
+    out += line;
+    return out;
+}
+
+} // namespace domino

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reporting helpers for multi-core runs: flatten a MultiCoreResult
+ * into per-core rows plus whole-chip aggregates, ready for the
+ * experiment tables (bench_multicore_scaling) and tests.
+ */
+
+#ifndef DOMINO_ANALYSIS_MULTICORE_REPORT_H
+#define DOMINO_ANALYSIS_MULTICORE_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "multicore/multicore_sim.h"
+
+namespace domino
+{
+
+/** One core's line of a multi-core report. */
+struct McCoreRow
+{
+    unsigned core = 0;
+    double ipc = 0.0;
+    double coverage = 0.0;
+    /** Channel-queueing cycles per kilo-instruction on this core. */
+    double queuePerKiloInst = 0.0;
+    /** Bytes this core moved over the shared channel. */
+    std::uint64_t channelBytes = 0;
+    std::uint64_t droppedPrefetches = 0;
+};
+
+/** Whole-chip aggregates of one multi-core run. */
+struct MulticoreSummary
+{
+    std::vector<McCoreRow> cores;
+    double systemIpc = 0.0;
+    double aggregateCoverage = 0.0;
+    /** Metadata bytes over all off-chip bytes. */
+    double metadataShare = 0.0;
+    /** Achieved off-chip bandwidth over the makespan, GB/s. */
+    double bandwidthGBs = 0.0;
+    /** Channel busy cycles over the makespan (utilisation). */
+    double channelUtilization = 0.0;
+    /** Total queueing cycles across cores. */
+    Cycles queueCycles = 0;
+    /** Byte breakdown (Figure 15 classification). */
+    OffChipTraffic traffic;
+
+    /** Slowest over fastest core IPC (1.0 = perfectly balanced). */
+    double imbalance() const;
+};
+
+/** Flatten @p result into rows + aggregates at @p core_ghz. */
+MulticoreSummary summarizeMulticore(const MultiCoreResult &result,
+                                    double core_ghz);
+
+/**
+ * Render @p summary as an aligned text table (one row per core plus
+ * an aggregate line), for experiment logs.
+ */
+std::string formatMulticoreSummary(const MulticoreSummary &summary);
+
+} // namespace domino
+
+#endif // DOMINO_ANALYSIS_MULTICORE_REPORT_H

@@ -27,9 +27,31 @@ struct MemoryParams
     Cycles memLatency = 180;
     /** Peak off-chip bandwidth (Table I: 37.5 GB/s). */
     double peakBandwidthGBs = 37.5;
+    /**
+     * Cycles for one serial off-chip metadata round trip; 0 means
+     * "same as memLatency" (the metadata tables live in the same
+     * DRAM as the data).  A nonzero value models a dedicated
+     * metadata store (e.g. a slower far-memory tier).
+     */
+    Cycles metadataTripCycles = 0;
 
     /** Cycles for one serial off-chip metadata round trip. */
-    Cycles metadataLatency() const { return memLatency; }
+    Cycles
+    metadataLatency() const
+    {
+        return metadataTripCycles ? metadataTripCycles : memLatency;
+    }
+
+    /**
+     * Peak off-chip transfer rate in bytes per core cycle (the unit
+     * the bandwidth/queueing account works in): GB/s divided by
+     * Gcycles/s.  Table I: 37.5 / 4 = 9.375 B/cycle.
+     */
+    double
+    bytesPerCycle() const
+    {
+        return coreGhz > 0.0 ? peakBandwidthGBs / coreGhz : 0.0;
+    }
 };
 
 /** Byte counters for the off-chip traffic breakdown (Figure 15). */

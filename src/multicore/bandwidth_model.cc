@@ -1,0 +1,108 @@
+#include "bandwidth_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace domino
+{
+
+BandwidthModel::BandwidthModel(const MemoryParams &mem_params,
+                               unsigned cores)
+    : mem(mem_params), perCore(cores ? cores : 1)
+{
+    CHECK_GT(mem.bytesPerCycle(), 0.0);
+}
+
+Cycles
+BandwidthModel::occupancyOf(std::uint64_t bytes) const
+{
+    if (!bytes)
+        return 0;
+    return static_cast<Cycles>(std::ceil(
+        static_cast<double>(bytes) / mem.bytesPerCycle()));
+}
+
+Cycles
+BandwidthModel::enqueue(unsigned core, ChannelKind kind,
+                        std::uint64_t bytes, Cycles now)
+{
+    DCHECK_LT(core, perCore.size());
+    const Cycles start = std::max(now, channelFreeAt);
+    const Cycles occupancy = occupancyOf(bytes);
+    channelFreeAt = start + occupancy;
+    busy += occupancy;
+    perKind[static_cast<unsigned>(kind)] += bytes;
+    perCore[core].bytes += bytes;
+    return start;
+}
+
+Cycles
+BandwidthModel::transfer(unsigned core, ChannelKind kind,
+                         std::uint64_t bytes, Cycles now)
+{
+    const Cycles start = enqueue(core, kind, bytes, now);
+    perCore[core].queueCycles += start - now;
+    ++perCore[core].requests;
+    const Cycles latency = kind == ChannelKind::MetadataRead
+        ? mem.metadataLatency() : mem.memLatency;
+    return start + occupancyOf(bytes) + latency;
+}
+
+void
+BandwidthModel::post(unsigned core, ChannelKind kind,
+                     std::uint64_t bytes, Cycles now)
+{
+    enqueue(core, kind, bytes, now);
+}
+
+std::uint64_t
+BandwidthModel::totalBytes() const
+{
+    std::uint64_t sum = 0;
+    for (unsigned k = 0; k < channelKinds; ++k)
+        sum += perKind[k];
+    return sum;
+}
+
+const ChannelCoreStats &
+BandwidthModel::coreStats(unsigned core) const
+{
+    CHECK_LT(core, perCore.size());
+    return perCore[core];
+}
+
+std::string
+BandwidthModel::audit() const
+{
+    if (mem.bytesPerCycle() <= 0.0)
+        return "non-positive channel bandwidth";
+    std::uint64_t coreSum = 0;
+    for (const auto &c : perCore)
+        coreSum += c.bytes;
+    if (coreSum != totalBytes()) {
+        return "per-core bytes sum " + std::to_string(coreSum) +
+            " != per-kind total " + std::to_string(totalBytes());
+    }
+    // Occupancy can never outrun the busy horizon: every occupied
+    // cycle advanced freeAt by exactly one.
+    if (busy > channelFreeAt) {
+        return "busy cycles " + std::to_string(busy) +
+            " exceed the freeAt horizon " +
+            std::to_string(channelFreeAt);
+    }
+    // The horizon must cover the total occupancy implied by the
+    // bytes actually charged.
+    const Cycles implied = occupancyOf(totalBytes());
+    if (busy + channelKinds < implied) {
+        // Per-transfer ceil() can exceed the whole-total ceil() but
+        // never undershoot it by more than rounding slack.
+        return "busy cycles " + std::to_string(busy) +
+            " below the occupancy implied by " +
+            std::to_string(totalBytes()) + " bytes";
+    }
+    return "";
+}
+
+} // namespace domino

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The shared off-chip channel of the multi-core substrate: a
+ * bandwidth/queueing account through which every DRAM transfer --
+ * demand fills, prefetch fills, and Domino's HT/EIT metadata
+ * traffic -- is charged, so metadata bandwidth consumption shows up
+ * as *per-core slowdown*, not just as a byte counter.
+ *
+ * Model: a single channel with MemoryParams::bytesPerCycle() of
+ * sustained bandwidth.  A transfer of B bytes occupies the channel
+ * for ceil(B / bytesPerCycle) cycles; a request arriving while the
+ * channel is busy queues behind the in-flight transfers (freeAt
+ * bookkeeping), and the queueing delay is attributed to the
+ * requesting core.  This deliberately replaces the single-core
+ * timing model's premise (Section V.D: prefetcher traffic never
+ * delays demand fetches) with the contended regime the paper's
+ * Figure 15 and Triangel's on-chip-vs-off-chip argument care about.
+ *
+ * Two request flavours:
+ *  - transfer(): on the requesting core's critical path; returns the
+ *    completion cycle (queue + occupancy + the round-trip latency).
+ *    A zero-byte transfer is a *latency probe*: it queues and pays
+ *    the round trip but consumes no bandwidth -- the serial metadata
+ *    trips use it, because their bytes are charged via the
+ *    prefetcher's own MetadataStats (post()) and must not be
+ *    double-counted.
+ *  - post(): fire-and-forget occupancy for traffic that is off the
+ *    critical path (history appends, index write-backs, sampled EIT
+ *    updates).  It consumes bandwidth -- delaying *later* requests
+ *    from any core -- but stalls nobody at request time.
+ *
+ * Cores advance on private clocks and meet here: the channel's
+ * freeAt horizon is global, so a request can arrive "in the past"
+ * relative to another core's transfers.  Round-robin stepping in
+ * MultiCoreSim keeps the clocks in step within one access, and the
+ * arrival order (and hence every completion time) is a pure
+ * function of the configuration -- the account is deterministic.
+ */
+
+#ifndef DOMINO_MULTICORE_BANDWIDTH_MODEL_H
+#define DOMINO_MULTICORE_BANDWIDTH_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/memory_model.h"
+
+namespace domino
+{
+
+/** What a channel transfer carries (per-kind byte accounting). */
+enum class ChannelKind : unsigned
+{
+    DemandFill = 0,
+    PrefetchFill,
+    MetadataRead,
+    MetadataUpdate,
+};
+
+/** Number of ChannelKind values (array sizing). */
+constexpr unsigned channelKinds = 4;
+
+/** Per-core channel account. */
+struct ChannelCoreStats
+{
+    /** Bytes this core moved over the channel (all kinds). */
+    std::uint64_t bytes = 0;
+    /** Cycles this core's critical-path requests spent queued. */
+    Cycles queueCycles = 0;
+    /** Critical-path requests issued (transfer() calls). */
+    std::uint64_t requests = 0;
+};
+
+/** The shared channel. */
+class BandwidthModel
+{
+  public:
+    /**
+     * @param mem latency/bandwidth parameters (the single source of
+     *        truth shared with the single-core timing model).
+     * @param cores number of per-core accounts.
+     */
+    BandwidthModel(const MemoryParams &mem, unsigned cores);
+
+    /**
+     * Critical-path request: @p bytes for @p core arriving at
+     * @p now.  @return the completion cycle (>= now).  Zero bytes =
+     * latency probe (queues, pays the round trip, occupies
+     * nothing).
+     */
+    Cycles transfer(unsigned core, ChannelKind kind,
+                    std::uint64_t bytes, Cycles now);
+
+    /**
+     * Off-critical-path traffic: occupies the channel (delaying
+     * later requests) and charges bytes, but returns no completion
+     * time -- the requesting core does not wait.
+     */
+    void post(unsigned core, ChannelKind kind, std::uint64_t bytes,
+              Cycles now);
+
+    /** Cycle at which the channel next goes idle. */
+    Cycles freeAt() const { return channelFreeAt; }
+
+    /** Cycles the channel spent transferring (occupancy sum). */
+    Cycles busyCycles() const { return busy; }
+
+    /** Bytes moved for one kind. */
+    std::uint64_t
+    kindBytes(ChannelKind kind) const
+    {
+        return perKind[static_cast<unsigned>(kind)];
+    }
+
+    /** Total bytes moved (all kinds). */
+    std::uint64_t totalBytes() const;
+
+    /** One core's account. */
+    const ChannelCoreStats &coreStats(unsigned core) const;
+
+    unsigned cores() const
+    {
+        return static_cast<unsigned>(perCore.size());
+    }
+
+    /**
+     * Verify the account's invariants: per-core bytes sum to the
+     * per-kind total, occupancy never exceeds the busy horizon, the
+     * horizon only moves forward, and the configured bandwidth is
+     * positive.
+     * @return empty string if OK, else a description.
+     */
+    std::string audit() const;
+
+  private:
+    /** Test-only backdoor for corrupting counters in audit
+     *  tests. */
+    friend struct BandwidthTestPeer;
+
+    /** Channel occupancy of a transfer, in cycles. */
+    Cycles occupancyOf(std::uint64_t bytes) const;
+
+    /** Common queueing step: start time and horizon update. */
+    Cycles enqueue(unsigned core, ChannelKind kind,
+                   std::uint64_t bytes, Cycles now);
+
+    MemoryParams mem;
+    Cycles channelFreeAt = 0;
+    Cycles busy = 0;
+    std::uint64_t perKind[channelKinds] = {};
+    std::vector<ChannelCoreStats> perCore;
+};
+
+} // namespace domino
+
+#endif // DOMINO_MULTICORE_BANDWIDTH_MODEL_H

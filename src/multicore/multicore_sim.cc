@@ -1,0 +1,430 @@
+#include "multicore_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "mem/cache.h"
+#include "mem/mshr.h"
+#include "mem/prefetch_buffer.h"
+
+namespace domino
+{
+
+std::uint64_t
+MultiCoreResult::totalInstructions() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : cores)
+        sum += c.instructions;
+    return sum;
+}
+
+Cycles
+MultiCoreResult::makespan() const
+{
+    Cycles max = 0;
+    for (const auto &c : cores)
+        max = std::max(max, c.cycles);
+    return max;
+}
+
+double
+MultiCoreResult::systemIpc() const
+{
+    const Cycles span = makespan();
+    return span ? static_cast<double>(totalInstructions()) /
+        static_cast<double>(span) : 0.0;
+}
+
+double
+MultiCoreResult::speedupOver(const MultiCoreResult &baseline) const
+{
+    const double base = baseline.systemIpc();
+    return base > 0.0 ? systemIpc() / base : 0.0;
+}
+
+Cycles
+MultiCoreResult::totalQueueCycles() const
+{
+    Cycles sum = 0;
+    for (const auto &c : cores)
+        sum += c.queueCycles;
+    return sum;
+}
+
+double
+MultiCoreResult::aggregateCoverage() const
+{
+    std::uint64_t covered = 0, base = 0;
+    for (const auto &c : cores) {
+        covered += c.covered;
+        base += c.covered + c.uncovered;
+    }
+    return base ? static_cast<double>(covered) /
+        static_cast<double>(base) : 0.0;
+}
+
+double
+MultiCoreResult::bandwidthGBs(double core_ghz) const
+{
+    const Cycles span = makespan();
+    if (!span)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(span) / (core_ghz * 1e9);
+    return static_cast<double>(traffic.totalBytes()) / seconds / 1e9;
+}
+
+double
+MultiCoreResult::metadataShare() const
+{
+    const std::uint64_t total = traffic.totalBytes();
+    if (!total)
+        return 0.0;
+    return static_cast<double>(traffic.metadataReadBytes +
+                               traffic.metadataUpdateBytes) /
+        static_cast<double>(total);
+}
+
+namespace
+{
+
+/** Cumulative metadata counters last charged to the channel (one
+ *  account per distinct prefetcher instance, so a shared table set
+ *  is charged once however many cores drive it). */
+struct MetaAccount
+{
+    Prefetcher *prefetcher = nullptr;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+};
+
+class CoreState;
+
+/** Shared pieces every core touches. */
+struct SharedState
+{
+    SetAssocCache llc;
+    BandwidthModel channel;
+    OffChipTraffic traffic;
+    std::vector<std::unique_ptr<CoreState>> cores;
+    std::vector<MetaAccount> metaAccounts;
+    bool sharedScope = false;
+
+    SharedState(const SystemConfig &cfg)
+        : llc(cfg.llcBytes, cfg.llcWays),
+          channel(cfg.mem, cfg.cores)
+    {}
+};
+
+/** Per-core simulation state, including the prefetch sink. */
+class CoreState : public PrefetchSink
+{
+  public:
+    CoreState(const SystemConfig &cfg, const CoreBinding &binding,
+              unsigned core, SharedState &shared,
+              MetaAccount *meta)
+        : cfg(cfg), binding(binding), core(core),
+          l1(cfg.l1Bytes, cfg.l1Ways),
+          buffer(cfg.prefetchBufferBlocks),
+          mshrs(cfg.l1Mshrs),
+          shared(shared), meta(meta)
+    {}
+
+    /** Process one access; @return false when the source is done. */
+    bool
+    step()
+    {
+        Access access;
+        if (!binding.source->next(access))
+            return false;
+        ++result.accesses;
+
+        result.instructions +=
+            static_cast<std::uint64_t>(binding.instPerAccess);
+        now += static_cast<Cycles>(std::llround(
+            binding.instPerAccess / cfg.baseIpc));
+
+        const LineAddr line = access.line();
+        if (l1.access(line))
+            return true;  // L1 hit: latency hidden by the pipeline
+
+        TriggerEvent event;
+        event.line = line;
+        event.pc = access.pc;
+
+        const PrefetchBuffer::HitInfo hit = buffer.lookup(line);
+        if (hit.hit) {
+            ++result.covered;
+            event.wasPrefetchHit = true;
+            event.hitStreamId = hit.streamId;
+            if (hit.readyCycle > now) {
+                // Late prefetch: stall for the remainder, capped at
+                // what the demand would have paid on its own.
+                ++result.lateCovered;
+                stall(std::min<Cycles>(hit.readyCycle - now,
+                                       hit.altLatency));
+            }
+            shared.traffic.usefulPrefetchBytes += blockBytes;
+        } else {
+            ++result.uncovered;
+            if (shared.llc.access(line)) {
+                stall(cfg.mem.llcLatency);
+            } else {
+                // Demand fill through the contended channel: the
+                // stall includes whatever queueing the other cores'
+                // traffic (metadata included) has built up.
+                const Cycles done = shared.channel.transfer(
+                    core, ChannelKind::DemandFill, blockBytes, now);
+                stall(done - now);
+                shared.llc.fill(line);
+                shared.traffic.demandBytes += blockBytes;
+            }
+        }
+        l1.fill(line);
+
+        if (binding.prefetcher) {
+            binding.prefetcher->onTrigger(event, *this);
+            chargeMetadataDelta();
+        }
+
+        if constexpr (checksEnabled) {
+            if ((++stepsSinceAudit & (auditInterval - 1)) == 0)
+                auditAll();
+        }
+        return true;
+    }
+
+    /** Run every structural audit; aborts on the first violation. */
+    void
+    auditAll() const
+    {
+        CHECK_EQ(l1.audit(), "");
+        CHECK_EQ(shared.llc.audit(), "");
+        CHECK_EQ(buffer.audit(), "");
+        CHECK_EQ(mshrs.audit(), "");
+        CHECK_EQ(shared.channel.audit(), "");
+        if (binding.prefetcher)
+            CHECK_EQ(binding.prefetcher->audit(), "");
+    }
+
+    /** Finalise counters at the end of the run. */
+    McCoreResult
+    finish()
+    {
+        incorrectPrefetches += buffer.stats().evictedUnused;
+        shared.traffic.incorrectPrefetchBytes +=
+            incorrectPrefetches * blockBytes;
+        result.cycles = now;
+        const ChannelCoreStats &ch = shared.channel.coreStats(core);
+        result.queueCycles = ch.queueCycles;
+        result.channelBytes = ch.bytes;
+        return result;
+    }
+
+    /** Discard buffered blocks of @p stream_id on this core. */
+    void
+    invalidateStreamLocal(std::uint32_t stream_id)
+    {
+        buffer.invalidateStream(stream_id);
+    }
+
+    /** This core's local clock. */
+    Cycles nowCycle() const { return now; }
+
+    // PrefetchSink interface -------------------------------------
+    void
+    issue(LineAddr line, std::uint32_t stream_id,
+          unsigned metadata_trips) override
+    {
+        if (l1.contains(line) || buffer.contains(line))
+            return;
+        // Serial metadata trips gate the prefetch; with a charged
+        // channel they also wait out the queue.  Their bytes are
+        // charged via the prefetcher's MetadataStats delta, so the
+        // probes move zero bytes (no double count).
+        Cycles ready = now;
+        for (unsigned t = 0; t < metadata_trips; ++t) {
+            if (cfg.multicore.chargeMetadata) {
+                ready = shared.channel.transfer(
+                    core, ChannelKind::MetadataRead, 0, ready);
+            } else {
+                ready += cfg.mem.metadataLatency();
+            }
+        }
+        Cycles alt;
+        if (shared.llc.access(line)) {
+            ready += cfg.mem.llcLatency;
+            alt = cfg.mem.llcLatency;
+        } else {
+            alt = cfg.mem.memLatency;
+            ready = shared.channel.transfer(
+                core, ChannelKind::PrefetchFill, blockBytes, ready);
+            shared.llc.fill(line);
+            // Fill bytes are classified useful/incorrect on
+            // use/eviction (Figure 15 split).
+        }
+        mshrs.retire(now);
+        if (!mshrs.allocate(line, ready)) {
+            ++result.droppedPrefetches;
+            return;
+        }
+        buffer.insert(line, stream_id, ready, alt);
+    }
+
+    void
+    dropStream(std::uint32_t stream_id) override
+    {
+        if (shared.sharedScope) {
+            // A shared table set replays one stream into several
+            // cores' buffers; replacing it discards the blocks
+            // everywhere.
+            for (auto &other : shared.cores)
+                other->invalidateStreamLocal(stream_id);
+        } else {
+            invalidateStreamLocal(stream_id);
+        }
+    }
+
+  private:
+    void
+    stall(Cycles amount)
+    {
+        now += static_cast<Cycles>(std::llround(
+            static_cast<double>(amount) /
+            std::max(binding.mlpFactor, 1.0)));
+    }
+
+    /**
+     * Post the prefetcher's metadata traffic growth since the last
+     * trigger to the shared channel (at this core's clock) and into
+     * the traffic breakdown.  Appends and index write-backs are off
+     * the critical path, so they post() rather than transfer().
+     */
+    void
+    chargeMetadataDelta()
+    {
+        const MetadataStats stats = binding.prefetcher->metadata();
+        const std::uint64_t reads = stats.readBytes();
+        const std::uint64_t writes = stats.writeBytes();
+        DCHECK_GE(reads, meta->readBytes);
+        DCHECK_GE(writes, meta->writeBytes);
+        const std::uint64_t dRead = reads - meta->readBytes;
+        const std::uint64_t dWrite = writes - meta->writeBytes;
+        meta->readBytes = reads;
+        meta->writeBytes = writes;
+        shared.traffic.metadataReadBytes += dRead;
+        shared.traffic.metadataUpdateBytes += dWrite;
+        if (!cfg.multicore.chargeMetadata)
+            return;
+        if (dRead) {
+            shared.channel.post(core, ChannelKind::MetadataRead,
+                                dRead, now);
+        }
+        if (dWrite) {
+            shared.channel.post(core, ChannelKind::MetadataUpdate,
+                                dWrite, now);
+        }
+    }
+
+    const SystemConfig &cfg;
+    const CoreBinding &binding;
+    unsigned core;
+    SetAssocCache l1;
+    PrefetchBuffer buffer;
+    MshrFile mshrs;
+    SharedState &shared;
+    MetaAccount *meta;
+    McCoreResult result;
+    Cycles now = 0;
+    std::uint64_t incorrectPrefetches = 0;
+
+    /** Audit cadence in triggering events (power of two). */
+    static constexpr std::uint64_t auditInterval = 2048;
+    std::uint64_t stepsSinceAudit = 0;
+};
+
+} // anonymous namespace
+
+MultiCoreSim::MultiCoreSim(const SystemConfig &config)
+    : cfg(config)
+{}
+
+MultiCoreResult
+MultiCoreSim::run(const std::vector<CoreBinding> &bindings)
+{
+    CHECK_EQ(bindings.size(), static_cast<std::size_t>(cfg.cores));
+
+    SharedState shared(cfg);
+
+    // One metadata account per *distinct* prefetcher instance, and
+    // shared scope iff any instance serves more than one core.
+    for (const auto &b : bindings) {
+        if (!b.prefetcher)
+            continue;
+        bool known = false;
+        for (const auto &acct : shared.metaAccounts) {
+            if (acct.prefetcher == b.prefetcher) {
+                known = true;
+                shared.sharedScope = true;
+                break;
+            }
+        }
+        if (!known) {
+            MetaAccount acct;
+            acct.prefetcher = b.prefetcher;
+            shared.metaAccounts.push_back(acct);
+        }
+    }
+
+    shared.cores.reserve(bindings.size());
+    for (unsigned c = 0; c < bindings.size(); ++c) {
+        MetaAccount *meta = nullptr;
+        for (auto &acct : shared.metaAccounts) {
+            if (acct.prefetcher == bindings[c].prefetcher) {
+                meta = &acct;
+                break;
+            }
+        }
+        shared.cores.push_back(std::make_unique<CoreState>(
+            cfg, bindings[c], c, shared, meta));
+    }
+
+    // Event-ordered interleaving: always advance the core with the
+    // smallest local clock (ties to the lowest index).  Strict
+    // round-robin would let per-core clocks drift apart, and the
+    // channel's global freeAt horizon would then bill a behind-clock
+    // core "queueing" equal to the drift rather than to genuine
+    // contention.  Minimum-clock stepping keeps channel requests in
+    // (approximate) global time order and is just as deterministic.
+    std::vector<bool> done(shared.cores.size(), false);
+    std::size_t remaining = shared.cores.size();
+    while (remaining) {
+        std::size_t pick = shared.cores.size();
+        for (std::size_t i = 0; i < shared.cores.size(); ++i) {
+            if (done[i])
+                continue;
+            if (pick == shared.cores.size() ||
+                shared.cores[i]->nowCycle() <
+                    shared.cores[pick]->nowCycle()) {
+                pick = i;
+            }
+        }
+        if (!shared.cores[pick]->step()) {
+            done[pick] = true;
+            --remaining;
+        }
+    }
+
+    MultiCoreResult result;
+    for (auto &core : shared.cores)
+        result.cores.push_back(core->finish());
+    result.traffic = shared.traffic;
+    result.channelBusyCycles = shared.channel.busyCycles();
+    CHECK_EQ(shared.channel.audit(), "");
+    return result;
+}
+
+} // namespace domino

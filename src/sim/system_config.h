@@ -13,6 +13,39 @@
 namespace domino
 {
 
+/**
+ * Knobs specific to the multi-core substrate (src/multicore): how
+ * one workload is sharded across cores, whether Domino's HT/EIT is
+ * one shared table or per-core private tables, and whether the
+ * metadata traffic is charged to the shared off-chip channel (the
+ * zero-cost control exists so experiments can isolate the cost of
+ * off-chip metadata, Figure 15 / Triangel's motivation).
+ */
+struct MulticoreParams
+{
+    /**
+     * One HT/EIT instance serving every core (shared scope) instead
+     * of per-core private tables.  Shared tables see the union of
+     * all cores' trigger sequences.
+     */
+    bool sharedMetadata = false;
+    /**
+     * Charge HT appends and EIT lookups/updates to the shared
+     * off-chip channel.  When false (the zero-cost-metadata
+     * control), metadata bytes are still *counted* in the traffic
+     * breakdown but consume no bandwidth and metadata trips pay the
+     * uncontended latency.
+     */
+    bool chargeMetadata = true;
+    /**
+     * Accesses per interleaver chunk when sharding one workload
+     * trace into per-core streams (TraceInterleaver): large enough
+     * to keep temporal streams intact inside one core's shard,
+     * small enough that cores interleave.
+     */
+    std::uint32_t shardChunk = 256;
+};
+
 /** Quad-core server chip parameters (Table I). */
 struct SystemConfig
 {
@@ -29,8 +62,11 @@ struct SystemConfig
     /** L1-D MSHRs per core (Table I: 32); prefetch fills compete
      *  for them and are dropped when none is free. */
     unsigned l1Mshrs = 32;
-    /** Latencies and bandwidth. */
+    /** Latencies and bandwidth (single source of truth for both
+     *  the single-core timing model and the multicore substrate). */
     MemoryParams mem;
+    /** Multi-core substrate knobs (src/multicore). */
+    MulticoreParams multicore;
     /**
      * Base sustained IPC of the 4-wide OOO core on non-stalling
      * code (used to convert the instruction mix into cycles).

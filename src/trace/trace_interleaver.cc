@@ -1,0 +1,137 @@
+#include "trace_interleaver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace domino
+{
+
+ShardView::ShardView(std::shared_ptr<const TraceBuffer> buffer,
+                     unsigned cores, unsigned core,
+                     std::uint32_t chunk)
+    : buf(std::move(buffer)), nCores(cores ? cores : 1),
+      coreIdx(core), chunkLen(chunk ? chunk : 1)
+{
+    DCHECK_LT(coreIdx, nCores);
+    pos = static_cast<std::size_t>(coreIdx) * chunkLen;
+}
+
+bool
+ShardView::next(Access &out)
+{
+    if (!buf || pos >= buf->size())
+        return false;
+    out = (*buf)[pos];
+    ++taken;
+    ++pos;
+    // Crossing a chunk boundary skips the other cores' chunks.
+    if (pos % chunkLen == 0)
+        pos += static_cast<std::size_t>(nCores - 1) * chunkLen;
+    return true;
+}
+
+void
+ShardView::reset()
+{
+    pos = static_cast<std::size_t>(coreIdx) * chunkLen;
+    taken = 0;
+}
+
+std::size_t
+ShardView::size() const
+{
+    if (!buf)
+        return 0;
+    const std::size_t n = buf->size();
+    const std::size_t group =
+        static_cast<std::size_t>(chunkLen) * nCores;
+    const std::size_t full = n / group;
+    const std::size_t rem = n % group;
+    const std::size_t myStart =
+        static_cast<std::size_t>(coreIdx) * chunkLen;
+    std::size_t extra = 0;
+    if (rem > myStart)
+        extra = std::min<std::size_t>(rem - myStart, chunkLen);
+    return full * chunkLen + extra;
+}
+
+std::string
+ShardView::audit() const
+{
+    if (!buf) {
+        return (pos == 0 && taken == 0)
+            ? "" : "cursor advanced on an empty shard";
+    }
+    if (taken > size())
+        return "shard yielded " + std::to_string(taken) +
+            " records, more than its size " +
+            std::to_string(size());
+    if (pos < buf->size() &&
+        (pos / chunkLen) % nCores != coreIdx) {
+        return "cursor at record " + std::to_string(pos) +
+            " which belongs to core " +
+            std::to_string((pos / chunkLen) % nCores) + ", not " +
+            std::to_string(coreIdx);
+    }
+    return "";
+}
+
+TraceInterleaver::TraceInterleaver(
+    std::shared_ptr<const TraceBuffer> buffer, unsigned cores,
+    std::uint32_t chunk)
+    : buf(std::move(buffer)), nCores(cores ? cores : 1),
+      chunkLen(chunk ? chunk : 1)
+{}
+
+std::size_t
+TraceInterleaver::traceSize() const
+{
+    return buf ? buf->size() : 0;
+}
+
+ShardView
+TraceInterleaver::shard(unsigned core) const
+{
+    CHECK_LT(core, nCores);
+    return ShardView(buf, nCores, core, chunkLen);
+}
+
+std::size_t
+TraceInterleaver::shardSize(unsigned core) const
+{
+    CHECK_LT(core, nCores);
+    return ShardView(buf, nCores, core, chunkLen).size();
+}
+
+std::string
+TraceInterleaver::audit() const
+{
+    std::size_t total = 0;
+    for (unsigned c = 0; c < nCores; ++c) {
+        const std::size_t closed = shardSize(c);
+        // Walk the shard and compare against the closed form.
+        ShardView view = shard(c);
+        std::size_t walked = 0;
+        Access a;
+        while (view.next(a))
+            ++walked;
+        if (walked != closed) {
+            return "core " + std::to_string(c) + " shard walks " +
+                std::to_string(walked) + " records but computes " +
+                std::to_string(closed);
+        }
+        const std::string v = view.audit();
+        if (!v.empty())
+            return "core " + std::to_string(c) + " view: " + v;
+        total += closed;
+    }
+    if (total != traceSize()) {
+        return "shards cover " + std::to_string(total) +
+            " records of a " + std::to_string(traceSize()) +
+            "-record trace (not a partition)";
+    }
+    return "";
+}
+
+} // namespace domino

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic sharding of one workload trace into per-core access
+ * streams for the multi-core substrate (src/multicore).
+ *
+ * The paper's substrate runs one server workload across four cores:
+ * every core executes the same application, so the per-core miss
+ * streams are statistically alike but not identical.  The
+ * interleaver reproduces that by chunked round-robin dealing of a
+ * *single* generated trace: record i belongs to core
+ * (i / chunk) % cores.  Chunks keep temporal streams intact inside
+ * one core's shard (a stream replay spans consecutive records)
+ * while consecutive chunks land on different cores, so cores run
+ * distinct-but-kin streams -- exactly the sharing structure a
+ * shared LLC and shared metadata tables are sensitive to.
+ *
+ * Sharding is a pure function of (trace, cores, chunk): it composes
+ * with the generate-once TraceCache (one generation per workload
+ * key, every shard a zero-copy view of the shared buffer) and keeps
+ * the byte-identical `--jobs` determinism contract, because no
+ * state depends on which worker thread shards when.
+ */
+
+#ifndef DOMINO_TRACE_TRACE_INTERLEAVER_H
+#define DOMINO_TRACE_TRACE_INTERLEAVER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/trace_buffer.h"
+
+namespace domino
+{
+
+/**
+ * Zero-copy cursor over one core's shard of a shared trace: yields
+ * exactly the records i with (i / chunk) % cores == core, in trace
+ * order.  Copyable and cheap (shared pointer + cursor), like
+ * TraceView.
+ */
+class ShardView : public AccessSource
+{
+  public:
+    /** An empty shard (no buffer); next() reports exhaustion. */
+    ShardView() = default;
+
+    ShardView(std::shared_ptr<const TraceBuffer> buffer,
+              unsigned cores, unsigned core, std::uint32_t chunk);
+
+    bool next(Access &out) override;
+    void reset() override;
+
+    /** Records in this shard (closed form). */
+    std::size_t size() const;
+
+    /** Records already consumed since construction/reset(). */
+    std::size_t consumed() const { return taken; }
+
+    /**
+     * Verify the cursor invariants: the position is either past the
+     * trace (exhausted) or inside a chunk belonging to this core,
+     * and never more records were taken than the shard holds.
+     * @return empty string if OK, else a description.
+     */
+    std::string audit() const;
+
+  private:
+    /** Test-only backdoor for corrupting the cursor in audit
+     *  tests. */
+    friend struct ShardViewTestPeer;
+
+    std::shared_ptr<const TraceBuffer> buf;
+    unsigned nCores = 1;
+    unsigned coreIdx = 0;
+    std::uint32_t chunkLen = 1;
+    /** Global record index of the next record to yield. */
+    std::size_t pos = 0;
+    /** Records yielded so far. */
+    std::size_t taken = 0;
+};
+
+/**
+ * The sharder: hands out per-core ShardViews over one shared trace.
+ * Shards partition the trace exactly (every record in exactly one
+ * shard), which audit() verifies.
+ */
+class TraceInterleaver
+{
+  public:
+    /**
+     * @param buffer shared immutable trace (from TraceCache).
+     * @param cores number of shards (>= 1; 1 = identity).
+     * @param chunk records per dealing chunk (>= 1).
+     */
+    TraceInterleaver(std::shared_ptr<const TraceBuffer> buffer,
+                     unsigned cores, std::uint32_t chunk = 256);
+
+    unsigned cores() const { return nCores; }
+    std::uint32_t chunk() const { return chunkLen; }
+
+    /** Total records in the underlying trace. */
+    std::size_t traceSize() const;
+
+    /** A fresh cursor over core @p core's shard. */
+    ShardView shard(unsigned core) const;
+
+    /** Records in core @p core's shard (closed form, O(1)). */
+    std::size_t shardSize(unsigned core) const;
+
+    /**
+     * Verify the partition invariants: shard sizes sum to the trace
+     * size, the closed form agrees with an actual walk of each
+     * shard, and the geometry is sane.
+     * @return empty string if OK, else a description.
+     */
+    std::string audit() const;
+
+  private:
+    std::shared_ptr<const TraceBuffer> buf;
+    unsigned nCores;
+    std::uint32_t chunkLen;
+};
+
+} // namespace domino
+
+#endif // DOMINO_TRACE_TRACE_INTERLEAVER_H

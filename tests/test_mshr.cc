@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "analysis/factory.h"
+#include "common/prng.h"
 #include "mem/mshr.h"
 #include "sim/timing_sim.h"
 #include "workloads/server_workload.h"
@@ -59,6 +63,55 @@ TEST(Mshr, CapacityFloorOfOne)
     EXPECT_EQ(mshrs.capacity(), 1u);
     EXPECT_TRUE(mshrs.allocate(1, 10));
     EXPECT_FALSE(mshrs.allocate(2, 10));
+}
+
+TEST(Mshr, MergeOverflowChurn)
+{
+    // Sustained allocate/merge/reject/retire churn against a small
+    // file, checked against a reference model of the same policy.
+    MshrFile mshrs(8);
+    Prng rng(321);
+    std::vector<std::pair<LineAddr, Cycles>> model;
+    std::uint64_t merges = 0, rejections = 0, allocations = 0;
+
+    for (Cycles t = 0; t < 3000; t += 1 + rng.below(3)) {
+        // Retire completed fills in both.
+        mshrs.retire(t);
+        for (std::size_t i = 0; i < model.size();) {
+            if (model[i].second <= t) {
+                model[i] = model.back();
+                model.pop_back();
+            } else {
+                ++i;
+            }
+        }
+
+        const LineAddr line = rng.below(24);
+        const Cycles ready = t + 20 + rng.below(200);
+        bool inModel = false;
+        for (const auto &slot : model)
+            inModel |= slot.first == line;
+        const bool accepted = mshrs.allocate(line, ready);
+        if (inModel) {
+            EXPECT_TRUE(accepted);
+            ++merges;
+        } else if (model.size() >= 8) {
+            EXPECT_FALSE(accepted);
+            ++rejections;
+        } else {
+            EXPECT_TRUE(accepted);
+            model.emplace_back(line, ready);
+            ++allocations;
+        }
+        ASSERT_EQ(mshrs.inFlight(), model.size());
+        ASSERT_EQ(mshrs.audit(), "");
+    }
+
+    EXPECT_GT(merges, 0u);
+    EXPECT_GT(rejections, 0u);
+    EXPECT_EQ(mshrs.stats().merges, merges);
+    EXPECT_EQ(mshrs.stats().rejections, rejections);
+    EXPECT_EQ(mshrs.stats().allocations, allocations);
 }
 
 TEST(Mshr, TimingSimThrottlesWithFewMshrs)

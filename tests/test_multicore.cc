@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Tests for the multi-core substrate: the bandwidth/queueing
+ * account, per-core seed derivation, shared vs private HT/EIT
+ * scope, run-to-run and cross-`--jobs` determinism, and the
+ * acceptance property that charged off-chip metadata traffic
+ * shifts speedup against the zero-cost-metadata control.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/factory.h"
+#include "analysis/multicore_report.h"
+#include "multicore/multicore_sim.h"
+#include "runner/experiment_grid.h"
+#include "trace/trace_interleaver.h"
+#include "workloads/server_workload.h"
+
+namespace domino
+{
+
+/** Test-only backdoor for corrupting BandwidthModel counters. */
+struct BandwidthTestPeer
+{
+    static void
+    addKindBytes(BandwidthModel &model, ChannelKind kind,
+                 std::uint64_t bytes)
+    {
+        model.perKind[static_cast<unsigned>(kind)] += bytes;
+    }
+
+    static void
+    setBusy(BandwidthModel &model, Cycles busy)
+    {
+        model.busy = busy;
+    }
+};
+
+namespace
+{
+
+MemoryParams
+tableOneMem()
+{
+    // Table I defaults: 180-cycle memory, 37.5 GB/s at 4 GHz
+    // (9.375 bytes per cycle -> a 64-byte block occupies 7 cycles).
+    return MemoryParams{};
+}
+
+TEST(BandwidthModel, UncontendedTransfer)
+{
+    BandwidthModel channel(tableOneMem(), 2);
+    const Cycles done = channel.transfer(
+        0, ChannelKind::DemandFill, blockBytes, 100);
+    // ceil(64 / 9.375) = 7 cycles of occupancy + 180 latency.
+    EXPECT_EQ(done, 100u + 7u + 180u);
+    EXPECT_EQ(channel.busyCycles(), 7u);
+    EXPECT_EQ(channel.kindBytes(ChannelKind::DemandFill),
+              blockBytes);
+    EXPECT_EQ(channel.coreStats(0).queueCycles, 0u);
+    EXPECT_EQ(channel.coreStats(0).requests, 1u);
+    EXPECT_EQ(channel.audit(), "");
+}
+
+TEST(BandwidthModel, QueueingAttributedToRequester)
+{
+    BandwidthModel channel(tableOneMem(), 2);
+    channel.transfer(0, ChannelKind::DemandFill, blockBytes, 0);
+    // Core 1 arrives while core 0's transfer occupies the channel.
+    const Cycles done = channel.transfer(
+        1, ChannelKind::DemandFill, blockBytes, 0);
+    EXPECT_EQ(done, 7u + 7u + 180u);
+    EXPECT_EQ(channel.coreStats(1).queueCycles, 7u);
+    EXPECT_EQ(channel.coreStats(0).queueCycles, 0u);
+    EXPECT_EQ(channel.busyCycles(), 14u);
+    EXPECT_EQ(channel.audit(), "");
+}
+
+TEST(BandwidthModel, ZeroByteLatencyProbe)
+{
+    BandwidthModel channel(tableOneMem(), 1);
+    // An idle channel: the probe pays only the round trip.
+    EXPECT_EQ(channel.transfer(0, ChannelKind::MetadataRead, 0, 50),
+              50u + 180u);
+    EXPECT_EQ(channel.totalBytes(), 0u);
+    EXPECT_EQ(channel.busyCycles(), 0u);
+    // Behind a posted burst: the probe queues but still moves no
+    // bytes.
+    channel.post(0, ChannelKind::MetadataUpdate, 1000, 60);
+    const Cycles done =
+        channel.transfer(0, ChannelKind::MetadataRead, 0, 60);
+    EXPECT_GT(done, 60u + 180u);
+    EXPECT_EQ(channel.totalBytes(), 1000u);
+    EXPECT_EQ(channel.audit(), "");
+}
+
+TEST(BandwidthModel, PostDelaysLaterTransfers)
+{
+    BandwidthModel channel(tableOneMem(), 1);
+    const Cycles alone = channel.transfer(
+        0, ChannelKind::DemandFill, blockBytes, 0);
+    BandwidthModel busy(tableOneMem(), 1);
+    busy.post(0, ChannelKind::MetadataUpdate, 4096, 0);
+    const Cycles behind = busy.transfer(
+        0, ChannelKind::DemandFill, blockBytes, 0);
+    EXPECT_GT(behind, alone);
+    EXPECT_EQ(busy.audit(), "");
+}
+
+TEST(BandwidthModel, MetadataLatencyOverride)
+{
+    MemoryParams mem = tableOneMem();
+    mem.metadataTripCycles = 400;
+    BandwidthModel channel(mem, 1);
+    EXPECT_EQ(channel.transfer(0, ChannelKind::MetadataRead, 0, 0),
+              400u);
+    // Non-metadata transfers keep the data latency.
+    EXPECT_EQ(channel.transfer(0, ChannelKind::DemandFill, 0, 0),
+              180u);
+}
+
+TEST(BandwidthModel, AuditDetectsCorruption)
+{
+    BandwidthModel channel(tableOneMem(), 2);
+    channel.transfer(0, ChannelKind::DemandFill, blockBytes, 0);
+    EXPECT_EQ(channel.audit(), "");
+    // Per-kind total no longer matches the per-core sum.
+    BandwidthTestPeer::addKindBytes(channel,
+                                    ChannelKind::MetadataRead, 64);
+    EXPECT_NE(channel.audit(), "");
+}
+
+TEST(BandwidthModel, AuditDetectsBusyBeyondHorizon)
+{
+    BandwidthModel channel(tableOneMem(), 1);
+    channel.transfer(0, ChannelKind::DemandFill, blockBytes, 0);
+    BandwidthTestPeer::setBusy(channel, 1'000'000);
+    EXPECT_NE(channel.audit(), "");
+}
+
+TEST(Factory, DeriveCoreSeedIsPositionalNotAdditive)
+{
+    const std::uint64_t base = 42;
+    EXPECT_EQ(deriveCoreSeed(base, 0), base);
+    std::vector<std::uint64_t> seeds;
+    for (unsigned c = 0; c < 8; ++c)
+        seeds.push_back(deriveCoreSeed(base, c));
+    for (unsigned a = 0; a < 8; ++a)
+        for (unsigned b = a + 1; b < 8; ++b)
+            EXPECT_NE(seeds[a], seeds[b]);
+    for (unsigned c = 1; c < 8; ++c)
+        EXPECT_NE(seeds[c], base + c);
+}
+
+TEST(Factory, PrefetcherSetScopes)
+{
+    FactoryConfig f;
+    PrefetcherSet priv = makePrefetcherSet("Domino", f, 4,
+                                           MetadataScope::Private);
+    ASSERT_EQ(priv.perCore.size(), 4u);
+    EXPECT_EQ(priv.owned.size(), 4u);
+    for (unsigned a = 0; a < 4; ++a) {
+        ASSERT_NE(priv.perCore[a], nullptr);
+        for (unsigned b = a + 1; b < 4; ++b)
+            EXPECT_NE(priv.perCore[a], priv.perCore[b]);
+    }
+
+    PrefetcherSet shared = makePrefetcherSet("Domino", f, 4,
+                                             MetadataScope::Shared);
+    ASSERT_EQ(shared.perCore.size(), 4u);
+    EXPECT_EQ(shared.owned.size(), 1u);
+    for (unsigned c = 1; c < 4; ++c)
+        EXPECT_EQ(shared.perCore[c], shared.perCore[0]);
+
+    PrefetcherSet none =
+        makePrefetcherSet("", f, 4, MetadataScope::Private);
+    EXPECT_TRUE(none.owned.empty());
+    for (Prefetcher *p : none.perCore)
+        EXPECT_EQ(p, nullptr);
+}
+
+SystemConfig
+scaledSystem(unsigned cores)
+{
+    SystemConfig sys;
+    sys.cores = cores;
+    sys.llcBytes = 512 * 1024;  // scaled (see bench docs)
+    return sys;
+}
+
+MultiCoreResult
+runMulticore(const std::string &tech, const SystemConfig &sys,
+             std::uint64_t seed, std::uint64_t accesses)
+{
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    const TraceBuffer trace = generateTrace(wl, seed, accesses);
+    const auto buf =
+        std::make_shared<const TraceBuffer>(std::move(trace));
+    TraceInterleaver interleaver(buf, sys.cores,
+                                 sys.multicore.shardChunk);
+
+    FactoryConfig f;
+    f.degree = 4;
+    f.samplingProb = 0.5;
+    f.seed = seed ^ 0xfac;
+    PrefetcherSet set = makePrefetcherSet(
+        tech, f, sys.cores,
+        sys.multicore.sharedMetadata ? MetadataScope::Shared
+                                     : MetadataScope::Private);
+
+    std::vector<ShardView> shards;
+    shards.reserve(sys.cores);
+    std::vector<CoreBinding> bindings;
+    for (unsigned c = 0; c < sys.cores; ++c) {
+        shards.push_back(interleaver.shard(c));
+        CoreBinding binding;
+        binding.source = &shards.back();
+        binding.prefetcher = set.perCore[c];
+        binding.mlpFactor = wl.mlpFactor;
+        binding.instPerAccess = wl.instPerAccess;
+        bindings.push_back(binding);
+    }
+    MultiCoreSim sim(sys);
+    return sim.run(bindings);
+}
+
+/** Full equality of every observable counter of two runs. */
+void
+expectIdentical(const MultiCoreResult &a, const MultiCoreResult &b)
+{
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t c = 0; c < a.cores.size(); ++c) {
+        EXPECT_EQ(a.cores[c].accesses, b.cores[c].accesses);
+        EXPECT_EQ(a.cores[c].instructions, b.cores[c].instructions);
+        EXPECT_EQ(a.cores[c].cycles, b.cores[c].cycles);
+        EXPECT_EQ(a.cores[c].covered, b.cores[c].covered);
+        EXPECT_EQ(a.cores[c].uncovered, b.cores[c].uncovered);
+        EXPECT_EQ(a.cores[c].lateCovered, b.cores[c].lateCovered);
+        EXPECT_EQ(a.cores[c].queueCycles, b.cores[c].queueCycles);
+        EXPECT_EQ(a.cores[c].channelBytes, b.cores[c].channelBytes);
+    }
+    EXPECT_EQ(a.traffic.totalBytes(), b.traffic.totalBytes());
+    EXPECT_EQ(a.traffic.metadataReadBytes,
+              b.traffic.metadataReadBytes);
+    EXPECT_EQ(a.traffic.metadataUpdateBytes,
+              b.traffic.metadataUpdateBytes);
+    EXPECT_EQ(a.channelBusyCycles, b.channelBusyCycles);
+}
+
+TEST(MultiCoreSim, BaselineProducesSaneIpc)
+{
+    const MultiCoreResult r =
+        runMulticore("", scaledSystem(4), 1, 40000);
+    ASSERT_EQ(r.cores.size(), 4u);
+    std::uint64_t accesses = 0;
+    for (const auto &c : r.cores) {
+        EXPECT_GT(c.instructions, 0u);
+        EXPECT_GT(c.ipc(), 0.01);
+        EXPECT_LT(c.ipc(), 4.0);
+        accesses += c.accesses;
+    }
+    EXPECT_EQ(accesses, 40000u);  // shards partition the trace
+    EXPECT_GT(r.traffic.demandBytes, 0u);
+    EXPECT_EQ(r.traffic.metadataReadBytes, 0u);
+    EXPECT_GT(r.systemIpc(), 0.0);
+}
+
+TEST(MultiCoreSim, RunTwiceIsIdentical)
+{
+    for (std::uint64_t seed : {1u, 7u}) {
+        const MultiCoreResult a =
+            runMulticore("Domino", scaledSystem(4), seed, 30000);
+        const MultiCoreResult b =
+            runMulticore("Domino", scaledSystem(4), seed, 30000);
+        expectIdentical(a, b);
+    }
+}
+
+TEST(MultiCoreSim, GridResultsIdenticalAcrossJobs)
+{
+    // The bench-harness shape: a (1 workload x 4 config) grid of
+    // 4-core runs, evaluated at --jobs 1 and --jobs 8, must be
+    // byte-identical -- for base seeds 1 and 7.
+    const std::vector<std::string> techs = {"", "ISB", "STMS",
+                                            "Domino"};
+    for (std::uint64_t seed : {1u, 7u}) {
+        runner::ExperimentGrid grid({1, techs.size(), 1}, seed);
+        const auto evaluate = [&](const runner::Cell &cell) {
+            return runMulticore(techs[cell.config],
+                                scaledSystem(4), cell.seed, 20000);
+        };
+        const auto serial = grid.run(1, evaluate);
+        const auto parallel = grid.run(8, evaluate);
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            expectIdentical(serial[i], parallel[i]);
+    }
+}
+
+TEST(MultiCoreSim, DominoReportsOffChipMetadataTraffic)
+{
+    const MultiCoreResult r =
+        runMulticore("Domino", scaledSystem(4), 1, 40000);
+    EXPECT_GT(r.traffic.metadataReadBytes, 0u);
+    EXPECT_GT(r.traffic.metadataUpdateBytes, 0u);
+    EXPECT_GT(r.metadataShare(), 0.0);
+}
+
+TEST(MultiCoreSim, ChargedMetadataShiftsSpeedup)
+{
+    // The zero-cost-metadata control moves the same metadata bytes
+    // but pays no bandwidth for them; charging them must slow the
+    // chip down (per-core slowdown, not just a byte counter).
+    SystemConfig charged = scaledSystem(4);
+    SystemConfig free = scaledSystem(4);
+    free.multicore.chargeMetadata = false;
+    const MultiCoreResult with =
+        runMulticore("Domino", charged, 1, 40000);
+    const MultiCoreResult without =
+        runMulticore("Domino", free, 1, 40000);
+    EXPECT_GT(with.traffic.metadataReadBytes, 0u);
+    EXPECT_GT(without.traffic.metadataReadBytes, 0u);
+    EXPECT_LT(with.systemIpc(), without.systemIpc());
+    // The control still queues nothing for metadata, so its queue
+    // account is smaller.
+    EXPECT_LT(without.totalQueueCycles(), with.totalQueueCycles());
+}
+
+TEST(MultiCoreSim, SharedScopeRunsAndDiffersFromPrivate)
+{
+    SystemConfig priv = scaledSystem(4);
+    SystemConfig shared = scaledSystem(4);
+    shared.multicore.sharedMetadata = true;
+    const MultiCoreResult a =
+        runMulticore("Domino", priv, 1, 40000);
+    const MultiCoreResult b =
+        runMulticore("Domino", shared, 1, 40000);
+    // One shared table set sees the union of the cores' trigger
+    // streams; private tables see one shard each.  The metadata
+    // byte streams cannot coincide.
+    EXPECT_NE(a.traffic.metadataReadBytes +
+                  a.traffic.metadataUpdateBytes,
+              b.traffic.metadataReadBytes +
+                  b.traffic.metadataUpdateBytes);
+}
+
+TEST(MultiCoreSim, SummaryAggregatesConsistently)
+{
+    const SystemConfig sys = scaledSystem(4);
+    const MultiCoreResult r = runMulticore("Domino", sys, 7, 30000);
+    const MulticoreSummary s =
+        summarizeMulticore(r, sys.mem.coreGhz);
+    ASSERT_EQ(s.cores.size(), 4u);
+    for (const auto &row : s.cores) {
+        EXPECT_GE(row.ipc, 0.0);
+        EXPECT_GE(row.coverage, 0.0);
+        EXPECT_LE(row.coverage, 1.0);
+    }
+    EXPECT_NEAR(s.systemIpc, r.systemIpc(), 1e-12);
+    EXPECT_GE(s.metadataShare, 0.0);
+    EXPECT_LE(s.metadataShare, 1.0);
+    EXPECT_GT(s.bandwidthGBs, 0.0);
+    EXPECT_GE(s.imbalance(), 1.0);
+    EXPECT_FALSE(formatMulticoreSummary(s).empty());
+}
+
+TEST(MultiCoreSim, OneCoreMatchesTraceOrder)
+{
+    // cores=1 must consume the whole trace on core 0.
+    const MultiCoreResult r =
+        runMulticore("", scaledSystem(1), 1, 25000);
+    ASSERT_EQ(r.cores.size(), 1u);
+    EXPECT_EQ(r.cores[0].accesses, 25000u);
+}
+
+} // anonymous namespace
+} // namespace domino
