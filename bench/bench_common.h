@@ -141,6 +141,21 @@ cachedTrace(const WorkloadParams &params, std::uint64_t seed,
 }
 
 /**
+ * The memoised packed replay image of the same shared trace, for
+ * the zero-copy simulation paths (CoverageSimulator::runMany over
+ * an image, CoreBinding::image).  Built once per (params, seed,
+ * limit) key and shared by every cell that replays the trace.
+ */
+inline std::shared_ptr<const ReplayImage>
+cachedReplayImage(const WorkloadParams &params, std::uint64_t seed,
+                  std::uint64_t limit)
+{
+    const std::string key = params.cacheKey(seed, limit);
+    return traceCache().image(
+        key, [&] { return generateTrace(params, seed, limit); });
+}
+
+/**
  * The memoised L1-filtered baseline miss sequence for the same
  * key, so the analysis cells (opportunity/Sequitur/n-gram columns)
  * run the baseline filter once per workload instead of once per

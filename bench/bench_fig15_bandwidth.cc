@@ -105,11 +105,14 @@ main(int argc, char **argv)
                 std::uint64_t seed) {
                 FactoryConfig f = defaultFactory(args, 4, seed);
                 f.samplingProb = sampling[config];
-                // Coverage from the trace-based simulator.
+                // Coverage from the trace-based simulator, over
+                // the shared packed image.
                 auto pf = makePrefetcher("Domino", f);
-                TraceView src = cachedTrace(wl, seed, opts.accesses);
+                const auto image =
+                    cachedReplayImage(wl, seed, opts.accesses);
                 CoverageSimulator csim;
-                const CoverageResult cr = csim.run(src, pf.get());
+                const CoverageResult cr =
+                    csim.runMany(*image, {pf.get()}).front();
                 const TrafficRow row = runOne(
                     wl, "Domino", f, sys, seed, per_core);
                 return SweepCell{cr.coverage(), row.update,

@@ -27,7 +27,6 @@
 
 #include "bench_common.h"
 #include "analysis/multicore_report.h"
-#include "trace/trace_interleaver.h"
 
 using namespace domino;
 using namespace domino::bench;
@@ -59,9 +58,11 @@ runOne(const WorkloadParams &wl, const std::string &tech,
         sys.multicore.chargeMetadata = false;
     }
 
-    const TraceView trace = cachedTrace(wl, seed, accesses);
-    TraceInterleaver interleaver(trace.buffer(), cores,
-                                 sys.multicore.shardChunk);
+    // The shared packed image replaces per-core ShardViews: each
+    // core replays its shard zero-copy (CoreBinding::image), with
+    // the same (cores, shardChunk) dealing the interleaver would
+    // apply.
+    const auto image = cachedReplayImage(wl, seed, accesses);
 
     const MetadataScope scope = sys.multicore.sharedMetadata
         ? MetadataScope::Shared : MetadataScope::Private;
@@ -75,13 +76,11 @@ runOne(const WorkloadParams &wl, const std::string &tech,
     PrefetcherSet set = makePrefetcherSet(name, factory, cores,
                                           scope);
 
-    std::vector<ShardView> shards;
-    shards.reserve(cores);
     std::vector<CoreBinding> bindings;
     for (unsigned c = 0; c < cores; ++c) {
-        shards.push_back(interleaver.shard(c));
         CoreBinding binding;
-        binding.source = &shards.back();
+        binding.image = image.get();
+        binding.imageCore = c;
         binding.prefetcher = set.perCore[c];
         binding.mlpFactor = wl.mlpFactor;
         binding.instPerAccess = wl.instPerAccess;

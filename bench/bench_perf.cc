@@ -24,7 +24,7 @@
 #include "bench_common.h"
 #include "domino/eit.h"
 #include "multicore/multicore_sim.h"
-#include "trace/trace_interleaver.h"
+#include "trace/replay_image.h"
 
 using namespace domino;
 using namespace domino::bench;
@@ -100,7 +100,12 @@ main(int argc, char **argv)
         sink = sink + baselineMissSequence(src).size();
     }));
 
-    // --- One coverage simulation per evaluated technique.
+    // The packed replay image the simulation cells iterate -- built
+    // once, like the figure harnesses get from the trace cache.
+    const ReplayImage image(trace);
+
+    // --- One coverage simulation per evaluated technique, over the
+    // zero-copy image path the coverage figures use.
     FactoryConfig f;
     f.degree = 4;
     f.htEntries = 1ULL << 20;
@@ -110,39 +115,44 @@ main(int argc, char **argv)
     for (const std::string &tech : evaluatedPrefetchers()) {
         cells.push_back(
             timeCell("coverage_" + tech, n, repeats, [&] {
-                TraceBuffer src = trace;
                 auto pf = makePrefetcher(tech, f);
                 CoverageSimulator sim;
-                sink = sink + sim.run(src, pf.get()).covered;
+                sink = sink +
+                    sim.runMany(image, {pf.get()}).front().covered;
             }));
     }
 
-    // --- One 4-core multicore run: Domino over the sharded trace
-    // with the charged off-chip channel (the whole-substrate hot
-    // path of bench_multicore_scaling).
-    const auto sharedTrace =
-        std::make_shared<const TraceBuffer>(trace);
-    cells.push_back(
-        timeCell("multicore_4core_Domino", n, repeats, [&] {
+    // --- Multicore runs: Domino over the sharded image with the
+    // charged off-chip channel (the whole-substrate hot path of
+    // bench_multicore_scaling), at the default 4-core geometry, at
+    // 8 cores (the index-heap scheduler), and with a shared HT/EIT.
+    const auto multicoreCell = [&](const std::string &name,
+                                   unsigned cores, bool shared) {
+        cells.push_back(timeCell(name, n, repeats, [&, cores,
+                                                    shared] {
             SystemConfig sys;
+            sys.cores = cores;
             sys.llcBytes = 512 * 1024;
-            TraceInterleaver interleaver(
-                sharedTrace, sys.cores, sys.multicore.shardChunk);
+            sys.multicore.sharedMetadata = shared;
             PrefetcherSet set = makePrefetcherSet(
-                "Domino", f, sys.cores, MetadataScope::Private);
-            std::vector<ShardView> shards;
-            shards.reserve(sys.cores);
+                "Domino", f, sys.cores,
+                shared ? MetadataScope::Shared
+                       : MetadataScope::Private);
             std::vector<CoreBinding> bindings;
             for (unsigned c = 0; c < sys.cores; ++c) {
-                shards.push_back(interleaver.shard(c));
                 CoreBinding binding;
-                binding.source = &shards.back();
+                binding.image = &image;
+                binding.imageCore = c;
                 binding.prefetcher = set.perCore[c];
                 bindings.push_back(binding);
             }
             MultiCoreSim sim(sys);
             sink = sink + sim.run(bindings).traffic.totalBytes();
         }));
+    };
+    multicoreCell("multicore_4core_Domino", 4, false);
+    multicoreCell("multicore_8core_Domino", 8, false);
+    multicoreCell("multicore_4core_shared_Domino", 4, true);
 
     // --- EIT micro-ops at the factory geometry, over a tag working
     // set sized like a bench trace's trigger footprint.

@@ -47,7 +47,8 @@ runCoverageComparison(const CliArgs &args, unsigned default_degree,
             std::uint64_t seed) {
             CellResult out;
             if (config == 0) {
-                TraceView src = cachedTrace(wl, seed, opts.accesses);
+                const auto image =
+                    cachedReplayImage(wl, seed, opts.accesses);
                 const FactoryConfig f =
                     defaultFactory(args, degree, seed);
                 std::vector<std::unique_ptr<Prefetcher>> owned;
@@ -58,7 +59,7 @@ runCoverageComparison(const CliArgs &args, unsigned default_degree,
                 }
                 CoverageSimulator sim;
                 for (const CoverageResult &r :
-                     sim.runMany(src, roster)) {
+                     sim.runMany(*image, roster)) {
                     out.coverage.push_back(r.coverage());
                     out.overprediction.push_back(
                         r.overpredictionRate());

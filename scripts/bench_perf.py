@@ -16,6 +16,12 @@ the run (exit 1) so a PR cannot silently regress the suite's
 throughput; ``--update-baseline`` rewrites the baseline in place
 after an intentional change (commit the new file alongside it).
 
+``--compare`` prints a full per-cell delta table instead (signed
+percentage against a ``--tolerance``, default 25 %, with new and
+missing cells called out) and is report-only unless ``--enforce``
+is passed -- the CI perf-smoke job runs it report-only so noisy
+runners annotate rather than block.
+
 Uses nothing but the standard library (the container ships no
 Python packages).
 
@@ -100,6 +106,52 @@ def compare(current: dict, baseline: dict,
     return regressions
 
 
+def delta_table(current: dict, baseline: dict,
+                tolerance: float) -> list[str]:
+    """Print a per-cell delta table; return regression messages.
+
+    Unlike :func:`compare` (a multiplier threshold on matched cells),
+    this reports every cell of either run: matched cells get a signed
+    delta percentage against ``tolerance``, cells present on only one
+    side are called out as ``new``/``missing`` so a renamed cell
+    cannot silently drop out of regression tracking.
+    """
+    base_cells = {c["name"]: c for c in baseline.get("cells", [])}
+    cur_cells = {c["name"]: c for c in current["cells"]}
+    regressions = []
+    print(f"  {'cell':30s} {'baseline':>10s} {'current':>10s} "
+          f"{'delta':>8s}  status")
+    for cell in current["cells"]:
+        base = base_cells.get(cell["name"])
+        if base is None:
+            print(f"  {cell['name']:30s} {'-':>10s} "
+                  f"{cell['ns_per_op']:10.1f} {'-':>8s}  new")
+            continue
+        if base["ns_per_op"] <= 0:
+            continue
+        delta = cell["ns_per_op"] / base["ns_per_op"] - 1.0
+        if delta > tolerance:
+            status = "REGRESSION"
+            regressions.append(
+                f"{cell['name']}: {base['ns_per_op']:.1f} -> "
+                f"{cell['ns_per_op']:.1f} ns/op "
+                f"(+{delta:.1%} > +{tolerance:.0%})")
+        elif delta < -tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+        print(f"  {cell['name']:30s} {base['ns_per_op']:10.1f} "
+              f"{cell['ns_per_op']:10.1f} {delta:+8.1%}  {status}")
+    for name in base_cells:
+        if name not in cur_cells:
+            print(f"  {name:30s} "
+                  f"{base_cells[name]['ns_per_op']:10.1f} "
+                  f"{'-':>10s} {'-':>8s}  missing")
+            regressions.append(
+                f"{name}: present in baseline but not measured")
+    return regressions
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0])
@@ -118,6 +170,17 @@ def main() -> int:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite BENCH_PERF.json instead of "
                              "comparing against it")
+    parser.add_argument("--compare", action="store_true",
+                        help="print a per-cell delta table against "
+                             "the committed baseline (tolerance is "
+                             "--tolerance, report-only unless "
+                             "--enforce)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="--compare: flag cells this fraction "
+                             "slower than baseline (default: 0.25)")
+    parser.add_argument("--enforce", action="store_true",
+                        help="--compare: exit 1 on flagged cells "
+                             "instead of reporting only")
     parser.add_argument("--output", default=None,
                         help="where to write the measured JSON "
                              "(default: BENCH_PERF.json when "
@@ -160,6 +223,22 @@ def main() -> int:
         print(f"no baseline entry for n={args.n} in {BASELINE}; "
               "record one with --update-baseline "
               f"--n {args.n} (ns/op is only comparable at equal n)")
+        return 0
+    if args.compare:
+        print(f"comparing against {BASELINE} entry n={args.n} "
+              f"(tolerance +{args.tolerance:.0%}"
+              f"{', enforced' if args.enforce else ', report-only'}"
+              "):")
+        regressions = delta_table(result, baseline, args.tolerance)
+        if regressions:
+            print("\ncells beyond tolerance:")
+            for msg in regressions:
+                print(f"  {msg}")
+            if args.enforce:
+                return 1
+            print("(report-only; pass --enforce to fail the run)")
+            return 0
+        print("all cells within tolerance")
         return 0
     print(f"comparing against {BASELINE} entry n={args.n} "
           f"(threshold {args.threshold:.2f}x):")

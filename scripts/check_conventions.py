@@ -24,6 +24,14 @@ the standard library (the container ships no Python packages):
   record-layout  src/trace/trace_io.cc must static_assert the
                  on-disk header/record sizes against the contract in
                  docs/TRACE_FORMAT.md.
+  hot-set-index  no `%` / `/` set- or row-index arithmetic in the
+                 hot-path cache structures (src/mem/cache.*,
+                 src/domino/eit.*, src/mem/prefetch_buffer.h):
+                 geometries there are power-of-two by construction,
+                 so indexing is a mask (and way striding a shift) --
+                 an integer divide on the per-access path costs
+                 20-40 cycles and re-crept in twice before this
+                 rule.  Waivable per file like raw-new.
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 See docs/STATIC_ANALYSIS.md for policy; run via scripts/lint.sh.
@@ -75,6 +83,23 @@ DERIVED_SEED_RE = re.compile(
     r"\bPrng\s*(?:\w+\s*)?[({][^)}]*[-+][^)}]*[)}]")
 DERIVED_SEED_OK_RE = re.compile(
     r"\b(mix64|deriveCellSeed|deriveCoreSeed)\s*\(")
+
+# Hot-path cache structures where set/row indexing must be a mask,
+# never a modulo or divide (the geometries are power-of-two by
+# construction; see SetAssocCache and EnhancedIndexTable).
+HOT_SET_INDEX_FILES = {
+    "src/mem/cache.h",
+    "src/mem/cache.cc",
+    "src/domino/eit.h",
+    "src/domino/eit.cc",
+    "src/mem/prefetch_buffer.h",
+}
+HOT_SET_INDEX_RES = [
+    (re.compile(r"\bmix64\s*\([^)]*\)\s*[%/]"),
+     "mix64(...) folded with %//"),
+    (re.compile(r"[%/]\s*(sets|rows|nSets|rowCount)\b"),
+     "set/row count used as a divisor"),
+]
 
 BARE_ASSERT_RES = [
     (re.compile(r"#\s*include\s*<cassert>"), "<cassert> include"),
@@ -161,6 +186,14 @@ def check_file(path: Path) -> list[str]:
                    "derive the seed with deriveCellSeed/"
                    "deriveCoreSeed or mix64; "
                    f"offending line: {raw.strip()}")
+        if str(rel) in HOT_SET_INDEX_FILES:
+            for pattern, message in HOT_SET_INDEX_RES:
+                if pattern.search(code):
+                    report("hot-set-index",
+                           message + " on a hot-path cache "
+                           "structure (index with a power-of-two "
+                           "mask; see the set-index conventions); "
+                           f"offending line: {raw.strip()}")
         if str(rel).startswith("src/"):
             for pattern, message in BARE_ASSERT_RES:
                 if pattern.search(code):

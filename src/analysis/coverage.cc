@@ -41,6 +41,47 @@ CoverageSimulator::runMany(
     AccessSource &source,
     const std::vector<Prefetcher *> &prefetchers)
 {
+    return runManyImpl(
+        [&source](LineAddr &line, Addr &pc) {
+            Access access;
+            if (!source.next(access))
+                return false;
+            line = access.line();
+            pc = access.pc;
+            return true;
+        },
+        prefetchers);
+}
+
+std::vector<CoverageResult>
+CoverageSimulator::runMany(
+    const ReplayImage &image,
+    const std::vector<Prefetcher *> &prefetchers)
+{
+    if constexpr (checksEnabled)
+        CHECK_EQ(image.audit(), "");
+    const LineAddr *lines = image.lines().data();
+    const Addr *pcs = image.pcs().data();
+    const std::size_t n = image.size();
+    std::size_t i = 0;
+    return runManyImpl(
+        [&](LineAddr &line, Addr &pc) {
+            if (i >= n)
+                return false;
+            line = lines[i];
+            pc = pcs[i];
+            ++i;
+            return true;
+        },
+        prefetchers);
+}
+
+template <typename NextRecord>
+std::vector<CoverageResult>
+CoverageSimulator::runManyImpl(
+    NextRecord &&next_record,
+    const std::vector<Prefetcher *> &prefetchers)
+{
     CHECK(!prefetchers.empty());
     lanes.clear();
     lanes.reserve(prefetchers.size());
@@ -54,10 +95,10 @@ CoverageSimulator::runMany(
     std::uint64_t accesses = 0;
     std::uint64_t l1_hits = 0;
 
-    Access access;
-    while (source.next(access)) {
+    LineAddr line = 0;
+    Addr pc = 0;
+    while (next_record(line, pc)) {
         ++accesses;
-        const LineAddr line = access.line();
         if (l1.access(line)) {
             ++l1_hits;
             continue;
@@ -65,7 +106,7 @@ CoverageSimulator::runMany(
 
         TriggerEvent event;
         event.line = line;
-        event.pc = access.pc;
+        event.pc = pc;
 
         // Per-lane demand probe first (as in a single run, the
         // buffer is probed before the line is installed).

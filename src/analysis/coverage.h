@@ -29,6 +29,7 @@
 #include "mem/cache.h"
 #include "mem/prefetch_buffer.h"
 #include "prefetch/prefetcher.h"
+#include "trace/replay_image.h"
 #include "trace/trace_buffer.h"
 
 namespace domino
@@ -135,6 +136,17 @@ class CoverageSimulator : public PrefetchSink
         AccessSource &source,
         const std::vector<Prefetcher *> &prefetchers);
 
+    /**
+     * runMany() over a packed replay image: same lockstep lanes,
+     * but the trace pass iterates the image's precomputed line/PC
+     * arrays -- no virtual cursor, no per-record unpacking.  Yields
+     * results byte-identical to runMany() over a TraceView of the
+     * image's source trace.
+     */
+    std::vector<CoverageResult> runMany(
+        const ReplayImage &image,
+        const std::vector<Prefetcher *> &prefetchers);
+
     /** Trigger sequence (when collection was enabled). */
     const std::vector<LineAddr> &triggerSequence() const
     {
@@ -148,6 +160,17 @@ class CoverageSimulator : public PrefetchSink
     void dropStream(std::uint32_t stream_id) override;
 
   private:
+    /**
+     * The shared lockstep loop: @p next_record is called once per
+     * record and fills (line, pc); it returns false on exhaustion.
+     * Both runMany() entry points compile their own copy, so the
+     * image path has no per-record dispatch at all.
+     */
+    template <typename NextRecord>
+    std::vector<CoverageResult> runManyImpl(
+        NextRecord &&next_record,
+        const std::vector<Prefetcher *> &prefetchers);
+
     /** One technique under test: its buffer and accumulators. */
     struct Lane
     {

@@ -1,6 +1,9 @@
 #include "cache.h"
 
+#include <algorithm>
 #include <unordered_set>
+
+#include "common/check.h"
 
 namespace domino
 {
@@ -23,10 +26,14 @@ SetAssocCache::SetAssocCache(std::uint64_t size_bytes,
                              std::uint32_t ways_in, ReplPolicy policy)
     : assoc(ways_in ? ways_in : 1), repl(policy)
 {
+    // invalidAge (0xff) marks an empty way, so valid ages need the
+    // range {0..assoc-1} to stay below it.
+    CHECK_LE(assoc, 254u);
     const std::uint64_t blocks = size_bytes / blockBytes;
     const std::uint64_t want_sets = blocks / assoc;
     sets = want_sets ? floorPow2(want_sets) : 1;
-    ways.resize(std::uint64_t(sets) * assoc);
+    tags.assign(std::uint64_t(sets) * assoc, invalidAddr);
+    ages.assign(std::uint64_t(sets) * assoc, invalidAge);
 }
 
 std::uint32_t
@@ -35,16 +42,30 @@ SetAssocCache::setIndex(LineAddr line) const
     return static_cast<std::uint32_t>(mix64(line) & (sets - 1));
 }
 
+void
+SetAssocCache::promote(std::uint64_t base, std::uint32_t w)
+{
+    // Every valid way more recent than w gets one step older; w
+    // becomes the MRU.  invalidAge compares greater than any valid
+    // age, so an empty w ages the whole set (a fresh insertion).
+    const std::uint8_t old = ages[base + w];
+    std::uint8_t *age = &ages[base];
+    for (std::uint32_t v = 0; v < assoc; ++v)
+        if (age[v] < old)
+            ++age[v];
+    age[w] = 0;
+}
+
 bool
 SetAssocCache::access(LineAddr line)
 {
     ++stat.accesses;
-    ++tick;
-    const std::uint32_t set = setIndex(line);
-    Way *base = &ways[std::uint64_t(set) * assoc];
+    const std::uint64_t base =
+        std::uint64_t(setIndex(line)) * assoc;
+    const LineAddr *tag = &tags[base];
     for (std::uint32_t w = 0; w < assoc; ++w) {
-        if (base[w].valid && base[w].tag == line) {
-            base[w].lastUse = tick;
+        if (tag[w] == line && ages[base + w] != invalidAge) {
+            promote(base, w);
             ++stat.hits;
             return true;
         }
@@ -56,10 +77,10 @@ SetAssocCache::access(LineAddr line)
 bool
 SetAssocCache::contains(LineAddr line) const
 {
-    const std::uint32_t set = setIndex(line);
-    const Way *base = &ways[std::uint64_t(set) * assoc];
+    const std::uint64_t base =
+        std::uint64_t(setIndex(line)) * assoc;
     for (std::uint32_t w = 0; w < assoc; ++w)
-        if (base[w].valid && base[w].tag == line)
+        if (tags[base + w] == line && ages[base + w] != invalidAge)
             return true;
     return false;
 }
@@ -67,10 +88,10 @@ SetAssocCache::contains(LineAddr line) const
 std::uint32_t
 SetAssocCache::victimWay(std::uint32_t set)
 {
-    Way *base = &ways[std::uint64_t(set) * assoc];
+    const std::uint64_t base = std::uint64_t(set) * assoc;
     // Prefer an invalid way.
     for (std::uint32_t w = 0; w < assoc; ++w)
-        if (!base[w].valid)
+        if (ages[base + w] == invalidAge)
             return w;
     if (repl == ReplPolicy::Random) {
         randState ^= randState << 13;
@@ -78,9 +99,11 @@ SetAssocCache::victimWay(std::uint32_t set)
         randState ^= randState << 17;
         return static_cast<std::uint32_t>(randState % assoc);
     }
+    // All ways valid: the ages are the permutation {0..assoc-1} and
+    // the unique maximum is the least recently used.
     std::uint32_t victim = 0;
     for (std::uint32_t w = 1; w < assoc; ++w)
-        if (base[w].lastUse < base[victim].lastUse)
+        if (ages[base + w] > ages[base + victim])
             victim = w;
     return victim;
 }
@@ -88,37 +111,43 @@ SetAssocCache::victimWay(std::uint32_t set)
 bool
 SetAssocCache::fill(LineAddr line, LineAddr &evicted)
 {
-    ++tick;
     const std::uint32_t set = setIndex(line);
-    Way *base = &ways[std::uint64_t(set) * assoc];
+    const std::uint64_t base = std::uint64_t(set) * assoc;
     // Already present: just refresh recency.
     for (std::uint32_t w = 0; w < assoc; ++w) {
-        if (base[w].valid && base[w].tag == line) {
-            base[w].lastUse = tick;
+        if (tags[base + w] == line && ages[base + w] != invalidAge) {
+            promote(base, w);
             return false;
         }
     }
     ++stat.fills;
     const std::uint32_t w = victimWay(set);
-    const bool had_victim = base[w].valid;
+    const bool had_victim = ages[base + w] != invalidAge;
     if (had_victim) {
-        evicted = base[w].tag;
+        evicted = tags[base + w];
         ++stat.evictions;
     }
-    base[w].valid = true;
-    base[w].tag = line;
-    base[w].lastUse = tick;
+    tags[base + w] = line;
+    promote(base, w);
     return had_victim;
 }
 
 bool
 SetAssocCache::invalidate(LineAddr line)
 {
-    const std::uint32_t set = setIndex(line);
-    Way *base = &ways[std::uint64_t(set) * assoc];
+    const std::uint64_t base =
+        std::uint64_t(setIndex(line)) * assoc;
     for (std::uint32_t w = 0; w < assoc; ++w) {
-        if (base[w].valid && base[w].tag == line) {
-            base[w].valid = false;
+        if (tags[base + w] == line && ages[base + w] != invalidAge) {
+            // Keep the survivors' ages dense: everyone older than
+            // the removed way moves one step younger.
+            const std::uint8_t gone = ages[base + w];
+            for (std::uint32_t v = 0; v < assoc; ++v)
+                if (ages[base + v] != invalidAge &&
+                    ages[base + v] > gone)
+                    --ages[base + v];
+            ages[base + w] = invalidAge;
+            tags[base + w] = invalidAddr;
             return true;
         }
     }
@@ -128,8 +157,8 @@ SetAssocCache::invalidate(LineAddr line)
 void
 SetAssocCache::clear()
 {
-    for (auto &w : ways)
-        w = Way{};
+    std::fill(tags.begin(), tags.end(), invalidAddr);
+    std::fill(ages.begin(), ages.end(), invalidAge);
 }
 
 std::string
@@ -137,29 +166,39 @@ SetAssocCache::audit() const
 {
     if (sets == 0 || (sets & (sets - 1)) != 0)
         return "set count is not a power of two";
-    if (ways.size() != std::uint64_t(sets) * assoc)
+    if (tags.size() != std::uint64_t(sets) * assoc ||
+        ages.size() != tags.size())
         return "way storage does not match geometry";
     if (stat.hits + stat.misses != stat.accesses)
         return "hit/miss counters do not sum to accesses";
     for (std::uint32_t set = 0; set < sets; ++set) {
         const std::string where =
             "set " + std::to_string(set) + ": ";
-        const Way *base = &ways[std::uint64_t(set) * assoc];
-        std::unordered_set<LineAddr> tags;
-        std::unordered_set<std::uint64_t> stamps;
+        const std::uint64_t base = std::uint64_t(set) * assoc;
+        std::unordered_set<LineAddr> seen;
+        std::uint32_t valid = 0;
+        bool seenAge[256] = {};
         for (std::uint32_t w = 0; w < assoc; ++w) {
-            if (!base[w].valid)
+            if (ages[base + w] == invalidAge)
                 continue;
-            if (setIndex(base[w].tag) != set)
+            ++valid;
+            if (setIndex(tags[base + w]) != set)
                 return where + "tag hashes to a different set";
-            if (!tags.insert(base[w].tag).second)
+            if (!seen.insert(tags[base + w]).second)
                 return where + "duplicate tag";
-            if (base[w].lastUse > tick)
-                return where + "recency stamp from the future";
-            if (!stamps.insert(base[w].lastUse).second)
-                return where + "duplicate recency stamp (LRU "
-                    "order is not a permutation)";
+            if (ages[base + w] >= assoc)
+                return where + "age out of range";
+            if (seenAge[ages[base + w]])
+                return where + "duplicate age (LRU order is not "
+                    "a permutation)";
+            seenAge[ages[base + w]] = true;
         }
+        // Dense permutation {0..valid-1}: with distinct in-range
+        // ages it suffices that none reaches the valid count.
+        for (std::uint32_t w = 0; w < assoc; ++w)
+            if (ages[base + w] != invalidAge &&
+                ages[base + w] >= valid)
+                return where + "age gap (LRU order is not dense)";
     }
     return "";
 }

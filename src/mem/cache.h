@@ -101,9 +101,9 @@ class SetAssocCache
     /**
      * Verify the cache's structural invariants: the set count is a
      * power of two, every valid tag is unique within its set and
-     * hashes to it, recency stamps never exceed the global tick and
-     * are distinct within a set (the LRU order is a permutation),
-     * and the hit/miss counters sum to the access count.
+     * hashes to it, the valid ways' ages form a dense permutation
+     * {0..k-1} (the LRU order is total), and the hit/miss counters
+     * sum to the access count.
      * @return empty string if OK, else a description.
      */
     std::string audit() const;
@@ -111,21 +111,29 @@ class SetAssocCache
   private:
     /** Test-only backdoor for corrupting ways in audit tests. */
     friend struct CacheTestPeer;
-    struct Way
-    {
-        LineAddr tag = invalidAddr;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
+
+    /** Age marker for an empty way (also bounds assoc <= 254). */
+    static constexpr std::uint8_t invalidAge = 0xff;
 
     std::uint32_t setIndex(LineAddr line) const;
     std::uint32_t victimWay(std::uint32_t set);
+    /** Make way @p w of the set at @p base the MRU (age 0). */
+    void promote(std::uint64_t base, std::uint32_t w);
 
     std::uint32_t sets;
     std::uint32_t assoc;
     ReplPolicy repl;
-    std::vector<Way> ways;
-    std::uint64_t tick = 0;
+    /**
+     * SoA way storage (hot-path layout): tags[set*assoc + w] and a
+     * packed per-way age.  A way's age counts the valid ways of its
+     * set used more recently than it, so the valid ways' ages are a
+     * dense permutation {0..k-1}, the LRU victim is the unique
+     * maximum, and recency updates touch one byte per way instead
+     * of a 64-bit global timestamp -- same victims as timestamp LRU
+     * because the age order *is* the lastUse order.
+     */
+    std::vector<LineAddr> tags;
+    std::vector<std::uint8_t> ages;
     std::uint64_t randState = 0x123456789abcdefULL;
     CacheStats stat;
 };

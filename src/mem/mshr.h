@@ -15,6 +15,7 @@
 #define DOMINO_MEM_MSHR_H
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -48,14 +49,22 @@ class MshrFile
     void
     retire(Cycles now)
     {
+        // Batched early-out: nothing can retire before the earliest
+        // completion, so the (frequent) no-op calls skip the scan.
+        if (now < minReady)
+            return;
+        Cycles next = noReady;
         for (std::size_t i = 0; i < slots.size();) {
             if (slots[i].ready <= now) {
                 slots[i] = slots.back();
                 slots.pop_back();
             } else {
+                if (slots[i].ready < next)
+                    next = slots[i].ready;
                 ++i;
             }
         }
+        minReady = next;
     }
 
     /** True if a fill for @p line is in flight. */
@@ -89,6 +98,8 @@ class MshrFile
             return false;
         }
         slots.push_back(Slot{line, ready});
+        if (ready < minReady)
+            minReady = ready;
         ++stat.allocations;
         return true;
     }
@@ -98,8 +109,9 @@ class MshrFile
     /**
      * Verify the file's invariants: occupancy never exceeds the
      * configured capacity, no line has two entries (allocate merges
-     * instead), and the entry lifecycle is consistent -- every
-     * in-flight entry came from a counted allocation.
+     * instead), the entry lifecycle is consistent -- every in-flight
+     * entry came from a counted allocation -- and the retire
+     * early-out bound never overshoots an in-flight completion.
      * @return empty string if OK, else a description.
      */
     std::string
@@ -110,11 +122,15 @@ class MshrFile
                 " exceeds capacity " + std::to_string(cap);
         if (slots.size() > stat.allocations)
             return "more in-flight entries than allocations";
-        for (std::size_t i = 0; i < slots.size(); ++i)
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].ready < minReady)
+                return "retire bound overshoots an in-flight "
+                    "completion (would skip a due retirement)";
             for (std::size_t j = i + 1; j < slots.size(); ++j)
                 if (slots[i].line == slots[j].line)
                     return "duplicate in-flight line (merge "
                         "invariant broken)";
+        }
         return "";
     }
 
@@ -127,8 +143,15 @@ class MshrFile
         Cycles ready;
     };
 
+    /** minReady value meaning "no entry in flight". */
+    static constexpr Cycles noReady =
+        std::numeric_limits<Cycles>::max();
+
     unsigned cap;
     std::vector<Slot> slots;
+    /** Lower bound on every in-flight completion (noReady when
+     *  empty): retire(now) is a no-op while now < minReady. */
+    Cycles minReady = noReady;
     MshrStats stat;
 };
 

@@ -57,6 +57,27 @@ BandwidthModel::post(unsigned core, ChannelKind kind,
     enqueue(core, kind, bytes, now);
 }
 
+void
+BandwidthModel::postPair(unsigned core, ChannelKind kind_a,
+                         std::uint64_t bytes_a, ChannelKind kind_b,
+                         std::uint64_t bytes_b, Cycles now)
+{
+    DCHECK_LT(core, perCore.size());
+    // Sequential-post equivalence: the first post starts at
+    // max(now, freeAt) and leaves freeAt >= now, so the second
+    // starts exactly where the first ended.  Summing the *per-kind*
+    // ceil()ed occupancies therefore reproduces the two-call
+    // horizon; summing the bytes before one ceil() would not.
+    const Cycles start = std::max(now, channelFreeAt);
+    const Cycles occupancy =
+        occupancyOf(bytes_a) + occupancyOf(bytes_b);
+    channelFreeAt = start + occupancy;
+    busy += occupancy;
+    perKind[static_cast<unsigned>(kind_a)] += bytes_a;
+    perKind[static_cast<unsigned>(kind_b)] += bytes_b;
+    perCore[core].bytes += bytes_a + bytes_b;
+}
+
 std::uint64_t
 BandwidthModel::totalBytes() const
 {

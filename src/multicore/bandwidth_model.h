@@ -101,6 +101,20 @@ class BandwidthModel
     void post(unsigned core, ChannelKind kind, std::uint64_t bytes,
               Cycles now);
 
+    /**
+     * Two same-cycle post() calls merged into one queueing step.
+     * Exactly equivalent to post(kind_a) then post(kind_b) at the
+     * same @p now -- the per-kind occupancies are still rounded
+     * separately, so the busy horizon (and with it every later
+     * transfer's completion time) is bit-identical to the two-call
+     * sequence.  Saves the second horizon round trip on the per-
+     * trigger metadata path, where read and update deltas almost
+     * always arrive together.
+     */
+    void postPair(unsigned core, ChannelKind kind_a,
+                  std::uint64_t bytes_a, ChannelKind kind_b,
+                  std::uint64_t bytes_b, Cycles now);
+
     /** Cycle at which the channel next goes idle. */
     Cycles freeAt() const { return channelFreeAt; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "common/check.h"
 #include "mem/cache.h"
@@ -130,30 +131,58 @@ class CoreState : public PrefetchSink
           l1(cfg.l1Bytes, cfg.l1Ways),
           buffer(cfg.prefetchBufferBlocks),
           mshrs(cfg.l1Mshrs),
-          shared(shared), meta(meta)
-    {}
+          shared(shared), meta(meta),
+          // Per-access constants, hoisted off the hot path.  The
+          // prefetcher pointer is cached so the innermost loop does
+          // not chase the binding per trigger, and the clock
+          // increment / stall divisor reproduce the per-step
+          // llround()/max() arithmetic exactly (same operands, same
+          // rounding -- the byte-identical contract).
+          pf(binding.prefetcher),
+          img(binding.image),
+          clockStep(static_cast<Cycles>(std::llround(
+              binding.instPerAccess / cfg.baseIpc))),
+          instStep(static_cast<std::uint64_t>(binding.instPerAccess)),
+          mlpDiv(std::max(binding.mlpFactor, 1.0))
+    {
+        if (img) {
+            cursor = ReplayCursor(*img, cfg.cores, binding.imageCore,
+                                  cfg.multicore.shardChunk);
+        }
+    }
 
     /** Process one access; @return false when the source is done. */
     bool
     step()
     {
-        Access access;
-        if (!binding.source->next(access))
-            return false;
+        LineAddr line;
+        Addr pc;
+        if (img) {
+            // Zero-copy fast path: the shard cursor walks the
+            // packed image; no virtual dispatch, no unpacking.
+            std::size_t idx;
+            if (!cursor.next(idx))
+                return false;
+            line = img->lineAt(idx);
+            pc = img->pcAt(idx);
+        } else {
+            Access access;
+            if (!binding.source->next(access))
+                return false;
+            line = access.line();
+            pc = access.pc;
+        }
         ++result.accesses;
 
-        result.instructions +=
-            static_cast<std::uint64_t>(binding.instPerAccess);
-        now += static_cast<Cycles>(std::llround(
-            binding.instPerAccess / cfg.baseIpc));
+        result.instructions += instStep;
+        now += clockStep;
 
-        const LineAddr line = access.line();
         if (l1.access(line))
             return true;  // L1 hit: latency hidden by the pipeline
 
         TriggerEvent event;
         event.line = line;
-        event.pc = access.pc;
+        event.pc = pc;
 
         const PrefetchBuffer::HitInfo hit = buffer.lookup(line);
         if (hit.hit) {
@@ -185,8 +214,8 @@ class CoreState : public PrefetchSink
         }
         l1.fill(line);
 
-        if (binding.prefetcher) {
-            binding.prefetcher->onTrigger(event, *this);
+        if (pf) {
+            pf->onTrigger(event, *this);
             chargeMetadataDelta();
         }
 
@@ -206,8 +235,10 @@ class CoreState : public PrefetchSink
         CHECK_EQ(buffer.audit(), "");
         CHECK_EQ(mshrs.audit(), "");
         CHECK_EQ(shared.channel.audit(), "");
-        if (binding.prefetcher)
-            CHECK_EQ(binding.prefetcher->audit(), "");
+        if (pf)
+            CHECK_EQ(pf->audit(), "");
+        if (img)
+            CHECK_EQ(img->audit(), "");
     }
 
     /** Finalise counters at the end of the run. */
@@ -292,9 +323,11 @@ class CoreState : public PrefetchSink
     void
     stall(Cycles amount)
     {
+        // Division by the hoisted divisor, NOT multiplication by a
+        // reciprocal: llround(x / d) and llround(x * (1/d)) round
+        // differently, and the contract is byte-identical output.
         now += static_cast<Cycles>(std::llround(
-            static_cast<double>(amount) /
-            std::max(binding.mlpFactor, 1.0)));
+            static_cast<double>(amount) / mlpDiv));
     }
 
     /**
@@ -306,7 +339,7 @@ class CoreState : public PrefetchSink
     void
     chargeMetadataDelta()
     {
-        const MetadataStats stats = binding.prefetcher->metadata();
+        const MetadataStats stats = pf->metadata();
         const std::uint64_t reads = stats.readBytes();
         const std::uint64_t writes = stats.writeBytes();
         DCHECK_GE(reads, meta->readBytes);
@@ -319,11 +352,17 @@ class CoreState : public PrefetchSink
         shared.traffic.metadataUpdateBytes += dWrite;
         if (!cfg.multicore.chargeMetadata)
             return;
-        if (dRead) {
+        if (dRead && dWrite) {
+            // Both deltas arrive at the same cycle on every trigger
+            // that sampled an EIT update: one merged queueing step
+            // (bit-identical to two posts; see postPair).
+            shared.channel.postPair(
+                core, ChannelKind::MetadataRead, dRead,
+                ChannelKind::MetadataUpdate, dWrite, now);
+        } else if (dRead) {
             shared.channel.post(core, ChannelKind::MetadataRead,
                                 dRead, now);
-        }
-        if (dWrite) {
+        } else if (dWrite) {
             shared.channel.post(core, ChannelKind::MetadataUpdate,
                                 dWrite, now);
         }
@@ -337,6 +376,13 @@ class CoreState : public PrefetchSink
     MshrFile mshrs;
     SharedState &shared;
     MetaAccount *meta;
+    /** Hoisted per-access constants (see constructor). */
+    Prefetcher *const pf;
+    const ReplayImage *const img;
+    ReplayCursor cursor;
+    const Cycles clockStep;
+    const std::uint64_t instStep;
+    const double mlpDiv;
     McCoreResult result;
     Cycles now = 0;
     std::uint64_t incorrectPrefetches = 0;
@@ -346,6 +392,138 @@ class CoreState : public PrefetchSink
     std::uint64_t stepsSinceAudit = 0;
 };
 
+using CorePtrs = std::vector<std::unique_ptr<CoreState>>;
+
+/**
+ * Reference scheduler (the oracle the batched schedulers are
+ * verified against): before every single step, scan for the alive
+ * core whose (local clock, index) pair is lexicographically
+ * smallest, and advance it once.
+ */
+void
+runReferenceMinClock(CorePtrs &cores)
+{
+    std::vector<bool> done(cores.size(), false);
+    std::size_t remaining = cores.size();
+    while (remaining) {
+        std::size_t pick = cores.size();
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            if (done[i])
+                continue;
+            if (pick == cores.size() ||
+                cores[i]->nowCycle() < cores[pick]->nowCycle()) {
+                pick = i;
+            }
+        }
+        if (!cores[pick]->step()) {
+            done[pick] = true;
+            --remaining;
+        }
+    }
+}
+
+/**
+ * Run-batched scheduler, linear-scan pick (small core counts).
+ *
+ * Batching invariant: one step only advances the picked core p's
+ * clock, so the lexicographic minimum over the *other* alive cores
+ * -- the runner-up (r, ri) -- is unchanged for the whole batch, and
+ * p remains the reference scheduler's pick exactly while
+ * (clock_p, p) < (r, ri).  Re-checking that inequality before each
+ * step therefore reproduces the reference step sequence while
+ * paying the O(cores) pick scan once per batch instead of once per
+ * access (DESIGN.md section 6, "Run-batched scheduling").
+ */
+void
+runBatchedScan(CorePtrs &cores)
+{
+    const std::size_t n = cores.size();
+    std::vector<bool> done(n, false);
+    std::size_t remaining = n;
+    while (remaining) {
+        // One scan finds both the pick (lexicographic minimum of
+        // (clock, index)) and the runner-up among the other alive
+        // cores.
+        std::size_t pick = n, ru = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (done[i])
+                continue;
+            if (pick == n ||
+                cores[i]->nowCycle() < cores[pick]->nowCycle()) {
+                ru = pick;
+                pick = i;
+            } else if (ru == n || cores[i]->nowCycle() <
+                                      cores[ru]->nowCycle()) {
+                ru = i;
+            }
+        }
+        if (ru == n) {
+            // Last core standing: nothing can overtake it.
+            while (cores[pick]->step()) {
+            }
+            done[pick] = true;
+            --remaining;
+            continue;
+        }
+        const Cycles ruClock = cores[ru]->nowCycle();
+        for (;;) {
+            if (!cores[pick]->step()) {
+                done[pick] = true;
+                --remaining;
+                break;
+            }
+            const Cycles c = cores[pick]->nowCycle();
+            if (c > ruClock || (c == ruClock && pick > ru))
+                break;  // the runner-up is now the reference pick
+        }
+    }
+}
+
+/**
+ * Run-batched scheduler, index-heap pick (>= 8 cores): a min-heap
+ * of (clock, index) pairs replaces the linear scan -- pop the pick,
+ * peek the runner-up, batch, push the pick back.  Same batching
+ * invariant (and so the same step sequence) as runBatchedScan;
+ * std::pair's lexicographic order supplies the tie-break.
+ */
+void
+runBatchedHeap(CorePtrs &cores)
+{
+    using Key = std::pair<Cycles, std::size_t>;
+    const auto byGreater = [](const Key &a, const Key &b) {
+        return a > b;
+    };
+    std::vector<Key> heap;
+    heap.reserve(cores.size());
+    for (std::size_t i = 0; i < cores.size(); ++i)
+        heap.emplace_back(cores[i]->nowCycle(), i);
+    std::make_heap(heap.begin(), heap.end(), byGreater);
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), byGreater);
+        const std::size_t pick = heap.back().second;
+        heap.pop_back();
+        if (heap.empty()) {
+            while (cores[pick]->step()) {
+            }
+            continue;
+        }
+        const Key ru = heap.front();
+        bool alive = true;
+        for (;;) {
+            if (!cores[pick]->step()) {
+                alive = false;
+                break;
+            }
+            if (ru < Key{cores[pick]->nowCycle(), pick})
+                break;  // the runner-up is now the reference pick
+        }
+        if (alive) {
+            heap.emplace_back(cores[pick]->nowCycle(), pick);
+            std::push_heap(heap.begin(), heap.end(), byGreater);
+        }
+    }
+}
+
 } // anonymous namespace
 
 MultiCoreSim::MultiCoreSim(const SystemConfig &config)
@@ -353,7 +531,8 @@ MultiCoreSim::MultiCoreSim(const SystemConfig &config)
 {}
 
 MultiCoreResult
-MultiCoreSim::run(const std::vector<CoreBinding> &bindings)
+MultiCoreSim::run(const std::vector<CoreBinding> &bindings,
+                  McScheduler scheduler)
 {
     CHECK_EQ(bindings.size(), static_cast<std::size_t>(cfg.cores));
 
@@ -392,31 +571,24 @@ MultiCoreSim::run(const std::vector<CoreBinding> &bindings)
             cfg, bindings[c], c, shared, meta));
     }
 
-    // Event-ordered interleaving: always advance the core with the
-    // smallest local clock (ties to the lowest index).  Strict
-    // round-robin would let per-core clocks drift apart, and the
-    // channel's global freeAt horizon would then bill a behind-clock
-    // core "queueing" equal to the drift rather than to genuine
-    // contention.  Minimum-clock stepping keeps channel requests in
-    // (approximate) global time order and is just as deterministic.
-    std::vector<bool> done(shared.cores.size(), false);
-    std::size_t remaining = shared.cores.size();
-    while (remaining) {
-        std::size_t pick = shared.cores.size();
-        for (std::size_t i = 0; i < shared.cores.size(); ++i) {
-            if (done[i])
-                continue;
-            if (pick == shared.cores.size() ||
-                shared.cores[i]->nowCycle() <
-                    shared.cores[pick]->nowCycle()) {
-                pick = i;
-            }
-        }
-        if (!shared.cores[pick]->step()) {
-            done[pick] = true;
-            --remaining;
-        }
-    }
+    // Event-ordered interleaving: always advance the core whose
+    // (local clock, index) pair is lexicographically smallest.
+    // Strict round-robin would let per-core clocks drift apart, and
+    // the channel's global freeAt horizon would then bill a
+    // behind-clock core "queueing" equal to the drift rather than
+    // to genuine contention.  The batched schedulers exploit the
+    // invariant that a step changes only the stepped core's clock:
+    // the runner-up stays fixed for a whole batch, so the pick scan
+    // is paid per batch, not per access, while the step sequence --
+    // and therefore every result byte -- matches the reference
+    // min-clock stepper (verified by the scheduler-equivalence
+    // test).
+    if (scheduler == McScheduler::ReferenceMinClock)
+        runReferenceMinClock(shared.cores);
+    else if (shared.cores.size() >= 8)
+        runBatchedHeap(shared.cores);
+    else
+        runBatchedScan(shared.cores);
 
     MultiCoreResult result;
     for (auto &core : shared.cores)

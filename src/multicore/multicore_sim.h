@@ -26,12 +26,15 @@
  *    In shared scope a replaced stream's buffered blocks are
  *    discarded on every core.
  *
- * Cores are interleaved round-robin one access at a time (same
- * discipline as the src/sim model), with each core's clock local to
- * it; the shared channel is the only cross-core coupling.  The run
- * is a pure function of (sources, prefetchers, config) -- no global
- * state, no scheduling dependence -- so multi-core cells keep the
- * byte-identical `--jobs` determinism contract.
+ * Cores are interleaved in event order -- always the core with the
+ * (clock, index)-lexicographically smallest local clock advances --
+ * with each core's clock local to it; the shared channel is the
+ * only cross-core coupling.  The production scheduler batches runs
+ * of steps on the picked core (see McScheduler), which is provably
+ * the same interleaving.  The run is a pure function of (sources,
+ * prefetchers, config) -- no global state, no scheduling
+ * dependence -- so multi-core cells keep the byte-identical
+ * `--jobs` determinism contract.
  */
 
 #ifndef DOMINO_MULTICORE_MULTICORE_SIM_H
@@ -45,6 +48,7 @@
 #include "multicore/bandwidth_model.h"
 #include "prefetch/prefetcher.h"
 #include "sim/system_config.h"
+#include "trace/replay_image.h"
 #include "trace/trace_buffer.h"
 
 namespace domino
@@ -56,6 +60,18 @@ struct CoreBinding
     /** Access stream for this core (not owned). */
     AccessSource *source = nullptr;
     /**
+     * Optional zero-copy fast path: when set, the core replays its
+     * shard of this packed image (geometry from the system config's
+     * cores/shardChunk) instead of pulling `source` -- no virtual
+     * dispatch and no record unpacking on the per-access path.  The
+     * image must cover the same trace the source would, and
+     * `imageCore` selects the shard.  `source` is ignored when an
+     * image is bound.
+     */
+    const ReplayImage *image = nullptr;
+    /** Shard of `image` this core replays. */
+    unsigned imageCore = 0;
+    /**
      * Prefetcher driven by this core's triggers (not owned);
      * nullptr = none.  The same pointer may appear for several
      * cores (shared HT/EIT scope) -- the simulator detects
@@ -66,6 +82,26 @@ struct CoreBinding
     double mlpFactor = 1.3;
     /** Instructions represented by each trace access. */
     double instPerAccess = 3.0;
+};
+
+/**
+ * Scheduling strategy for MultiCoreSim::run.  Both produce the
+ * identical step sequence (and therefore identical results, which
+ * the scheduler-equivalence test asserts); RunBatched is the
+ * production default, ReferenceMinClock the oracle it is verified
+ * against.
+ */
+enum class McScheduler
+{
+    /**
+     * Run-batched event ordering: pick the (clock, index)-minimal
+     * core once, then let it step repeatedly until its clock passes
+     * the runner-up's -- the pick scan is paid per *batch*, not per
+     * access.  Uses an index heap for the pick at >= 8 cores.
+     */
+    RunBatched,
+    /** O(cores) min-clock scan before every single step. */
+    ReferenceMinClock,
 };
 
 /** Per-core outcome of a multi-core run. */
@@ -136,10 +172,14 @@ class MultiCoreSim
     explicit MultiCoreSim(const SystemConfig &config = {});
 
     /**
-     * Run all cores round-robin to the exhaustion of their
+     * Run all cores in event order to the exhaustion of their
      * sources.  @p bindings must have config.cores entries.
+     * @p scheduler selects the stepping strategy; both produce
+     * identical results (see McScheduler).
      */
-    MultiCoreResult run(const std::vector<CoreBinding> &bindings);
+    MultiCoreResult run(const std::vector<CoreBinding> &bindings,
+                        McScheduler scheduler =
+                            McScheduler::RunBatched);
 
   private:
     SystemConfig cfg;

@@ -34,8 +34,10 @@ class CircularHistory
                              unsigned addrs_per_row = 12)
         : cap(entries ? entries : 1), rowSize(addrs_per_row)
     {
-        buf.resize(cap, invalidAddr);
-        startFlag.resize(cap, 0);
+        // Backing storage grows lazily up to the capacity: a run
+        // that appends far fewer addresses than the retention
+        // window (the common case for bench traces against a 1 M-
+        // entry HT) never pays for zeroing the full window.
     }
 
     /**
@@ -51,8 +53,15 @@ class CircularHistory
     {
         DCHECK_NE(line, invalidAddr);
         const std::uint64_t pos = total;
-        buf[pos % cap] = line;
-        startFlag[pos % cap] = stream_start ? 1 : 0;
+        if (buf.size() < cap) {
+            // While the log has not wrapped, pos % cap == pos ==
+            // buf.size(): appending extends the storage in place.
+            buf.push_back(line);
+            startFlag.push_back(stream_start ? 1 : 0);
+        } else {
+            buf[pos % cap] = line;
+            startFlag[pos % cap] = stream_start ? 1 : 0;
+        }
         ++total;
         return pos;
     }
@@ -107,9 +116,12 @@ class CircularHistory
     {
         if (cap == 0 || rowSize == 0)
             return "degenerate geometry (cap or row size is 0)";
-        if (buf.size() != cap || startFlag.size() != cap)
+        // Lazily grown storage: exactly min(total, cap) slots have
+        // ever been written, and both arrays grow in lockstep.
+        const std::uint64_t grown = total < cap ? total : cap;
+        if (buf.size() != grown || startFlag.size() != grown)
             return "backing storage does not match capacity";
-        for (std::uint64_t i = 0; i < cap; ++i)
+        for (std::uint64_t i = 0; i < grown; ++i)
             if (startFlag[i] > 1)
                 return "non-boolean start flag at slot " +
                     std::to_string(i);

@@ -1,0 +1,97 @@
+#include "replay_image.h"
+
+namespace domino
+{
+
+ReplayImage::ReplayImage(const TraceBuffer &trace)
+{
+    const std::size_t n = trace.size();
+    lineArr.reserve(n);
+    pcArr.reserve(n);
+    rwArr.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Access &a = trace[i];
+        lineArr.push_back(a.line());
+        pcArr.push_back(a.pc);
+        rwArr.push_back(a.isWrite ? 1 : 0);
+    }
+}
+
+std::string
+ReplayImage::audit() const
+{
+    if (pcArr.size() != lineArr.size() ||
+        rwArr.size() != lineArr.size()) {
+        return "parallel arrays disagree on the record count (" +
+            std::to_string(lineArr.size()) + " lines, " +
+            std::to_string(pcArr.size()) + " PCs, " +
+            std::to_string(rwArr.size()) + " rw flags)";
+    }
+    for (std::size_t i = 0; i < rwArr.size(); ++i)
+        if (rwArr[i] > 1)
+            return "non-boolean rw flag at record " +
+                std::to_string(i);
+    return "";
+}
+
+std::string
+ReplayImage::auditAgainst(const TraceBuffer &trace) const
+{
+    if (const std::string internal = audit(); !internal.empty())
+        return internal;
+    if (size() != trace.size()) {
+        return "image holds " + std::to_string(size()) +
+            " records of a " + std::to_string(trace.size()) +
+            "-record trace";
+    }
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Access &a = trace[i];
+        if (lineArr[i] != a.line() || pcArr[i] != a.pc ||
+            (rwArr[i] != 0) != a.isWrite) {
+            return "record " + std::to_string(i) +
+                " does not match the source trace";
+        }
+    }
+    return "";
+}
+
+std::string
+ReplayImage::auditPartition(unsigned cores,
+                            std::uint32_t chunk) const
+{
+    if (cores == 0 || chunk == 0)
+        return "degenerate shard geometry";
+    std::vector<std::uint8_t> covered(size(), 0);
+    for (unsigned c = 0; c < cores; ++c) {
+        ReplayCursor cursor(*this, cores, c, chunk);
+        std::size_t idx = 0;
+        std::size_t prev = 0;
+        bool first = true;
+        while (cursor.next(idx)) {
+            if (!first && idx <= prev) {
+                return "core " + std::to_string(c) +
+                    " cursor is not monotone at record " +
+                    std::to_string(idx);
+            }
+            if (idx >= size()) {
+                return "core " + std::to_string(c) +
+                    " cursor yields record " + std::to_string(idx) +
+                    " past the image";
+            }
+            if (covered[idx]) {
+                return "record " + std::to_string(idx) +
+                    " yielded by two shards";
+            }
+            covered[idx] = 1;
+            prev = idx;
+            first = false;
+        }
+    }
+    for (std::size_t i = 0; i < covered.size(); ++i)
+        if (!covered[i])
+            return "record " + std::to_string(i) +
+                " missing from every shard (not a partition)";
+    return "";
+}
+
+} // namespace domino

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Packed structure-of-arrays replay image of a trace.
+ *
+ * Every simulator consumes a trace as (cache line, PC, rw flag)
+ * tuples, but the canonical TraceBuffer stores byte-level Access
+ * records behind a virtual AccessSource cursor: each replay pays a
+ * virtual next() call and a lineOf() shift per record, once per
+ * (cell x technique x core).  A ReplayImage precomputes the line
+ * addresses, PCs, and rw flags into three packed parallel arrays --
+ * built once per trace (and memoised by TraceCache) so every replay
+ * iterates plain arrays with no dispatch and no unpacking.
+ *
+ * The image is immutable after construction and carries exactly the
+ * information the hot paths read, in trace order, so any simulator
+ * switched from a TraceView/ShardView to an image cursor produces a
+ * byte-identical result (the determinism contract's requirement for
+ * adopting the fast path).
+ */
+
+#ifndef DOMINO_TRACE_REPLAY_IMAGE_H
+#define DOMINO_TRACE_REPLAY_IMAGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "trace/trace_buffer.h"
+
+namespace domino
+{
+
+/** The packed SoA image (see file comment). */
+class ReplayImage
+{
+  public:
+    /** An empty image (no records). */
+    ReplayImage() = default;
+
+    /** Build the image of @p trace (one unpacking pass). */
+    explicit ReplayImage(const TraceBuffer &trace);
+
+    /** Records in the image. */
+    std::size_t size() const { return lineArr.size(); }
+
+    /** Cache-line address of record @p i (precomputed). */
+    LineAddr
+    lineAt(std::size_t i) const
+    {
+        DCHECK_LT(i, lineArr.size());
+        return lineArr[i];
+    }
+
+    /** Program counter of record @p i. */
+    Addr
+    pcAt(std::size_t i) const
+    {
+        DCHECK_LT(i, pcArr.size());
+        return pcArr[i];
+    }
+
+    /** True when record @p i is a store. */
+    bool
+    writeAt(std::size_t i) const
+    {
+        DCHECK_LT(i, rwArr.size());
+        return rwArr[i] != 0;
+    }
+
+    /** The packed line-address array (zero-copy iteration). */
+    const std::vector<LineAddr> &lines() const { return lineArr; }
+    /** The packed PC array. */
+    const std::vector<Addr> &pcs() const { return pcArr; }
+
+    /**
+     * Verify the image's internal invariants: the three parallel
+     * arrays have one entry per record.
+     * @return empty string if OK, else a description.
+     */
+    std::string audit() const;
+
+    /**
+     * Verify the image against its source trace: same length, and
+     * every record's line/PC/flag matches the unpacked original.
+     * @return empty string if OK, else a description.
+     */
+    std::string auditAgainst(const TraceBuffer &trace) const;
+
+    /**
+     * Verify that the (cores, chunk) shard cursors partition the
+     * image: every record index is yielded by exactly one core's
+     * cursor, and each cursor's index sequence is strictly
+     * increasing (monotone).  Mirrors TraceInterleaver::audit() for
+     * the zero-copy path.
+     * @return empty string if OK, else a description.
+     */
+    std::string auditPartition(unsigned cores,
+                               std::uint32_t chunk) const;
+
+  private:
+    friend struct ReplayImageTestPeer;
+
+    std::vector<LineAddr> lineArr;
+    std::vector<Addr> pcArr;
+    std::vector<std::uint8_t> rwArr;
+};
+
+/**
+ * Shard cursor over a ReplayImage: yields the record indices of one
+ * core's shard -- the records i with (i / chunk) % cores == core --
+ * in increasing order, matching ShardView's dealing exactly.  The
+ * chunk-boundary skip uses a countdown instead of a modulo, so the
+ * per-record cost is two additions and a branch.
+ *
+ * Non-virtual and header-inline on purpose: this is the innermost
+ * per-access iterator of the multicore substrate.
+ */
+class ReplayCursor
+{
+  public:
+    /** An exhausted cursor over nothing. */
+    ReplayCursor() = default;
+
+    /**
+     * @param image shared image (not owned; must outlive the
+     *        cursor).
+     * @param cores number of shards (>= 1).
+     * @param core this cursor's shard (< cores).
+     * @param chunk records per dealing chunk (>= 1).
+     */
+    ReplayCursor(const ReplayImage &image, unsigned cores,
+                 unsigned core, std::uint32_t chunk)
+        : img(&image), nCores(cores ? cores : 1), coreIdx(core),
+          chunkLen(chunk ? chunk : 1)
+    {
+        DCHECK_LT(coreIdx, nCores);
+        reset();
+    }
+
+    /**
+     * Index of the next record of this shard, or the image size
+     * when the shard is exhausted.  Does not advance.
+     */
+    std::size_t
+    peek() const
+    {
+        return img ? pos : 0;
+    }
+
+    /** True when every record of the shard has been yielded. */
+    bool
+    done() const
+    {
+        return !img || pos >= img->size();
+    }
+
+    /**
+     * Yield the next record index of the shard.
+     * @param out set to the record index on success.
+     * @return false when the shard is exhausted.
+     */
+    bool
+    next(std::size_t &out)
+    {
+        if (!img || pos >= img->size())
+            return false;
+        out = pos;
+        ++pos;
+        if (--chunkLeft == 0) {
+            // Crossing a chunk boundary skips the other cores'
+            // chunks (no modulo: the countdown tracks the boundary).
+            pos += skip;
+            chunkLeft = chunkLen;
+        }
+        return true;
+    }
+
+    /** Restart the cursor at the shard's first record. */
+    void
+    reset()
+    {
+        pos = static_cast<std::size_t>(coreIdx) * chunkLen;
+        chunkLeft = chunkLen;
+        skip = static_cast<std::size_t>(nCores - 1) * chunkLen;
+    }
+
+  private:
+    const ReplayImage *img = nullptr;
+    unsigned nCores = 1;
+    unsigned coreIdx = 0;
+    std::uint32_t chunkLen = 1;
+    /** Record index the cursor will yield next. */
+    std::size_t pos = 0;
+    /** Records left in the current chunk before the skip. */
+    std::uint32_t chunkLeft = 1;
+    /** Precomputed skip over the other cores' chunks. */
+    std::size_t skip = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_TRACE_REPLAY_IMAGE_H

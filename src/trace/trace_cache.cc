@@ -55,11 +55,21 @@ TraceCache::missSequence(const std::string &key,
     return getOrGenerate(misses, key, generate);
 }
 
+std::shared_ptr<const ReplayImage>
+TraceCache::image(const std::string &key, const Generator &generate)
+{
+    return getOrGenerate(images, key, [&] {
+        // The trace plane memoises the expensive part; the image is
+        // one unpacking pass over the shared buffer.
+        return ReplayImage(*get(key, generate));
+    });
+}
+
 std::size_t
 TraceCache::size() const
 {
     std::lock_guard<std::mutex> lock(mu);
-    return traces.size() + misses.size();
+    return traces.size() + misses.size() + images.size();
 }
 
 void
@@ -68,6 +78,7 @@ TraceCache::clear()
     std::lock_guard<std::mutex> lock(mu);
     traces.clear();
     misses.clear();
+    images.clear();
 }
 
 } // namespace domino

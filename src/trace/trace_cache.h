@@ -40,6 +40,7 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "trace/replay_image.h"
 #include "trace/trace_buffer.h"
 
 namespace domino
@@ -156,6 +157,16 @@ class TraceCache
     std::shared_ptr<const std::vector<LineAddr>> missSequence(
         const std::string &key, const MissGenerator &generate);
 
+    /**
+     * The memoised packed replay image of the trace for @p key
+     * (third value plane, same single-flight semantics).  Built
+     * from get(key, generate), so the first request may generate
+     * the trace too; every later cell -- any technique, any core --
+     * shares one unpacking pass.
+     */
+    std::shared_ptr<const ReplayImage> image(
+        const std::string &key, const Generator &generate);
+
     /** Traces actually generated (cache misses that ran a
      *  generator to completion, both planes). */
     std::uint64_t
@@ -191,6 +202,7 @@ class TraceCache
     mutable std::mutex mu;
     FutureMap<TraceBuffer> traces;
     FutureMap<std::vector<LineAddr>> misses;
+    FutureMap<ReplayImage> images;
     std::atomic<std::uint64_t> generationCnt{0};
     std::atomic<std::uint64_t> hitCnt{0};
 };

@@ -97,6 +97,14 @@ TraceInterleaver::shard(unsigned core) const
     return ShardView(buf, nCores, core, chunkLen);
 }
 
+ReplayCursor
+TraceInterleaver::imageShard(const ReplayImage &image,
+                            unsigned core) const
+{
+    CHECK_LT(core, nCores);
+    return ReplayCursor(image, nCores, core, chunkLen);
+}
+
 std::size_t
 TraceInterleaver::shardSize(unsigned core) const
 {

@@ -28,6 +28,7 @@
 #include <memory>
 #include <string>
 
+#include "trace/replay_image.h"
 #include "trace/trace_buffer.h"
 
 namespace domino
@@ -104,6 +105,17 @@ class TraceInterleaver
 
     /** A fresh cursor over core @p core's shard. */
     ShardView shard(unsigned core) const;
+
+    /**
+     * A fresh zero-copy cursor over core @p core's shard of
+     * @p image, with this interleaver's (cores, chunk) geometry:
+     * the cursor yields exactly the record indices shard(core)
+     * would visit.  @p image must be the image of the same trace
+     * (ReplayImage::auditAgainst pins that in checked builds via
+     * the callers' audits) and must outlive the cursor.
+     */
+    ReplayCursor imageShard(const ReplayImage &image,
+                            unsigned core) const;
 
     /** Records in core @p core's shard (closed form, O(1)). */
     std::size_t shardSize(unsigned core) const;

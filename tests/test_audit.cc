@@ -63,7 +63,10 @@ struct HistoryTestPeer
 
 struct CacheTestPeer
 {
-    static auto &ways(SetAssocCache &cache) { return cache.ways; }
+    static auto &tags(SetAssocCache &cache) { return cache.tags; }
+    static auto &ages(SetAssocCache &cache) { return cache.ages; }
+    static constexpr std::uint8_t invalidAge =
+        SetAssocCache::invalidAge;
     static std::uint32_t
     setIndex(const SetAssocCache &cache, LineAddr line)
     {
@@ -257,11 +260,12 @@ TEST(CacheAudit, CatchesDuplicateTag)
     }
     cache.fill(a);
     cache.fill(b);
-    auto &ways = CacheTestPeer::ways(cache);
+    auto &tags = CacheTestPeer::tags(cache);
+    auto &ages = CacheTestPeer::ages(cache);
     bool cloned = false;
-    for (auto &way : ways) {
-        if (way.valid && way.tag == b) {
-            way.tag = a;
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+        if (ages[i] != CacheTestPeer::invalidAge && tags[i] == b) {
+            tags[i] = a;
             cloned = true;
         }
     }
@@ -273,31 +277,53 @@ TEST(CacheAudit, CatchesDuplicateTag)
 TEST(CacheAudit, CatchesMisplacedTag)
 {
     SetAssocCache cache = populatedCache();
-    auto &ways = CacheTestPeer::ways(cache);
-    for (auto &way : ways) {
-        if (!way.valid)
+    auto &tags = CacheTestPeer::tags(cache);
+    auto &ages = CacheTestPeer::ages(cache);
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+        if (ages[i] == CacheTestPeer::invalidAge)
             continue;
         // Move the tag until it hashes to some other set.
         const std::uint32_t home =
-            CacheTestPeer::setIndex(cache, way.tag);
-        while (CacheTestPeer::setIndex(cache, way.tag) == home)
-            ++way.tag;
+            CacheTestPeer::setIndex(cache, tags[i]);
+        while (CacheTestPeer::setIndex(cache, tags[i]) == home)
+            ++tags[i];
         break;
     }
     EXPECT_NE(cache.audit().find("different set"),
               std::string::npos);
 }
 
-TEST(CacheAudit, CatchesFutureRecencyStamp)
+TEST(CacheAudit, CatchesAgeOutOfRange)
 {
     SetAssocCache cache = populatedCache();
-    for (auto &way : CacheTestPeer::ways(cache)) {
-        if (way.valid) {
-            way.lastUse = ~0ULL;
+    auto &ages = CacheTestPeer::ages(cache);
+    for (auto &age : ages) {
+        if (age != CacheTestPeer::invalidAge) {
+            age = 0xfe;  // valid marker-wise, beyond assoc
             break;
         }
     }
-    EXPECT_NE(cache.audit().find("from the future"),
+    EXPECT_NE(cache.audit().find("age out of range"),
+              std::string::npos);
+}
+
+TEST(CacheAudit, CatchesDuplicateAge)
+{
+    SetAssocCache cache = populatedCache();
+    auto &ages = CacheTestPeer::ages(cache);
+    // Find a set with both ways valid (2-way geometry) and clone
+    // one age onto the other: the LRU order stops being total.
+    bool planted = false;
+    for (std::size_t i = 0; i + 1 < ages.size() && !planted;
+         i += 2) {
+        if (ages[i] != CacheTestPeer::invalidAge &&
+            ages[i + 1] != CacheTestPeer::invalidAge) {
+            ages[i + 1] = ages[i];
+            planted = true;
+        }
+    }
+    ASSERT_TRUE(planted);
+    EXPECT_NE(cache.audit().find("duplicate age"),
               std::string::npos);
 }
 

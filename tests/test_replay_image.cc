@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the packed replay image and its shard cursor: the image
+ * must reproduce the TraceView record sequence exactly, the cursor
+ * must deal records like ShardView, the coverage simulator's image
+ * overload must match its AccessSource overload, and the audits
+ * must catch corrupted images.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/coverage.h"
+#include "analysis/factory.h"
+#include "trace/replay_image.h"
+#include "trace/trace_cache.h"
+#include "trace/trace_interleaver.h"
+#include "workloads/server_workload.h"
+
+namespace domino
+{
+
+/** Test-only backdoor for corrupting ReplayImage arrays. */
+struct ReplayImageTestPeer
+{
+    static std::vector<LineAddr> &
+    lines(ReplayImage &image)
+    {
+        return image.lineArr;
+    }
+
+    static std::vector<Addr> &
+    pcs(ReplayImage &image)
+    {
+        return image.pcArr;
+    }
+
+    static std::vector<std::uint8_t> &
+    rws(ReplayImage &image)
+    {
+        return image.rwArr;
+    }
+};
+
+namespace
+{
+
+TraceBuffer
+testTrace(std::uint64_t seed, std::uint64_t accesses)
+{
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    return generateTrace(wl, seed, accesses);
+}
+
+TEST(ReplayImage, MatchesTraceRecordSequence)
+{
+    const TraceBuffer trace = testTrace(3, 5000);
+    const ReplayImage image(trace);
+    ASSERT_EQ(image.size(), trace.size());
+    // The image must yield, record for record, exactly what a
+    // TraceView replay unpacks.
+    TraceBuffer replay = trace;
+    Access a;
+    std::size_t i = 0;
+    while (replay.next(a)) {
+        ASSERT_LT(i, image.size());
+        EXPECT_EQ(image.lineAt(i), a.line());
+        EXPECT_EQ(image.pcAt(i), a.pc);
+        EXPECT_EQ(image.writeAt(i), a.isWrite);
+        ++i;
+    }
+    EXPECT_EQ(i, image.size());
+    EXPECT_EQ(image.audit(), "");
+    EXPECT_EQ(image.auditAgainst(trace), "");
+}
+
+TEST(ReplayImage, CursorDealsLikeShardView)
+{
+    const TraceBuffer trace = testTrace(5, 4097);  // non-dividing
+    const auto buf = std::make_shared<const TraceBuffer>(trace);
+    const ReplayImage image(trace);
+    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+        for (std::uint32_t chunk : {1u, 7u, 64u}) {
+            TraceInterleaver interleaver(buf, cores, chunk);
+            for (unsigned c = 0; c < cores; ++c) {
+                ShardView view = interleaver.shard(c);
+                ReplayCursor cursor =
+                    interleaver.imageShard(image, c);
+                Access a;
+                std::size_t idx = 0;
+                while (view.next(a)) {
+                    ASSERT_TRUE(cursor.next(idx))
+                        << "cores=" << cores << " chunk=" << chunk;
+                    EXPECT_EQ(image.lineAt(idx), a.line());
+                    EXPECT_EQ(image.pcAt(idx), a.pc);
+                }
+                EXPECT_FALSE(cursor.next(idx));
+                EXPECT_TRUE(cursor.done());
+            }
+            EXPECT_EQ(image.auditPartition(cores, chunk), "");
+        }
+    }
+}
+
+TEST(ReplayImage, CoverageRunManyMatchesSourceOverload)
+{
+    const TraceBuffer trace = testTrace(9, 20000);
+    const ReplayImage image(trace);
+    FactoryConfig f;
+    f.degree = 4;
+    f.samplingProb = 0.5;
+    f.seed = 9 ^ 0xfac;
+    for (const char *tech : {"Domino", "STMS"}) {
+        auto pfSrc = makePrefetcher(tech, f);
+        auto pfImg = makePrefetcher(tech, f);
+        TraceBuffer src = trace;
+        CoverageSimulator simSrc;
+        CoverageSimulator simImg;
+        const CoverageResult a =
+            simSrc.runMany(src, {pfSrc.get()}).front();
+        const CoverageResult b =
+            simImg.runMany(image, {pfImg.get()}).front();
+        EXPECT_EQ(a.accesses, b.accesses);
+        EXPECT_EQ(a.l1Hits, b.l1Hits);
+        EXPECT_EQ(a.covered, b.covered);
+        EXPECT_EQ(a.uncovered, b.uncovered);
+        EXPECT_EQ(a.issued, b.issued);
+        EXPECT_EQ(a.overpredictions, b.overpredictions);
+        EXPECT_EQ(a.metadata.readBytes(), b.metadata.readBytes());
+        EXPECT_EQ(a.metadata.writeBytes(), b.metadata.writeBytes());
+    }
+}
+
+TEST(ReplayImage, EmptyImageIsExhausted)
+{
+    const ReplayImage image;
+    EXPECT_EQ(image.size(), 0u);
+    EXPECT_EQ(image.audit(), "");
+    ReplayCursor cursor(image, 4, 2, 16);
+    std::size_t idx = 0;
+    EXPECT_TRUE(cursor.done());
+    EXPECT_FALSE(cursor.next(idx));
+}
+
+TEST(ReplayImage, AuditCatchesLengthMismatch)
+{
+    const TraceBuffer trace = testTrace(1, 500);
+    ReplayImage image(trace);
+    ReplayImageTestPeer::pcs(image).pop_back();
+    EXPECT_NE(image.audit(), "");
+}
+
+TEST(ReplayImage, AuditCatchesNonBooleanFlag)
+{
+    const TraceBuffer trace = testTrace(1, 500);
+    ReplayImage image(trace);
+    ReplayImageTestPeer::rws(image)[17] = 3;
+    EXPECT_NE(image.audit(), "");
+}
+
+TEST(ReplayImage, AuditAgainstCatchesDivergence)
+{
+    const TraceBuffer trace = testTrace(1, 500);
+    ReplayImage image(trace);
+    EXPECT_EQ(image.auditAgainst(trace), "");
+    // A different trace of the same length diverges record-wise.
+    const TraceBuffer other = testTrace(2, 500);
+    ASSERT_EQ(other.size(), trace.size());
+    EXPECT_NE(image.auditAgainst(other), "");
+    // A corrupted line address diverges from the original.
+    ReplayImageTestPeer::lines(image)[42] ^= 1;
+    EXPECT_NE(image.auditAgainst(trace), "");
+}
+
+TEST(ReplayImage, TraceCacheMemoisesImagePlane)
+{
+    TraceCache cache;
+    unsigned generated = 0;
+    const auto gen = [&] {
+        ++generated;
+        return testTrace(4, 1000);
+    };
+    const auto a = cache.image("k", gen);
+    const auto b = cache.image("k", gen);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(generated, 1u);  // buffer generated once, image once
+    EXPECT_EQ(a->size(), 1000u);
+    EXPECT_EQ(a->audit(), "");
+}
+
+} // anonymous namespace
+} // namespace domino

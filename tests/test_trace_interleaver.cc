@@ -74,8 +74,9 @@ TEST(TraceInterleaver, PartitionsTraceExactly)
                                     << "to two shards";
             seen[idx] = true;
             // Within a shard, records keep trace order.
-            if (!first)
+            if (!first) {
                 EXPECT_GT(addr, prev);
+            }
             prev = addr;
             first = false;
             // Record idx belongs to core (idx / chunk) % cores.
