@@ -10,11 +10,13 @@
 #define DOMINO_BENCH_BENCH_COMMON_H
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/cli.h"
 #include "common/stats.h"
 #include "common/table_format.h"
@@ -22,12 +24,29 @@
 #include "analysis/factory.h"
 #include "runner/experiment_grid.h"
 #include "sim/system_config.h"
+#include "trace/streaming_source.h"
 #include "trace/trace_cache.h"
 #include "workloads/server_workload.h"
 #include "workloads/workload_params.h"
 
 namespace domino::bench
 {
+
+/**
+ * The process-wide trace cache every harness cell draws from.
+ *
+ * One figure row fans several config cells over the runner's pool
+ * and all of them replay the identical access stream (the cell seed
+ * is positional, never config-dependent), so the first cell to ask
+ * generates the trace and the rest share the immutable buffer.
+ * With --stream it also carries the disk tier (see BenchOptions).
+ */
+inline TraceCache &
+traceCache()
+{
+    static TraceCache cache;
+    return cache;
+}
 
 /** Options common to every figure harness. */
 struct BenchOptions
@@ -43,6 +62,16 @@ struct BenchOptions
     bool progress = false;
     /** Restrict to one workload (empty = whole suite). */
     std::string workload;
+    /** Replay spilled on-disk traces instead of resident buffers
+     *  (the out-of-core substrate; byte-identical output). */
+    bool stream = false;
+    /** Streaming buffer capacity in records (--stream-chunk): the
+     *  run's memory budget knob. */
+    std::uint32_t streamChunk = defaultStreamBufferRecords;
+    /** Disk-tier root for spilled traces/images (--spill-dir). */
+    std::string spillDir = ".domino-spill";
+    /** Multi-process workload sharding (--shards K --shard i). */
+    runner::ShardSpec shardSpec;
 
     static BenchOptions
     fromCli(const CliArgs &args)
@@ -57,6 +86,29 @@ struct BenchOptions
         o.json = args.getBool("json");
         o.progress = args.getBool("progress");
         o.workload = args.get("workload");
+        o.stream = args.getBool("stream");
+        o.streamChunk = static_cast<std::uint32_t>(
+            args.getU64("stream-chunk", o.streamChunk));
+        o.spillDir = args.get("spill-dir").empty()
+            ? o.spillDir : args.get("spill-dir");
+        o.shardSpec.shards = static_cast<unsigned>(
+            args.getU64("shards", o.shardSpec.shards));
+        o.shardSpec.shard = static_cast<unsigned>(
+            args.getU64("shard", o.shardSpec.shard));
+        // Fail loudly at parse time, not mid-sweep.
+        if (const std::string err = o.shardSpec.validate();
+            !err.empty()) {
+            std::cerr << "bench: " << err << '\n';
+            std::exit(2);
+        }
+        if (o.streamChunk == 0) {
+            std::cerr << "bench: --stream-chunk must be at least 1\n";
+            std::exit(2);
+        }
+        // The disk tier rides the process-wide cache; configure it
+        // before any cell fans out.
+        if (o.stream)
+            traceCache().setSpillDir(o.spillDir);
         return o;
     }
 };
@@ -112,21 +164,6 @@ systemFromCli(const CliArgs &args)
 }
 
 /**
- * The process-wide trace cache every harness cell draws from.
- *
- * One figure row fans several config cells over the runner's pool
- * and all of them replay the identical access stream (the cell seed
- * is positional, never config-dependent), so the first cell to ask
- * generates the trace and the rest share the immutable buffer.
- */
-inline TraceCache &
-traceCache()
-{
-    static TraceCache cache;
-    return cache;
-}
-
-/**
  * A fresh zero-copy cursor over the shared trace for
  * (params, seed, limit), generating it on first request
  * (single-flight under the runner's pool).
@@ -156,6 +193,64 @@ cachedReplayImage(const WorkloadParams &params, std::uint64_t seed,
 }
 
 /**
+ * A bounded-memory streaming cursor over the spilled on-disk trace
+ * for (params, seed, limit): the disk tier materialises the
+ * workload once as a DOMTRACE file (generated via one streamed
+ * pass, never fully resident) and every cell replays it through a
+ * buffer of opts.streamChunk records.  The yielded sequence is
+ * record-for-record identical to cachedTrace's, so figure output is
+ * byte-identical (the determinism contract's requirement for
+ * adopting the disk tier).  Aborts on I/O failure: a Release-build
+ * bench must not silently truncate a figure.
+ */
+inline StreamingTraceSource
+streamedTrace(const BenchOptions &opts, const WorkloadParams &params,
+              std::uint64_t seed, std::uint64_t limit)
+{
+    StreamingTraceSource src;
+    const IoResult res = traceCache().stream(
+        params.cacheKey(seed, limit),
+        [&] {
+            return std::make_unique<ServerWorkload>(params, seed,
+                                                    limit);
+        },
+        src, opts.streamChunk);
+    if (!res.ok) {
+        std::cerr << "bench: streamed trace failed: " << res.error
+                  << '\n';
+        std::abort();
+    }
+    return src;
+}
+
+/** The shard-view equivalent for the multicore paths: stream only
+ *  core @p core's (cores, chunk) shard of the spilled trace. */
+inline StreamingTraceSource
+streamedShard(const BenchOptions &opts, const WorkloadParams &params,
+              std::uint64_t seed, std::uint64_t limit, unsigned cores,
+              unsigned core, std::uint32_t chunk)
+{
+    std::string path;
+    const IoResult res = traceCache().tracePath(
+        params.cacheKey(seed, limit),
+        [&] {
+            return std::make_unique<ServerWorkload>(params, seed,
+                                                    limit);
+        },
+        path);
+    StreamingTraceSource src;
+    const IoResult open = res.ok
+        ? src.openShard(path, cores, core, chunk, opts.streamChunk)
+        : res;
+    if (!open.ok) {
+        std::cerr << "bench: streamed shard failed: " << open.error
+                  << '\n';
+        std::abort();
+    }
+    return src;
+}
+
+/**
  * The memoised L1-filtered baseline miss sequence for the same
  * key, so the analysis cells (opportunity/Sequitur/n-gram columns)
  * run the baseline filter once per workload instead of once per
@@ -172,16 +267,48 @@ cachedBaselineMisses(const WorkloadParams &params, std::uint64_t seed,
         });
 }
 
+/**
+ * Streaming-aware overload: with --stream the baseline L1 filter
+ * reads the spilled trace through a bounded buffer instead of
+ * materialising it (the filter is single-pass).  Only the derived
+ * miss sequence stays resident -- the documented memory-tier
+ * boundary (DESIGN.md "Out-of-core substrate").
+ */
+inline std::shared_ptr<const std::vector<LineAddr>>
+cachedBaselineMisses(const BenchOptions &opts,
+                     const WorkloadParams &params, std::uint64_t seed,
+                     std::uint64_t limit)
+{
+    if (!opts.stream)
+        return cachedBaselineMisses(params, seed, limit);
+    return traceCache().missSequence(
+        "miss:" + params.cacheKey(seed, limit), [&] {
+            StreamingTraceSource src =
+                streamedTrace(opts, params, seed, limit);
+            auto misses = baselineMissSequence(src);
+            CHECK(src.audit().empty());
+            return misses;
+        });
+}
+
 /** The workloads selected by the options, with ad-hoc overrides
  *  from the command line (--streams, --theta, --shared-prefix:
- *  tuning/ablation aids). */
+ *  tuning/ablation aids).  With --shards K --shard i, keep only the
+ *  workloads this shard owns -- by position in the list the
+ *  *unsharded* run would use, so the sharded row values are
+ *  bit-identical to the unsharded run's (rep-0 seeding is
+ *  positional; see runner::ShardSpec). */
 inline std::vector<WorkloadParams>
 selectedWorkloads(const BenchOptions &opts, const CliArgs &args)
 {
-    std::vector<WorkloadParams> out;
+    std::vector<WorkloadParams> full;
     for (const auto &p : serverSuite())
         if (opts.workload.empty() || p.name == opts.workload)
-            out.push_back(p);
+            full.push_back(p);
+    std::vector<WorkloadParams> out;
+    for (std::size_t i = 0; i < full.size(); ++i)
+        if (opts.shardSpec.owns(i))
+            out.push_back(full[i]);
     for (auto &p : out) {
         p.numStreams = static_cast<std::uint32_t>(
             args.getU64("streams", p.numStreams));

@@ -48,8 +48,9 @@ struct McCell
 
 McCell
 runOne(const WorkloadParams &wl, const std::string &tech,
-       const CliArgs &args, SystemConfig sys, unsigned cores,
-       std::uint64_t seed, std::uint64_t accesses)
+       const CliArgs &args, const BenchOptions &opts,
+       SystemConfig sys, unsigned cores, std::uint64_t seed,
+       std::uint64_t accesses)
 {
     sys.cores = cores;
     std::string name = tech;
@@ -61,8 +62,21 @@ runOne(const WorkloadParams &wl, const std::string &tech,
     // The shared packed image replaces per-core ShardViews: each
     // core replays its shard zero-copy (CoreBinding::image), with
     // the same (cores, shardChunk) dealing the interleaver would
-    // apply.
-    const auto image = cachedReplayImage(wl, seed, accesses);
+    // apply.  With --stream, each core instead pulls its shard
+    // through a bounded cursor over the spilled trace -- same
+    // dealing, same record sequence, O(buffer) memory per core.
+    std::shared_ptr<const ReplayImage> image;
+    std::vector<StreamingTraceSource> shardStreams;
+    if (opts.stream) {
+        shardStreams.reserve(cores);
+        for (unsigned c = 0; c < cores; ++c) {
+            shardStreams.push_back(streamedShard(
+                opts, wl, seed, accesses, cores, c,
+                sys.multicore.shardChunk));
+        }
+    } else {
+        image = cachedReplayImage(wl, seed, accesses);
+    }
 
     const MetadataScope scope = sys.multicore.sharedMetadata
         ? MetadataScope::Shared : MetadataScope::Private;
@@ -79,8 +93,12 @@ runOne(const WorkloadParams &wl, const std::string &tech,
     std::vector<CoreBinding> bindings;
     for (unsigned c = 0; c < cores; ++c) {
         CoreBinding binding;
-        binding.image = image.get();
-        binding.imageCore = c;
+        if (opts.stream)
+            binding.source = &shardStreams[c];
+        else {
+            binding.image = image.get();
+            binding.imageCore = c;
+        }
         binding.prefetcher = set.perCore[c];
         binding.mlpFactor = wl.mlpFactor;
         binding.instPerAccess = wl.instPerAccess;
@@ -89,6 +107,8 @@ runOne(const WorkloadParams &wl, const std::string &tech,
 
     MultiCoreSim sim(sys);
     const MultiCoreResult result = sim.run(bindings);
+    for (const StreamingTraceSource &s : shardStreams)
+        CHECK(s.audit().empty());
     const MulticoreSummary s =
         summarizeMulticore(result, sys.mem.coreGhz);
 
@@ -141,7 +161,7 @@ main(int argc, char **argv)
             const std::string &tech =
                 techniques[config % techniques.size()];
             return runOne(wl, tech == "Baseline" ? "" : tech, args,
-                          sys, cores, seed, opts.accesses);
+                          opts, sys, cores, seed, opts.accesses);
         });
 
     TextTable table({"Workload", "Cores", "Prefetcher", "Speedup",

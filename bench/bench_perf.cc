@@ -17,6 +17,7 @@
  */
 
 #include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "domino/eit.h"
 #include "multicore/multicore_sim.h"
 #include "trace/replay_image.h"
+#include "trace/streaming_source.h"
 
 using namespace domino;
 using namespace domino::bench;
@@ -121,6 +123,41 @@ main(int argc, char **argv)
                     sim.runMany(image, {pf.get()}).front().covered;
             }));
     }
+
+    // --- Out-of-core substrate: spill throughput (the disk tier's
+    // generation path), a bounded-buffer streamed scan, and one
+    // streamed coverage run -- the resident-vs-streamed gap
+    // EXPERIMENTS.md tabulates.
+    const std::string spill_path = "bench_perf.domtrace";
+    cells.push_back(timeCell("trace_spill_write", n, repeats, [&] {
+        TraceBuffer src = trace;
+        std::uint64_t written = 0;
+        const IoResult res =
+            writeTraceStreamed(spill_path, src, &written);
+        CHECK(res.ok);
+        sink = sink + written;
+    }));
+    cells.push_back(timeCell("stream_scan", n, repeats, [&] {
+        StreamingTraceSource src;
+        CHECK(src.open(spill_path).ok);
+        Access a;
+        std::uint64_t lines = 0;
+        while (src.next(a))
+            lines += a.line();
+        CHECK(src.audit().empty());
+        sink = sink + lines;
+    }));
+    cells.push_back(
+        timeCell("stream_coverage_Domino", n, repeats, [&] {
+            auto pf = makePrefetcher("Domino", f);
+            StreamingTraceSource src;
+            CHECK(src.open(spill_path).ok);
+            CoverageSimulator sim;
+            sink = sink +
+                sim.runMany(src, {pf.get()}).front().covered;
+            CHECK(src.audit().empty());
+        }));
+    std::remove(spill_path.c_str());
 
     // --- Multicore runs: Domino over the sharded image with the
     // charged off-chip channel (the whole-substrate hot path of

@@ -47,8 +47,6 @@ runCoverageComparison(const CliArgs &args, unsigned default_degree,
             std::uint64_t seed) {
             CellResult out;
             if (config == 0) {
-                const auto image =
-                    cachedReplayImage(wl, seed, opts.accesses);
                 const FactoryConfig f =
                     defaultFactory(args, degree, seed);
                 std::vector<std::unique_ptr<Prefetcher>> owned;
@@ -58,15 +56,29 @@ runCoverageComparison(const CliArgs &args, unsigned default_degree,
                     roster.push_back(owned.back().get());
                 }
                 CoverageSimulator sim;
-                for (const CoverageResult &r :
-                     sim.runMany(*image, roster)) {
+                std::vector<CoverageResult> results;
+                if (opts.stream) {
+                    // Out-of-core replay: same lockstep lanes off a
+                    // bounded streaming cursor over the spilled
+                    // trace -- byte-identical results by the
+                    // streaming determinism contract.
+                    StreamingTraceSource src = streamedTrace(
+                        opts, wl, seed, opts.accesses);
+                    results = sim.runMany(src, roster);
+                    CHECK(src.audit().empty());
+                } else {
+                    const auto image =
+                        cachedReplayImage(wl, seed, opts.accesses);
+                    results = sim.runMany(*image, roster);
+                }
+                for (const CoverageResult &r : results) {
                     out.coverage.push_back(r.coverage());
                     out.overprediction.push_back(
                         r.overpredictionRate());
                 }
             } else {
-                const auto misses =
-                    cachedBaselineMisses(wl, seed, opts.accesses);
+                const auto misses = cachedBaselineMisses(
+                    opts, wl, seed, opts.accesses);
                 out.coverage.push_back(
                     analyzeOpportunity(*misses).coverage());
                 out.overprediction.push_back(0.0);

@@ -21,9 +21,9 @@ the standard library (the container ships no Python packages):
                  CHECK/DCHECK family (src/common/check.h) so they
                  print values and participate in DOMINO_CHECKS
                  builds (static_assert is fine and encouraged).
-  record-layout  src/trace/trace_io.cc must static_assert the
-                 on-disk header/record sizes against the contract in
-                 docs/TRACE_FORMAT.md.
+  record-layout  src/trace/trace_io.cc and src/trace/replay_spill.cc
+                 must static_assert the on-disk header/record/section
+                 sizes against the contract in docs/TRACE_FORMAT.md.
   hot-set-index  no `%` / `/` set- or row-index arithmetic in the
                  hot-path cache structures (src/mem/cache.*,
                  src/domino/eit.*, src/mem/prefetch_buffer.h):
@@ -203,24 +203,32 @@ def check_file(path: Path) -> list[str]:
     return findings
 
 
+#: (source file, required static_assert substring) pairs pinning the
+#: on-disk contracts of docs/TRACE_FORMAT.md in code.
+RECORD_LAYOUT_ASSERTS = [
+    ("src/trace/trace_io.cc", "traceHeaderBytes == 20"),
+    ("src/trace/trace_io.cc", "traceRecordBytes == 17"),
+    ("src/trace/replay_spill.cc", "imageHeaderBytes == 24"),
+    ("src/trace/replay_spill.cc", "imageSectionEntryBytes == 32"),
+    ("src/trace/replay_spill.cc", "imageSectionCount == 4"),
+]
+
+
 def check_record_layout() -> list[str]:
     """src/trace must pin the on-disk sizes with static_asserts."""
-    source = REPO / "src" / "trace" / "trace_io.cc"
-    text = source.read_text(encoding="utf-8")
-    asserts = re.findall(r"static_assert\s*\(([^;]*?)\)\s*;", text,
-                         re.DOTALL)
-    joined = " ".join(asserts)
     findings = []
-    if "traceHeaderBytes == 20" not in joined:
-        findings.append(
-            "src/trace/trace_io.cc: [record-layout] missing "
-            "static_assert(traceHeaderBytes == 20) tying the header "
-            "to docs/TRACE_FORMAT.md")
-    if "traceRecordBytes == 17" not in joined:
-        findings.append(
-            "src/trace/trace_io.cc: [record-layout] missing "
-            "static_assert(traceRecordBytes == 17) tying the record "
-            "to docs/TRACE_FORMAT.md")
+    joined_by_file: dict[str, str] = {}
+    for rel, required in RECORD_LAYOUT_ASSERTS:
+        if rel not in joined_by_file:
+            text = (REPO / rel).read_text(encoding="utf-8")
+            asserts = re.findall(r"static_assert\s*\(([^;]*?)\)\s*;",
+                                 text, re.DOTALL)
+            joined_by_file[rel] = " ".join(asserts)
+        if required not in joined_by_file[rel]:
+            findings.append(
+                f"{rel}: [record-layout] missing "
+                f"static_assert({required}) tying the layout to "
+                "docs/TRACE_FORMAT.md")
     return findings
 
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Static-analysis gate: clang-tidy (config in .clang-tidy) over every
-# translation unit, then the repo-convention lint.  Used by CI's lint
-# job and runnable locally; see docs/STATIC_ANALYSIS.md.
+# translation unit, then the repo-convention lint and the docs
+# cross-reference lint.  Used by CI's lint job and runnable locally;
+# see docs/STATIC_ANALYSIS.md.
 #
 # Usage: scripts/lint.sh [build-dir]
 #
@@ -46,4 +47,5 @@ else
 fi
 
 python3 "$repo/scripts/check_conventions.py"
+python3 "$repo/scripts/check_docs.py"
 echo "lint.sh: OK"

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Multi-process sharded driver for the figure harnesses.
+
+Fans one harness binary over K cooperating processes
+(``--shards K --shard i`` each) and merges their CSV outputs back
+into the canonical unsharded row order.  Sharding partitions the
+*workload axis*: shard i owns the workloads w with w % K == i (see
+runner::ShardSpec in src/runner/experiment_grid.h), so each process
+generates and replays only its own workloads -- the multi-machine /
+multi-container scale-out story that complements in-process --jobs
+threading.
+
+Merge semantics: a harness CSV is a header row, per-workload groups
+of consecutive rows (first field = workload name), and trailing
+summary rows ("Average", "GMean").  Workload group g of the
+canonical order lives in shard g % K at group position g // K; the
+merger round-robins the groups back together.  Summary rows are
+*dropped* -- each shard's summary covers only its own workloads, and
+per-row values are bit-identical to the unsharded run (rep-0 seeding
+is positional), so consumers recompute summaries from the merged
+rows if needed.  CI pins the equality:
+
+    run_sharded.py --shards 2 -- build/bench/bench_fig11_coverage_deg1 --n ...
+  ==
+    build/bench/bench_fig11_coverage_deg1 --n ... --csv | grep -v '^Average'
+
+Uses nothing but the standard library (the container ships no
+Python packages).
+
+Exit status: 0 OK, 1 a shard failed, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import subprocess
+import sys
+
+#: First-field labels of shard-local summary rows (dropped on merge).
+SUMMARY_LABELS = {"Average", "GMean"}
+
+
+def run_shard(cmd: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def split_groups(csv_text: str) -> tuple[str, list[list[str]]]:
+    """Split a harness CSV into (header, workload row groups).
+
+    Consecutive rows sharing their first field form one group;
+    summary rows are dropped.
+    """
+    lines = [ln for ln in csv_text.splitlines() if ln]
+    if not lines:
+        return "", []
+    header, body = lines[0], lines[1:]
+    groups: list[list[str]] = []
+    current_key = None
+    for row in body:
+        key = row.split(",", 1)[0]
+        if key in SUMMARY_LABELS:
+            current_key = None
+            continue
+        if key != current_key:
+            groups.append([])
+            current_key = key
+        groups[-1].append(row)
+    return header, groups
+
+
+def merge(outputs: list[str]) -> str:
+    """Round-robin the shards' workload groups back into canonical
+    order (group g comes from shard g % K, position g // K)."""
+    headers_and_groups = [split_groups(text) for text in outputs]
+    header = next((h for h, _ in headers_and_groups if h), "")
+    for h, _ in headers_and_groups:
+        if h and h != header:
+            raise ValueError("shard outputs disagree on the CSV "
+                             "header; did the shards run the same "
+                             "harness and flags?")
+    shard_groups = [groups for _, groups in headers_and_groups]
+    merged: list[str] = [header] if header else []
+    total = sum(len(groups) for groups in shard_groups)
+    for g in range(total):
+        groups = shard_groups[g % len(shard_groups)]
+        position = g // len(shard_groups)
+        if position >= len(groups):
+            raise ValueError(
+                f"shard {g % len(shard_groups)} is missing workload "
+                f"group {position}; uneven or truncated shard output")
+        merged.extend(groups[position])
+    return "\n".join(merged) + ("\n" if merged else "")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        usage="%(prog)s --shards K [--out FILE] -- "
+              "HARNESS [HARNESS_ARGS...]")
+    parser.add_argument("--shards", type=int, required=True,
+                        help="number of cooperating shard processes")
+    parser.add_argument("--out", default="",
+                        help="write the merged CSV here "
+                             "(default: stdout)")
+    parser.add_argument("command", nargs=argparse.REMAINDER,
+                        help="harness command line (prefix with --)")
+    args = parser.parse_args()
+
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        parser.error("missing harness command (after --)")
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+
+    # Each shard is one process; --csv makes the output mergeable
+    # and --shards/--shard restrict its workload list.
+    cmds = [command + ["--csv", "--shards", str(args.shards),
+                       "--shard", str(i)]
+            for i in range(args.shards)]
+    with concurrent.futures.ThreadPoolExecutor(args.shards) as pool:
+        procs = list(pool.map(run_shard, cmds))
+
+    failed = False
+    for i, proc in enumerate(procs):
+        if proc.returncode != 0:
+            failed = True
+            sys.stderr.write(
+                f"run_sharded: shard {i} exited "
+                f"{proc.returncode}:\n{proc.stderr}")
+    if failed:
+        return 1
+
+    try:
+        text = merge([p.stdout for p in procs])
+    except ValueError as err:
+        sys.stderr.write(f"run_sharded: {err}\n")
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -127,6 +127,12 @@ class CoverageSimulator : public PrefetchSink
      * Run the full source once, evaluating every prefetcher in
      * lockstep against its own prefetch buffer and a shared L1.
      *
+     * The simulator is storage-tier agnostic: any AccessSource
+     * yields the same results, whether resident (TraceView) or
+     * streamed from disk with bounded memory
+     * (StreamingTraceSource, DESIGN.md section 7) -- the figure
+     * harnesses' --stream mode relies on exactly this.
+     *
      * @param source access stream (consumed to exhaustion).
      * @param prefetchers one lane per entry; nullptr = baseline.
      * @return per-lane results, index-matched to @p prefetchers and

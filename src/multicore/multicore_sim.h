@@ -57,7 +57,14 @@ namespace domino
 /** One core's binding for a multi-core run. */
 struct CoreBinding
 {
-    /** Access stream for this core (not owned). */
+    /**
+     * Access stream for this core (not owned).  Tier-agnostic: a
+     * ShardView over a resident trace and a
+     * StreamingTraceSource::openShard over a spilled one (same
+     * cores/chunk geometry as the system config's shardChunk)
+     * produce byte-identical simulations -- the harnesses'
+     * --stream mode binds the latter.
+     */
     AccessSource *source = nullptr;
     /**
      * Optional zero-copy fast path: when set, the core replays its

@@ -7,6 +7,18 @@
 namespace domino::runner
 {
 
+std::string
+ShardSpec::validate() const
+{
+    if (shards == 0)
+        return "--shards must be at least 1";
+    if (shard >= shards) {
+        return "--shard " + std::to_string(shard) +
+            " out of range for --shards " + std::to_string(shards);
+    }
+    return "";
+}
+
 std::uint64_t
 deriveCellSeed(std::uint64_t baseSeed, std::size_t workload,
                std::size_t rep)

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -38,6 +39,46 @@
 
 namespace domino::runner
 {
+
+/**
+ * Multi-process sharding of a grid's *workload axis*: shard i of K
+ * owns the workloads w with w % K == i, so K cooperating processes
+ * (`--shards K --shard i`) partition a figure without coordination
+ * and a merger (scripts/run_sharded.py) reassembles the canonical
+ * row order by round-robin interleave.
+ *
+ * Seed safety: restricting the workload list re-indexes workloads,
+ * but rep-0 cells seed with the base seed regardless of position
+ * (deriveCellSeed), so for single-rep grids -- every current figure
+ * harness -- a sharded run computes bit-identical rows to the
+ * unsharded run.  A replicated (reps > 1) grid must instead keep
+ * absolute workload indices when sharding; validate() rejects
+ * nothing about reps because the grid cannot see the caller's
+ * list restriction, so replicated harnesses own that caveat.
+ */
+struct ShardSpec
+{
+    unsigned shards = 1;
+    unsigned shard = 0;
+
+    /** True when this shard runs workload @p workload (by its
+     *  position in the full, unsharded workload list). */
+    bool
+    owns(std::size_t workload) const
+    {
+        return shards <= 1 || workload % shards == shard;
+    }
+
+    /** True when the spec actually restricts anything. */
+    bool active() const { return shards > 1; }
+
+    /**
+     * Verify the spec is well-formed: at least one shard and a
+     * shard index inside [0, shards).
+     * @return empty string if OK, else a description.
+     */
+    std::string validate() const;
+};
 
 /** Extent of each grid axis (all at least one cell). */
 struct GridShape

@@ -56,6 +56,27 @@ ReplayImage::auditAgainst(const TraceBuffer &trace) const
 }
 
 std::string
+ReplayImage::auditAgainst(const ReplayImage &other) const
+{
+    if (const std::string internal = audit(); !internal.empty())
+        return internal;
+    if (const std::string internal = other.audit();
+        !internal.empty())
+        return "other image: " + internal;
+    if (size() != other.size()) {
+        return "image holds " + std::to_string(size()) +
+            " records, other holds " + std::to_string(other.size());
+    }
+    if (lineArr != other.lineArr)
+        return "line arrays differ";
+    if (pcArr != other.pcArr)
+        return "pc arrays differ";
+    if (rwArr != other.rwArr)
+        return "rw arrays differ";
+    return "";
+}
+
+std::string
 ReplayImage::auditPartition(unsigned cores,
                             std::uint32_t chunk) const
 {

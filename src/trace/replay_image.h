@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -41,6 +42,18 @@ class ReplayImage
 
     /** Build the image of @p trace (one unpacking pass). */
     explicit ReplayImage(const TraceBuffer &trace);
+
+    /**
+     * Adopt already-packed arrays (the spill loader's path --
+     * src/trace/replay_spill.cc).  The arrays must be parallel and
+     * boolean-flagged; audit() verifies exactly that, and the
+     * loader rejects a file whose arrays fail it.
+     */
+    ReplayImage(std::vector<LineAddr> lines, std::vector<Addr> pcs,
+                std::vector<std::uint8_t> rw)
+        : lineArr(std::move(lines)), pcArr(std::move(pcs)),
+          rwArr(std::move(rw))
+    {}
 
     /** Records in the image. */
     std::size_t size() const { return lineArr.size(); }
@@ -87,6 +100,16 @@ class ReplayImage
      * @return empty string if OK, else a description.
      */
     std::string auditAgainst(const TraceBuffer &trace) const;
+
+    /**
+     * Verify the image against another image byte-for-byte: the
+     * three packed arrays must compare equal.  This is the
+     * determinism contract for the disk tier -- a
+     * spilled-and-reloaded image must pass auditAgainst its
+     * in-memory source (tests/test_replay_spill.cc).
+     * @return empty string if OK, else a description.
+     */
+    std::string auditAgainst(const ReplayImage &other) const;
 
     /**
      * Verify that the (cores, chunk) shard cursors partition the

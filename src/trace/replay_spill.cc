@@ -1,0 +1,305 @@
+#include "replay_spill.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+namespace domino
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'D', 'O', 'M', 'I', 'M', 'A', 'G', 'E'};
+constexpr std::uint32_t version = 1;
+
+/** Section ids, in the order sections appear in the file
+ *  (docs/TRACE_FORMAT.md "Section ids"). */
+enum SectionId : std::uint32_t
+{
+    SecKey = 1,
+    SecLines = 2,
+    SecPcs = 3,
+    SecRw = 4,
+};
+
+// The on-disk layout is a contract with external tools and future
+// repo versions (docs/TRACE_FORMAT.md); any change here is a
+// version bump there.
+static_assert(imageHeaderBytes == 24,
+              "spill header layout changed: bump the version and "
+              "update docs/TRACE_FORMAT.md");
+static_assert(imageSectionEntryBytes == 32,
+              "section-table entry layout changed: bump the version "
+              "and update docs/TRACE_FORMAT.md");
+static_assert(imageSectionCount == 4,
+              "section roster changed: bump the version and update "
+              "docs/TRACE_FORMAT.md");
+static_assert(sizeof(LineAddr) == 8 && sizeof(Addr) == 8,
+              "array element widths no longer match the documented "
+              "8-byte line/pc section fields");
+
+/** One parsed section-table entry. */
+struct Section
+{
+    std::uint32_t id = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t checksum = 0;
+};
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    char b[4];
+    std::memcpy(b, &v, 4);
+    out.append(b, 4);
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    char b[8];
+    std::memcpy(b, &v, 8);
+    out.append(b, 8);
+}
+
+} // anonymous namespace
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t bytes)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+IoResult
+spillReplayImage(const std::string &path, const ReplayImage &image,
+                 const std::string &key)
+{
+    const std::size_t n = image.size();
+    const std::vector<LineAddr> &lines = image.lines();
+    const std::vector<Addr> &pcs = image.pcs();
+
+    // The rw flags have no zero-copy accessor; rebuild the packed
+    // byte array through the public record interface.
+    std::vector<std::uint8_t> rw(n);
+    for (std::size_t i = 0; i < n; ++i)
+        rw[i] = image.writeAt(i) ? 1 : 0;
+
+    struct Body
+    {
+        std::uint32_t id;
+        const void *data;
+        std::uint64_t bytes;
+    };
+    const Body bodies[imageSectionCount] = {
+        {SecKey, key.data(), key.size()},
+        {SecLines, lines.data(), n * sizeof(LineAddr)},
+        {SecPcs, pcs.data(), n * sizeof(Addr)},
+        {SecRw, rw.data(), n},
+    };
+
+    // Header + section table, then the section bytes contiguously in
+    // id order (the loader enforces exactly this geometry).
+    std::string head;
+    head.append(magic, sizeof(magic));
+    putU32(head, version);
+    putU32(head, imageSectionCount);
+    putU64(head, n);
+    std::uint64_t offset = imageHeaderBytes +
+        std::uint64_t{imageSectionCount} * imageSectionEntryBytes;
+    for (const Body &b : bodies) {
+        putU32(head, b.id);
+        putU32(head, 0);  // reserved, written as zero
+        putU64(head, offset);
+        putU64(head, b.bytes);
+        putU64(head, fnv1a64(b.data, b.bytes));
+        offset += b.bytes;
+    }
+
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return IoResult::failure("cannot open for writing: " + path);
+    os.write(head.data(), static_cast<std::streamsize>(head.size()));
+    for (const Body &b : bodies)
+        os.write(static_cast<const char *>(b.data),
+                 static_cast<std::streamsize>(b.bytes));
+    if (!os)
+        return IoResult::failure("short write: " + path);
+    return IoResult::success();
+}
+
+namespace
+{
+
+/**
+ * Shared front half of the loaders: open, validate header and
+ * section table, return the parsed sections (id order, contiguous,
+ * exact file length).  On success @p is is positioned at the first
+ * section.
+ */
+IoResult
+parseSpillLayout(const std::string &path, std::ifstream &is,
+                 std::uint64_t &count, std::vector<Section> &sections)
+{
+    is.open(path, std::ios::binary | std::ios::ate);
+    if (!is)
+        return IoResult::failure("cannot open for reading: " + path);
+    const std::streamoff file_bytes = is.tellg();
+    is.seekg(0);
+
+    const std::uint64_t table_end = imageHeaderBytes +
+        std::uint64_t{imageSectionCount} * imageSectionEntryBytes;
+    if (file_bytes < static_cast<std::streamoff>(table_end))
+        return IoResult::failure("truncated header: " + path);
+
+    char got_magic[8];
+    is.read(got_magic, sizeof(got_magic));
+    if (!is || std::memcmp(got_magic, magic, sizeof(magic)) != 0)
+        return IoResult::failure("bad magic: " + path);
+
+    std::uint32_t ver = 0;
+    std::uint32_t nsec = 0;
+    is.read(reinterpret_cast<char *>(&ver), sizeof(ver));
+    is.read(reinterpret_cast<char *>(&nsec), sizeof(nsec));
+    if (!is || ver != version)
+        return IoResult::failure("unsupported version in: " + path);
+    if (nsec != imageSectionCount)
+        return IoResult::failure("unexpected section count in: " +
+                                 path);
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is)
+        return IoResult::failure("truncated header: " + path);
+
+    sections.resize(imageSectionCount);
+    std::uint64_t expect_offset = table_end;
+    for (std::uint32_t i = 0; i < imageSectionCount; ++i) {
+        Section &s = sections[i];
+        std::uint32_t reserved = ~0u;
+        is.read(reinterpret_cast<char *>(&s.id), 4);
+        is.read(reinterpret_cast<char *>(&reserved), 4);
+        is.read(reinterpret_cast<char *>(&s.offset), 8);
+        is.read(reinterpret_cast<char *>(&s.bytes), 8);
+        is.read(reinterpret_cast<char *>(&s.checksum), 8);
+        if (!is)
+            return IoResult::failure("truncated section table: " +
+                                     path);
+        if (s.id != i + 1 || reserved != 0)
+            return IoResult::failure("malformed section table in: " +
+                                     path);
+        if (s.offset != expect_offset) {
+            return IoResult::failure(
+                "non-contiguous section layout in: " + path);
+        }
+        expect_offset += s.bytes;
+    }
+
+    // Fixed-width sections must match the declared record count, and
+    // the file must end exactly where the last section does.
+    if (sections[SecLines - 1].bytes != count * 8 ||
+        sections[SecPcs - 1].bytes != count * 8 ||
+        sections[SecRw - 1].bytes != count) {
+        return IoResult::failure(
+            "section lengths disagree with the record count in: " +
+            path);
+    }
+    if (static_cast<std::uint64_t>(file_bytes) != expect_offset) {
+        return IoResult::failure(
+            "file length does not match the section table in: " +
+            path);
+    }
+    return IoResult::success();
+}
+
+/** Read one section's bytes into @p out and verify its checksum. */
+IoResult
+readSection(const std::string &path, std::ifstream &is,
+            const Section &s, char *out)
+{
+    is.seekg(static_cast<std::streamoff>(s.offset));
+    is.read(out, static_cast<std::streamsize>(s.bytes));
+    if (!is)
+        return IoResult::failure("truncated section in: " + path);
+    if (fnv1a64(out, s.bytes) != s.checksum) {
+        return IoResult::failure(
+            "checksum mismatch in section " + std::to_string(s.id) +
+            " of: " + path);
+    }
+    return IoResult::success();
+}
+
+} // anonymous namespace
+
+IoResult
+loadReplayImage(const std::string &path, ReplayImage &image,
+                std::string *key)
+{
+    std::ifstream is;
+    std::uint64_t count = 0;
+    std::vector<Section> sections;
+    if (IoResult r = parseSpillLayout(path, is, count, sections);
+        !r.ok)
+        return r;
+
+    std::string got_key(sections[SecKey - 1].bytes, '\0');
+    std::vector<LineAddr> lines(count);
+    std::vector<Addr> pcs(count);
+    std::vector<std::uint8_t> rw(count);
+    if (IoResult r = readSection(path, is, sections[SecKey - 1],
+                                 got_key.data());
+        !r.ok)
+        return r;
+    if (IoResult r = readSection(
+            path, is, sections[SecLines - 1],
+            reinterpret_cast<char *>(lines.data()));
+        !r.ok)
+        return r;
+    if (IoResult r = readSection(path, is, sections[SecPcs - 1],
+                                 reinterpret_cast<char *>(pcs.data()));
+        !r.ok)
+        return r;
+    if (IoResult r = readSection(path, is, sections[SecRw - 1],
+                                 reinterpret_cast<char *>(rw.data()));
+        !r.ok)
+        return r;
+
+    ReplayImage loaded(std::move(lines), std::move(pcs),
+                       std::move(rw));
+    // Belt and braces: the structural audit re-checks what the
+    // geometry validation promised (and catches non-boolean rw
+    // bytes, which checksums alone would pass through).
+    if (const std::string err = loaded.audit(); !err.empty())
+        return IoResult::failure("loaded image fails audit (" + err +
+                                 "): " + path);
+    image = std::move(loaded);
+    if (key)
+        *key = std::move(got_key);
+    return IoResult::success();
+}
+
+IoResult
+readImageKey(const std::string &path, std::string &key)
+{
+    std::ifstream is;
+    std::uint64_t count = 0;
+    std::vector<Section> sections;
+    if (IoResult r = parseSpillLayout(path, is, count, sections);
+        !r.ok)
+        return r;
+    std::string got_key(sections[SecKey - 1].bytes, '\0');
+    if (IoResult r = readSection(path, is, sections[SecKey - 1],
+                                 got_key.data());
+        !r.ok)
+        return r;
+    key = std::move(got_key);
+    return IoResult::success();
+}
+
+} // namespace domino

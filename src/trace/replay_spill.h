@@ -1,0 +1,91 @@
+/**
+ * @file
+ * On-disk spill/load of a packed ReplayImage (`DOMIMAGE` format).
+ *
+ * The packed SoA layout of ReplayImage (three fixed-width parallel
+ * arrays, no pointers) serialises directly: a spill file is a small
+ * versioned header, a section table, and the raw little-endian
+ * array bytes, each section guarded by an FNV-1a 64-bit checksum.
+ * Spilling lets the generate-once TraceCache keep a *disk tier*: a
+ * trace unpacked once can be reloaded by a later process (or a
+ * sharded sibling process) without regenerating the workload.
+ *
+ * The layout is a contract with external tools and with future
+ * versions of this repo; it is specified normatively in
+ * docs/TRACE_FORMAT.md ("ReplayImage spill format"), and the
+ * static_asserts in replay_spill.cc tie the constants below to that
+ * document.  `loadReplayImage` verifies the header, the section
+ * geometry, the exact file length, and every section checksum
+ * before publishing anything to the caller -- a corrupt or
+ * truncated spill never yields a partial image.
+ *
+ * The determinism contract extends to disk: a spilled-and-reloaded
+ * image must audit byte-equal to its in-memory source
+ * (ReplayImage::auditAgainst(const ReplayImage &)), which
+ * tests/test_replay_spill.cc pins across seeds.
+ */
+
+#ifndef DOMINO_TRACE_REPLAY_SPILL_H
+#define DOMINO_TRACE_REPLAY_SPILL_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/replay_image.h"
+#include "trace/trace_io.h"
+
+namespace domino
+{
+
+/** Spill header size: 8-byte magic + u32 version + u32 section
+ *  count + u64 record count (docs/TRACE_FORMAT.md). */
+inline constexpr std::size_t imageHeaderBytes = 8 + 4 + 4 + 8;
+
+/** Section-table entry size: u32 id + u32 reserved + u64 offset +
+ *  u64 byte length + u64 FNV-1a checksum. */
+inline constexpr std::size_t imageSectionEntryBytes =
+    4 + 4 + 8 + 8 + 8;
+
+/** Number of sections in a version-1 spill file (key, lines, PCs,
+ *  rw flags -- docs/TRACE_FORMAT.md "Section ids"). */
+inline constexpr std::uint32_t imageSectionCount = 4;
+
+/**
+ * FNV-1a 64-bit checksum over @p bytes (the spill format's section
+ * checksum; offset basis / prime from the FNV reference).
+ */
+std::uint64_t fnv1a64(const void *data, std::size_t bytes);
+
+/**
+ * Spill @p image to @p path.
+ *
+ * @param key optional provenance string stored in the file (the
+ *        TraceCache key of the source trace); loaders can verify it
+ *        before trusting a hash-named file.  May be empty.
+ */
+IoResult spillReplayImage(const std::string &path,
+                          const ReplayImage &image,
+                          const std::string &key = "");
+
+/**
+ * Load a spilled image from @p path.  Rejects (with a clear error
+ * and without touching @p image) a bad magic, an unknown version, a
+ * malformed section table, a file length that does not match the
+ * section geometry, and any section whose checksum does not verify.
+ *
+ * @param key when non-null, receives the provenance key stored at
+ *        spill time.
+ */
+IoResult loadReplayImage(const std::string &path, ReplayImage &image,
+                         std::string *key = nullptr);
+
+/**
+ * Read only the provenance key of a spilled image (header + key
+ * section; the arrays are not touched).  Used by the TraceCache
+ * disk tier to vet hash-named files cheaply.
+ */
+IoResult readImageKey(const std::string &path, std::string &key);
+
+} // namespace domino
+
+#endif // DOMINO_TRACE_REPLAY_SPILL_H

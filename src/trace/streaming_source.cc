@@ -1,0 +1,191 @@
+#include "streaming_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace domino
+{
+
+IoResult
+StreamingTraceSource::open(const std::string &path,
+                           std::uint32_t buffer_records)
+{
+    return openShard(path, 1, 0, 1, buffer_records);
+}
+
+IoResult
+StreamingTraceSource::openShard(const std::string &path,
+                                unsigned cores, unsigned core,
+                                std::uint32_t chunk,
+                                std::uint32_t buffer_records)
+{
+    if (cores == 0 || chunk == 0)
+        return IoResult::failure("degenerate shard geometry for: " +
+                                 path);
+    if (core >= cores) {
+        return IoResult::failure(
+            "shard core " + std::to_string(core) + " out of " +
+            std::to_string(cores) + " for: " + path);
+    }
+    if (buffer_records == 0)
+        return IoResult::failure("zero-record streaming buffer for: "
+                                 + path);
+
+    // Validate and position exactly like readTrace would (the rules
+    // live in trace_io.cc); on failure the source stays unopened.
+    std::ifstream stream;
+    std::uint64_t count = 0;
+    if (IoResult res = openTraceStream(path, stream, count); !res.ok)
+        return res;
+
+    is = std::move(stream);
+    filePath = path;
+    opened = true;
+    ioError.clear();
+    total = count;
+    nCores = cores;
+    coreIdx = core;
+    chunkLen = chunk;
+    bufCap = buffer_records;
+    buffer.clear();
+    buffer.reserve(std::min<std::uint64_t>(bufCap, total));
+    reset();
+    return IoResult::success();
+}
+
+void
+StreamingTraceSource::reset()
+{
+    buffer.clear();
+    bufPos = 0;
+    yielded = 0;
+    chunkLeft = chunkLen;
+    if (!opened)
+        return;
+    is.clear();
+    nextGlobal = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(coreIdx) * chunkLen, total);
+    seekToRecord(nextGlobal);
+}
+
+void
+StreamingTraceSource::seekToRecord(std::uint64_t record)
+{
+    is.seekg(static_cast<std::streamoff>(
+        traceHeaderBytes + record * traceRecordBytes));
+    if (!is)
+        ioError = "seek failed at record " + std::to_string(record) +
+            " in: " + filePath;
+}
+
+bool
+StreamingTraceSource::refill()
+{
+    buffer.clear();
+    bufPos = 0;
+    if (!opened || !ioError.empty())
+        return false;
+
+    // Scratch for one sequential read: packed records straight off
+    // the file, unpacked into the Access buffer below.
+    std::vector<char> raw;
+    while (buffer.size() < bufCap && nextGlobal < total) {
+        if (chunkLeft == 0) {
+            // Chunk boundary: hop over the other cores' chunks.
+            const std::uint64_t skip =
+                static_cast<std::uint64_t>(nCores - 1) * chunkLen;
+            nextGlobal = std::min(nextGlobal + skip, total);
+            chunkLeft = chunkLen;
+            if (nextGlobal >= total)
+                break;
+            if (skip > 0)
+                seekToRecord(nextGlobal);
+            if (!ioError.empty())
+                return false;
+        }
+        const std::uint64_t span = std::min<std::uint64_t>(
+            {bufCap - buffer.size(), chunkLeft, total - nextGlobal});
+        raw.resize(span * traceRecordBytes);
+        is.read(raw.data(),
+                static_cast<std::streamsize>(raw.size()));
+        if (!is) {
+            // Open-time validation pinned the exact file length, so
+            // a short read here means the file changed underneath us
+            // or the device failed -- surface it, don't truncate.
+            ioError = "short read at record " +
+                std::to_string(nextGlobal) + " in: " + filePath;
+            return false;
+        }
+        for (std::uint64_t i = 0; i < span; ++i) {
+            const char *rec = raw.data() + i * traceRecordBytes;
+            Access a;
+            std::memcpy(&a.pc, rec, 8);
+            std::memcpy(&a.addr, rec + 8, 8);
+            a.isWrite = rec[16] != 0;
+            buffer.push_back(a);
+        }
+        nextGlobal += span;
+        chunkLeft -= static_cast<std::uint32_t>(span);
+    }
+    return !buffer.empty();
+}
+
+bool
+StreamingTraceSource::next(Access &out)
+{
+    if (bufPos >= buffer.size() && !refill())
+        return false;
+    out = buffer[bufPos++];
+    ++yielded;
+    return true;
+}
+
+std::size_t
+StreamingTraceSource::shardSize() const
+{
+    if (!opened)
+        return 0;
+    // Mirror ShardView / ReplayCursor: full dealing cycles hand each
+    // core one chunk; the remainder hands core c the records clamped
+    // to its chunk slot.
+    const std::uint64_t cycle =
+        static_cast<std::uint64_t>(nCores) * chunkLen;
+    const std::uint64_t full = total / cycle;
+    const std::uint64_t rem = total % cycle;
+    const std::uint64_t slot =
+        static_cast<std::uint64_t>(coreIdx) * chunkLen;
+    const std::uint64_t tail = std::min<std::uint64_t>(
+        rem > slot ? rem - slot : 0, chunkLen);
+    return static_cast<std::size_t>(full * chunkLen + tail);
+}
+
+std::string
+StreamingTraceSource::audit() const
+{
+    if (!ioError.empty())
+        return ioError;
+    if (!opened) {
+        if (total != 0 || yielded != 0)
+            return "unopened source carries state";
+        return "";
+    }
+    if (buffer.size() > bufCap) {
+        return "buffer holds " + std::to_string(buffer.size()) +
+            " records over its " + std::to_string(bufCap) +
+            "-record capacity";
+    }
+    if (bufPos > buffer.size())
+        return "buffer cursor past the buffered records";
+    if (nextGlobal > total) {
+        return "file cursor at record " + std::to_string(nextGlobal) +
+            " past the " + std::to_string(total) + "-record trace";
+    }
+    if (yielded > shardSize()) {
+        return "yielded " + std::to_string(yielded) +
+            " records of a " + std::to_string(shardSize()) +
+            "-record shard";
+    }
+    return "";
+}
+
+} // namespace domino

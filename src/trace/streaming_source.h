@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Bounded-memory streaming replay of an on-disk trace.
+ *
+ * Every simulator consumes an AccessSource cursor, and until now
+ * every cursor was backed by a fully resident TraceBuffer or
+ * ReplayImage -- which caps runs at what one process's arena holds
+ * (~10^5-10^6 accesses).  StreamingTraceSource replays a binary
+ * `DOMTRACE` file (docs/TRACE_FORMAT.md) through a fixed-size
+ * record buffer with sequential I/O: memory is O(buffer), not
+ * O(trace), so the same CoverageSimulator / MultiCoreSim code paths
+ * scale to billion-access spilled traces.
+ *
+ * The cursor optionally carries the multicore shard geometry
+ * (cores, core, chunk): it then yields exactly the records
+ * ShardView / ReplayCursor would deal to that core -- record i with
+ * (i / chunk) % cores == core -- by reading each of the core's
+ * chunks sequentially and seeking over the other cores' chunks.
+ *
+ * Determinism: the file validates exactly like readTrace at open
+ * (magic, version, exact byte length), and the yielded record
+ * sequence equals a TraceView replay of the same trace record for
+ * record, so any simulation switched from a resident cursor to a
+ * streaming cursor produces byte-identical output
+ * (tests/test_streaming_source.cc pins both).
+ */
+
+#ifndef DOMINO_TRACE_STREAMING_SOURCE_H
+#define DOMINO_TRACE_STREAMING_SOURCE_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_buffer.h"
+#include "trace/trace_io.h"
+
+namespace domino
+{
+
+/** Default streaming buffer: 64 Ki records (~1.5 MB of unpacked
+ *  Access structs) -- small enough that dozens of concurrent
+ *  streams stay cheap, large enough to amortise read syscalls. */
+inline constexpr std::uint32_t defaultStreamBufferRecords = 1u << 16;
+
+/** The streaming cursor (see file comment). */
+class StreamingTraceSource : public AccessSource
+{
+  public:
+    /** An unopened source: next() immediately reports exhaustion. */
+    StreamingTraceSource() = default;
+
+    StreamingTraceSource(StreamingTraceSource &&) = default;
+    StreamingTraceSource &operator=(StreamingTraceSource &&) =
+        default;
+
+    /**
+     * Open @p path (a DOMTRACE file) for whole-trace streaming.
+     * Validates the header and the exact file length like
+     * readTrace; on failure the source stays unopened.
+     *
+     * @param buffer_records streaming buffer capacity (>= 1); the
+     *        run's memory budget knob.
+     */
+    IoResult open(const std::string &path,
+                  std::uint32_t buffer_records =
+                      defaultStreamBufferRecords);
+
+    /**
+     * Open @p path for shard streaming: yield core @p core's shard
+     * of the (cores, chunk) chunked round-robin dealing, matching
+     * ShardView / ReplayCursor exactly.
+     */
+    IoResult openShard(const std::string &path, unsigned cores,
+                       unsigned core, std::uint32_t chunk,
+                       std::uint32_t buffer_records =
+                           defaultStreamBufferRecords);
+
+    bool next(Access &out) override;
+
+    /** Restart at the shard's first record (rewinds the file). */
+    void reset() override;
+
+    /** True when open() succeeded and no read error occurred. */
+    bool ok() const { return opened && ioError.empty(); }
+
+    /** Total records in the underlying file (0 when unopened). */
+    std::size_t size() const { return total; }
+
+    /** Records this cursor will yield over a full pass. */
+    std::size_t shardSize() const;
+
+    /** Records yielded since open/reset. */
+    std::size_t position() const { return yielded; }
+
+    /** The streaming buffer capacity in records. */
+    std::uint32_t bufferCapacity() const { return bufCap; }
+
+    /** The file being streamed (empty when unopened). */
+    const std::string &path() const { return filePath; }
+
+    /**
+     * Verify the cursor invariants: the buffer never exceeds its
+     * capacity, the file cursor never runs past the trace, no more
+     * records were yielded than the shard holds, and no read error
+     * is pending.
+     * @return empty string if OK, else a description.
+     */
+    std::string audit() const;
+
+  private:
+    /** Refill the buffer from the file; false at exhaustion. */
+    bool refill();
+
+    /** Seek the file cursor to absolute record index @p record. */
+    void seekToRecord(std::uint64_t record);
+
+    std::ifstream is;
+    std::string filePath;
+    bool opened = false;
+    std::string ioError;
+
+    std::uint64_t total = 0;
+    unsigned nCores = 1;
+    unsigned coreIdx = 0;
+    std::uint32_t chunkLen = 1;
+    std::uint32_t bufCap = defaultStreamBufferRecords;
+
+    /** Unpacked in-flight records (bounded by bufCap). */
+    std::vector<Access> buffer;
+    std::size_t bufPos = 0;
+    /** Absolute index of the next record to read from the file. */
+    std::uint64_t nextGlobal = 0;
+    /** Records left in the current chunk before the skip. */
+    std::uint32_t chunkLeft = 1;
+    std::uint64_t yielded = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_TRACE_STREAMING_SOURCE_H

@@ -23,6 +23,19 @@
  * the workload generators (src/workloads depends on src/trace, not
  * the other way around); WorkloadParams::cacheKey() produces the
  * canonical key for synthetic workloads.
+ *
+ * Disk tier (out-of-core substrate): setSpillDir() adds a second,
+ * cross-process tier under the same keys.  tracePath()/stream()
+ * materialise a workload once as an on-disk `DOMTRACE` file --
+ * generated via bounded-memory streaming, never fully resident --
+ * and image() transparently reloads spilled `DOMIMAGE` files
+ * instead of re-unpacking.  Files are hash-named (FNV-1a of the
+ * key) with the full key stored alongside (sidecar for traces,
+ * embedded section for images) and verified before trust; they are
+ * published by atomic rename, so concurrent *processes* either see
+ * a complete file or none.  Duplicate generation across processes
+ * is harmless: generation is deterministic, so last-rename-wins
+ * publishes identical bytes (DESIGN.md "Out-of-core substrate").
  */
 
 #ifndef DOMINO_TRACE_TRACE_CACHE_H
@@ -41,7 +54,9 @@
 #include "common/check.h"
 #include "common/types.h"
 #include "trace/replay_image.h"
+#include "trace/streaming_source.h"
 #include "trace/trace_buffer.h"
+#include "trace/trace_io.h"
 
 namespace domino
 {
@@ -129,6 +144,10 @@ class TraceCache
   public:
     using Generator = std::function<TraceBuffer()>;
     using MissGenerator = std::function<std::vector<LineAddr>()>;
+    /** Factory of a fresh workload cursor for bounded-memory spill
+     *  (drained once by writeTraceStreamed; never materialised). */
+    using SourceFactory =
+        std::function<std::unique_ptr<AccessSource>()>;
 
     TraceCache() = default;
     TraceCache(const TraceCache &) = delete;
@@ -167,6 +186,54 @@ class TraceCache
     std::shared_ptr<const ReplayImage> image(
         const std::string &key, const Generator &generate);
 
+    /**
+     * Enable the disk tier rooted at @p dir (created on first use);
+     * an empty @p dir disables it.  Not synchronised against
+     * in-flight requests: configure before fanning out cells (the
+     * bench harness does this during CLI parsing).
+     */
+    void setSpillDir(std::string dir);
+
+    /** The disk-tier root, empty when the tier is disabled. */
+    const std::string &spillDir() const { return spillRoot; }
+
+    /**
+     * The on-disk `DOMTRACE` file for @p key, generating it via one
+     * bounded-memory streamed pass over @p makeSource() if no valid
+     * spill exists (single-flight in-process; atomic-rename
+     * publication across processes).  Requires the disk tier.
+     *
+     * @param path_out receives the file path on success.
+     */
+    IoResult tracePath(const std::string &key,
+                       const SourceFactory &makeSource,
+                       std::string &path_out);
+
+    /**
+     * Convenience: open @p source as a whole-trace streaming cursor
+     * over tracePath(key, makeSource).  The run's memory stays
+     * O(buffer_records) regardless of the trace length.
+     */
+    IoResult stream(const std::string &key,
+                    const SourceFactory &makeSource,
+                    StreamingTraceSource &source,
+                    std::uint32_t buffer_records =
+                        defaultStreamBufferRecords);
+
+    /** Disk-tier requests served by an existing valid spill file. */
+    std::uint64_t
+    diskHits() const
+    {
+        return diskHitCnt.load(std::memory_order_relaxed);
+    }
+
+    /** Spill files actually written (disk-tier generations). */
+    std::uint64_t
+    spills() const
+    {
+        return spillCnt.load(std::memory_order_relaxed);
+    }
+
     /** Traces actually generated (cache misses that ran a
      *  generator to completion, both planes). */
     std::uint64_t
@@ -199,12 +266,26 @@ class TraceCache
                                            const std::string &key,
                                            const G &generate);
 
+    /** Hash-named spill file path for @p key (no I/O). */
+    std::string spillFilePath(const std::string &key,
+                              const char *extension) const;
+
+    /** Generate-or-reuse the DOMTRACE spill for @p key; throws
+     *  std::runtime_error on I/O failure (the single-flight layer
+     *  converts that into an unpublished entry). */
+    std::string ensureTraceFile(const std::string &key,
+                                const SourceFactory &makeSource);
+
     mutable std::mutex mu;
     FutureMap<TraceBuffer> traces;
     FutureMap<std::vector<LineAddr>> misses;
     FutureMap<ReplayImage> images;
+    FutureMap<std::string> tracePaths;
+    std::string spillRoot;
     std::atomic<std::uint64_t> generationCnt{0};
     std::atomic<std::uint64_t> hitCnt{0};
+    std::atomic<std::uint64_t> diskHitCnt{0};
+    std::atomic<std::uint64_t> spillCnt{0};
 };
 
 } // namespace domino

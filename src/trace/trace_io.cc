@@ -62,9 +62,57 @@ writeTrace(const std::string &path, const TraceBuffer &trace)
 }
 
 IoResult
-readTrace(const std::string &path, TraceBuffer &trace)
+writeTraceStreamed(const std::string &path, AccessSource &source,
+                   std::uint64_t *count_out)
 {
-    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return IoResult::failure("cannot open for writing: " + path);
+
+    os.write(magic, sizeof(magic));
+    std::uint32_t ver = version;
+    os.write(reinterpret_cast<const char *>(&ver), sizeof(ver));
+    // Placeholder count, backpatched once the source is drained.
+    std::uint64_t count = 0;
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+
+    // Bounded chunk buffer: the only per-call memory, independent of
+    // the trace length.
+    constexpr std::size_t chunk_records = 1u << 16;
+    std::vector<char> buf;
+    buf.reserve(chunk_records * recordBytes);
+    Access a;
+    while (source.next(a)) {
+        char rec[recordBytes];
+        std::memcpy(rec, &a.pc, 8);
+        std::memcpy(rec + 8, &a.addr, 8);
+        rec[16] = a.isWrite ? 1 : 0;
+        buf.insert(buf.end(), rec, rec + recordBytes);
+        ++count;
+        if (buf.size() >= chunk_records * recordBytes) {
+            os.write(buf.data(),
+                     static_cast<std::streamsize>(buf.size()));
+            buf.clear();
+        }
+    }
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+
+    // Backpatch the record count (offset 12: magic + version).
+    os.seekp(static_cast<std::streamoff>(sizeof(magic) +
+                                         sizeof(ver)));
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    if (!os)
+        return IoResult::failure("short write: " + path);
+    if (count_out)
+        *count_out = count;
+    return IoResult::success();
+}
+
+IoResult
+openTraceStream(const std::string &path, std::ifstream &is,
+                std::uint64_t &count)
+{
+    is.open(path, std::ios::binary | std::ios::ate);
     if (!is)
         return IoResult::failure("cannot open for reading: " + path);
     const std::streamoff file_bytes = is.tellg();
@@ -83,7 +131,7 @@ readTrace(const std::string &path, TraceBuffer &trace)
     if (!is || ver != version)
         return IoResult::failure("unsupported version in: " + path);
 
-    std::uint64_t count = 0;
+    count = 0;
     is.read(reinterpret_cast<char *>(&count), sizeof(count));
     if (!is)
         return IoResult::failure("truncated header: " + path);
@@ -105,6 +153,16 @@ readTrace(const std::string &path, TraceBuffer &trace)
             "trailing bytes after " + std::to_string(count) +
             " declared records in: " + path);
     }
+    return IoResult::success();
+}
+
+IoResult
+readTrace(const std::string &path, TraceBuffer &trace)
+{
+    std::ifstream is;
+    std::uint64_t count = 0;
+    if (IoResult open = openTraceStream(path, is, count); !open.ok)
+        return open;
 
     // Parse into a scratch buffer so a failure cannot leave the
     // caller holding a partial trace.

@@ -43,6 +43,24 @@ struct IoResult
 IoResult writeTrace(const std::string &path, const TraceBuffer &trace);
 
 /**
+ * Write a trace to a file directly from a streaming source without
+ * materialising it: records are drained from @p source in bounded
+ * chunks and the header's record count is backpatched at the end.
+ * The resulting file is byte-identical to writeTrace() of the same
+ * record sequence (same format, same version -- the on-disk layout
+ * does not know how it was produced).  This is the generation path
+ * of the out-of-core disk tier: a billion-access workload spills
+ * with O(chunk) memory.
+ *
+ * @param source drained to exhaustion (it is NOT reset first, so a
+ *        partially consumed source writes its remainder).
+ * @param count_out when non-null, receives the record count.
+ */
+IoResult writeTraceStreamed(const std::string &path,
+                            AccessSource &source,
+                            std::uint64_t *count_out = nullptr);
+
+/**
  * Read a trace from a file.  Rejects (with a clear error and
  * without touching @p trace) a bad magic, an unknown version, a
  * truncated header or body, and a file whose byte length does not
@@ -50,6 +68,16 @@ IoResult writeTrace(const std::string &path, const TraceBuffer &trace);
  * handling").
  */
 IoResult readTrace(const std::string &path, TraceBuffer &trace);
+
+/**
+ * Open @p path for incremental record reading: validates the header
+ * and the exact file byte length with readTrace's rules, fills
+ * @p count, and leaves @p is positioned at the first record.  The
+ * streaming replay layer (src/trace/streaming_source.h) builds on
+ * this so the validation rules live in exactly one place.
+ */
+IoResult openTraceStream(const std::string &path, std::ifstream &is,
+                         std::uint64_t &count);
 
 /**
  * Write a trace in the text interchange format: one access per

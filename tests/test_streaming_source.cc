@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests for the out-of-core streaming substrate: the streamed write
+ * path must produce byte-identical files to the resident writer, a
+ * StreamingTraceSource must yield the TraceView record sequence
+ * exactly (whole-trace and per-shard), simulations driven from a
+ * streaming cursor must match their resident-image runs, and the
+ * TraceCache disk tier must spill once and reuse across requests --
+ * the determinism contract extended to disk
+ * (docs/TRACE_FORMAT.md, DESIGN.md "Out-of-core substrate").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage.h"
+#include "analysis/factory.h"
+#include "multicore/multicore_sim.h"
+#include "trace/replay_image.h"
+#include "trace/streaming_source.h"
+#include "trace/trace_cache.h"
+#include "trace/trace_io.h"
+#include "workloads/server_workload.h"
+
+namespace domino
+{
+
+namespace
+{
+
+TraceBuffer
+testTrace(std::uint64_t seed, std::uint64_t accesses)
+{
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    return generateTrace(wl, seed, accesses);
+}
+
+std::vector<char>
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    const std::streamoff bytes = is.tellg();
+    is.seekg(0);
+    std::vector<char> out(static_cast<std::size_t>(bytes));
+    is.read(out.data(), bytes);
+    return out;
+}
+
+TEST(TraceIoStreamed, WriteStreamedMatchesWriteTraceByteForByte)
+{
+    const TraceBuffer trace = testTrace(3, 4097);
+    const std::string resident = "/tmp/domino_test_ws_res.domtrace";
+    const std::string streamed = "/tmp/domino_test_ws_str.domtrace";
+    ASSERT_TRUE(writeTrace(resident, trace).ok);
+
+    TraceBuffer source = trace;
+    std::uint64_t count = 0;
+    ASSERT_TRUE(writeTraceStreamed(streamed, source, &count).ok);
+    EXPECT_EQ(count, trace.size());
+    // The on-disk layout must not betray how it was produced.
+    EXPECT_EQ(slurp(resident), slurp(streamed));
+    std::remove(resident.c_str());
+    std::remove(streamed.c_str());
+}
+
+TEST(StreamingSource, YieldsTraceViewSequenceExactly)
+{
+    const TraceBuffer trace = testTrace(5, 3000);
+    const std::string path = "/tmp/domino_test_stream_seq.domtrace";
+    ASSERT_TRUE(writeTrace(path, trace).ok);
+
+    // A deliberately tiny buffer forces many refills.
+    StreamingTraceSource src;
+    ASSERT_TRUE(src.open(path, 64).ok);
+    EXPECT_EQ(src.size(), trace.size());
+    EXPECT_EQ(src.shardSize(), trace.size());
+
+    for (int pass = 0; pass < 2; ++pass) {
+        Access got, want;
+        TraceBuffer replay = trace;
+        std::size_t i = 0;
+        while (replay.next(want)) {
+            ASSERT_TRUE(src.next(got)) << "record " << i;
+            EXPECT_EQ(got.pc, want.pc);
+            EXPECT_EQ(got.addr, want.addr);
+            EXPECT_EQ(got.isWrite, want.isWrite);
+            ++i;
+        }
+        EXPECT_FALSE(src.next(got));
+        EXPECT_EQ(src.position(), trace.size());
+        EXPECT_EQ(src.audit(), "");
+        src.reset(); // second pass must replay identically
+    }
+    std::remove(path.c_str());
+}
+
+TEST(StreamingSource, ShardMatchesReplayCursorDealing)
+{
+    const TraceBuffer trace = testTrace(7, 5000);
+    const ReplayImage image(trace);
+    const std::string path = "/tmp/domino_test_stream_shard.domtrace";
+    ASSERT_TRUE(writeTrace(path, trace).ok);
+
+    for (unsigned cores : {1u, 2u, 3u, 4u}) {
+        for (std::uint32_t chunk : {1u, 7u, 64u, 6000u}) {
+            for (unsigned core = 0; core < cores; ++core) {
+                StreamingTraceSource src;
+                ASSERT_TRUE(
+                    src.openShard(path, cores, core, chunk, 32).ok);
+                ReplayCursor cursor(image, cores, core, chunk);
+                std::size_t idx = 0;
+                std::size_t n = 0;
+                Access got;
+                while (cursor.next(idx)) {
+                    ASSERT_TRUE(src.next(got))
+                        << cores << "x" << chunk << " core " << core
+                        << " record " << n;
+                    EXPECT_EQ(got.pc, trace[idx].pc);
+                    EXPECT_EQ(got.addr, trace[idx].addr);
+                    ++n;
+                }
+                EXPECT_FALSE(src.next(got));
+                EXPECT_EQ(src.shardSize(), n);
+                EXPECT_EQ(src.audit(), "");
+            }
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(StreamingSource, UnopenedAndInvalidSourcesFailCleanly)
+{
+    StreamingTraceSource src;
+    Access a;
+    EXPECT_FALSE(src.next(a));
+    EXPECT_FALSE(src.ok());
+    EXPECT_EQ(src.size(), 0u);
+    EXPECT_EQ(src.audit(), "");
+
+    EXPECT_FALSE(src.open("/nonexistent/trace.domtrace").ok);
+    const std::string path = "/tmp/domino_test_stream_bad.domtrace";
+    ASSERT_TRUE(writeTrace(path, testTrace(1, 100)).ok);
+    EXPECT_FALSE(src.openShard(path, 2, 2, 4).ok); // core >= cores
+    EXPECT_FALSE(src.openShard(path, 0, 0, 4).ok);
+    EXPECT_FALSE(src.openShard(path, 2, 0, 0).ok);
+    EXPECT_FALSE(src.open(path, 0).ok); // zero-record buffer
+    std::remove(path.c_str());
+}
+
+TEST(StreamingSource, CoverageMatchesResidentImageRun)
+{
+    const TraceBuffer trace = testTrace(11, 6000);
+    const ReplayImage image(trace);
+    const std::string path = "/tmp/domino_test_stream_cov.domtrace";
+    ASSERT_TRUE(writeTrace(path, trace).ok);
+
+    FactoryConfig f;
+    f.degree = 4;
+    f.seed = 11 ^ 0xfac;
+    for (const std::string &tech : evaluatedPrefetchers()) {
+        auto resident_pf = makePrefetcher(tech, f);
+        CoverageSimulator resident_sim;
+        const CoverageResult resident =
+            resident_sim.runMany(image, {resident_pf.get()}).front();
+
+        auto streamed_pf = makePrefetcher(tech, f);
+        StreamingTraceSource src;
+        ASSERT_TRUE(src.open(path, 128).ok);
+        CoverageSimulator streamed_sim;
+        const CoverageResult streamed =
+            streamed_sim.runMany(src, {streamed_pf.get()}).front();
+        EXPECT_EQ(src.audit(), "");
+
+        EXPECT_EQ(resident.covered, streamed.covered) << tech;
+        EXPECT_EQ(resident.uncovered, streamed.uncovered) << tech;
+        EXPECT_EQ(resident.issued, streamed.issued) << tech;
+        EXPECT_EQ(resident.overpredictions, streamed.overpredictions)
+            << tech;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(StreamingSource, MultiCoreSimMatchesResidentImageRun)
+{
+    const TraceBuffer trace = testTrace(13, 6000);
+    const ReplayImage image(trace);
+    const std::string path = "/tmp/domino_test_stream_mc.domtrace";
+    ASSERT_TRUE(writeTrace(path, trace).ok);
+
+    SystemConfig sys;
+    sys.cores = 4;
+    sys.llcBytes = 256 * 1024;
+
+    const auto run = [&](bool stream) {
+        FactoryConfig f;
+        f.degree = 4;
+        f.seed = 13 ^ 0xfac;
+        PrefetcherSet set = makePrefetcherSet(
+            "Domino", f, sys.cores, MetadataScope::Private);
+        std::vector<StreamingTraceSource> shards(sys.cores);
+        std::vector<CoreBinding> bindings;
+        for (unsigned c = 0; c < sys.cores; ++c) {
+            CoreBinding b;
+            if (stream) {
+                EXPECT_TRUE(shards[c]
+                                .openShard(path, sys.cores, c,
+                                           sys.multicore.shardChunk,
+                                           64)
+                                .ok);
+                b.source = &shards[c];
+            } else {
+                b.image = &image;
+                b.imageCore = c;
+            }
+            b.prefetcher = set.perCore[c];
+            bindings.push_back(b);
+        }
+        MultiCoreSim sim(sys);
+        return sim.run(bindings);
+    };
+
+    const MultiCoreResult resident = run(false);
+    const MultiCoreResult streamed = run(true);
+    ASSERT_EQ(resident.cores.size(), streamed.cores.size());
+    for (std::size_t c = 0; c < resident.cores.size(); ++c) {
+        EXPECT_EQ(resident.cores[c].cycles, streamed.cores[c].cycles)
+            << "core " << c;
+        EXPECT_EQ(resident.cores[c].covered,
+                  streamed.cores[c].covered)
+            << "core " << c;
+        EXPECT_EQ(resident.cores[c].uncovered,
+                  streamed.cores[c].uncovered)
+            << "core " << c;
+    }
+    EXPECT_EQ(resident.traffic.totalBytes(),
+              streamed.traffic.totalBytes());
+    std::remove(path.c_str());
+}
+
+TEST(TraceCacheDiskTier, SpillsOnceAndReusesAcrossRequests)
+{
+    const std::string dir = "/tmp/domino_test_disk_tier";
+    std::filesystem::remove_all(dir);
+
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    const auto factory = [&]() -> std::unique_ptr<AccessSource> {
+        return std::make_unique<ServerWorkload>(wl, 17, 2000);
+    };
+
+    TraceCache cache;
+    StreamingTraceSource src;
+    // Disabled tier refuses rather than silently going resident.
+    EXPECT_FALSE(cache.stream("k", factory, src).ok);
+
+    cache.setSpillDir(dir);
+    ASSERT_TRUE(cache.stream("k", factory, src).ok);
+    EXPECT_EQ(cache.spills(), 1u);
+    EXPECT_EQ(cache.diskHits(), 0u);
+
+    // Same key again: the in-process plane memoises the path.
+    StreamingTraceSource again;
+    ASSERT_TRUE(cache.stream("k", factory, again).ok);
+    EXPECT_EQ(cache.spills(), 1u);
+
+    // A fresh cache over the same dir (a sibling process) reuses
+    // the published file instead of regenerating.
+    TraceCache sibling;
+    sibling.setSpillDir(dir);
+    StreamingTraceSource reused;
+    ASSERT_TRUE(sibling.stream("k", factory, reused).ok);
+    EXPECT_EQ(sibling.spills(), 0u);
+    EXPECT_EQ(sibling.diskHits(), 1u);
+
+    // The streamed records equal a direct generation.
+    ServerWorkload direct(wl, 17, 2000);
+    Access got, want;
+    while (direct.next(want)) {
+        ASSERT_TRUE(reused.next(got));
+        EXPECT_EQ(got.pc, want.pc);
+        EXPECT_EQ(got.addr, want.addr);
+        EXPECT_EQ(got.isWrite, want.isWrite);
+    }
+    EXPECT_FALSE(reused.next(got));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCacheDiskTier, ForeignSidecarTriggersRegeneration)
+{
+    const std::string dir = "/tmp/domino_test_disk_vet";
+    std::filesystem::remove_all(dir);
+
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    const auto factory = [&]() -> std::unique_ptr<AccessSource> {
+        return std::make_unique<ServerWorkload>(wl, 19, 500);
+    };
+
+    TraceCache cache;
+    cache.setSpillDir(dir);
+    std::string path;
+    ASSERT_TRUE(cache.tracePath("vet-key", factory, path).ok);
+    EXPECT_EQ(cache.spills(), 1u);
+
+    // Corrupt the sidecar: a hash-named file whose key does not
+    // match must not be trusted (hash collisions, foreign dirs).
+    {
+        std::ofstream os(path + ".key", std::ios::trunc);
+        os << "some-other-key";
+    }
+    TraceCache fresh;
+    fresh.setSpillDir(dir);
+    std::string path2;
+    ASSERT_TRUE(fresh.tracePath("vet-key", factory, path2).ok);
+    EXPECT_EQ(path2, path);
+    EXPECT_EQ(fresh.spills(), 1u); // regenerated, not trusted
+    EXPECT_EQ(fresh.diskHits(), 0u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCacheDiskTier, ImagePlaneReloadsSpilledImage)
+{
+    const std::string dir = "/tmp/domino_test_disk_image";
+    std::filesystem::remove_all(dir);
+
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    const auto generate = [&] { return generateTrace(wl, 23, 1500); };
+
+    TraceCache cache;
+    cache.setSpillDir(dir);
+    const auto built = cache.image("img-key", generate);
+    EXPECT_EQ(cache.spills(), 1u);
+
+    // A sibling cache must load the spilled DOMIMAGE byte-equal
+    // instead of regenerating the workload.
+    TraceCache sibling;
+    sibling.setSpillDir(dir);
+    const auto reloaded = sibling.image("img-key", generate);
+    EXPECT_EQ(sibling.diskHits(), 1u);
+    EXPECT_EQ(sibling.generations(), 1u); // image plane only
+    EXPECT_EQ(built->auditAgainst(*reloaded), "");
+
+    std::filesystem::remove_all(dir);
+}
+
+} // anonymous namespace
+
+} // namespace domino
