@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Differential fuzz oracle: the flat-row EnhancedIndexTable
+ * (src/domino/eit.cc) against a map-plus-deque reference model with
+ * the same LRU capacity rules (the model of
+ * tests/test_eit.cc::EitReferenceModel).
+ *
+ * The geometry forces no row pressure (64 K rows, 8 supers per row,
+ * tags from a 6-bit space), so super-entry eviction never fires and
+ * the two models must agree exactly: same tags present, same
+ * successor order (MRU first), same HT positions.  The
+ * entries-per-super capacity is derived from the input so all four
+ * paper-relevant capacities (1..4) are exercised.  After the op
+ * stream the EIT's structural audit must pass with the op count as
+ * the HT bound.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "domino/eit.h"
+
+#include "fuzz_util.h"
+
+using namespace domino;
+using namespace domino::fuzz;
+
+namespace
+{
+
+/** Per-tag LRU successor list mirroring EitEntry semantics. */
+class ReferenceModel
+{
+  public:
+    explicit ReferenceModel(unsigned entries_per_super)
+        : cap(entries_per_super)
+    {}
+
+    void
+    update(LineAddr tag, LineAddr next, std::uint64_t pos)
+    {
+        auto &lst = model[tag];
+        for (auto it = lst.begin(); it != lst.end(); ++it) {
+            if (it->first == next) {
+                lst.erase(it);
+                break;
+            }
+        }
+        lst.emplace_front(next, pos);
+        if (lst.size() > cap)
+            lst.pop_back();
+    }
+
+    const std::deque<std::pair<LineAddr, std::uint64_t>> *
+    lookup(LineAddr tag) const
+    {
+        const auto it = model.find(tag);
+        return it == model.end() ? nullptr : &it->second;
+    }
+
+  private:
+    unsigned cap;
+    std::map<LineAddr,
+             std::deque<std::pair<LineAddr, std::uint64_t>>> model;
+};
+
+} // anonymous namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    ByteReader in(data, size);
+
+    EitConfig cfg;
+    cfg.rows = 1 << 16; // effectively no row pressure
+    cfg.supersPerRow = 8;
+    cfg.entriesPerSuper = 1 + in.u8() % 4;
+    EnhancedIndexTable eit(cfg);
+    ReferenceModel ref(cfg.entriesPerSuper);
+
+    constexpr std::uint64_t tagSpace = 64;
+    std::uint64_t ops = 0;
+    while (!in.done()) {
+        const LineAddr tag = in.u8() % tagSpace;
+        const LineAddr next = in.u8() % 16;
+        eit.update(tag, next, ops);
+        ref.update(tag, next, ops);
+        ++ops;
+    }
+
+    for (LineAddr tag = 0; tag < tagSpace; ++tag) {
+        const SuperEntry *got = eit.lookup(tag);
+        const auto *want = ref.lookup(tag);
+        CHECK_EQ(got != nullptr, want != nullptr);
+        if (!want)
+            continue;
+        CHECK_EQ(got->entries.size(), want->size());
+        for (std::size_t i = 0; i < want->size(); ++i) {
+            CHECK_EQ(got->entries.at(i).next, (*want)[i].first);
+            CHECK_EQ(got->entries.at(i).pos, (*want)[i].second);
+        }
+    }
+    CHECK_EQ(eit.audit(ops ? ops : 1), std::string{});
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Differential fuzz oracle: FlatHashMap (src/common/flat_map.h)
+ * against std::unordered_map over an input-derived operation
+ * stream.
+ *
+ * FlatHashMap backs the index tables of STMS/Digram/ISB/NLookup,
+ * where a silent divergence from map semantics would skew figure
+ * results rather than crash.  The harness decodes the fuzzer input
+ * into (op, key, value) triples -- insert-or-assign, lookup,
+ * contains, clear -- applies each to both maps, and CHECKs
+ * per-operation agreement.  Keys are drawn from a 10-bit space so
+ * probe chains collide heavily (the interesting regime for the
+ * open-addressing layout).  After the stream: sizes match, every
+ * key in the reference is found with the same value, and the
+ * structural audit passes.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/flat_map.h"
+
+#include "fuzz_util.h"
+
+using namespace domino;
+using namespace domino::fuzz;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    ByteReader in(data, size);
+    FlatHashMap<std::uint64_t> map(8);
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+
+    while (!in.done()) {
+        const std::uint8_t op = in.u8() % 4;
+        const std::uint64_t key = in.u16() & 0x3ff;
+        switch (op) {
+        case 0: { // insert-or-assign
+            const std::uint64_t value = in.u64();
+            map[key] = value;
+            ref[key] = value;
+            break;
+        }
+        case 1: { // lookup
+            const std::uint64_t *got = map.find(key);
+            const auto want = ref.find(key);
+            CHECK_EQ(got != nullptr, want != ref.end());
+            if (got)
+                CHECK_EQ(*got, want->second);
+            break;
+        }
+        case 2: // contains
+            CHECK_EQ(map.contains(key), ref.count(key) != 0);
+            break;
+        case 3: // clear (rare: only when the low bits align)
+            if (key % 64 == 0) {
+                map.clear();
+                ref.clear();
+            }
+            break;
+        }
+        CHECK_EQ(map.size(), ref.size());
+    }
+
+    // Final cross-check and structural audit.
+    for (const auto &[key, value] : ref) {
+        const std::uint64_t *got = map.find(key);
+        CHECK(got != nullptr);
+        CHECK_EQ(*got, value);
+    }
+    CHECK_EQ(map.audit(), std::string{});
+    return 0;
+}

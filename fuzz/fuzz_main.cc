@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Standalone corpus-replay driver for toolchains without libFuzzer
+ * (g++ has no -fsanitize=fuzzer).  Linked into every harness when
+ * CMake detects the flag is unavailable, so the identical CTest
+ * smoke command -- `<harness> -runs=0 <corpus-dir>` -- works under
+ * both clang (libFuzzer interprets the flags) and g++ (this driver
+ * ignores dash-arguments and replays the corpus once).
+ *
+ * Exit status 0 means every corpus input ran without tripping an
+ * oracle; an oracle CHECK failure aborts, which CTest reports.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+namespace
+{
+
+std::vector<std::uint8_t>
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    const std::streamsize size = is.tellg();
+    std::vector<std::uint8_t> bytes(
+        size > 0 ? static_cast<std::size_t>(size) : 0);
+    is.seekg(0);
+    if (!bytes.empty())
+        is.read(reinterpret_cast<char *>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    return bytes;
+}
+
+int
+runOne(const std::filesystem::path &path)
+{
+    const std::vector<std::uint8_t> bytes = slurp(path);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    return 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    int ran = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!arg.empty() && arg[0] == '-')
+            continue; // libFuzzer flag; meaningless here
+        const std::filesystem::path p(arg);
+        if (std::filesystem::is_directory(p)) {
+            // Sorted replay: deterministic order regardless of
+            // directory enumeration order.
+            std::vector<std::filesystem::path> files;
+            for (const auto &entry :
+                 std::filesystem::directory_iterator(p))
+                if (entry.is_regular_file())
+                    files.push_back(entry.path());
+            std::sort(files.begin(), files.end());
+            for (const auto &f : files)
+                ran += runOne(f);
+        } else if (std::filesystem::is_regular_file(p)) {
+            ran += runOne(p);
+        } else {
+            std::fprintf(stderr,
+                         "fuzz_main: no such input: %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    std::printf("fuzz_main: replayed %d corpus input(s) cleanly\n",
+                ran);
+    return 0;
+}

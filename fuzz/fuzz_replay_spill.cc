@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fuzz harness for the DOMIMAGE spill loader (loadReplayImage /
+ * spillReplayImage / readImageKey, src/trace/replay_spill.cc).
+ *
+ * The input bytes are presented to loadReplayImage as a candidate
+ * spill file.  Oracles on accepted inputs:
+ *
+ *   - the published image passes its structural audit (the loader
+ *     promises never to yield a partial image);
+ *   - readImageKey agrees with the key loadReplayImage returned;
+ *   - respill fixed point: spilling the loaded image with the same
+ *     key and loading it back must produce a byte-identical file
+ *     and an image that audits equal to the first
+ *     (ReplayImage::auditAgainst);
+ *   - the file length matches the section geometry (header +
+ *     section table + key + three fixed-width arrays).
+ *
+ * Rejected inputs must report an error message.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "trace/replay_spill.h"
+
+#include "fuzz_util.h"
+
+using namespace domino;
+using namespace domino::fuzz;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    ScratchFile input("spill-in", data, size);
+
+    ReplayImage image;
+    std::string key;
+    const IoResult load1 =
+        loadReplayImage(input.path(), image, &key);
+    if (!load1.ok) {
+        CHECK(!load1.error.empty());
+        return 0;
+    }
+
+    // Accepted: the image must be structurally sound, and the cheap
+    // key probe must agree with the full load.
+    CHECK_EQ(image.audit(), std::string{});
+    std::string probed;
+    CHECK(readImageKey(input.path(), probed).ok);
+    CHECK_EQ(probed, key);
+
+    // Respill fixed point: the accepted file was produced by the
+    // canonical writer (checksummed sections leave no slack bytes),
+    // so respilling the loaded image must be byte-identical.
+    ScratchFile respill("spill-out");
+    CHECK(spillReplayImage(respill.path(), image, key).ok);
+    CHECK(readFileBytes(respill.path()) ==
+          readFileBytes(input.path()));
+
+    ReplayImage reloaded;
+    std::string key2;
+    CHECK(loadReplayImage(respill.path(), reloaded, &key2).ok);
+    CHECK_EQ(key2, key);
+    CHECK_EQ(reloaded.auditAgainst(image), std::string{});
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fuzz harness for the streaming trace reader
+ * (src/trace/streaming_source.cc) against the resident parser as a
+ * differential oracle.
+ *
+ * The input bytes are presented both to readTrace (resident) and to
+ * StreamingTraceSource (streamed, with a buffer size derived from
+ * the input so refill boundaries vary).  Oracles:
+ *
+ *   - accept/reject agreement: both parsers share one validation
+ *     path (openTraceStream), so they must agree on every input;
+ *   - streamed ≡ resident: the streamed record sequence equals the
+ *     resident one, record for record, and a second pass after
+ *     reset() replays it identically;
+ *   - sharded dealing: for a core count derived from the input,
+ *     the per-core shards partition the resident records exactly as
+ *     the round-robin chunk deal specifies, and shardSize() matches
+ *     what each shard actually yields;
+ *   - the source audits clean after every pass.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "trace/streaming_source.h"
+#include "trace/trace_io.h"
+
+#include "fuzz_util.h"
+
+using namespace domino;
+using namespace domino::fuzz;
+
+namespace
+{
+
+void
+checkSameAccess(const Access &want, const Access &got)
+{
+    CHECK_EQ(want.pc, got.pc);
+    CHECK_EQ(want.addr, got.addr);
+    CHECK_EQ(want.isWrite, got.isWrite);
+}
+
+} // anonymous namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    // Derive replay geometry from the tail of the input so the
+    // file bytes (the head) and the geometry vary independently.
+    const std::uint32_t bufRecords =
+        1 + (size ? data[size - 1] % 7 : 0);
+    const unsigned cores = 1 + (size > 1 ? data[size - 2] % 4 : 0);
+    const std::uint32_t chunk =
+        1 + (size > 2 ? data[size - 3] % 5 : 0);
+
+    ScratchFile input("stream-in", data, size);
+
+    TraceBuffer resident;
+    const IoResult res = readTrace(input.path(), resident);
+
+    StreamingTraceSource streamed;
+    const IoResult open =
+        streamed.open(input.path(), bufRecords);
+    CHECK_EQ(res.ok, open.ok);
+    if (!res.ok) {
+        CHECK(!open.error.empty());
+        return 0;
+    }
+
+    // Two passes (reset between them) must both equal the resident
+    // sequence.
+    for (int pass = 0; pass < 2; ++pass) {
+        Access got;
+        for (std::size_t i = 0; i < resident.size(); ++i) {
+            CHECK(streamed.next(got));
+            checkSameAccess(resident[i], got);
+        }
+        CHECK(!streamed.next(got));
+        CHECK_EQ(streamed.audit(), std::string{});
+        streamed.reset();
+    }
+
+    // Shard dealing: record i belongs to core (i / chunk) % cores.
+    std::size_t dealt = 0;
+    for (unsigned core = 0; core < cores; ++core) {
+        StreamingTraceSource shard;
+        CHECK(shard.openShard(input.path(), cores, core, chunk,
+                              bufRecords).ok);
+        std::size_t mine = 0;
+        Access got;
+        for (std::size_t i = 0; i < resident.size(); ++i) {
+            if ((i / chunk) % cores != core)
+                continue;
+            CHECK(shard.next(got));
+            checkSameAccess(resident[i], got);
+            ++mine;
+        }
+        CHECK(!shard.next(got));
+        CHECK_EQ(shard.shardSize(), mine);
+        CHECK_EQ(shard.audit(), std::string{});
+        dealt += mine;
+    }
+    CHECK_EQ(dealt, resident.size());
+    return 0;
+}

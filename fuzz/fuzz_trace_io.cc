@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fuzz harness for the DOMTRACE binary parser (readTrace /
+ * writeTrace, src/trace/trace_io.cc).
+ *
+ * The input bytes are presented to readTrace as a candidate trace
+ * file.  Oracles on accepted inputs:
+ *
+ *   - canonical fixed point: write(read(x)) must itself read back
+ *     to the same record sequence, and a second
+ *     write(read(write(read(x)))) must be byte-identical -- one
+ *     round trip canonicalises (e.g. nonzero flag bytes collapse
+ *     to 1), after which serialisation is a fixed point;
+ *   - the re-serialised byte length matches the format arithmetic
+ *     (header + count * record size from docs/TRACE_FORMAT.md).
+ *
+ * Rejected inputs must report an error message and leave the output
+ * buffer untouched (the "without touching @p trace" contract of
+ * trace_io.h).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "trace/trace_io.h"
+
+#include "fuzz_util.h"
+
+using namespace domino;
+using namespace domino::fuzz;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    ScratchFile input("trace-in", data, size);
+
+    TraceBuffer first;
+    first.pushRead(0xdead); // canary: rejection must not touch it
+    const IoResult read1 = readTrace(input.path(), first);
+    if (!read1.ok) {
+        CHECK(!read1.error.empty());
+        CHECK_EQ(first.size(), std::size_t{1});
+        CHECK_EQ(first[0].addr, Addr{0xdead});
+        return 0;
+    }
+
+    // Accepted: one write canonicalises; it must read back to the
+    // identical record sequence.
+    ScratchFile canon("trace-canon");
+    CHECK(writeTrace(canon.path(), first).ok);
+    const std::vector<std::uint8_t> canonBytes =
+        readFileBytes(canon.path());
+    CHECK_EQ(canonBytes.size(),
+             traceHeaderBytes + first.size() * traceRecordBytes);
+
+    TraceBuffer second;
+    CHECK(readTrace(canon.path(), second).ok);
+    CHECK_EQ(second.size(), first.size());
+    for (std::size_t i = 0; i < second.size(); ++i) {
+        CHECK_EQ(first[i].pc, second[i].pc);
+        CHECK_EQ(first[i].addr, second[i].addr);
+        CHECK_EQ(first[i].isWrite, second[i].isWrite);
+    }
+
+    // Fixed point: re-serialising the round-tripped buffer must be
+    // byte-identical to the canonical file.
+    ScratchFile again("trace-again");
+    CHECK(writeTrace(again.path(), second).ok);
+    CHECK(readFileBytes(again.path()) == canonBytes);
+    return 0;
+}

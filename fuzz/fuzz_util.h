@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Shared plumbing for the fuzz harnesses: a deterministic byte
+ * reader over the fuzzer input, a self-cleaning scratch file (the
+ * parsers under test read from paths, not buffers), and a whole-file
+ * reader for byte-identity oracles.
+ *
+ * Harnesses CHECK their oracles (src/common/check.h): a violated
+ * oracle aborts, which both libFuzzer and the standalone driver
+ * report as a crash on the offending input.
+ */
+
+#ifndef DOMINO_FUZZ_FUZZ_UTIL_H
+#define DOMINO_FUZZ_FUZZ_UTIL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/check.h"
+
+namespace domino::fuzz
+{
+
+/**
+ * Sequential little-endian reader over the fuzzer input.  Reads
+ * past the end yield zeros, so every input prefix decodes to a
+ * well-defined operation stream (no rejected inputs, which keeps
+ * coverage feedback smooth).
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : p(data), n(size)
+    {}
+
+    std::size_t remaining() const { return n - pos; }
+    bool done() const { return pos >= n; }
+
+    std::uint8_t
+    u8()
+    {
+        return pos < n ? p[pos++] : 0;
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t v = u8();
+        v = static_cast<std::uint16_t>(v | (u8() << 8));
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+  private:
+    const std::uint8_t *p;
+    std::size_t n;
+    std::size_t pos = 0;
+};
+
+/**
+ * A scratch file holding one fuzzer input (or a harness-produced
+ * re-serialisation), removed on destruction.  Paths are unique per
+ * process and per instance so parallel CTest smoke runs never
+ * collide.
+ */
+class ScratchFile
+{
+  public:
+    explicit ScratchFile(const char *stem)
+    {
+        static unsigned long serial = 0;
+        name = std::string("/tmp/domino-fuzz-") + stem + "-" +
+               std::to_string(static_cast<long>(::getpid())) + "-" +
+               std::to_string(serial++) + ".bin";
+    }
+
+    ScratchFile(const char *stem, const std::uint8_t *data,
+                std::size_t size)
+        : ScratchFile(stem)
+    {
+        write(data, size);
+    }
+
+    ~ScratchFile() { std::remove(name.c_str()); }
+
+    ScratchFile(const ScratchFile &) = delete;
+    ScratchFile &operator=(const ScratchFile &) = delete;
+
+    void
+    write(const std::uint8_t *data, std::size_t size)
+    {
+        std::ofstream os(name, std::ios::binary | std::ios::trunc);
+        CHECK(os.good());
+        os.write(reinterpret_cast<const char *>(data),
+                 static_cast<std::streamsize>(size));
+        CHECK(os.good());
+    }
+
+    const std::string &path() const { return name; }
+
+  private:
+    std::string name;
+};
+
+/** The full contents of @p path (CHECKs that the read succeeds). */
+inline std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    CHECK(is.good());
+    const std::streamsize size = is.tellg();
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(size));
+    is.seekg(0);
+    if (size > 0)
+        is.read(reinterpret_cast<char *>(bytes.data()), size);
+    CHECK(is.good());
+    return bytes;
+}
+
+} // namespace domino::fuzz
+
+#endif // DOMINO_FUZZ_FUZZ_UTIL_H

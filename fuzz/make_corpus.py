@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Deterministic seed-corpus generator for the fuzz harnesses.
+
+Regenerates every file under fuzz/corpus/ from scratch (stdlib
+only, fixed seeds -- rerunning produces byte-identical corpora, so
+the committed files never drift).  The corpus mirrors the parser
+test suites: valid files of both binary formats plus the corruption
+cases of tests/test_trace.cc (TraceIoErrors) and
+tests/test_replay_spill.cc, giving the fuzzers productive starting
+points on both the accept and reject paths.
+
+Usage: python3 fuzz/make_corpus.py
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import struct
+from pathlib import Path
+
+CORPUS = Path(__file__).resolve().parent / "corpus"
+
+# ------------------------------------------------------------------
+# DOMTRACE (docs/TRACE_FORMAT.md): 20-byte header, 17-byte records.
+
+
+def trace_bytes(records, magic=b"DOMTRACE", version=1,
+                count=None) -> bytes:
+    out = magic + struct.pack("<IQ", version,
+                              len(records) if count is None
+                              else count)
+    for pc, addr, flags in records:
+        out += struct.pack("<QQB", pc, addr, flags)
+    return out
+
+
+def trace_corpus() -> dict[str, bytes]:
+    rng = random.Random(0xD0711)
+    small = [(rng.getrandbits(48), rng.getrandbits(40), i % 2)
+             for i in range(5)]
+    many = [(rng.getrandbits(48), rng.getrandbits(40), i % 2)
+            for i in range(23)]
+    valid_small = trace_bytes(small)
+    return {
+        "empty_file": b"",
+        "valid_empty": trace_bytes([]),
+        "valid_small": valid_small,
+        "valid_many": trace_bytes(many),
+        # A nonzero non-1 flag byte: accepted, canonicalised to 1.
+        "valid_flags2": trace_bytes([(1, 2, 2)]),
+        "bad_magic": trace_bytes(small, magic=b"DOMTRACF"),
+        "bad_version": trace_bytes(small, version=9),
+        "truncated_header": valid_small[:10],
+        "truncated_body": valid_small[:-5],
+        "length_mismatch": valid_small + b"\x00",
+        "count_overclaim": trace_bytes(small, count=6),
+    }
+
+
+# ------------------------------------------------------------------
+# DOMIMAGE (docs/TRACE_FORMAT.md "ReplayImage spill format").
+
+FNV_BASIS = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+
+
+def fnv1a64(data: bytes) -> int:
+    h = FNV_BASIS
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def image_bytes(lines, pcs, rw, key=b"fuzz-corpus", *,
+                magic=b"DOMIMAGE", version=1, count=None,
+                reserved=0, id_order=(1, 2, 3, 4)) -> bytes:
+    n = len(lines) if count is None else count
+    bodies = {
+        1: key,
+        2: b"".join(struct.pack("<Q", v) for v in lines),
+        3: b"".join(struct.pack("<Q", v) for v in pcs),
+        4: bytes(rw),
+    }
+    head = magic + struct.pack("<IIQ", version, len(id_order), n)
+    offset = 24 + 32 * len(id_order)
+    table = b""
+    payload = b""
+    for sec_id in id_order:
+        body = bodies[sec_id]
+        table += struct.pack("<IIQQQ", sec_id, reserved, offset,
+                             len(body), fnv1a64(body))
+        payload += body
+        offset += len(body)
+    return head + table + payload
+
+
+def image_corpus() -> dict[str, bytes]:
+    rng = random.Random(0xD0712)
+    n = 6
+    lines = [rng.getrandbits(34) for _ in range(n)]
+    pcs = [rng.getrandbits(48) for _ in range(n)]
+    rw = [i % 2 for i in range(n)]
+    valid = image_bytes(lines, pcs, rw)
+    bad_checksum = bytearray(valid)
+    bad_checksum[-1] ^= 0x40  # flip inside SecRw, checksum now wrong
+    return {
+        "valid_empty": image_bytes([], [], []),
+        "valid_small": valid,
+        "valid_nokey": image_bytes(lines, pcs, rw, key=b""),
+        "bad_magic": image_bytes(lines, pcs, rw,
+                                 magic=b"DOMIMAGF"),
+        "bad_version": image_bytes(lines, pcs, rw, version=9),
+        "bad_checksum": bytes(bad_checksum),
+        "reserved_nonzero": image_bytes(lines, pcs, rw, reserved=7),
+        "sections_out_of_order": image_bytes(lines, pcs, rw,
+                                             id_order=(1, 3, 2, 4)),
+        "truncated": valid[:-3],
+        "trailing_garbage": valid + b"\x00\x00",
+        "rw_nonbool": image_bytes(lines, pcs, [2] * n),
+        "count_overclaim": image_bytes(lines, pcs, rw, count=n + 1),
+    }
+
+
+# ------------------------------------------------------------------
+# Op-stream corpora for the differential oracles: random blobs from
+# fixed seeds plus hand-shaped streams hitting the rare paths.
+
+
+def blob_corpus(seed: int, extras: dict[str, bytes]) \
+        -> dict[str, bytes]:
+    rng = random.Random(seed)
+    out = {f"random_{size}": rng.randbytes(size)
+           for size in (16, 128, 512, 2048)}
+    out.update(extras)
+    return out
+
+
+def flat_map_extras() -> dict[str, bytes]:
+    # op=3 with key 0 triggers clear(); surround it with inserts.
+    stream = b""
+    for k in range(8):
+        stream += bytes([0]) + struct.pack("<H", k) + bytes(8)
+    stream += bytes([3]) + struct.pack("<H", 0)
+    for k in range(8):
+        stream += bytes([1]) + struct.pack("<H", k)
+    return {"insert_clear_lookup": stream}
+
+
+def eit_extras() -> dict[str, bytes]:
+    # One tag hammered enough to cycle its LRU entries repeatedly.
+    return {"single_tag": bytes([2]) + bytes(
+        b for i in range(64) for b in (7, i % 16))}
+
+
+# ------------------------------------------------------------------
+
+
+def main() -> None:
+    corpora = {
+        "fuzz_trace_io": trace_corpus(),
+        # The streaming harness reads the same format; shard
+        # geometry comes from the tail bytes, which differ across
+        # these files naturally.
+        "fuzz_streaming_source": trace_corpus(),
+        "fuzz_replay_spill": image_corpus(),
+        "fuzz_flat_map_diff": blob_corpus(0xF1A7, flat_map_extras()),
+        "fuzz_eit_diff": blob_corpus(0xE17, eit_extras()),
+    }
+    for harness, files in corpora.items():
+        out_dir = CORPUS / harness
+        if out_dir.exists():
+            shutil.rmtree(out_dir)
+        out_dir.mkdir(parents=True)
+        for name, data in sorted(files.items()):
+            (out_dir / f"{name}.bin").write_bytes(data)
+        print(f"{harness}: {len(files)} seed(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,254 +1,22 @@
 #!/usr/bin/env python3
-"""Repo-convention lint for the Domino reproduction.
+"""Thin compatibility shim over the domlint engine.
 
-Checks conventions that clang-tidy cannot express, using nothing but
-the standard library (the container ships no Python packages):
+The convention checks that used to live here are now rules of the
+unified engine in scripts/domlint/ (rules_conventions.py), selected
+as the `conventions` group.  This entry point keeps old CI wiring
+and muscle memory working; new callers should invoke
 
-  raw-new        no raw `new` / `delete` in C++ sources -- containers
-                 and std::make_unique own everything.  Waivable per
-                 file with a justification comment:
-                     // conventions: allow-file(raw-new) -- <reason>
-  unseeded-prng  no default-constructed or literal-free PRNGs and no
-                 banned randomness sources (std::mt19937, rand(),
-                 std::random_device): every experiment must replay
-                 bit-for-bit from an explicit 64-bit seed.
-  derived-seed   no arithmetic (`seed + core`, `seed * 977`, ...)
-                 inside a Prng constructor: nearby seeds give PRNGs
-                 with correlated streams and silently collide when
-                 grids are re-shaped.  Derive positional seeds with
-                 deriveCellSeed / deriveCoreSeed (or mix64) instead.
-  bare-assert    no <cassert>/assert() in src/ -- invariants use the
-                 CHECK/DCHECK family (src/common/check.h) so they
-                 print values and participate in DOMINO_CHECKS
-                 builds (static_assert is fine and encouraged).
-  record-layout  src/trace/trace_io.cc and src/trace/replay_spill.cc
-                 must static_assert the on-disk header/record/section
-                 sizes against the contract in docs/TRACE_FORMAT.md.
-  hot-set-index  no `%` / `/` set- or row-index arithmetic in the
-                 hot-path cache structures (src/mem/cache.*,
-                 src/domino/eit.*, src/mem/prefetch_buffer.h):
-                 geometries there are power-of-two by construction,
-                 so indexing is a mask (and way striding a shift) --
-                 an integer divide on the per-access path costs
-                 20-40 cycles and re-crept in twice before this
-                 rule.  Waivable per file like raw-new.
+    python3 scripts/domlint --rules conventions
 
-Exit status: 0 clean, 1 findings, 2 usage error.
-See docs/STATIC_ANALYSIS.md for policy; run via scripts/lint.sh.
+directly.  Exit status is unchanged: 0 clean, 1 findings.
 """
 
-from __future__ import annotations
-
-import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-CXX_DIRS = ("src", "bench", "tests", "examples")
-CXX_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-WAIVER_RE = re.compile(
-    r"conventions:\s*allow-file\((?P<rule>[a-z-]+)\)\s*--\s*\S")
-
-# `new` / `delete` as allocation expressions.  Placement variants and
-# `= delete` / `delete []` member functions are matched deliberately:
-# none should appear outside the waived files either.
-RAW_NEW_RE = re.compile(
-    r"\bnew\s+[A-Za-z_:<]|\bdelete\b\s*(\[\s*\]\s*)?[A-Za-z_(]")
-DELETED_FN_RE = re.compile(r"=\s*delete\b")
-
-# Note: `Prng name;` (default construction) is a *compile* error --
-# Prng deliberately has no default seed -- so the lint only needs to
-# catch explicit no-seed spellings and banned randomness sources.
-UNSEEDED_RES = [
-    (re.compile(r"\bPrng\s*\(\s*\)"), "Prng() without a seed"),
-    (re.compile(r"\bPrng\s+\w+\s*\{\s*\}"), "Prng{} without a seed"),
-    (re.compile(r"\bstd::mt19937"), "std::mt19937 is banned (bulky "
-     "state, easy to misseed); use domino::Prng"),
-    (re.compile(r"\bstd::random_device\b"), "std::random_device is "
-     "nondeterministic; experiments must replay from a seed"),
-    (re.compile(r"(?<![\w:.])s?rand\s*\(\s*\)"), "C rand()/srand() is "
-     "banned; use domino::Prng"),
-]
-
-# Additive arithmetic inside a Prng constructor expression.
-# `Prng(seed + core)` gives nearby cores correlated streams and
-# silently collides when the grid is re-shaped; positional seeds go
-# through deriveCellSeed / deriveCoreSeed (or mix64), whose avalanche
-# decorrelates the inputs.  XOR-with-salt (`seed ^ 0xe17`) is the
-# accepted idiom for *distinguishing* streams and stays legal.  Both
-# spellings are covered: `Prng(expr)` and `Prng name(expr)` /
-# `Prng name{expr}`.
-DERIVED_SEED_RE = re.compile(
-    r"\bPrng\s*(?:\w+\s*)?[({][^)}]*[-+][^)}]*[)}]")
-DERIVED_SEED_OK_RE = re.compile(
-    r"\b(mix64|deriveCellSeed|deriveCoreSeed)\s*\(")
-
-# Hot-path cache structures where set/row indexing must be a mask,
-# never a modulo or divide (the geometries are power-of-two by
-# construction; see SetAssocCache and EnhancedIndexTable).
-HOT_SET_INDEX_FILES = {
-    "src/mem/cache.h",
-    "src/mem/cache.cc",
-    "src/domino/eit.h",
-    "src/domino/eit.cc",
-    "src/mem/prefetch_buffer.h",
-}
-HOT_SET_INDEX_RES = [
-    (re.compile(r"\bmix64\s*\([^)]*\)\s*[%/]"),
-     "mix64(...) folded with %//"),
-    (re.compile(r"[%/]\s*(sets|rows|nSets|rowCount)\b"),
-     "set/row count used as a divisor"),
-]
-
-BARE_ASSERT_RES = [
-    (re.compile(r"#\s*include\s*<cassert>"), "<cassert> include"),
-    (re.compile(r"#\s*include\s*<assert\.h>"), "<assert.h> include"),
-    (re.compile(r"(?<!static_)(?<!_)\bassert\s*\("), "assert() call"),
-]
-
-
-def strip_comments_and_strings(line: str) -> str:
-    """Best-effort removal of string/char literals and // comments.
-
-    Keeps the check honest on lines like `return "new rule";`.
-    Block comments spanning lines are handled by the caller.
-    """
-    out = []
-    i, n = 0, len(line)
-    while i < n:
-        c = line[i]
-        if c == '"' or c == "'":
-            quote = c
-            i += 1
-            while i < n and line[i] != quote:
-                i += 2 if line[i] == "\\" else 1
-            i += 1
-            out.append('""' if quote == '"' else "''")
-            continue
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-def cxx_files() -> list[Path]:
-    files = []
-    for top in CXX_DIRS:
-        root = REPO / top
-        if not root.is_dir():
-            continue
-        files.extend(
-            p for p in sorted(root.rglob("*")) if p.suffix in CXX_SUFFIXES)
-    return files
-
-
-def check_file(path: Path) -> list[str]:
-    text = path.read_text(encoding="utf-8")
-    waivers = {m.group("rule") for m in WAIVER_RE.finditer(text)}
-    rel = path.relative_to(REPO)
-    findings = []
-
-    in_block_comment = False
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw
-        if in_block_comment:
-            end = line.find("*/")
-            if end < 0:
-                continue
-            line = line[end + 2:]
-            in_block_comment = False
-        # Drop complete /* ... */ runs, then note a trailing opener.
-        line = re.sub(r"/\*.*?\*/", " ", line)
-        start = line.find("/*")
-        if start >= 0:
-            line = line[:start]
-            in_block_comment = True
-        code = strip_comments_and_strings(line)
-
-        def report(rule: str, message: str) -> None:
-            if rule not in waivers:
-                findings.append(f"{rel}:{lineno}: [{rule}] {message}")
-
-        if RAW_NEW_RE.search(code) and not DELETED_FN_RE.search(code):
-            report("raw-new",
-                   "raw new/delete (use containers or make_unique); "
-                   f"offending line: {raw.strip()}")
-        for pattern, message in UNSEEDED_RES:
-            if pattern.search(code):
-                report("unseeded-prng", message)
-        if (DERIVED_SEED_RE.search(code)
-                and not DERIVED_SEED_OK_RE.search(code)):
-            report("derived-seed",
-                   "additive seed arithmetic inside a Prng "
-                   "constructor (correlated/colliding streams); "
-                   "derive the seed with deriveCellSeed/"
-                   "deriveCoreSeed or mix64; "
-                   f"offending line: {raw.strip()}")
-        if str(rel) in HOT_SET_INDEX_FILES:
-            for pattern, message in HOT_SET_INDEX_RES:
-                if pattern.search(code):
-                    report("hot-set-index",
-                           message + " on a hot-path cache "
-                           "structure (index with a power-of-two "
-                           "mask; see the set-index conventions); "
-                           f"offending line: {raw.strip()}")
-        if str(rel).startswith("src/"):
-            for pattern, message in BARE_ASSERT_RES:
-                if pattern.search(code):
-                    report("bare-assert",
-                           message + " (use CHECK/DCHECK from "
-                           "common/check.h)")
-    return findings
-
-
-#: (source file, required static_assert substring) pairs pinning the
-#: on-disk contracts of docs/TRACE_FORMAT.md in code.
-RECORD_LAYOUT_ASSERTS = [
-    ("src/trace/trace_io.cc", "traceHeaderBytes == 20"),
-    ("src/trace/trace_io.cc", "traceRecordBytes == 17"),
-    ("src/trace/replay_spill.cc", "imageHeaderBytes == 24"),
-    ("src/trace/replay_spill.cc", "imageSectionEntryBytes == 32"),
-    ("src/trace/replay_spill.cc", "imageSectionCount == 4"),
-]
-
-
-def check_record_layout() -> list[str]:
-    """src/trace must pin the on-disk sizes with static_asserts."""
-    findings = []
-    joined_by_file: dict[str, str] = {}
-    for rel, required in RECORD_LAYOUT_ASSERTS:
-        if rel not in joined_by_file:
-            text = (REPO / rel).read_text(encoding="utf-8")
-            asserts = re.findall(r"static_assert\s*\(([^;]*?)\)\s*;",
-                                 text, re.DOTALL)
-            joined_by_file[rel] = " ".join(asserts)
-        if required not in joined_by_file[rel]:
-            findings.append(
-                f"{rel}: [record-layout] missing "
-                f"static_assert({required}) tying the layout to "
-                "docs/TRACE_FORMAT.md")
-    return findings
-
-
-def main(argv: list[str]) -> int:
-    if len(argv) > 1:
-        print(__doc__, file=sys.stderr)
-        return 2
-    findings: list[str] = []
-    for path in cxx_files():
-        findings.extend(check_file(path))
-    findings.extend(check_record_layout())
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"check_conventions: {len(findings)} finding(s)",
-              file=sys.stderr)
-        return 1
-    print(f"check_conventions: OK ({len(cxx_files())} files)")
-    return 0
-
+from domlint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(["--rules", "conventions"] + sys.argv[1:]))

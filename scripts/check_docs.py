@@ -1,196 +1,23 @@
 #!/usr/bin/env python3
-"""Documentation cross-reference lint for the Domino reproduction.
+"""Thin compatibility shim over the domlint engine.
 
-The docs name files, CLI flags, and each other's sections; all three
-decay silently as the code moves.  This lint re-derives every such
-reference and fails when one dangles, using nothing but the standard
-library (the container ships no Python packages):
+The documentation cross-reference checks that used to live here are
+now rules of the unified engine in scripts/domlint/ (rules_docs.py),
+selected as the `docs` group (alias: `doc-drift`).  This entry point
+keeps old CI wiring and muscle memory working; new callers should
+invoke
 
-  file-ref      every `path/like.this` written in backticks in
-                README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md,
-                CONTRIBUTING.md, and docs/*.md must exist in the
-                repo.  Directory refs (`src/trace/`) and glob refs
-                (`build/bench/bench_fig*`) resolve too.
-  flag-ref      every `--flag` a doc mentions must appear in a C++
-                source or script (the flag vocabulary is grep-able:
-                args.get*("flag"), add_argument("--flag")).
-  section-ref   every "DESIGN.md §N" / "see §N" style pointer into a
-                numbered doc must name a section that exists there
-                (sections are `## N. Title` headings).
-  md-link       every relative markdown link target `[x](path)` must
-                exist.
+    python3 scripts/domlint --rules docs
 
-Exit status: 0 clean, 1 findings, 2 usage error.
-See docs/STATIC_ANALYSIS.md for policy; run via scripts/lint.sh.
+directly.  Exit status is unchanged: 0 clean, 1 findings.
 """
 
-from __future__ import annotations
-
-import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-#: Docs whose references are checked.
-DOC_FILES = [
-    "README.md",
-    "DESIGN.md",
-    "EXPERIMENTS.md",
-    "ROADMAP.md",
-    "CONTRIBUTING.md",
-    "PAPER.md",
-]
-
-#: Backticked tokens that look like repo paths: at least one `/` and
-#: a sane path alphabet.  `<...>` placeholders and URLs are skipped.
-FILE_REF_RE = re.compile(r"`([A-Za-z0-9_.][A-Za-z0-9_./*-]*/"
-                         r"[A-Za-z0-9_./*-]*)`")
-
-#: `--flag` mentions in docs (value suffixes like `--n 120000` are
-#: split off by the word boundary).
-FLAG_REF_RE = re.compile(r"`--([a-z][a-z0-9-]*)")
-
-#: Cross-doc section pointers: "DESIGN.md §7" or "(§7)" /
-#: "see §7" (the latter resolve against the doc they appear in).
-SECTION_REF_RE = re.compile(r"(?:(?P<doc>[A-Z_]+\.md)\s*)?§\s*(?P<num>\d+)")
-
-#: Relative markdown link targets.
-MD_LINK_RE = re.compile(r"\]\(([^)#`\s]+)(?:#[^)\s]*)?\)")
-
-#: Numbered `## N. Title` headings.
-SECTION_HEADING_RE = re.compile(r"^##\s+(\d+)\.", re.MULTILINE)
-
-#: Where CLI flags are defined: C++ args lookups and python argparse.
-FLAG_DEF_RES = [
-    re.compile(r'args\.(?:get|getU64|getDouble|getBool|has)\s*\(\s*"'
-               r'([a-z][a-z0-9-]*)"'),
-    re.compile(r'add_argument\(\s*"--([a-z][a-z0-9-]*)"'),
-    re.compile(r'"--([a-z][a-z0-9-]*)"'),
-]
-
-#: Flags documented but owned by external tools (cmake, ctest, git,
-#: compilers); not expected in repo sources.
-EXTERNAL_FLAGS = {
-    "build", "parallel", "output-on-failure", "target", "config",
-    "branch", "version",
-}
-
-
-def doc_paths() -> list[Path]:
-    docs = [REPO / name for name in DOC_FILES]
-    docs.extend(sorted((REPO / "docs").glob("*.md")))
-    return [d for d in docs if d.is_file()]
-
-
-def known_flags() -> set[str]:
-    flags: set[str] = set()
-    roots = [REPO / "src", REPO / "bench", REPO / "tests",
-             REPO / "scripts", REPO / "examples"]
-    for root in roots:
-        if not root.is_dir():
-            continue
-        for path in sorted(root.rglob("*")):
-            if path.suffix not in {".cc", ".h", ".py", ".sh"}:
-                continue
-            text = path.read_text(encoding="utf-8", errors="replace")
-            for pattern in FLAG_DEF_RES:
-                flags.update(pattern.findall(text))
-    return flags
-
-
-#: First path segments that name generated trees: present after a
-#: build / a run, never in a fresh checkout, so not checkable.
-GENERATED_PREFIXES = ("build", ".domino-spill")
-
-
-def resolve_path_ref(ref: str) -> bool:
-    """True when a backticked path ref names something real."""
-    ref = ref.rstrip("/")
-    if ref.split("/")[0].startswith(GENERATED_PREFIXES):
-        return True
-    if "*" in ref:
-        return any(REPO.glob(ref))
-    return (REPO / ref).exists()
-
-
-def sections_of(doc: Path) -> set[int]:
-    text = doc.read_text(encoding="utf-8")
-    return {int(m) for m in SECTION_HEADING_RE.findall(text)}
-
-
-def check_doc(doc: Path, flags: set[str],
-              sections: dict[str, set[int]]) -> list[str]:
-    rel = doc.relative_to(REPO)
-    findings = []
-    text = doc.read_text(encoding="utf-8")
-    in_code_block = False
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        if line.lstrip().startswith("```"):
-            in_code_block = not in_code_block
-            continue
-
-        for match in FILE_REF_RE.finditer(line):
-            ref = match.group(1)
-            if ref.startswith(("http", "<")) or ref.endswith("/..."):
-                continue
-            if not resolve_path_ref(ref):
-                findings.append(
-                    f"{rel}:{lineno}: [file-ref] `{ref}` does not "
-                    "exist in the repo")
-
-        for match in FLAG_REF_RE.finditer(line):
-            flag = match.group(1)
-            if flag in EXTERNAL_FLAGS:
-                continue
-            if flag not in flags:
-                findings.append(
-                    f"{rel}:{lineno}: [flag-ref] `--{flag}` is not "
-                    "parsed by any source or script")
-
-        for match in SECTION_REF_RE.finditer(line):
-            target = match.group("doc") or doc.name
-            num = int(match.group("num"))
-            if target not in sections:
-                continue  # not a numbered doc we track
-            if num not in sections[target]:
-                findings.append(
-                    f"{rel}:{lineno}: [section-ref] {target} has no "
-                    f"section {num}")
-
-        if not in_code_block:
-            for match in MD_LINK_RE.finditer(line):
-                target = match.group(1)
-                if target.startswith(("http", "mailto:")):
-                    continue
-                resolved = (doc.parent / target).resolve()
-                if not resolved.exists():
-                    findings.append(
-                        f"{rel}:{lineno}: [md-link] broken link "
-                        f"target `{target}`")
-    return findings
-
-
-def main(argv: list[str]) -> int:
-    if len(argv) > 1:
-        print(__doc__, file=sys.stderr)
-        return 2
-    docs = doc_paths()
-    flags = known_flags()
-    sections = {doc.name: sections_of(doc) for doc in docs}
-    findings: list[str] = []
-    for doc in docs:
-        findings.extend(check_doc(doc, flags, sections))
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"check_docs: {len(findings)} finding(s)",
-              file=sys.stderr)
-        return 1
-    print(f"check_docs: OK ({len(docs)} docs, {len(flags)} known "
-          "flags)")
-    return 0
-
+from domlint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(["--rules", "docs"] + sys.argv[1:]))

@@ -1,0 +1,23 @@
+"""domlint -- the unified static-analysis engine of the Domino repo.
+
+One rule registry behind one CLI subsumes what used to be three
+disconnected scripts (check_conventions.py, check_docs.py, and the
+ad-hoc glue around .clang-tidy): repo-convention rules, documentation
+cross-reference rules, and cross-file semantic rules that guard the
+byte-identical determinism contract (ordered-output, audit-coverage,
+layering, record-layout).
+
+Run it as a directory program:
+
+    python3 scripts/domlint                  # all rules, repo root
+    python3 scripts/domlint --rules docs     # one rule group
+    python3 scripts/domlint --list-rules     # the catalogue
+    python3 scripts/domlint --list-waivers   # every waiver + reason
+
+Uses nothing but the standard library (the container ships no Python
+packages).  Policy and the rule catalogue: docs/STATIC_ANALYSIS.md.
+Self-tests: scripts/domlint/selftest.py over tests/lint_fixtures/
+(registered with CTest as `lint_domlint`).
+"""
+
+__version__ = "1.0"

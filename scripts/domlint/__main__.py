@@ -1,0 +1,14 @@
+"""Directory/module entry point: `python3 scripts/domlint ...`."""
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # Executed as a directory program: put scripts/ on the path so
+    # the package imports resolve.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from domlint.cli import main
+else:
+    from .cli import main
+
+sys.exit(main())

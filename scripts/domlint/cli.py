@@ -1,0 +1,92 @@
+"""The domlint command line.
+
+    python3 scripts/domlint [--root DIR] [--rules SPEC]
+                            [--list-rules] [--list-waivers]
+
+Exit status: 0 clean, 1 findings, 2 usage error (the same contract
+the old check_conventions.py / check_docs.py had, so CI wiring and
+shims keep working).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import engine
+
+#: scripts/domlint/cli.py -> repo root.
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="domlint",
+        description="Unified static-analysis engine of the Domino "
+                    "repo (rule catalogue: docs/STATIC_ANALYSIS.md)")
+    p.add_argument(
+        "--root", type=Path, default=DEFAULT_ROOT,
+        help="tree to analyse (default: the repo root; fixture "
+             "trees under tests/lint_fixtures use this)")
+    p.add_argument(
+        "--rules", default="all", metavar="SPEC",
+        help="comma-separated rule or group names (groups: "
+             "conventions, semantic, docs [alias doc-drift], all)")
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    p.add_argument(
+        "--list-waivers", action="store_true",
+        help="print every allow-file waiver in the tree and exit")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    engine.load_all_rules()
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as e:
+        # argparse exits 2 on usage errors already; normalise 0 for
+        # --help into a plain return so shims can wrap us.
+        return int(e.code or 0)
+
+    if args.list_rules:
+        for r in engine.RULES.values():
+            print(f"{r.name:16s} [{r.group}] {r.description}")
+        return 0
+
+    if not args.root.is_dir():
+        print(f"domlint: no such tree root: {args.root}",
+              file=sys.stderr)
+        return 2
+
+    tree = engine.Tree(args.root)
+
+    if args.list_waivers:
+        waivers = tree.all_waivers()
+        for w in waivers:
+            print(f"{w.path}:{w.line}: [{w.rule}] {w.reason}")
+        print(f"domlint: {len(waivers)} waiver(s)", file=sys.stderr)
+        return 0
+
+    try:
+        rules = engine.select_rules(args.rules)
+    except ValueError as e:
+        print(f"domlint: {e}", file=sys.stderr)
+        return 2
+
+    findings = engine.run(tree, rules)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"domlint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"domlint: OK ({len(rules)} rules, "
+          f"{len(tree.cxx_files())} C++ files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

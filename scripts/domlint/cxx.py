@@ -1,0 +1,110 @@
+"""C++ source text model for domlint rules.
+
+Rules never see raw file text directly: they work on comment- and
+string-stripped lines so that `return "new rule";` or a commented
+example cannot trip a lint.  The stripping is deliberately lexical
+(no preprocessor, no parsing) -- the same best-effort contract the
+old check_conventions.py had -- but it is computed once per file and
+shared by every rule.
+"""
+
+from __future__ import annotations
+
+import re
+
+
+def strip_line(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Strip one physical line.
+
+    Returns the stripped line and the block-comment state carried
+    into the next line.  String and char literals are replaced by
+    empty literals, `//` comments are dropped, `/* ... */` runs are
+    blanked (multi-line runs via the carried state).
+    """
+    if in_block_comment:
+        end = line.find("*/")
+        if end < 0:
+            return "", True
+        line = line[end + 2:]
+    # Drop complete /* ... */ runs, then note a trailing opener.
+    line = re.sub(r"/\*.*?\*/", " ", line)
+    start = line.find("/*")
+    trailing_open = start >= 0
+    if trailing_open:
+        line = line[:start]
+
+    out: list[str] = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            out.append('""' if quote == '"' else "''")
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out), trailing_open
+
+
+def strip_text(text: str) -> list[str]:
+    """Stripped lines of a whole file (1-based indexing offsets)."""
+    stripped: list[str] = []
+    in_block = False
+    for raw in text.splitlines():
+        line, in_block = strip_line(raw, in_block)
+        stripped.append(line)
+    return stripped
+
+
+def balanced_angle_end(text: str, start: int) -> int:
+    """Index one past the `>` matching the `<` at @p start.
+
+    Used to skip template argument lists when scanning declarations.
+    Returns -1 when the brackets never balance (truncated text).
+    """
+    depth = 0
+    i = start
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            # A declaration never carries these inside its template
+            # argument list; bail out instead of scanning the file.
+            return -1
+        i += 1
+    return -1
+
+
+def body_extent(text: str, open_brace: int) -> int:
+    """Index one past the `}` matching the `{` at @p open_brace.
+
+    Operates on stripped text (no string/comment hazards).
+    Returns -1 when braces never balance.
+    """
+    depth = 0
+    for i in range(open_brace, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def line_of_offset(text: str, offset: int) -> int:
+    """1-based line number of a character offset into @p text."""
+    return text.count("\n", 0, offset) + 1

@@ -1,0 +1,241 @@
+"""Rule registry, finding/waiver model, and the Tree file corpus.
+
+A rule is a named check over a Tree (a rooted file corpus).  Rules
+register themselves with the @rule decorator and are selected by
+name or by group on the CLI (`--rules ordered-output,docs`).  The
+engine owns the cross-cutting mechanics every rule shares:
+
+  - file discovery and text caching (each file is read once),
+  - comment/string stripping for C++ sources (cxx.py),
+  - waivers: `// conventions: allow-file(<rule>) -- <reason>`
+    suppresses one rule for one file, and must carry a reason.
+    A waiver naming an unknown rule is itself a finding (a typo'd
+    waiver must not silently disable nothing).
+
+Exit-status contract (cli.py): 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+from typing import Callable, Iterable
+
+from . import cxx
+
+#: Directories scanned for C++ sources, relative to the tree root.
+CXX_DIRS = ("src", "bench", "tests", "examples", "fuzz")
+CXX_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
+
+#: Path fragment naming the lint fixture trees: known-bad snippets
+#: live there on purpose, so real-tree scans must skip them (the
+#: self-test scans them with explicit --root instead).
+FIXTURE_DIR = "lint_fixtures"
+
+WAIVER_RE = re.compile(
+    r"conventions:\s*allow-file\((?P<rule>[a-z-]+)\)\s*--\s*"
+    r"(?P<reason>\S.*)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location (line 0 = whole file)."""
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Waiver:
+    """One allow-file marker: where, which rule, and why."""
+    path: str
+    line: int
+    rule: str
+    reason: str
+
+
+class SourceFile:
+    """One file of the corpus, with lazily computed views."""
+
+    def __init__(self, root: Path, path: Path):
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self._text: str | None = None
+        self._stripped: list[str] | None = None
+        self._waivers: list[Waiver] | None = None
+
+    @property
+    def text(self) -> str:
+        if self._text is None:
+            self._text = self.path.read_text(encoding="utf-8",
+                                             errors="replace")
+        return self._text
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+    @property
+    def stripped_lines(self) -> list[str]:
+        """Comment/string-stripped lines (C++ lexical rules)."""
+        if self._stripped is None:
+            self._stripped = cxx.strip_text(self.text)
+        return self._stripped
+
+    @property
+    def stripped_text(self) -> str:
+        return "\n".join(self.stripped_lines)
+
+    @property
+    def waivers(self) -> list[Waiver]:
+        if self._waivers is None:
+            self._waivers = [
+                Waiver(self.rel, lineno, m.group("rule"),
+                       m.group("reason").strip())
+                for lineno, raw in enumerate(self.lines, start=1)
+                for m in [WAIVER_RE.search(raw)] if m
+            ]
+        return self._waivers
+
+    def waived(self, rule_name: str) -> bool:
+        return any(w.rule == rule_name for w in self.waivers)
+
+
+class Tree:
+    """A rooted file corpus (the repo, or a fixture tree)."""
+
+    def __init__(self, root: Path):
+        self.root = root.resolve()
+        #: Scratch space for cross-rule memoisation (e.g. the
+        #: harvested CLI-flag vocabulary of the docs rules).
+        self.cache: dict[str, object] = {}
+        self._files: dict[str, SourceFile] = {}
+
+    def _get(self, path: Path) -> SourceFile:
+        rel = path.relative_to(self.root).as_posix()
+        if rel not in self._files:
+            self._files[rel] = SourceFile(self.root, path)
+        return self._files[rel]
+
+    def _walk(self, tops: Iterable[str],
+              suffixes: set[str]) -> list[SourceFile]:
+        out: list[SourceFile] = []
+        for top in tops:
+            base = self.root / top
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix not in suffixes:
+                    continue
+                # Root-relative, so a fixture tree can itself be
+                # scanned with --root tests/lint_fixtures/<rule>/bad.
+                if FIXTURE_DIR in path.relative_to(self.root).parts:
+                    continue
+                out.append(self._get(path))
+        return out
+
+    def cxx_files(self) -> list[SourceFile]:
+        return self._walk(CXX_DIRS, CXX_SUFFIXES)
+
+    def file(self, rel: str) -> SourceFile | None:
+        """The file at tree-relative @p rel, or None."""
+        path = self.root / rel
+        return self._get(path) if path.is_file() else None
+
+    def all_waivers(self) -> list[Waiver]:
+        waivers: list[Waiver] = []
+        for f in self.cxx_files():
+            waivers.extend(f.waivers)
+        return waivers
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    name: str
+    group: str
+    description: str
+    check: Callable[[Tree], list[Finding]]
+
+
+#: name -> Rule, in registration order (dicts preserve it).
+RULES: dict[str, Rule] = {}
+
+#: Selectable group aliases; `doc-drift` is the ISSUE-facing name of
+#: the ported docs cross-reference family.
+GROUP_ALIASES = {"doc-drift": "docs"}
+
+
+def rule(name: str, group: str,
+         description: str) -> Callable[[Callable], Callable]:
+    """Register a rule function: check(tree) -> list[Finding]."""
+    def wrap(fn: Callable[[Tree], list[Finding]]) -> Callable:
+        if name in RULES:
+            raise ValueError(f"duplicate rule name: {name}")
+        RULES[name] = Rule(name, group, description, fn)
+        return fn
+    return wrap
+
+
+def select_rules(spec: str | None) -> list[Rule]:
+    """Resolve a --rules spec (names and group names, commas).
+
+    None or "all" selects everything.  Raises ValueError on an
+    unknown token.
+    """
+    if not spec or spec == "all":
+        return list(RULES.values())
+    chosen: dict[str, Rule] = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        group = GROUP_ALIASES.get(token, token)
+        members = [r for r in RULES.values() if r.group == group]
+        if token in RULES:
+            chosen[token] = RULES[token]
+        elif members:
+            chosen.update({r.name: r for r in members})
+        else:
+            raise ValueError(f"unknown rule or group: {token!r}")
+    return list(chosen.values())
+
+
+def run(tree: Tree, rules: Iterable[Rule]) -> list[Finding]:
+    """Run @p rules over @p tree; waivers already applied by rules
+    via `report`, plus the engine-level unknown-waiver check."""
+    findings: list[Finding] = []
+    for r in rules:
+        findings.extend(r.check(tree))
+    findings.extend(_check_waiver_targets(tree))
+    return findings
+
+
+def _check_waiver_targets(tree: Tree) -> list[Finding]:
+    """A waiver must name a registered rule (typos disable nothing,
+    so they must be loud)."""
+    return [
+        Finding(w.path, w.line, "unknown-waiver",
+                f"waiver names unknown rule '{w.rule}' (known: "
+                + ", ".join(sorted(RULES)) + ")")
+        for w in tree.all_waivers() if w.rule not in RULES
+    ]
+
+
+def report(findings: list[Finding], f: SourceFile, line: int,
+           rule_name: str, message: str) -> None:
+    """Append a finding unless @p f waives @p rule_name."""
+    if not f.waived(rule_name):
+        findings.append(Finding(f.rel, line, rule_name, message))
+
+
+def load_all_rules() -> None:
+    """Import every rule module (registration side effect)."""
+    from . import rules_conventions  # noqa: F401
+    from . import rules_semantic  # noqa: F401
+    from . import rules_docs  # noqa: F401

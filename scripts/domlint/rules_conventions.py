@@ -1,0 +1,198 @@
+"""Repo-convention rules (the former check_conventions.py).
+
+Each rule guards a convention clang-tidy cannot express; the what
+and the why live in the rule descriptions and, at more length, in
+docs/STATIC_ANALYSIS.md.  All rules are waivable per file with a
+justified marker:
+
+    // conventions: allow-file(<rule>) -- <reason>
+"""
+
+from __future__ import annotations
+
+import re
+
+from .engine import Finding, SourceFile, Tree, report, rule
+
+# `new` / `delete` as allocation expressions.  Placement variants and
+# `delete []` are matched deliberately: none should appear outside
+# the waived files either.
+RAW_NEW_RE = re.compile(
+    r"\bnew\s+[A-Za-z_:<]|\bdelete\b\s*(\[\s*\]\s*)?[A-Za-z_(]")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+
+# Note: `Prng name;` (default construction) is a *compile* error --
+# Prng deliberately has no default seed -- so the lint only needs to
+# catch explicit no-seed spellings and banned randomness sources.
+UNSEEDED_RES = [
+    (re.compile(r"\bPrng\s*\(\s*\)"), "Prng() without a seed"),
+    (re.compile(r"\bPrng\s+\w+\s*\{\s*\}"), "Prng{} without a seed"),
+    (re.compile(r"\bstd::mt19937"), "std::mt19937 is banned (bulky "
+     "state, easy to misseed); use domino::Prng"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device is "
+     "nondeterministic; experiments must replay from a seed"),
+    (re.compile(r"(?<![\w:.])s?rand\s*\(\s*\)"), "C rand()/srand() is "
+     "banned; use domino::Prng"),
+]
+
+# Additive arithmetic inside a Prng constructor expression.
+# `Prng(seed + core)` gives nearby cores correlated streams and
+# silently collides when the grid is re-shaped; positional seeds go
+# through deriveCellSeed / deriveCoreSeed (or mix64), whose avalanche
+# decorrelates the inputs.  XOR-with-salt (`seed ^ 0xe17`) is the
+# accepted idiom for *distinguishing* streams and stays legal.
+DERIVED_SEED_RE = re.compile(
+    r"\bPrng\s*(?:\w+\s*)?[({][^)}]*[-+][^)}]*[)}]")
+DERIVED_SEED_OK_RE = re.compile(
+    r"\b(mix64|deriveCellSeed|deriveCoreSeed)\s*\(")
+
+BARE_ASSERT_RES = [
+    (re.compile(r"#\s*include\s*<cassert>"), "<cassert> include"),
+    (re.compile(r"#\s*include\s*<assert\.h>"), "<assert.h> include"),
+    (re.compile(r"(?<!static_)(?<!_)\bassert\s*\("), "assert() call"),
+]
+
+# Hot-path cache structures where set/row indexing must be a mask,
+# never a modulo or divide (the geometries are power-of-two by
+# construction; see SetAssocCache and EnhancedIndexTable).
+HOT_SET_INDEX_FILES = {
+    "src/mem/cache.h",
+    "src/mem/cache.cc",
+    "src/domino/eit.h",
+    "src/domino/eit.cc",
+    "src/mem/prefetch_buffer.h",
+}
+HOT_SET_INDEX_RES = [
+    (re.compile(r"\bmix64\s*\([^)]*\)\s*[%/]"),
+     "mix64(...) folded with %//"),
+    (re.compile(r"[%/]\s*(sets|rows|nSets|rowCount)\b"),
+     "set/row count used as a divisor"),
+]
+
+#: (source file, required static_assert substring) pairs pinning the
+#: on-disk contracts of docs/TRACE_FORMAT.md in code.  Every file
+#: that reads or writes packed DOMTRACE/DOMIMAGE bytes is listed;
+#: only files present in the tree are checked (fixture trees carry a
+#: subset).
+RECORD_LAYOUT_ASSERTS = [
+    ("src/trace/trace_io.cc", "traceHeaderBytes == 20"),
+    ("src/trace/trace_io.cc", "traceRecordBytes == 17"),
+    ("src/trace/replay_spill.cc", "imageHeaderBytes == 24"),
+    ("src/trace/replay_spill.cc", "imageSectionEntryBytes == 32"),
+    ("src/trace/replay_spill.cc", "imageSectionCount == 4"),
+    # streaming_source.cc rereads packed DOMTRACE records with its
+    # own memcpy offsets, so it pins the record layout too.
+    ("src/trace/streaming_source.cc", "traceHeaderBytes == 20"),
+    ("src/trace/streaming_source.cc", "traceRecordBytes == 17"),
+]
+
+
+@rule("raw-new", "conventions",
+      "no raw new/delete in C++ sources; containers and "
+      "std::make_unique own everything")
+def check_raw_new(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in tree.cxx_files():
+        for lineno, code in enumerate(f.stripped_lines, start=1):
+            if RAW_NEW_RE.search(code) and \
+                    not DELETED_FN_RE.search(code):
+                report(findings, f, lineno, "raw-new",
+                       "raw new/delete (use containers or "
+                       "make_unique); offending line: "
+                       + f.lines[lineno - 1].strip())
+    return findings
+
+
+@rule("unseeded-prng", "conventions",
+      "no unseeded PRNGs and no banned randomness sources "
+      "(std::mt19937, std::random_device, rand()); every experiment "
+      "replays bit-for-bit from an explicit 64-bit seed")
+def check_unseeded_prng(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in tree.cxx_files():
+        for lineno, code in enumerate(f.stripped_lines, start=1):
+            for pattern, message in UNSEEDED_RES:
+                if pattern.search(code):
+                    report(findings, f, lineno, "unseeded-prng",
+                           message)
+    return findings
+
+
+@rule("derived-seed", "conventions",
+      "no additive seed arithmetic inside a Prng constructor; "
+      "derive positional seeds with deriveCellSeed/deriveCoreSeed "
+      "or mix64")
+def check_derived_seed(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in tree.cxx_files():
+        for lineno, code in enumerate(f.stripped_lines, start=1):
+            if DERIVED_SEED_RE.search(code) and \
+                    not DERIVED_SEED_OK_RE.search(code):
+                report(findings, f, lineno, "derived-seed",
+                       "additive seed arithmetic inside a Prng "
+                       "constructor (correlated/colliding streams); "
+                       "derive the seed with deriveCellSeed/"
+                       "deriveCoreSeed or mix64; offending line: "
+                       + f.lines[lineno - 1].strip())
+    return findings
+
+
+@rule("bare-assert", "conventions",
+      "no <cassert>/assert() in src/; invariants use CHECK/DCHECK "
+      "(src/common/check.h) so they print values and participate in "
+      "DOMINO_CHECKS builds")
+def check_bare_assert(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in tree.cxx_files():
+        if not f.rel.startswith("src/"):
+            continue
+        for lineno, code in enumerate(f.stripped_lines, start=1):
+            for pattern, message in BARE_ASSERT_RES:
+                if pattern.search(code):
+                    report(findings, f, lineno, "bare-assert",
+                           message + " (use CHECK/DCHECK from "
+                           "common/check.h)")
+    return findings
+
+
+@rule("hot-set-index", "conventions",
+      "no % or / set/row-index arithmetic in the hot-path cache "
+      "structures; power-of-two geometries index with a mask")
+def check_hot_set_index(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in tree.cxx_files():
+        if f.rel not in HOT_SET_INDEX_FILES:
+            continue
+        for lineno, code in enumerate(f.stripped_lines, start=1):
+            for pattern, message in HOT_SET_INDEX_RES:
+                if pattern.search(code):
+                    report(findings, f, lineno, "hot-set-index",
+                           message + " on a hot-path cache "
+                           "structure (index with a power-of-two "
+                           "mask; see the set-index conventions); "
+                           "offending line: "
+                           + f.lines[lineno - 1].strip())
+    return findings
+
+
+@rule("record-layout", "conventions",
+      "files that read/write packed DOMTRACE/DOMIMAGE bytes must "
+      "static_assert the on-disk sizes against docs/TRACE_FORMAT.md")
+def check_record_layout(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    joined: dict[str, str] = {}
+    files: dict[str, SourceFile] = {}
+    for rel, required in RECORD_LAYOUT_ASSERTS:
+        if rel not in joined:
+            f = tree.file(rel)
+            if f is None:
+                continue  # fixture trees carry a subset
+            files[rel] = f
+            asserts = re.findall(r"static_assert\s*\(([^;]*?)\)\s*;",
+                                 f.text, re.DOTALL)
+            joined[rel] = " ".join(asserts)
+        if rel in joined and required not in joined[rel]:
+            report(findings, files[rel], 0, "record-layout",
+                   f"missing static_assert({required}) tying the "
+                   "layout to docs/TRACE_FORMAT.md")
+    return findings

@@ -1,0 +1,217 @@
+"""Documentation cross-reference rules (the former check_docs.py).
+
+The docs name files, CLI flags, and each other's sections; all three
+decay silently as the code moves.  These rules re-derive every such
+reference against the tree.  Selectable individually or as the
+`docs` group (alias: `doc-drift`).
+
+  file-ref      every `path/like.this` written in backticks in the
+                tracked docs must exist in the repo (directory and
+                glob refs resolve too).
+  flag-ref      every `--flag` a doc mentions must appear in a C++
+                source or script (the flag vocabulary is grep-able:
+                args.get*("flag"), add_argument("--flag")).
+  section-ref   every "DESIGN.md §N" / "see §N" style pointer into a
+                numbered doc must name a section that exists there
+                (sections are `## N. Title` headings).
+  md-link       every relative markdown link target `[x](path)` must
+                exist.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .engine import FIXTURE_DIR, Finding, SourceFile, Tree, rule
+
+#: Docs whose references are checked (plus docs/*.md).
+DOC_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CONTRIBUTING.md",
+    "PAPER.md",
+]
+
+#: Backticked tokens that look like repo paths: at least one `/` and
+#: a sane path alphabet.  `<...>` placeholders and URLs are skipped.
+FILE_REF_RE = re.compile(r"`([A-Za-z0-9_.][A-Za-z0-9_./*-]*/"
+                         r"[A-Za-z0-9_./*-]*)`")
+
+#: `--flag` mentions in docs (value suffixes like `--n 120000` are
+#: split off by the word boundary).
+FLAG_REF_RE = re.compile(r"`--([a-z][a-z0-9-]*)")
+
+#: Cross-doc section pointers: "DESIGN.md §7" or "(§7)" /
+#: "see §7" (the latter resolve against the doc they appear in).
+SECTION_REF_RE = re.compile(
+    r"(?:(?P<doc>[A-Z_]+\.md)\s*)?§\s*(?P<num>\d+)")
+
+#: Relative markdown link targets.
+MD_LINK_RE = re.compile(r"\]\(([^)#`\s]+)(?:#[^)\s]*)?\)")
+
+#: Numbered `## N. Title` headings.
+SECTION_HEADING_RE = re.compile(r"^##\s+(\d+)\.", re.MULTILINE)
+
+#: Where CLI flags are defined: C++ args lookups, python argparse,
+#: and (last resort) any quoted "--flag" literal in a source.
+FLAG_DEF_RES = [
+    re.compile(r'args\.(?:get|getU64|getDouble|getBool|has)\s*\(\s*"'
+               r'([a-z][a-z0-9-]*)"'),
+    re.compile(r'add_argument\(\s*"--([a-z][a-z0-9-]*)"'),
+    re.compile(r'"--([a-z][a-z0-9-]*)"'),
+]
+
+#: Flags documented but owned by external tools (cmake, ctest, git,
+#: compilers, libFuzzer); not expected in repo sources.
+EXTERNAL_FLAGS = {
+    "build", "parallel", "output-on-failure", "target", "config",
+    "branch", "version", "dry-run",
+    "max_total_time", "runs", "timeout", "print_final_stats",
+    "artifact_prefix",
+}
+
+#: First path segments that name generated trees: present after a
+#: build / a run, never in a fresh checkout, so not checkable.
+GENERATED_PREFIXES = ("build", ".domino-spill", ".fuzz-grown")
+
+
+def doc_files(tree: Tree) -> list[SourceFile]:
+    files = [tree.file(name) for name in DOC_FILES]
+    docs_dir = tree.root / "docs"
+    if docs_dir.is_dir():
+        files.extend(tree.file(p.relative_to(tree.root).as_posix())
+                     for p in sorted(docs_dir.glob("*.md")))
+    return [f for f in files if f is not None]
+
+
+def known_flags(tree: Tree) -> set[str]:
+    if "known_flags" in tree.cache:
+        return tree.cache["known_flags"]  # type: ignore[return-value]
+    flags: set[str] = set()
+    roots = ["src", "bench", "tests", "scripts", "examples", "fuzz"]
+    for top in roots:
+        base = tree.root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in {".cc", ".h", ".py", ".sh"}:
+                continue
+            if FIXTURE_DIR in path.relative_to(tree.root).parts:
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            for pattern in FLAG_DEF_RES:
+                flags.update(pattern.findall(text))
+    tree.cache["known_flags"] = flags
+    return flags
+
+
+def sections_by_doc(tree: Tree) -> dict[str, set[int]]:
+    if "doc_sections" in tree.cache:
+        return tree.cache["doc_sections"]  # type: ignore
+    sections = {
+        f.path.name: {int(n)
+                      for n in SECTION_HEADING_RE.findall(f.text)}
+        for f in doc_files(tree)
+    }
+    tree.cache["doc_sections"] = sections
+    return sections
+
+
+def _doc_lines(f: SourceFile):
+    """(lineno, line, in_code_block) triples of a markdown doc."""
+    in_code_block = False
+    for lineno, line in enumerate(f.lines, start=1):
+        if line.lstrip().startswith("```"):
+            in_code_block = not in_code_block
+            continue
+        yield lineno, line, in_code_block
+
+
+def _resolve_path_ref(tree: Tree, ref: str) -> bool:
+    ref = ref.rstrip("/")
+    if ref.split("/")[0].startswith(GENERATED_PREFIXES):
+        return True
+    if "*" in ref:
+        return any(tree.root.glob(ref))
+    return (tree.root / ref).exists()
+
+
+@rule("file-ref", "docs",
+      "every backticked path in the tracked docs must exist in the "
+      "repo (directory and glob refs resolve too)")
+def check_file_refs(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in doc_files(tree):
+        for lineno, line, _ in _doc_lines(f):
+            for match in FILE_REF_RE.finditer(line):
+                ref = match.group(1)
+                if ref.startswith(("http", "<")) or \
+                        ref.endswith("/..."):
+                    continue
+                if not _resolve_path_ref(tree, ref):
+                    findings.append(Finding(
+                        f.rel, lineno, "file-ref",
+                        f"`{ref}` does not exist in the repo"))
+    return findings
+
+
+@rule("flag-ref", "docs",
+      "every `--flag` a doc mentions must be parsed by a C++ source "
+      "or script")
+def check_flag_refs(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    flags = known_flags(tree)
+    for f in doc_files(tree):
+        for lineno, line, _ in _doc_lines(f):
+            for match in FLAG_REF_RE.finditer(line):
+                flag = match.group(1)
+                if flag in EXTERNAL_FLAGS or flag in flags:
+                    continue
+                findings.append(Finding(
+                    f.rel, lineno, "flag-ref",
+                    f"`--{flag}` is not parsed by any source or "
+                    "script"))
+    return findings
+
+
+@rule("section-ref", "docs",
+      "every 'DESIGN.md §N' style pointer must name a section that "
+      "exists in the target doc")
+def check_section_refs(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    sections = sections_by_doc(tree)
+    for f in doc_files(tree):
+        for lineno, line, _ in _doc_lines(f):
+            for match in SECTION_REF_RE.finditer(line):
+                target = match.group("doc") or f.path.name
+                num = int(match.group("num"))
+                if target not in sections:
+                    continue  # not a numbered doc we track
+                if num not in sections[target]:
+                    findings.append(Finding(
+                        f.rel, lineno, "section-ref",
+                        f"{target} has no section {num}"))
+    return findings
+
+
+@rule("md-link", "docs",
+      "every relative markdown link target must exist")
+def check_md_links(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in doc_files(tree):
+        for lineno, line, in_code_block in _doc_lines(f):
+            if in_code_block:
+                continue
+            for match in MD_LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http", "mailto:")):
+                    continue
+                resolved = (Path(f.path).parent / target).resolve()
+                if not resolved.exists():
+                    findings.append(Finding(
+                        f.rel, lineno, "md-link",
+                        f"broken link target `{target}`"))
+    return findings

@@ -1,0 +1,240 @@
+"""Cross-file semantic rules guarding the determinism contract.
+
+These go beyond the line-local conventions: they reason about
+declarations, class bodies, and the include graph.
+
+  ordered-output   iteration over an unordered container is banned
+                   in the output-feeding layers (src/, bench/,
+                   examples/): iteration order is unspecified, and
+                   one stray range-for over an unordered_map turns a
+                   byte-identical CSV/JSON/trace contract into a
+                   hash-seed lottery.  Sort into a vector first, or
+                   waive with a justification (markov.cc does: its
+                   bounded-table victim is deliberately
+                   iteration-order dependent and committed output).
+  audit-coverage   every stateful class in src/ headers (a `class`
+                   with a container data member) must declare a
+                   structural audit() / checkInvariants(), or carry
+                   a justified waiver.  The audits are the runtime
+                   half of the correctness layer (sampled mid-run in
+                   DOMINO_CHECKS builds); a stateful class without
+                   one is invisible to it.
+  layering         the module DAG of DESIGN.md section 5 (mirrored
+                   by the CMake link graph) enforced over #include
+                   lines: common at the bottom; mem, sequitur,
+                   prefetch, trace, runner above it; domino over
+                   prefetch; sim over mem+trace+prefetch; multicore
+                   over sim; analysis on top.  bench/tests/examples/
+                   fuzz may include anything.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import cxx
+from .engine import Finding, SourceFile, Tree, report, rule
+
+# --------------------------------------------------------------- #
+# ordered-output
+
+UNORDERED_TYPE_RE = re.compile(r"\bstd::unordered_(?:map|set)\s*<")
+UNORDERED_ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*std::unordered_(?:map|set)\s*<")
+
+#: Layers whose files feed committed output (figure CSV/JSON rows,
+#: trace bytes, report tables).  tests/ are exempt: they assert, not
+#: emit.
+ORDERED_OUTPUT_DIRS = ("src/", "bench/", "examples/")
+
+
+def _unordered_names(stripped_text: str) -> set[str]:
+    """Names of variables/members declared with an unordered
+    container type (or an alias of one) in @p stripped_text."""
+    aliases = set(UNORDERED_ALIAS_RE.findall(stripped_text))
+    names: set[str] = set()
+
+    starts = [m.start() for m in
+              UNORDERED_TYPE_RE.finditer(stripped_text)]
+    for alias in aliases:
+        starts.extend(
+            m.start() for m in
+            re.finditer(r"\b" + alias + r"\b", stripped_text))
+    for start in starts:
+        lt = stripped_text.find("<", start)
+        semi = stripped_text.find(";", start)
+        if lt >= 0 and (semi < 0 or lt < semi):
+            end = cxx.balanced_angle_end(stripped_text, lt)
+            if end < 0:
+                continue
+        else:
+            # Alias used without template args (fully bound alias).
+            end = start + len(
+                re.match(r"\w+|\S*", stripped_text[start:]).group())
+        m = re.match(r"[\s&]*(\w+)\s*([;,)={[])",
+                     stripped_text[end:end + 160])
+        if m and m.group(1) not in aliases:
+            names.add(m.group(1))
+    return names
+
+
+def _paired_header(tree: Tree, f: SourceFile) -> SourceFile | None:
+    """The x.h next to an x.cc/x.cpp (member declarations live
+    there; iteration usually in the .cc)."""
+    if f.path.suffix not in (".cc", ".cpp"):
+        return None
+    return tree.file(
+        f.path.with_suffix(".h").relative_to(tree.root).as_posix())
+
+
+@rule("ordered-output", "semantic",
+      "no iteration over unordered containers in the output-feeding "
+      "layers (src/, bench/, examples/); unspecified iteration "
+      "order breaks the byte-identical output contract")
+def check_ordered_output(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in tree.cxx_files():
+        if not f.rel.startswith(ORDERED_OUTPUT_DIRS):
+            continue
+        names = _unordered_names(f.stripped_text)
+        header = _paired_header(tree, f)
+        if header is not None:
+            names |= _unordered_names(header.stripped_text)
+        if not names:
+            continue
+        alt = "|".join(sorted(re.escape(n) for n in names))
+        range_for = re.compile(
+            r"for\s*\([^;]*:\s*(?:this->)?(" + alt + r")\s*\)")
+        begin_call = re.compile(
+            r"(?<![\w.>])(" + alt + r")\s*\.\s*c?r?begin\s*\(")
+        for lineno, code in enumerate(f.stripped_lines, start=1):
+            m = range_for.search(code) or begin_call.search(code)
+            if m:
+                report(findings, f, lineno, "ordered-output",
+                       f"iteration over unordered container "
+                       f"'{m.group(1)}' on an output-feeding path "
+                       "(iteration order is unspecified; sort into "
+                       "a vector first, or waive with a "
+                       "justification); offending line: "
+                       + f.lines[lineno - 1].strip())
+    return findings
+
+
+# --------------------------------------------------------------- #
+# audit-coverage
+
+CLASS_DEF_RE = re.compile(
+    r"\bclass\s+([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^;{]*)?\{")
+
+#: A data member whose type owns bulk mutable state.  Matches the
+#: member name after the closing `>` so member *functions* returning
+#: containers (name followed by `(`) do not count.
+CONTAINER_MEMBER_RE = re.compile(
+    r"\b(?:std::(?:vector|deque|map|set|unordered_map|unordered_set"
+    r"|list)|FlatHashMap|LruSet)\s*<[^;{}()]*>\s*"
+    r"(\w+)\s*(?:\{[^;{}]*\})?\s*(?:=[^;]*)?;")
+
+AUDIT_DECL_RE = re.compile(r"\b(?:audit|checkInvariants)\s*\(")
+
+
+@rule("audit-coverage", "semantic",
+      "every stateful class in src/ headers (a class with a "
+      "container data member) must declare audit() or "
+      "checkInvariants(), or carry a justified waiver")
+def check_audit_coverage(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in tree.cxx_files():
+        if not (f.rel.startswith("src/") and
+                f.path.suffix in (".h", ".hpp")):
+            continue
+        text = f.stripped_text
+        for m in CLASS_DEF_RE.finditer(text):
+            name = m.group(1)
+            open_brace = text.index("{", m.start())
+            end = cxx.body_extent(text, open_brace)
+            if end < 0:
+                continue
+            body = text[open_brace:end]
+            member = None
+            for mm in CONTAINER_MEMBER_RE.finditer(body):
+                decl_line_start = body.rfind("\n", 0, mm.start())
+                decl = body[decl_line_start + 1:mm.end()]
+                if "static" not in decl:
+                    member = mm.group(1)
+                    break
+            if member is None or AUDIT_DECL_RE.search(body):
+                continue
+            report(findings, f,
+                   cxx.line_of_offset(text, m.start()),
+                   "audit-coverage",
+                   f"stateful class '{name}' (container member "
+                   f"'{member}') declares no audit()/"
+                   "checkInvariants(); add a structural audit or "
+                   "waive with a justification")
+    return findings
+
+
+# --------------------------------------------------------------- #
+# layering
+
+#: module -> modules it may #include, beyond itself.  This is the
+#: DAG of DESIGN.md section 5, kept in lockstep with the
+#: target_link_libraries graph in src/*/CMakeLists.txt (the public
+#: link closure).  A new src/ module must be added here AND to
+#: DESIGN.md's module map.
+LAYERING_DAG: dict[str, set[str]] = {
+    "common": set(),
+    "trace": {"common"},
+    "mem": {"common"},
+    "prefetch": {"common"},
+    "sequitur": {"common"},
+    "runner": {"common"},
+    "workloads": {"common", "trace"},
+    "domino": {"common", "prefetch"},
+    "sim": {"common", "trace", "mem", "prefetch"},
+    "multicore": {"common", "trace", "mem", "prefetch", "sim"},
+    "analysis": {"common", "trace", "mem", "prefetch", "domino",
+                 "sequitur", "sim", "multicore"},
+}
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+@rule("layering", "semantic",
+      "src/ modules may only #include modules below them in the "
+      "DESIGN.md module DAG (common at the bottom, analysis on top)")
+def check_layering(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in tree.cxx_files():
+        parts = f.rel.split("/")
+        if len(parts) < 3 or parts[0] != "src":
+            continue
+        module = parts[1]
+        if module not in LAYERING_DAG:
+            report(findings, f, 0, "layering",
+                   f"src module '{module}' is not in the layering "
+                   "DAG; add it to DESIGN.md's module map and to "
+                   "LAYERING_DAG in scripts/domlint/"
+                   "rules_semantic.py")
+            continue
+        allowed = LAYERING_DAG[module]
+        # The include *target* is a string literal, which the
+        # stripped view blanks out; match on the raw line, but gate
+        # on the stripped one so commented-out includes stay dead.
+        for lineno, (raw, code) in enumerate(
+                zip(f.lines, f.stripped_lines), start=1):
+            if "include" not in code:
+                continue
+            m = INCLUDE_RE.search(raw)
+            if not m or "/" not in m.group(1):
+                continue
+            target = m.group(1).split("/")[0]
+            if target not in LAYERING_DAG or target == module:
+                continue
+            if target not in allowed:
+                report(findings, f, lineno, "layering",
+                       f"module '{module}' may not include "
+                       f"'{target}' (allowed: "
+                       + (", ".join(sorted(allowed)) or "none")
+                       + "; the DAG lives in DESIGN.md section 5)")
+    return findings

@@ -1,0 +1,106 @@
+"""Fixture-based self-test of the domlint rule engine.
+
+Every rule ships a pair of committed fixture trees under
+tests/lint_fixtures/<rule>/:
+
+    bad/    a minimal tree the rule MUST flag (at least one finding
+            of exactly that rule),
+    good/   a near-identical tree the rule MUST pass (zero findings
+            of any kind for that rule selection).
+
+The special `waiver/` pair exercises the engine's waiver machinery
+instead of a rule: its bad tree carries a waiver naming an unknown
+rule (which must surface as an `unknown-waiver` finding), its good
+tree carries a justified raw-new waiver that must suppress the
+finding.
+
+Run directly (`python3 scripts/domlint/selftest.py`) or through
+CTest (the `lint_domlint` test).  Exit status: 0 on success, 1 on
+any expectation failure.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from domlint import engine
+else:
+    from . import engine
+
+#: scripts/domlint/selftest.py -> repo root.
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+
+#: fixture dir -> (rules spec to run, rule expected in bad/).
+#: The waiver pair runs the raw-new rule: its bad tree must produce
+#: the engine-level unknown-waiver finding, its good tree must be
+#: silenced by a justified waiver.
+SPECIAL = {"waiver": ("raw-new", "unknown-waiver")}
+
+
+def run_tree(root: Path, spec: str) -> list[engine.Finding]:
+    tree = engine.Tree(root)
+    return engine.run(tree, engine.select_rules(spec))
+
+
+def main() -> int:
+    engine.load_all_rules()
+    failures: list[str] = []
+    pairs = sorted(p for p in FIXTURES.iterdir() if p.is_dir())
+    if not pairs:
+        print("selftest: no fixture trees found under "
+              f"{FIXTURES}", file=sys.stderr)
+        return 1
+
+    covered = set()
+    for fixture in pairs:
+        name = fixture.name
+        spec, expected = SPECIAL.get(name, (name, name))
+        covered.add(expected)
+
+        bad = run_tree(fixture / "bad", spec)
+        hits = [f for f in bad if f.rule == expected]
+        if not hits:
+            failures.append(
+                f"{name}/bad: expected at least one [{expected}] "
+                f"finding, got {[str(f) for f in bad]}")
+        strays = [f for f in bad if f.rule != expected]
+        if strays:
+            failures.append(
+                f"{name}/bad: stray findings of other rules: "
+                f"{[str(f) for f in strays]}")
+
+        good = run_tree(fixture / "good", spec)
+        if good:
+            failures.append(
+                f"{name}/good: expected a clean pass, got "
+                f"{[str(f) for f in good]}")
+
+        status = "FAIL" if any(x.startswith(name + "/")
+                               for x in failures) else "ok"
+        print(f"selftest: {name:16s} {status} "
+              f"(bad: {len(hits)} finding(s))")
+
+    # Every registered rule must have a fixture pair: a rule nobody
+    # can demonstrate is a rule nobody can trust.
+    missing = set(engine.RULES) - covered
+    if missing:
+        failures.append(
+            "rules without fixture pairs under tests/lint_fixtures: "
+            + ", ".join(sorted(missing)))
+
+    if failures:
+        print("\nselftest: FAILED", file=sys.stderr)
+        for f in failures:
+            print("  - " + f, file=sys.stderr)
+        return 1
+    print(f"selftest: OK ({len(pairs)} fixture pairs, "
+          f"{len(engine.RULES)} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
-# Static-analysis gate: clang-tidy (config in .clang-tidy) over every
-# translation unit, then the repo-convention lint and the docs
-# cross-reference lint.  Used by CI's lint job and runnable locally;
-# see docs/STATIC_ANALYSIS.md.
+# Static-analysis gate: clang-format (style drift), clang-tidy
+# (config in .clang-tidy) over every translation unit, then the
+# domlint rule engine (conventions + semantic + docs rules).  Used
+# by CI's lint job and runnable locally; see docs/STATIC_ANALYSIS.md.
 #
 # Usage: scripts/lint.sh [build-dir]
 #
@@ -10,42 +10,150 @@
 #               compile_commands.json from (default: build-lint,
 #               configured on demand).
 #
-# clang-tidy is optional at runtime (the benchmark containers ship
-# only g++): when absent, the clang-tidy phase is SKIPPED with a
-# notice and only the convention lint gates.  CI always installs
-# clang-tidy, so absence never hides findings from the gate.
-set -eu
+# Environment:
+#
+#   LINT_TIDY_MAJOR     required clang-tidy major version (default
+#                       18, the ubuntu-latest CI pin).  A found tool
+#                       of another major fails with a "version X
+#                       required, found Y" diagnostic; set it to
+#                       your local major to lint locally.
+#   LINT_FORMAT_MAJOR   same pin for clang-format (default 18).
+#
+# The clang tools are optional at runtime (the benchmark containers
+# ship only g++): when absent, their steps are SKIPPED with a notice
+# and only domlint gates.  CI always installs them at the pinned
+# major, so absence never hides findings from the gate.
+#
+# Every step runs even if an earlier one fails; the per-step exit
+# codes are collected into a final PASS/FAIL summary table and the
+# script exits non-zero if any step failed.
+set -u
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo/build-lint"}
+tidy_major=${LINT_TIDY_MAJOR:-18}
+format_major=${LINT_FORMAT_MAJOR:-18}
 
-tidy=""
-for candidate in clang-tidy clang-tidy-19 clang-tidy-18 \
-                 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
-    if command -v "$candidate" > /dev/null 2>&1; then
-        tidy=$candidate
-        break
+# Step ledger: names and statuses accumulate in parallel strings
+# (POSIX sh has no arrays).
+step_names=""
+step_stats=""
+fail=0
+
+record() { # record <name> <PASS|FAIL|SKIP>
+    step_names="$step_names $1"
+    step_stats="$step_stats $2"
+    [ "$2" = "FAIL" ] && fail=1
+    return 0
+}
+
+# find_tool <base> <major> -> prints the tool path, or nothing.
+# Prefers <base>-<major>; accepts an unsuffixed <base> only if its
+# reported major matches the pin, failing loudly otherwise.
+find_tool() {
+    base=$1
+    major=$2
+    if command -v "$base-$major" > /dev/null 2>&1; then
+        echo "$base-$major"
+        return 0
     fi
-done
+    if command -v "$base" > /dev/null 2>&1; then
+        found=$("$base" --version |
+            sed -n 's/.*version \([0-9][0-9]*\)\..*/\1/p' |
+            head -n 1)
+        if [ "$found" = "$major" ]; then
+            echo "$base"
+            return 0
+        fi
+        echo "lint.sh: ERROR: $base version $major required," \
+             "found ${found:-unknown} (set LINT_${3}_MAJOR to" \
+             "override the pin)" >&2
+        echo "MISMATCH"
+        return 0
+    fi
+    return 0
+}
 
-if [ -n "$tidy" ]; then
+# ------------------------------------------------------------------
+# Step 1: clang-format (style drift over tracked C++ sources).
+format_tool=$(find_tool clang-format "$format_major" FORMAT)
+if [ "$format_tool" = "MISMATCH" ]; then
+    record clang-format FAIL
+elif [ -n "$format_tool" ]; then
+    echo "lint.sh: running $format_tool --dry-run"
+    # shellcheck disable=SC2046 -- one path per line, no whitespace.
+    if "$format_tool" --dry-run -Werror $(
+        find "$repo/src" "$repo/bench" "$repo/tests" "$repo/examples" \
+             "$repo/fuzz" -name '*.cc' -o -name '*.cpp' -o -name '*.h' \
+            | grep -v lint_fixtures | sort); then
+        record clang-format PASS
+    else
+        record clang-format FAIL
+    fi
+else
+    echo "lint.sh: NOTICE: clang-format not found; skipping (CI" \
+         "runs it at major $format_major)"
+    record clang-format SKIP
+fi
+
+# ------------------------------------------------------------------
+# Step 2: clang-tidy over every translation unit.
+tidy_tool=$(find_tool clang-tidy "$tidy_major" TIDY)
+if [ "$tidy_tool" = "MISMATCH" ]; then
+    record clang-tidy FAIL
+elif [ -n "$tidy_tool" ]; then
     if [ ! -f "$build_dir/compile_commands.json" ]; then
         echo "lint.sh: configuring $build_dir for compile_commands"
         cmake -B "$build_dir" -S "$repo" \
             -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
     fi
-    echo "lint.sh: running $tidy over src/ bench/ tests/ examples/"
-    # shellcheck disable=SC2046 -- the file list is one per line and
-    # none of the repo's paths contain whitespace.
-    "$tidy" -p "$build_dir" --quiet $(
+    echo "lint.sh: running $tidy_tool over src/ bench/ tests/" \
+         "examples/"
+    # shellcheck disable=SC2046 -- one path per line, no whitespace.
+    # The committed known-bad trees under tests/lint_fixtures are
+    # fixtures for domlint's self-test, not real code: exclude them.
+    if "$tidy_tool" -p "$build_dir" --quiet $(
         find "$repo/src" "$repo/bench" "$repo/tests" "$repo/examples" \
-            -name '*.cc' -o -name '*.cpp' | sort)
-    echo "lint.sh: clang-tidy clean"
+            -name '*.cc' -o -name '*.cpp' | grep -v lint_fixtures |
+            sort); then
+        record clang-tidy PASS
+    else
+        record clang-tidy FAIL
+    fi
 else
-    echo "lint.sh: NOTICE: clang-tidy not found; skipping the" \
-         "static-analysis phase (CI runs it)"
+    echo "lint.sh: NOTICE: clang-tidy not found; skipping (CI runs" \
+         "it at major $tidy_major)"
+    record clang-tidy SKIP
 fi
 
-python3 "$repo/scripts/check_conventions.py"
-python3 "$repo/scripts/check_docs.py"
+# ------------------------------------------------------------------
+# Step 3: the domlint rule engine, self-test first (the fixtures
+# prove every rule still catches its known-bad tree), then the real
+# tree with all rule groups.
+if python3 "$repo/scripts/domlint/selftest.py"; then
+    record domlint-selftest PASS
+else
+    record domlint-selftest FAIL
+fi
+if python3 "$repo/scripts/domlint"; then
+    record domlint PASS
+else
+    record domlint FAIL
+fi
+
+# ------------------------------------------------------------------
+# Summary table.
+echo
+echo "lint.sh: summary"
+echo "  ----------------------------"
+set -- $step_names
+for status in $step_stats; do
+    printf '  %-18s %s\n' "$1" "$status"
+    shift
+done
+echo "  ----------------------------"
+if [ "$fail" -ne 0 ]; then
+    echo "lint.sh: FAILED"
+    exit 1
+fi
 echo "lint.sh: OK"

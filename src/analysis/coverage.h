@@ -22,6 +22,10 @@
 #ifndef DOMINO_ANALYSIS_COVERAGE_H
 #define DOMINO_ANALYSIS_COVERAGE_H
 
+// conventions: allow-file(audit-coverage) -- top-level experiment driver; its lanes hold the audited
+// objects (prefetchers, caches) and are themselves sampled via
+// lane.prefetcher->audit() every 2048 misses in checked builds
+
 #include <cstdint>
 #include <vector>
 

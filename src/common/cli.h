@@ -10,6 +10,9 @@
 #ifndef DOMINO_COMMON_CLI_H
 #define DOMINO_COMMON_CLI_H
 
+// conventions: allow-file(audit-coverage) -- write-once parse result of argv; no mutation after
+// construction, so there is no mid-run state to audit
+
 #include <cstdint>
 #include <map>
 #include <string>

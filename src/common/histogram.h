@@ -8,6 +8,7 @@
 #define DOMINO_COMMON_HISTOGRAM_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace domino
@@ -81,6 +82,28 @@ class EdgeHistogram
         for (std::size_t j = 0; j <= i && j < counts.size(); ++j)
             c += counts[j];
         return static_cast<double>(c) / static_cast<double>(total);
+    }
+
+    /**
+     * Verify the histogram's structural invariants: one overflow
+     * bucket beyond the edges, strictly increasing edges, and
+     * bucket counts summing to the sample total.  @return empty
+     * string if OK, else a description.
+     */
+    std::string
+    audit() const
+    {
+        if (counts.size() != edges.size() + 1)
+            return "bucket count drifted from the edge list";
+        for (std::size_t i = 1; i < edges.size(); ++i)
+            if (edges[i] <= edges[i - 1])
+                return "bucket edges are not strictly increasing";
+        std::uint64_t in_buckets = 0;
+        for (const std::uint64_t c : counts)
+            in_buckets += c;
+        if (in_buckets != total)
+            return "bucket counts do not sum to the sample total";
+        return "";
     }
 
   private:

@@ -14,6 +14,7 @@
 #define DOMINO_COMMON_LRU_H
 
 #include <cstddef>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -107,6 +108,20 @@ class LruSet
 
     /** Drop all items. */
     void clear() { items.clear(); }
+
+    /**
+     * Verify the set's structural invariant: occupancy never
+     * exceeds the configured capacity.  @return empty string if OK,
+     * else a description.
+     */
+    std::string
+    audit() const
+    {
+        if (items.size() > cap)
+            return "LRU set holds " + std::to_string(items.size()) +
+                " items over its capacity of " + std::to_string(cap);
+        return "";
+    }
 
     auto begin() { return items.begin(); }
     auto end() { return items.end(); }

@@ -15,6 +15,7 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace domino
@@ -184,6 +185,24 @@ class ZipfSampler
                 hi = mid;
         }
         return lo;
+    }
+
+    /**
+     * Verify the sampler's structural invariants: a non-empty,
+     * non-decreasing CDF normalised to 1.  @return empty string if
+     * OK, else a description.
+     */
+    std::string
+    audit() const
+    {
+        if (cdf.empty())
+            return "empty CDF";
+        for (std::size_t i = 1; i < cdf.size(); ++i)
+            if (cdf[i] < cdf[i - 1])
+                return "CDF is not non-decreasing";
+        if (cdf.back() < 1.0 - 1e-9 || cdf.back() > 1.0 + 1e-9)
+            return "CDF is not normalised to 1";
+        return "";
     }
 
   private:

@@ -10,6 +10,9 @@
 #ifndef DOMINO_COMMON_TABLE_FORMAT_H
 #define DOMINO_COMMON_TABLE_FORMAT_H
 
+// conventions: allow-file(audit-coverage) -- render-time formatting buffer; rectangularity is checked at
+// render()/csv() time and the output itself is golden-tested
+
 #include <cstddef>
 #include <iosfwd>
 #include <string>

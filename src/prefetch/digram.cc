@@ -98,4 +98,21 @@ DigramPrefetcher::onTrigger(const TriggerEvent &event,
     prevWasHit = false;
 }
 
+std::string
+DigramPrefetcher::audit() const
+{
+    if (const std::string issue = ht.audit(); !issue.empty())
+        return "HT: " + issue;
+    if (const std::string issue = it.audit(); !issue.empty())
+        return "IT: " + issue;
+    if (const std::string issue = streams.audit(); !issue.empty())
+        return "streams: " + issue;
+    if (pendingInRow >= cfg.addrsPerRow)
+        return "LogMiss row counter ran past the row size";
+    if (havePrev && prevTrigger == invalidAddr)
+        return "pair state claims a previous trigger but holds "
+            "the invalid address";
+    return "";
+}
+
 } // namespace domino

@@ -36,6 +36,13 @@ class DigramPrefetcher : public Prefetcher
     void onTrigger(const TriggerEvent &event,
                    PrefetchSink &sink) override;
 
+    /**
+     * Structural invariants of the metadata tables: the HT log,
+     * the pair-index map, and the active-stream table must all
+     * audit clean.  @return empty string if OK, else a description.
+     */
+    std::string audit() const override;
+
     /** Number of streams ever started (testing/diagnostics). */
     std::uint64_t streamsStarted() const { return streamsStartedCnt; }
 

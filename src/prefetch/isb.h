@@ -42,6 +42,22 @@ class IsbPrefetcher : public Prefetcher
     /** Number of distinct PCs trained (diagnostics). */
     std::size_t trainedPcs() const { return lastByPc.size(); }
 
+    /**
+     * Structural invariants of the training maps.  @return empty
+     * string if OK, else a description.
+     */
+    std::string
+    audit() const override
+    {
+        if (const std::string issue = nextByPc.audit();
+            !issue.empty())
+            return "successor map: " + issue;
+        if (const std::string issue = lastByPc.audit();
+            !issue.empty())
+            return "last-miss map: " + issue;
+        return "";
+    }
+
   private:
     IsbConfig cfg;
     /** Per-PC successor map: addr -> next addr for that PC.

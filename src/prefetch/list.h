@@ -56,6 +56,27 @@ class ListPrefetcher : public Prefetcher
     /** Number of recorded lists (diagnostics). */
     std::size_t recordedLists() const { return lists.size(); }
 
+    /**
+     * Structural invariants of the recording/replay state.  The
+     * list map is deliberately not iterated (iteration order of an
+     * unordered container must stay invisible); per-list bounds are
+     * enforced at record time.  @return empty string if OK, else a
+     * description.
+     */
+    std::string
+    audit() const override
+    {
+        if (lists.size() > cfg.maxLists)
+            return "list table ran past its configured bound";
+        if (recording.size() > cfg.maxListLength)
+            return "recording ran past the maximum list length";
+        if (recordingActive && recordingHead == invalidAddr)
+            return "active recording without a region head";
+        if (active && pointer > active->size())
+            return "replay pointer ran past the active list";
+        return "";
+    }
+
   private:
     void issueAhead(PrefetchSink &sink);
 

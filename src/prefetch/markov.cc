@@ -1,5 +1,12 @@
 #include "markov.h"
 
+// conventions: allow-file(ordered-output) -- the bounded-table
+// victim below is table.begin() of an unordered_map, which is
+// deliberately iteration-order dependent: libstdc++'s bucket order
+// is deterministic for a fixed key sequence, and the "random"-victim
+// eviction is part of the modelled design, not of any emitted
+// CSV/JSON row.
+
 namespace domino
 {
 
@@ -34,6 +41,27 @@ MarkovPrefetcher::onTrigger(const TriggerEvent &event,
     }
     prev = line;
     havePrev = true;
+}
+
+std::string
+MarkovPrefetcher::audit() const
+{
+    if (cfg.tableEntries && table.size() > cfg.tableEntries)
+        return "correlation table ran past its configured bound";
+    if (havePrev && prev == invalidAddr)
+        return "training state claims a previous miss but holds "
+            "the invalid address";
+    // Iterating the unordered table is fine here: every entry must
+    // pass, so the verdict cannot depend on iteration order.
+    for (const auto &entry : table) {
+        if (entry.second.capacity() != cfg.successors)
+            return "successor set capacity drifted from the "
+                "configured fan-out";
+        if (const std::string issue = entry.second.audit();
+            !issue.empty())
+            return "successor set: " + issue;
+    }
+    return "";
 }
 
 } // namespace domino

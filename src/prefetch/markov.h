@@ -51,6 +51,13 @@ class MarkovPrefetcher : public Prefetcher
     /** Number of trained addresses (diagnostics). */
     std::size_t trainedAddresses() const { return table.size(); }
 
+    /**
+     * Structural invariants of the correlation table: the bounded-
+     * table capacity holds and every successor set respects its
+     * fan-out.  @return empty string if OK, else a description.
+     */
+    std::string audit() const override;
+
   private:
     MarkovConfig cfg;
     /** addr -> LRU list of observed successors.

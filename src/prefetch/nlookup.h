@@ -64,6 +64,29 @@ class NGramAnalyzer
         return depthStats[depth - 1];
     }
 
+    /**
+     * Structural invariants: one table, stats row, and pending
+     * prediction per depth, counters monotone within each depth,
+     * and every per-depth index auditing clean.  @return empty
+     * string if OK, else a description.
+     */
+    std::string
+    audit() const
+    {
+        if (lastPos.size() != maxN || depthStats.size() != maxN ||
+            pendingPred.size() != maxN)
+            return "per-depth state drifted from the maximum depth";
+        for (const DepthStats &d : depthStats)
+            if (d.matches > d.lookups || d.correct > d.matches)
+                return "per-depth counters are not monotone "
+                    "(correct <= matches <= lookups)";
+        for (const auto &table : lastPos)
+            if (const std::string issue = table.audit();
+                !issue.empty())
+                return "n-gram index: " + issue;
+        return "";
+    }
+
   private:
     std::uint64_t keyFor(unsigned n) const;
 
@@ -98,6 +121,24 @@ class NLookupPrefetcher : public Prefetcher
     std::string name() const override;
     void onTrigger(const TriggerEvent &event,
                    PrefetchSink &sink) override;
+
+    /**
+     * Structural invariants: one index per lookup depth, each
+     * auditing clean.  @return empty string if OK, else a
+     * description.
+     */
+    std::string
+    audit() const override
+    {
+        if (lastPos.size() != (cfg.maxDepth ? cfg.maxDepth : 1))
+            return "per-depth indices drifted from the configured "
+                "maximum depth";
+        for (const auto &table : lastPos)
+            if (const std::string issue = table.audit();
+                !issue.empty())
+                return "n-gram index: " + issue;
+        return "";
+    }
 
   private:
     NLookupConfig cfg;

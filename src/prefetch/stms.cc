@@ -102,4 +102,18 @@ StmsPrefetcher::onTrigger(const TriggerEvent &event, PrefetchSink &sink)
     prevWasHit = false;
 }
 
+std::string
+StmsPrefetcher::audit() const
+{
+    if (const std::string issue = ht.audit(); !issue.empty())
+        return "HT: " + issue;
+    if (const std::string issue = it.audit(); !issue.empty())
+        return "IT: " + issue;
+    if (const std::string issue = streams.audit(); !issue.empty())
+        return "streams: " + issue;
+    if (pendingInRow >= cfg.addrsPerRow)
+        return "LogMiss row counter ran past the row size";
+    return "";
+}
+
 } // namespace domino

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -93,6 +94,28 @@ class StreamTable
     release(ActiveStream &s)
     {
         s = ActiveStream{};
+    }
+
+    /**
+     * Verify the table's structural invariants: valid slots carry
+     * distinct ids and recency stamps no newer than the clock.
+     * @return empty string if OK, else a description.
+     */
+    std::string
+    audit() const
+    {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            const ActiveStream &s = slots[i];
+            if (!s.valid)
+                continue;
+            if (s.lastUse > tick)
+                return "stream recency stamp from the future";
+            for (std::size_t j = i + 1; j < slots.size(); ++j)
+                if (slots[j].valid && slots[j].id == s.id)
+                    return "duplicate active-stream id " +
+                        std::to_string(s.id);
+        }
+        return "";
     }
 
   private:

@@ -44,6 +44,23 @@ class StridePrefetcher : public Prefetcher
     void onTrigger(const TriggerEvent &event,
                    PrefetchSink &sink) override;
 
+    /**
+     * Structural invariants of the Reference Prediction Table:
+     * fixed geometry and only steady entries older than one
+     * observation.  @return empty string if OK, else a description.
+     */
+    std::string
+    audit() const override
+    {
+        if (rpt.size() != (cfg.rptEntries ? cfg.rptEntries : 1))
+            return "RPT geometry drifted from the configuration";
+        for (const RptEntry &e : rpt)
+            if (!e.valid && e.state != State::Initial)
+                return "invalid RPT entry left a stale state "
+                    "machine";
+        return "";
+    }
+
   private:
     enum class State : std::uint8_t
     {

@@ -44,6 +44,36 @@ class VldpPrefetcher : public Prefetcher
     void onTrigger(const TriggerEvent &event,
                    PrefetchSink &sink) override;
 
+    /**
+     * Structural invariants of the DHB/OPT/DPT tables: fixed
+     * geometries, per-page delta histories within the 3-delta
+     * depth, recency stamps no newer than the clock, and the DPT
+     * maps auditing clean.  @return empty string if OK, else a
+     * description.
+     */
+    std::string
+    audit() const override
+    {
+        if (dhb.size() != cfg.dhbEntries)
+            return "DHB geometry drifted from the configuration";
+        if (opt.size() != cfg.optEntries)
+            return "OPT geometry drifted from the configuration";
+        for (const DhbEntry &e : dhb) {
+            if (!e.valid)
+                continue;
+            if (e.deltas.size() > 3)
+                return "DHB delta history deeper than the 3-delta "
+                    "DPT depth";
+            if (e.lastUse > tick)
+                return "DHB recency stamp from the future";
+        }
+        for (const auto &table : dpt)
+            if (const std::string issue = table.audit();
+                !issue.empty())
+                return "DPT: " + issue;
+        return "";
+    }
+
   private:
     struct DhbEntry
     {

@@ -28,6 +28,9 @@
 #ifndef DOMINO_RUNNER_EXPERIMENT_GRID_H
 #define DOMINO_RUNNER_EXPERIMENT_GRID_H
 
+// conventions: allow-file(audit-coverage) -- result accumulator behind a mutex; cells are append-only and
+// validated by the figure golden tests, not mid-run sampling
+
 #include <cstddef>
 #include <cstdint>
 #include <string>

@@ -12,6 +12,10 @@
 #ifndef DOMINO_RUNNER_THREAD_POOL_H
 #define DOMINO_RUNNER_THREAD_POOL_H
 
+// conventions: allow-file(audit-coverage) -- concurrency primitive; its invariants are lock/condvar
+// protocol properties a single-threaded structural audit cannot
+// observe (covered by the ThreadSanitizer CI job instead)
+
 #include <condition_variable>
 #include <deque>
 #include <functional>

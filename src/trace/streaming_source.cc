@@ -6,6 +6,14 @@
 namespace domino
 {
 
+// This file rereads packed DOMTRACE records with its own memcpy
+// offsets (refill() below), so it pins the on-disk layout of
+// docs/TRACE_FORMAT.md independently of trace_io.cc.
+static_assert(traceHeaderBytes == 20,
+              "DOMTRACE header layout drifted from TRACE_FORMAT.md");
+static_assert(traceRecordBytes == 17,
+              "DOMTRACE record layout drifted from TRACE_FORMAT.md");
+
 IoResult
 StreamingTraceSource::open(const std::string &path,
                            std::uint32_t buffer_records)

@@ -6,6 +6,10 @@
 #ifndef DOMINO_TRACE_TRACE_BUFFER_H
 #define DOMINO_TRACE_TRACE_BUFFER_H
 
+// conventions: allow-file(audit-coverage) -- append-only recording of an access sequence; any record is a
+// valid record, and on-disk round-trips are checked by
+// readTrace/writeTrace and their tests
+
 #include <cstddef>
 #include <vector>
 

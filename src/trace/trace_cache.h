@@ -41,6 +41,10 @@
 #ifndef DOMINO_TRACE_TRACE_CACHE_H
 #define DOMINO_TRACE_TRACE_CACHE_H
 
+// conventions: allow-file(audit-coverage) -- generate-once cache behind a mutex; keys are opaque and
+// entries are immutable after insertion, the cached TraceBuffer
+// contents are validated by the generators' own tests
+
 #include <atomic>
 #include <cstdint>
 #include <functional>

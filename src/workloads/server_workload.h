@@ -12,6 +12,9 @@
 #ifndef DOMINO_WORKLOADS_SERVER_WORKLOAD_H
 #define DOMINO_WORKLOADS_SERVER_WORKLOAD_H
 
+// conventions: allow-file(audit-coverage) -- deterministic generator; (params, seed, limit) fully determine
+// the output, which the determinism tests replay bit-for-bit
+
 #include <cstdint>
 #include <deque>
 #include <memory>

@@ -7,6 +7,9 @@
 #ifndef DOMINO_WORKLOADS_STREAM_LIBRARY_H
 #define DOMINO_WORKLOADS_STREAM_LIBRARY_H
 
+// conventions: allow-file(audit-coverage) -- immutable after its seeded construction; the determinism tests
+// replay library construction bit-for-bit
+
 #include <cstdint>
 #include <vector>
 

@@ -1,0 +1,7 @@
+#include <vector>
+class BadTable {
+  public:
+    void push(int v) { vals.push_back(v); }
+  private:
+    std::vector<int> vals;
+};

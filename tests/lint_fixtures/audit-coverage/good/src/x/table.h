@@ -1,0 +1,14 @@
+#include <string>
+#include <vector>
+class GoodTable {
+  public:
+    void push(int v) { vals.push_back(v); }
+    std::string audit() const { return ""; }
+  private:
+    std::vector<int> vals;
+};
+// A stateless class needs no audit.
+class Stateless {
+  public:
+    int f() const { return 1; }
+};

@@ -1,0 +1,2 @@
+#include <cassert>
+void f(int x) { assert(x > 0); }

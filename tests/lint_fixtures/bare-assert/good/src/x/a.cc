@@ -1,0 +1,3 @@
+#include "common/check.h"
+void f(int x) { CHECK_GT(x, 0); }
+static_assert(sizeof(int) == 4);

@@ -1,0 +1,5 @@
+#include "common/prng.h"
+void f(unsigned long seed, unsigned core) {
+    domino::Prng rng(seed + core);
+    (void)rng;
+}

@@ -1,0 +1,6 @@
+#include "common/prng.h"
+void f(unsigned long seed, unsigned core) {
+    domino::Prng rng(deriveCoreSeed(seed, core));
+    domino::Prng salted(seed ^ 0xe17);
+    (void)rng; (void)salted;
+}

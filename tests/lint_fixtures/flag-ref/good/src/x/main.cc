@@ -1,0 +1,4 @@
+#include "common/cli.h"
+int run(const domino::CliArgs &args) {
+    return static_cast<int>(args.getU64("depth", 1));
+}

@@ -1,0 +1,4 @@
+struct C {
+    unsigned sets = 64;
+    unsigned idx(unsigned long line) const { return line % sets; }
+};

@@ -1,0 +1,4 @@
+struct C {
+    unsigned setMask = 63;
+    unsigned idx(unsigned long line) const { return line & setMask; }
+};

@@ -1,0 +1,2 @@
+#include "sim/simulator.h"
+int f();

@@ -1,0 +1,1 @@
+using Addr = unsigned long;

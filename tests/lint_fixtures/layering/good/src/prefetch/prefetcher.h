@@ -1,0 +1,2 @@
+#include "common/types.h"
+struct P {};

@@ -1,0 +1,3 @@
+#include "common/types.h"
+#include "prefetch/prefetcher.h"
+int f();

@@ -1,0 +1,7 @@
+#include <cstdio>
+#include <unordered_map>
+void emit(const std::unordered_map<int, int> &counts_in) {
+    std::unordered_map<int, int> counts = counts_in;
+    for (const auto &kv : counts)
+        std::printf("%d,%d\n", kv.first, kv.second);
+}

@@ -1,0 +1,15 @@
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+void emit(const std::unordered_map<int, int> &counts) {
+    std::vector<std::pair<int, int>> rows(counts.size());
+    // Point lookups are fine; only iteration is order-dependent.
+    std::size_t i = 0;
+    for (int key = 0; key < 4; ++key)
+        if (counts.count(key))
+            rows[i++] = {key, counts.at(key)};
+    std::sort(rows.begin(), rows.end());
+    for (const auto &kv : rows)
+        std::printf("%d,%d\n", kv.first, kv.second);
+}

@@ -1,0 +1,1 @@
+int *leak() { return new int(7); }

@@ -1,0 +1,4 @@
+#include <memory>
+// A string mentioning "new thing" stays legal; so does = delete.
+struct A { A(const A &) = delete; };
+std::unique_ptr<int> own() { return std::make_unique<int>(7); }

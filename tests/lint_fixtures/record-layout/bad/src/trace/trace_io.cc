@@ -1,0 +1,1 @@
+unsigned readHeader(const unsigned char *p);

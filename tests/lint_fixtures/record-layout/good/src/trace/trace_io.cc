@@ -1,0 +1,4 @@
+constexpr unsigned traceHeaderBytes = 20;
+constexpr unsigned traceRecordBytes = 17;
+static_assert(traceHeaderBytes == 20, "TRACE_FORMAT.md header");
+static_assert(traceRecordBytes == 17, "TRACE_FORMAT.md record");

@@ -1,0 +1,2 @@
+#include <random>
+void f() { std::mt19937 gen; (void)gen; }

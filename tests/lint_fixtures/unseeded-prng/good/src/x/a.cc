@@ -1,0 +1,2 @@
+#include "common/prng.h"
+void f() { domino::Prng rng(0x1234); (void)rng; }

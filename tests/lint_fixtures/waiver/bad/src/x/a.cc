@@ -1,0 +1,2 @@
+// conventions: allow-file(no-such-rule) -- typo'd rule name
+int f();

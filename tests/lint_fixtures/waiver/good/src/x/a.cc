@@ -1,0 +1,3 @@
+// conventions: allow-file(raw-new) -- fixture exercising a justified
+// waiver: the raw new below is deliberate.
+int *g() { return new int(3); }
