@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/flat_map.h"
 #include "domino/eit.h"
 #include "multicore/multicore_sim.h"
 #include "trace/replay_image.h"
@@ -209,14 +210,38 @@ main(int argc, char **argv)
             fresh.update(tags[i], tags[i + 1], i);
         sink = sink + fresh.touchedRows();
     }));
+    cells.push_back(timeCell("eit_update_batched", n, repeats, [&] {
+        // The same update stream with the lookahead software
+        // prefetch the batched train path uses: warm the row of a
+        // tag a few updates ahead while the current one is applied.
+        EnhancedIndexTable fresh(eit_cfg);
+        for (std::uint64_t i = 0; i + 1 < n; ++i) {
+            if (i + 8 < n)
+                fresh.prefetchRow(tags[i + 8]);
+            fresh.update(tags[i], tags[i + 1], i);
+        }
+        sink = sink + fresh.touchedRows();
+    }));
     EnhancedIndexTable eit(eit_cfg);
     for (std::uint64_t i = 0; i + 1 < n; ++i)
         eit.update(tags[i], tags[i + 1], i);
     cells.push_back(timeCell("eit_lookup", n, repeats, [&] {
         std::uint64_t found = 0;
         for (std::uint64_t i = 0; i < n; ++i)
-            found += eit.lookup(tags[i]) != nullptr;
+            found += static_cast<bool>(eit.lookup(tags[i]));
         sink = sink + found;
+    }));
+
+    // --- FlatHashMap group probes (the HT/ISB index substrate):
+    // half the tag pool resident, probes alternating hit and miss.
+    cells.push_back(timeCell("flat_map_probe", n, repeats, [&] {
+        FlatHashMap<std::uint64_t> map(tag_pool);
+        for (std::uint64_t k = 1; k <= tag_pool / 2; ++k)
+            map[k] = k;
+        std::uint64_t found = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            found += map.find(tags[i]) != nullptr;
+        sink = sink + found + map.size();
     }));
 
     // --- Emit JSON.

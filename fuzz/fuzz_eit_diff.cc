@@ -1,27 +1,30 @@
 /**
  * @file
- * Differential fuzz oracle: the flat-row EnhancedIndexTable
- * (src/domino/eit.cc) against a map-plus-deque reference model with
- * the same LRU capacity rules (the model of
- * tests/test_eit.cc::EitReferenceModel).
+ * Differential fuzz oracle: the packed SoA EnhancedIndexTable
+ * (src/domino/eit.cc) against a row-aware deque reference model
+ * with the same two-level LRU rules.
  *
- * The geometry forces no row pressure (64 K rows, 8 supers per row,
- * tags from a 6-bit space), so super-entry eviction never fires and
- * the two models must agree exactly: same tags present, same
- * successor order (MRU first), same HT positions.  The
- * entries-per-super capacity is derived from the input so all four
- * paper-relevant capacities (1..4) are exercised.  After the op
- * stream the EIT's structural audit must pass with the op count as
- * the HT bound.
+ * The geometry is derived from the input: supersPerRow AND
+ * entriesPerSuper both sweep 1..4, and the row count is tiny (16
+ * rows) so row pressure -- super-entry eviction, way rotation --
+ * fires constantly, exercising exactly the lane rotations the SoA
+ * layout replaces LruSet node splicing with.  The reference keeps
+ * one deque of (tag, successor deque) per row, MRU first; after the
+ * op stream the two models must agree exactly (same tags present,
+ * same MRU-first successor order, same HT positions, same eviction
+ * and touched-row counters) and the EIT's structural audit must
+ * pass with the op count as the HT bound.
  */
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/types.h"
 #include "domino/eit.h"
 
 #include "fuzz_util.h"
@@ -32,40 +35,81 @@ using namespace domino::fuzz;
 namespace
 {
 
-/** Per-tag LRU successor list mirroring EitEntry semantics. */
+/** Row-aware two-level LRU reference mirroring the EIT rules. */
 class ReferenceModel
 {
   public:
-    explicit ReferenceModel(unsigned entries_per_super)
-        : cap(entries_per_super)
+    ReferenceModel(const EitConfig &cfg, std::uint64_t rows)
+        : superCap(cfg.supersPerRow), entryCap(cfg.entriesPerSuper),
+          rowMask(rows - 1), table(rows)
     {}
 
     void
     update(LineAddr tag, LineAddr next, std::uint64_t pos)
     {
-        auto &lst = model[tag];
-        for (auto it = lst.begin(); it != lst.end(); ++it) {
-            if (it->first == next) {
-                lst.erase(it);
-                break;
+        Row &row = table[mix64(tag) & rowMask];
+        auto it = std::find_if(
+            row.begin(), row.end(),
+            [&](const Super &s) { return s.tag == tag; });
+        if (it == row.end()) {
+            if (row.size() >= superCap) {
+                row.pop_back();
+                ++evictions;
             }
+            row.emplace_front();
+            row.front().tag = tag;
+        } else if (it != row.begin()) {
+            Super moved = std::move(*it);
+            row.erase(it);
+            row.push_front(std::move(moved));
         }
-        lst.emplace_front(next, pos);
-        if (lst.size() > cap)
-            lst.pop_back();
+        auto &entries = row.front().entries;
+        auto e = std::find_if(
+            entries.begin(), entries.end(),
+            [&](const std::pair<LineAddr, std::uint64_t> &entry) {
+                return entry.first == next;
+            });
+        if (e != entries.end())
+            entries.erase(e);
+        entries.emplace_front(next, pos);
+        if (entries.size() > entryCap)
+            entries.pop_back();
     }
 
     const std::deque<std::pair<LineAddr, std::uint64_t>> *
     lookup(LineAddr tag) const
     {
-        const auto it = model.find(tag);
-        return it == model.end() ? nullptr : &it->second;
+        const Row &row = table[mix64(tag) & rowMask];
+        const auto it = std::find_if(
+            row.begin(), row.end(),
+            [&](const Super &s) { return s.tag == tag; });
+        return it == row.end() ? nullptr : &it->entries;
+    }
+
+    std::uint64_t superEvictions() const { return evictions; }
+
+    std::size_t
+    touchedRows() const
+    {
+        std::size_t touched = 0;
+        for (const Row &row : table)
+            touched += row.empty() ? 0 : 1;
+        return touched;
     }
 
   private:
-    unsigned cap;
-    std::map<LineAddr,
-             std::deque<std::pair<LineAddr, std::uint64_t>>> model;
+    struct Super
+    {
+        LineAddr tag = invalidAddr;
+        std::deque<std::pair<LineAddr, std::uint64_t>> entries;
+    };
+    using Row = std::deque<Super>;
+
+    std::size_t superCap;
+    std::size_t entryCap;
+    std::uint64_t rowMask;
+    std::vector<Row> table;
+    std::uint64_t evictions = 0;
 };
 
 } // anonymous namespace
@@ -76,11 +120,11 @@ LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
     ByteReader in(data, size);
 
     EitConfig cfg;
-    cfg.rows = 1 << 16; // effectively no row pressure
-    cfg.supersPerRow = 8;
+    cfg.rows = 16; // tiny: row pressure on nearly every update
+    cfg.supersPerRow = 1 + in.u8() % 4;
     cfg.entriesPerSuper = 1 + in.u8() % 4;
     EnhancedIndexTable eit(cfg);
-    ReferenceModel ref(cfg.entriesPerSuper);
+    ReferenceModel ref(cfg, eit.rows());
 
     constexpr std::uint64_t tagSpace = 64;
     std::uint64_t ops = 0;
@@ -93,17 +137,20 @@ LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
     }
 
     for (LineAddr tag = 0; tag < tagSpace; ++tag) {
-        const SuperEntry *got = eit.lookup(tag);
+        const EnhancedIndexTable::SuperView got = eit.lookup(tag);
         const auto *want = ref.lookup(tag);
-        CHECK_EQ(got != nullptr, want != nullptr);
+        CHECK_EQ(static_cast<bool>(got), want != nullptr);
         if (!want)
             continue;
-        CHECK_EQ(got->entries.size(), want->size());
+        CHECK_EQ(got.tag(), tag);
+        CHECK_EQ(got.size(), want->size());
         for (std::size_t i = 0; i < want->size(); ++i) {
-            CHECK_EQ(got->entries.at(i).next, (*want)[i].first);
-            CHECK_EQ(got->entries.at(i).pos, (*want)[i].second);
+            CHECK_EQ(got.next(i), (*want)[i].first);
+            CHECK_EQ(got.pos(i), (*want)[i].second);
         }
     }
+    CHECK_EQ(eit.superEvictions(), ref.superEvictions());
+    CHECK_EQ(eit.touchedRows(), ref.touchedRows());
     CHECK_EQ(eit.audit(ops ? ops : 1), std::string{});
     return 0;
 }

@@ -148,9 +148,16 @@ def flat_map_extras() -> dict[str, bytes]:
 
 
 def eit_extras() -> dict[str, bytes]:
+    # Leading two bytes pick the geometry (supersPerRow,
+    # entriesPerSuper, each 1 + byte % 4).
     # One tag hammered enough to cycle its LRU entries repeatedly.
-    return {"single_tag": bytes([2]) + bytes(
-        b for i in range(64) for b in (7, i % 16))}
+    single = bytes([1, 2]) + bytes(
+        b for i in range(64) for b in (7, i % 16))
+    # Every tag of the 6-bit space round-robin over 16 rows at the
+    # narrowest geometry: constant super-entry eviction.
+    churn = bytes([0, 0]) + bytes(
+        b for i in range(128) for b in (i % 64, (i * 3) % 16))
+    return {"single_tag": single, "row_churn": churn}
 
 
 # ------------------------------------------------------------------

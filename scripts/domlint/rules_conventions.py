@@ -69,6 +69,16 @@ HOT_SET_INDEX_RES = [
      "set/row count used as a divisor"),
 ]
 
+# Raw CPU-intrinsic headers.  All SIMD (and its SWAR fallback)
+# lives behind src/common/simd.h so every kernel has a portable,
+# result-identical path and DOMINO_NO_SIMD stays meaningful; code
+# elsewhere includes simd.h, never the ISA headers.
+RAW_SIMD_INCLUDE_RE = re.compile(
+    r"#\s*include\s*[<\"]"
+    r"(?:[a-z]+mmintrin|immintrin|x86intrin|arm_neon|arm_sve)"
+    r"\.h[>\"]")
+RAW_SIMD_ALLOWED = {"src/common/simd.h"}
+
 #: (source file, required static_assert substring) pairs pinning the
 #: on-disk contracts of docs/TRACE_FORMAT.md in code.  Every file
 #: that reads or writes packed DOMTRACE/DOMIMAGE bytes is listed;
@@ -172,6 +182,26 @@ def check_hot_set_index(tree: Tree) -> list[Finding]:
                            "mask; see the set-index conventions); "
                            "offending line: "
                            + f.lines[lineno - 1].strip())
+    return findings
+
+
+@rule("raw-simd-include", "conventions",
+      "no raw CPU-intrinsic includes (immintrin.h, arm_neon.h, ...) "
+      "outside src/common/simd.h; vector kernels go through the "
+      "dispatch header so the portable fallback stays equivalent")
+def check_raw_simd_include(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in tree.cxx_files():
+        if f.rel in RAW_SIMD_ALLOWED:
+            continue
+        for lineno, code in enumerate(f.stripped_lines, start=1):
+            if RAW_SIMD_INCLUDE_RE.search(code):
+                report(findings, f, lineno, "raw-simd-include",
+                       "raw CPU-intrinsic include (use "
+                       "common/simd.h, which wraps every backend "
+                       "behind result-identical kernels); "
+                       "offending line: "
+                       + f.lines[lineno - 1].strip())
     return findings
 
 

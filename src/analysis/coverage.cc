@@ -50,6 +50,8 @@ CoverageSimulator::runMany(
             pc = access.pc;
             return true;
         },
+        // Virtual cursors cannot look ahead without consuming.
+        [](LineAddr &, Addr &) { return false; },
         prefetchers);
 }
 
@@ -73,13 +75,22 @@ CoverageSimulator::runMany(
             ++i;
             return true;
         },
+        // Image lookahead: the record after the one just consumed,
+        // read without advancing (feeds the metadata-row warm).
+        [&](LineAddr &line, Addr &pc) {
+            if (i >= n)
+                return false;
+            line = lines[i];
+            pc = pcs[i];
+            return true;
+        },
         prefetchers);
 }
 
-template <typename NextRecord>
+template <typename NextRecord, typename PeekRecord>
 std::vector<CoverageResult>
 CoverageSimulator::runManyImpl(
-    NextRecord &&next_record,
+    NextRecord &&next_record, PeekRecord &&peek_record,
     const std::vector<Prefetcher *> &prefetchers)
 {
     CHECK(!prefetchers.empty());
@@ -107,6 +118,22 @@ CoverageSimulator::runManyImpl(
         TriggerEvent event;
         event.line = line;
         event.pc = pc;
+
+        // When the source can look ahead, software-prefetch each
+        // lane's metadata row for the *upcoming* access while this
+        // one's buffer probes and L1 fill run (warming the current
+        // row here would hide nothing -- onTrigger probes it
+        // immediately).  Pure cache hints: results are
+        // byte-identical with or without them.
+        LineAddr next_line = 0;
+        Addr next_pc = 0;
+        if (peek_record(next_line, next_pc)) {
+            for (Lane &lane : lanes) {
+                if (lane.prefetcher)
+                    lane.prefetcher->warmMetadata(next_line,
+                                                  next_pc);
+            }
+        }
 
         // Per-lane demand probe first (as in a single run, the
         // buffer is probed before the line is installed).

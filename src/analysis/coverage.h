@@ -173,12 +173,15 @@ class CoverageSimulator : public PrefetchSink
     /**
      * The shared lockstep loop: @p next_record is called once per
      * record and fills (line, pc); it returns false on exhaustion.
-     * Both runMany() entry points compile their own copy, so the
-     * image path has no per-record dispatch at all.
+     * @p peek_record reads the upcoming record without consuming it
+     * (false when the source cannot look ahead); it only feeds the
+     * metadata-row software prefetch, never simulation state.  Both
+     * runMany() entry points compile their own copy, so the image
+     * path has no per-record dispatch at all.
      */
-    template <typename NextRecord>
+    template <typename NextRecord, typename PeekRecord>
     std::vector<CoverageResult> runManyImpl(
-        NextRecord &&next_record,
+        NextRecord &&next_record, PeekRecord &&peek_record,
         const std::vector<Prefetcher *> &prefetchers);
 
     /** One technique under test: its buffer and accumulators. */

@@ -12,21 +12,36 @@
  * bounded-table victim from iteration order -- must keep their
  * original container; see markov.h.)
  *
- * Layout: one flat slot array, power-of-two capacity, linear
- * probing on mix64(key), growth at 1/2 load (scalar linear probing
- * degrades sharply past ~60% occupancy, and these tables are tiny
- * next to the traces, so we trade memory for short probes).
- * Compared to
- * std::unordered_map this removes the per-node allocation and the
- * pointer chase per lookup, which profiles show dominating the
- * temporal-prefetcher cells of the figure suite.  Erase is
- * deliberately not provided (no user needs it; supporting it would
- * require tombstones and slow every probe).
+ * Layout: a control-byte directory in the style of Swiss tables over
+ * one key+value slot array.  Each slot has one control byte (0 =
+ * empty, else 0x80 | the top 7 hash bits), and probes scan
+ * simd::groupBytes control bytes per step with one vector compare
+ * (src/common/simd.h) before touching a slot, so misses and long
+ * chains resolve from the byte directory alone.  The key and its
+ * value stay adjacent in the slot (NOT split into parallel arrays):
+ * a successful probe then costs one slot cache line, which matters
+ * for the line-keyed ISB successor maps that outgrow L1.  A scalar
+ * first-slot check runs ahead of the group loop: at <= 1/2 load most
+ * probes settle on their start slot, where the group machinery's
+ * fixed cost would dominate.  The probe visits slots in exactly the
+ * classic linear-probe order from mix64(key) -- group stepping only
+ * batches the scan -- so find/insert results are identical to the
+ * previous scalar layout and every figure output is unchanged.  The
+ * control array carries a mirror tail (the first groupBytes-1 bytes
+ * repeated past the end) so wrapped group loads need no masking.
+ * Power-of-two capacity, growth at 1/2 load (probes stay short, and
+ * these tables are tiny next to the traces, so we trade memory for
+ * speed).  Compared to std::unordered_map this removes the per-node
+ * allocation and the pointer chase per lookup, which profiles show
+ * dominating the temporal-prefetcher cells of the figure suite.
+ * Erase is deliberately not provided (no user needs it; supporting
+ * it would require tombstones and slow every probe).
  */
 
 #ifndef DOMINO_COMMON_FLAT_MAP_H
 #define DOMINO_COMMON_FLAT_MAP_H
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -34,6 +49,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/types.h"
 
 namespace domino
@@ -42,8 +58,9 @@ namespace domino
 /**
  * Open-addressing map from std::uint64_t to V.
  *
- * Any 64-bit key is valid (occupancy is tracked per slot, not with
- * a sentinel key).  V must be default-constructible and movable.
+ * Any 64-bit key is valid (occupancy lives in the control bytes,
+ * not in a sentinel key).  V must be default-constructible and
+ * movable.
  */
 template <typename V>
 class FlatHashMap
@@ -52,8 +69,9 @@ class FlatHashMap
     /** @param initial_capacity pre-sized slot count (rounded up to
      *  a power of two; the map still grows as needed). */
     explicit FlatHashMap(std::size_t initial_capacity = 16)
-        : slots(ceilPow2(initial_capacity < 2 ? 2 : initial_capacity))
-    {}
+    {
+        reset(ceilPow2(initial_capacity < 2 ? 2 : initial_capacity));
+    }
 
     /** Number of stored keys. */
     std::size_t size() const { return used; }
@@ -66,13 +84,36 @@ class FlatHashMap
     const V *
     find(std::uint64_t key) const
     {
-        std::size_t i = probeStart(key);
-        while (slots[i].occupied) {
-            if (slots[i].key == key)
-                return &slots[i].value;
-            i = (i + 1) & (slots.size() - 1);
+        const std::uint64_t h = mix64(key);
+        const std::size_t mask = slots.size() - 1;
+        const std::uint8_t h2 = ctrlOf(h);
+        std::size_t i = static_cast<std::size_t>(h) & mask;
+        // First-slot fast path: at <= 1/2 load most probes settle
+        // on their start slot, so resolve it with two scalar
+        // compares before paying the group machinery's fixed cost.
+        // Slot i is the first slot classic linear probing visits,
+        // so the probe order is unchanged.
+        const std::uint8_t c0 = ctrl[i];
+        if (c0 == h2 && slots[i].key == key)
+            return &slots[i].val;
+        if (c0 == 0)
+            return nullptr;
+        for (;;) {
+            const std::uint8_t *group = ctrl.data() + i;
+            const std::uint64_t empty = simd::matchZero(group);
+            std::uint64_t match = simd::maskBelowFirst(
+                simd::matchByte(group, h2), empty);
+            while (match) {
+                const std::size_t pos =
+                    (i + simd::maskFirst(match)) & mask;
+                if (slots[pos].key == key)
+                    return &slots[pos].val;
+                match = simd::maskClearFirst(match);
+            }
+            if (empty)
+                return nullptr;
+            i = (i + simd::groupBytes) & mask;
         }
-        return nullptr;
     }
 
     V *
@@ -84,28 +125,73 @@ class FlatHashMap
 
     bool contains(std::uint64_t key) const { return find(key); }
 
+    /**
+     * Hint the cache hierarchy to pull the probe-start slot of
+     * @p key ahead of a coming find()/operator[] (lookahead
+     * software prefetch).  Pure hint, no observable effect.
+     */
+    void
+    prefetchKey(std::uint64_t key) const
+    {
+        const std::size_t i = static_cast<std::size_t>(mix64(key)) &
+            (slots.size() - 1);
+        simd::prefetchRead(ctrl.data() + i);
+        simd::prefetchRead(slots.data() + i);
+    }
+
     /** The value for @p key, default-constructed on first use. */
     V &
     operator[](std::uint64_t key)
     {
         if ((used + 1) * 2 > slots.size())
             grow();
-        std::size_t i = probeStart(key);
-        while (slots[i].occupied) {
-            if (slots[i].key == key)
-                return slots[i].value;
-            i = (i + 1) & (slots.size() - 1);
+        const std::uint64_t h = mix64(key);
+        const std::size_t mask = slots.size() - 1;
+        const std::uint8_t h2 = ctrlOf(h);
+        std::size_t i = static_cast<std::size_t>(h) & mask;
+        // Same first-slot fast path as find(); an empty start slot
+        // is exactly where classic linear probing would insert.
+        const std::uint8_t c0 = ctrl[i];
+        if (c0 == h2 && slots[i].key == key)
+            return slots[i].val;
+        if (c0 == 0) {
+            setCtrl(i, h2);
+            slots[i].key = key;
+            ++used;
+            return slots[i].val;
         }
-        slots[i].occupied = true;
-        slots[i].key = key;
-        ++used;
-        return slots[i].value;
+        for (;;) {
+            const std::uint8_t *group = ctrl.data() + i;
+            const std::uint64_t empty = simd::matchZero(group);
+            std::uint64_t match = simd::maskBelowFirst(
+                simd::matchByte(group, h2), empty);
+            while (match) {
+                const std::size_t pos =
+                    (i + simd::maskFirst(match)) & mask;
+                if (slots[pos].key == key)
+                    return slots[pos].val;
+                match = simd::maskClearFirst(match);
+            }
+            if (empty) {
+                // First empty slot in probe order: the insert
+                // position classic linear probing would pick.
+                const std::size_t pos =
+                    (i + simd::maskFirst(empty)) & mask;
+                setCtrl(pos, h2);
+                slots[pos].key = key;
+                ++used;
+                return slots[pos].val;
+            }
+            i = (i + simd::groupBytes) & mask;
+        }
     }
 
-    /** Drop all entries, keeping the slot array. */
+    /** Drop all entries, keeping the slot arrays. */
     void
     clear()
     {
+        std::fill(ctrl.begin(), ctrl.end(),
+                  static_cast<std::uint8_t>(0));
         for (Slot &s : slots)
             s = Slot{};
         used = 0;
@@ -113,24 +199,42 @@ class FlatHashMap
 
     /**
      * Verify the map's structural invariants: pow2 capacity, the
-     * occupancy count matches the flags, the load factor bound
-     * holds, and every key is reachable from its probe start.
+     * occupancy count matches the control bytes, every occupied
+     * control byte carries the 7-bit hash of its slot's key, the
+     * mirror tail repeats the head, the load factor bound holds,
+     * and every key is reachable from its probe start.
      * @return empty string if OK, else a description.
      */
     std::string
     audit() const
     {
-        if (slots.empty() || (slots.size() & (slots.size() - 1)))
+        const std::size_t cap = slots.size();
+        if (cap == 0 || (cap & (cap - 1)))
             return "capacity is not a power of two";
+        if (ctrl.size() != cap + simd::groupBytes)
+            return "control array size drifted from capacity";
         std::size_t occupied = 0;
-        for (const Slot &s : slots)
-            occupied += s.occupied ? 1 : 0;
+        for (std::size_t i = 0; i < cap; ++i) {
+            if (ctrl[i] == 0)
+                continue;
+            ++occupied;
+            if (!(ctrl[i] & 0x80))
+                return "occupied control byte without its marker "
+                       "bit";
+            if (ctrl[i] != ctrlOf(mix64(slots[i].key)))
+                return "control byte disagrees with its slot's key "
+                       "hash";
+        }
+        for (std::size_t j = 0; j < simd::groupBytes; ++j) {
+            if (ctrl[cap + j] != ctrl[(cap + j) & (cap - 1)])
+                return "mirror tail disagrees with the head";
+        }
         if (occupied != used)
-            return "size drifted from slot occupancy";
-        if (used * 2 > slots.size())
+            return "size drifted from control-byte occupancy";
+        if (used * 2 > cap)
             return "load factor bound violated";
-        for (const Slot &s : slots) {
-            if (s.occupied && !find(s.key))
+        for (std::size_t i = 0; i < cap; ++i) {
+            if (ctrl[i] && !find(slots[i].key))
                 return "key unreachable from its probe start "
                        "(broken probe chain)";
         }
@@ -141,8 +245,7 @@ class FlatHashMap
     struct Slot
     {
         std::uint64_t key = 0;
-        V value{};
-        bool occupied = false;
+        V val{};
     };
 
     static std::size_t
@@ -154,25 +257,52 @@ class FlatHashMap
         return p;
     }
 
-    std::size_t
-    probeStart(std::uint64_t key) const
+    /** Control byte of a mixed hash: marker bit + top 7 hash bits
+     *  (the probe start uses the low bits, so the two are
+     *  independent). */
+    static std::uint8_t
+    ctrlOf(std::uint64_t h)
     {
-        return static_cast<std::size_t>(mix64(key)) &
-            (slots.size() - 1);
+        return static_cast<std::uint8_t>(0x80 | (h >> 57));
+    }
+
+    /** Write a control byte and keep the mirror tail consistent
+     *  (every alias of @p pos inside the tail, which for tiny
+     *  capacities repeats more than once). */
+    void
+    setCtrl(std::size_t pos, std::uint8_t b)
+    {
+        ctrl[pos] = b;
+        for (std::size_t j = pos + slots.size(); j < ctrl.size();
+             j += slots.size())
+            ctrl[j] = b;
+    }
+
+    void
+    reset(std::size_t cap)
+    {
+        ctrl.assign(cap + simd::groupBytes, 0);
+        slots.clear();
+        slots.resize(cap);
+        used = 0;
     }
 
     void
     grow()
     {
-        std::vector<Slot> old = std::move(slots);
-        slots.assign(old.size() * 2, Slot{});
-        used = 0;
-        for (Slot &s : old) {
-            if (s.occupied)
-                (*this)[s.key] = std::move(s.value);
+        std::vector<std::uint8_t> old_ctrl = std::move(ctrl);
+        std::vector<Slot> old_slots = std::move(slots);
+        reset(old_slots.size() * 2);
+        for (std::size_t i = 0; i < old_slots.size(); ++i) {
+            if (old_ctrl[i])
+                (*this)[old_slots[i].key] =
+                    std::move(old_slots[i].val);
         }
     }
 
+    /** Control bytes (0 = empty) with a wraparound mirror tail. */
+    std::vector<std::uint8_t> ctrl;
+    /** Key+value pairs, adjacent so a hit costs one line. */
     std::vector<Slot> slots;
     std::size_t used = 0;
 };

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Portable SIMD primitives for the hot metadata kernels (the packed
+ * EIT rows of src/domino/eit.h and the control-byte group probe of
+ * src/common/flat_map.h).
+ *
+ * The backend is selected at compile time: AVX2, SSE2, or NEON when
+ * the compiler advertises them, else a portable SWAR fallback on
+ * plain 64-bit arithmetic.  Building with -DDOMINO_NO_SIMD=ON forces
+ * the SWAR fallback everywhere.  Every backend implements the same
+ * observable contract -- findEqU64 returns the same index, the byte
+ * masks enumerate the same byte positions in the same order -- so
+ * swapping backends cannot perturb any figure output (the
+ * byte-identical determinism contract).
+ *
+ * This is the only file allowed to include vendor intrinsic headers
+ * (<immintrin.h>, <arm_neon.h>, ...); the domlint `raw-simd-include`
+ * rule enforces that everywhere else goes through these wrappers.
+ *
+ * Byte masks: matchByte()/matchZero() return an opaque 64-bit mask
+ * with at most one set bit per group byte.  The bit *position*
+ * encoding differs per backend (movemask vs high-bit lanes), so
+ * masks must only be consumed through maskFirst()/maskClearFirst()/
+ * maskBelowFirst(), which agree across backends.  The SWAR path
+ * assumes little-endian byte order, like the rest of the repo
+ * (docs/TRACE_FORMAT.md).
+ */
+
+#ifndef DOMINO_COMMON_SIMD_H
+#define DOMINO_COMMON_SIMD_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if !defined(DOMINO_NO_SIMD)
+#if defined(__AVX2__)
+#define DOMINO_SIMD_AVX2 1
+#define DOMINO_SIMD_SSE2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64)
+#define DOMINO_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define DOMINO_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace domino::simd
+{
+
+/** Compile-time backend name (diagnostics, EXPERIMENTS.md tables). */
+constexpr const char *
+backendName()
+{
+#if defined(DOMINO_SIMD_AVX2)
+    return "avx2";
+#elif defined(DOMINO_SIMD_SSE2)
+    return "sse2";
+#elif defined(DOMINO_SIMD_NEON)
+    return "neon";
+#else
+    return "swar";
+#endif
+}
+
+/**
+ * Hint the cache hierarchy to pull @p p for a future read.  Pure
+ * hint: no architectural effect, so callers stay byte-identical
+ * with or without it (and on compilers without the builtin).
+ */
+inline void
+prefetchRead(const void *p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, 0, 3);
+#else
+    (void)p;
+#endif
+}
+
+/** Bytes scanned per group-probe step (flat_map control bytes). */
+inline constexpr std::size_t groupBytes = 8;
+
+namespace detail
+{
+
+inline std::uint64_t
+loadLe64(const std::uint8_t *p)
+{
+    std::uint64_t x;
+    std::memcpy(&x, p, sizeof(x));
+    return x;
+}
+
+/**
+ * Exact zero-byte detector: bit 8i set iff byte i of @p x is zero.
+ * The carry-free form below has no false positives (unlike the
+ * classic `(v - 0x01..) & ~v & 0x80..`, which can flag the byte
+ * after a borrow), so the SWAR mask is bit-for-bit the set of
+ * matching bytes -- required for cross-backend identical results.
+ */
+inline std::uint64_t
+zeroByteBits(std::uint64_t x)
+{
+    constexpr std::uint64_t low7 = 0x7f7f7f7f7f7f7f7fULL;
+    constexpr std::uint64_t high = 0x8080808080808080ULL;
+    std::uint64_t y = (x & low7) + low7;  // high bit: low 7 bits != 0
+    y |= x;                               // high bit: byte != 0
+    return (~y & high) >> 7;
+}
+
+} // namespace detail
+
+/**
+ * Byte mask of group bytes equal to @p b (group is groupBytes wide).
+ */
+inline std::uint64_t
+matchByte(const std::uint8_t *group, std::uint8_t b)
+{
+#if defined(DOMINO_SIMD_SSE2)
+    const __m128i g = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(group));
+    const __m128i eq = _mm_cmpeq_epi8(g, _mm_set1_epi8(
+        static_cast<char>(b)));
+    return static_cast<std::uint64_t>(_mm_movemask_epi8(eq)) & 0xff;
+#elif defined(DOMINO_SIMD_NEON)
+    const uint8x8_t g = vld1_u8(group);
+    const uint8x8_t eq = vceq_u8(g, vdup_n_u8(b));
+    const std::uint64_t m =
+        vget_lane_u64(vreinterpret_u64_u8(eq), 0);
+    return m & 0x0101010101010101ULL;
+#else
+    const std::uint64_t x = detail::loadLe64(group) ^
+        (0x0101010101010101ULL * b);
+    return detail::zeroByteBits(x);
+#endif
+}
+
+/** Byte mask of zero (empty) group bytes. */
+inline std::uint64_t
+matchZero(const std::uint8_t *group)
+{
+#if defined(DOMINO_SIMD_SSE2)
+    const __m128i g = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(group));
+    const __m128i eq = _mm_cmpeq_epi8(g, _mm_setzero_si128());
+    return static_cast<std::uint64_t>(_mm_movemask_epi8(eq)) & 0xff;
+#elif defined(DOMINO_SIMD_NEON)
+    const uint8x8_t g = vld1_u8(group);
+    const uint8x8_t eq = vceq_u8(g, vdup_n_u8(0));
+    const std::uint64_t m =
+        vget_lane_u64(vreinterpret_u64_u8(eq), 0);
+    return m & 0x0101010101010101ULL;
+#else
+    return detail::zeroByteBits(detail::loadLe64(group));
+#endif
+}
+
+/** Byte index of the first set mask bit (mask must be nonzero). */
+inline std::size_t
+maskFirst(std::uint64_t mask)
+{
+#if defined(DOMINO_SIMD_SSE2)
+    return static_cast<std::size_t>(std::countr_zero(mask));
+#else
+    return static_cast<std::size_t>(std::countr_zero(mask)) >> 3;
+#endif
+}
+
+/** Clear the first (lowest byte index) set mask bit. */
+inline std::uint64_t
+maskClearFirst(std::uint64_t mask)
+{
+    return mask & (mask - 1);
+}
+
+/**
+ * Restrict @p mask to byte positions strictly before the first set
+ * bit of @p ref (all of @p mask when @p ref is zero).  Used to stop
+ * a probe chain at the first empty control byte.
+ */
+inline std::uint64_t
+maskBelowFirst(std::uint64_t mask, std::uint64_t ref)
+{
+    if (!ref)
+        return mask;
+    return mask & ((ref & (~ref + 1)) - 1);
+}
+
+/**
+ * First index i < @p n with lanes[i] == @p key, else @p n.  The
+ * workhorse of the packed EIT row probe: one vector compare over the
+ * contiguous tag lane.
+ */
+inline std::size_t
+findEqU64(const std::uint64_t *lanes, std::size_t n,
+          std::uint64_t key)
+{
+    std::size_t i = 0;
+#if defined(DOMINO_SIMD_AVX2)
+    const __m256i k4 = _mm256_set1_epi64x(
+        static_cast<long long>(key));
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(lanes + i));
+        const int m = _mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(v, k4)));
+        if (m)
+            return i + static_cast<std::size_t>(
+                std::countr_zero(static_cast<unsigned>(m)));
+    }
+#elif defined(DOMINO_SIMD_SSE2)
+    // SSE2 has no 64-bit compare; match both 32-bit halves.
+    const __m128i k2 = _mm_set1_epi64x(static_cast<long long>(key));
+    for (; i + 2 <= n; i += 2) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(lanes + i));
+        const int m = _mm_movemask_epi8(_mm_cmpeq_epi32(v, k2));
+        if ((m & 0x00ff) == 0x00ff)
+            return i;
+        if ((m & 0xff00) == 0xff00)
+            return i + 1;
+    }
+#elif defined(DOMINO_SIMD_NEON)
+    const uint64x2_t k2 = vdupq_n_u64(key);
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t v = vld1q_u64(lanes + i);
+        const uint64x2_t eq = vceqq_u64(v, k2);
+        if (vgetq_lane_u64(eq, 0))
+            return i;
+        if (vgetq_lane_u64(eq, 1))
+            return i + 1;
+    }
+#endif
+    for (; i < n; ++i) {
+        if (lanes[i] == key)
+            return i;
+    }
+    return n;
+}
+
+} // namespace domino::simd
+
+#endif // DOMINO_COMMON_SIMD_H

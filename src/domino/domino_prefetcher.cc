@@ -104,15 +104,19 @@ DominoPrefetcher::startEmbryo(LineAddr line, PrefetchSink &sink)
     // off-chip round trip).
     ++counts.eitLookups;
     ++meta.readBlocks;
-    const SuperEntry *super = eit.lookup(line);
-    if (!super || super->entries.empty())
+    const EnhancedIndexTable::SuperView super = eit.lookup(line);
+    const std::size_t found = super ? super.size() : 0;
+    if (found == 0)
         return;
 
     Stream &stream = allocateSlot(sink);
     stream.embryonic = true;
     stream.trigger = line;
-    stream.entries.assign(super->entries.begin(),
-                          super->entries.end());
+    stream.entries.clear();
+    stream.entries.reserve(found);
+    for (std::size_t i = 0; i < found; ++i)
+        stream.entries.push_back(EitEntry{super.next(i),
+                                          super.pos(i)});
     ++counts.embryosCreated;
     lastEmbryoId = stream.id;
 
@@ -191,7 +195,7 @@ DominoPrefetcher::audit() const
         if (s.embryonic) {
             if (s.trigger == invalidAddr)
                 return "embryonic stream without a trigger";
-            if (s.entries.size() > cfg.eit.entriesPerSuper)
+            if (s.entries.size() > eit.entriesPerSuper())
                 return "embryonic stream holds more entries than "
                     "the EIT geometry allows";
         } else {
@@ -214,8 +218,8 @@ DominoPrefetcher::audit() const
 }
 
 void
-DominoPrefetcher::onTrigger(const TriggerEvent &event,
-                            PrefetchSink &sink)
+DominoPrefetcher::step(const TriggerEvent &event,
+                       PrefetchSink &sink)
 {
     const LineAddr line = event.line;
 

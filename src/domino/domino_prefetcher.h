@@ -83,8 +83,33 @@ class DominoPrefetcher : public Prefetcher
     explicit DominoPrefetcher(const DominoConfig &config);
 
     std::string name() const override { return "Domino"; }
-    void onTrigger(const TriggerEvent &event,
-                   PrefetchSink &sink) override;
+
+    void
+    onTrigger(const TriggerEvent &event, PrefetchSink &sink) override
+    {
+        step(event, sink);
+    }
+
+    /** Batched == scalar (one virtual call, non-virtual steps,
+     *  next event's EIT row prefetched inside the batch). */
+    void
+    trainPredictMany(std::span<const TriggerEvent> events,
+                     PrefetchSink &sink) override
+    {
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            if (i + 1 < events.size())
+                eit.prefetchRow(events[i + 1].line);
+            step(events[i], sink);
+        }
+    }
+
+    /** Pull the EIT row a trigger for @p line would probe. */
+    void
+    warmMetadata(LineAddr line, Addr pc) const override
+    {
+        (void)pc;
+        eit.prefetchRow(line);
+    }
 
     /**
      * Verify stream-slot invariants (unique ids, embryonic entry
@@ -119,6 +144,8 @@ class DominoPrefetcher : public Prefetcher
         bool ended = false;
     };
 
+    /** The scalar trigger step (shared by both entry points). */
+    void step(const TriggerEvent &event, PrefetchSink &sink);
     void record(LineAddr line, bool stream_start);
     Stream *findById(std::uint32_t id);
     Stream &allocateSlot(PrefetchSink &sink);

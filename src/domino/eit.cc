@@ -1,5 +1,6 @@
 #include "eit.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -22,29 +23,48 @@ ceilPow2(std::uint64_t x)
 } // namespace
 
 EnhancedIndexTable::EnhancedIndexTable(const EitConfig &config)
-    : cfg(config), rowMask(ceilPow2(cfg.rows ? cfg.rows : 1) - 1)
+    : cfg(config), rowMask(ceilPow2(cfg.rows ? cfg.rows : 1) - 1),
+      supers(cfg.supersPerRow ? cfg.supersPerRow : 1),
+      ents(cfg.entriesPerSuper ? cfg.entriesPerSuper : 1),
+      rowWords(supers * (1 + 2 * static_cast<std::size_t>(ents)))
 {
-    // Pre-size the whole geometry.  Rows start as empty LruSets
-    // (32 bytes, no heap storage), so this costs ~rows * 32 B up
-    // front and makes every later row access a plain array index.
-    table.assign(rowMask + 1, Row(cfg.supersPerRow));
+    // One null pointer per row up front (8 B each); the packed row
+    // blocks are allocated on first update, so cold rows cost
+    // nothing beyond the pointer.
+    table.resize(rowMask + 1);
 }
 
-std::uint64_t
-EnhancedIndexTable::rowIndex(LineAddr tag) const
-{
-    return mix64(tag) & rowMask;
-}
-
-const SuperEntry *
+EnhancedIndexTable::SuperView
 EnhancedIndexTable::lookup(LineAddr tag) const
 {
-    const Row &row = table[rowIndex(tag)];
-    const std::size_t idx = row.find(
-        [&](const SuperEntry &s) { return s.tag == tag; });
-    if (idx == row.size())
-        return nullptr;
-    return &row.at(idx);
+    // invalidAddr is the empty-slot sentinel; it can never be
+    // stored, so it can never be found.
+    if (tag == invalidAddr)
+        return SuperView{};
+    const std::uint64_t *row = table[rowIndex(tag)].get();
+    if (!row)
+        return SuperView{};
+    const std::size_t s = simd::findEqU64(row, supers, tag);
+    if (s == supers)
+        return SuperView{};
+    return SuperView(tag, nextLaneOf(row, s), posLaneOf(row, s),
+                     ents);
+}
+
+void
+EnhancedIndexTable::rotateToFront(std::uint64_t *row,
+                                  std::size_t idx) const
+{
+    if (idx == 0)
+        return;
+    // Physical MRU-first order: bring way idx to lane position 0,
+    // sliding ways [0, idx) down one -- exactly LruSet's
+    // move-to-front, applied to each lane.
+    std::rotate(row, row + idx, row + idx + 1);
+    std::uint64_t *nexts = nextLaneOf(row, 0);
+    std::rotate(nexts, nexts + idx * ents, nexts + (idx + 1) * ents);
+    std::uint64_t *poss = posLaneOf(row, 0);
+    std::rotate(poss, poss + idx * ents, poss + (idx + 1) * ents);
 }
 
 void
@@ -53,32 +73,57 @@ EnhancedIndexTable::update(LineAddr tag, LineAddr next,
 {
     DCHECK_NE(tag, invalidAddr);
     DCHECK_NE(next, invalidAddr);
-    Row &row = table[rowIndex(tag)];
-    if (row.empty())
+    std::unique_ptr<std::uint64_t[]> &slot = table[rowIndex(tag)];
+    if (!slot) {
+        slot = std::make_unique<std::uint64_t[]>(rowWords);
+        // Tag and next lanes start empty (invalidAddr sentinels),
+        // pos lanes zeroed -- the audited rest state.
+        std::uint64_t *fresh = slot.get();
+        const std::size_t addrWords =
+            supers + static_cast<std::size_t>(supers) * ents;
+        std::fill(fresh, fresh + addrWords, invalidAddr);
+        std::fill(fresh + addrWords, fresh + rowWords, 0);
         ++touchedCnt;
+    }
+    std::uint64_t *row = slot.get();
 
-    std::size_t idx = row.find(
-        [&](const SuperEntry &s) { return s.tag == tag; });
-    if (idx == row.size()) {
-        SuperEntry fresh;
-        fresh.tag = tag;
-        fresh.entries.setCapacity(cfg.entriesPerSuper);
-        if (row.insert(std::move(fresh)))
+    std::size_t s = simd::findEqU64(row, supers, tag);
+    if (s == supers) {
+        // Not present: take the first empty way, else evict the LRU
+        // (physically last) way, and install the fresh super-entry
+        // at the MRU position.
+        std::size_t victim = simd::findEqU64(row, supers,
+                                             invalidAddr);
+        if (victim == supers) {
+            victim = supers - 1;
             ++superEvictCnt;
-        idx = 0;
+        }
+        rotateToFront(row, victim);
+        row[0] = tag;
+        std::uint64_t *nl = nextLaneOf(row, 0);
+        std::uint64_t *pl = posLaneOf(row, 0);
+        std::fill(nl, nl + ents, invalidAddr);
+        std::fill(pl, pl + ents, 0);
     } else {
-        row.touch(idx);
-        idx = 0;
+        rotateToFront(row, s);
     }
 
-    SuperEntry &super = row.at(idx);
-    const std::size_t e = super.entries.find(
-        [&](const EitEntry &entry) { return entry.next == next; });
-    if (e == super.entries.size()) {
-        super.entries.insert(EitEntry{next, pos});
+    // Entry level, within the now-MRU super-entry.
+    std::uint64_t *nl = nextLaneOf(row, 0);
+    std::uint64_t *pl = posLaneOf(row, 0);
+    const std::size_t e = simd::findEqU64(nl, ents, next);
+    if (e == ents) {
+        std::size_t victim = simd::findEqU64(nl, ents, invalidAddr);
+        if (victim == ents)
+            victim = ents - 1;
+        std::rotate(nl, nl + victim, nl + victim + 1);
+        std::rotate(pl, pl + victim, pl + victim + 1);
+        nl[0] = next;
+        pl[0] = pos;
     } else {
-        super.entries.at(e).pos = pos;
-        super.entries.touch(e);
+        std::rotate(nl, nl + e, nl + e + 1);
+        std::rotate(pl, pl + e, pl + e + 1);
+        pl[0] = pos;
     }
 }
 
@@ -87,51 +132,86 @@ EnhancedIndexTable::audit(std::uint64_t ht_positions) const
 {
     if (table.size() != rowMask + 1)
         return "row vector size drifted from rounded geometry";
-    std::size_t non_empty = 0;
+    std::size_t allocated = 0;
     for (std::uint64_t row_idx = 0; row_idx < table.size();
          ++row_idx) {
-        const Row &row = table[row_idx];
-        if (row.empty())
+        const std::uint64_t *row = table[row_idx].get();
+        if (!row)
             continue;
-        ++non_empty;
+        ++allocated;
         const std::string where =
             "row " + std::to_string(row_idx) + ": ";
-        if (row.capacity() != cfg.supersPerRow)
-            return where + "capacity drifted from supersPerRow";
-        if (row.size() > cfg.supersPerRow)
-            return where + "holds more super-entries than ways";
+
+        // Tag lane: a contiguous, non-empty prefix of unique tags
+        // that hash to this row.
+        std::size_t live = supers;
+        for (std::size_t s = 0; s < supers; ++s) {
+            if (row[s] == invalidAddr) {
+                live = s;
+                break;
+            }
+        }
+        if (live == 0)
+            return where + "allocated row with an empty tag lane";
+        for (std::size_t s = live; s < supers; ++s) {
+            if (row[s] != invalidAddr)
+                return where + "tag lane not contiguous (valid tag "
+                    "behind an empty slot)";
+        }
         std::unordered_set<LineAddr> tags;
-        for (const SuperEntry &super : row) {
-            if (super.tag == invalidAddr)
-                return where + "invalid super-entry tag";
-            if (rowIndex(super.tag) != row_idx)
+        for (std::size_t s = 0; s < live; ++s) {
+            if (rowIndex(row[s]) != row_idx)
                 return where + "super-entry tag hashes elsewhere";
-            if (!tags.insert(super.tag).second)
+            if (!tags.insert(row[s]).second)
                 return where + "duplicate super-entry tag";
-            if (super.entries.capacity() != cfg.entriesPerSuper)
-                return where + "entry capacity drifted";
-            if (super.entries.size() > cfg.entriesPerSuper)
-                return where + "super-entry holds more than " +
-                    std::to_string(cfg.entriesPerSuper) + " entries";
+        }
+
+        // Entry lanes: consistent with the tag lane in both
+        // directions -- live ways hold a contiguous non-empty
+        // prefix of unique successors, empty ways hold nothing.
+        for (std::size_t s = 0; s < supers; ++s) {
+            const std::uint64_t *nl = nextLaneOf(row, s);
+            const std::uint64_t *pl = posLaneOf(row, s);
+            std::size_t ecnt = ents;
+            for (std::size_t e = 0; e < ents; ++e) {
+                if (nl[e] == invalidAddr) {
+                    ecnt = e;
+                    break;
+                }
+            }
+            for (std::size_t e = ecnt; e < ents; ++e) {
+                if (nl[e] != invalidAddr)
+                    return where + "entry lane not contiguous "
+                        "(valid successor behind an empty slot)";
+                if (pl[e] != 0)
+                    return where + "stale HT pointer behind an "
+                        "empty entry slot";
+            }
+            if (s >= live) {
+                if (ecnt != 0)
+                    return where + "entry lanes behind an empty "
+                        "tag slot";
+                continue;
+            }
+            if (ecnt == 0)
+                return where + "live super-entry with no entries";
             std::unordered_set<LineAddr> nexts;
-            for (const EitEntry &entry : super.entries) {
-                if (entry.next == invalidAddr)
-                    return where + "invalid successor address";
-                if (!nexts.insert(entry.next).second)
+            for (std::size_t e = 0; e < ecnt; ++e) {
+                if (!nexts.insert(nl[e]).second)
                     return where + "duplicate successor in "
                         "super-entry";
-                if (entry.pos >= ht_positions)
+                if (pl[e] >= ht_positions)
                     return where + "HT pointer " +
-                        std::to_string(entry.pos) +
+                        std::to_string(pl[e]) +
                         " out of range (>= " +
                         std::to_string(ht_positions) + ")";
             }
         }
     }
-    if (non_empty != touchedCnt)
+    if (allocated != touchedCnt)
         return "touched-row counter drifted from table contents "
                "(counter " + std::to_string(touchedCnt) +
-               ", non-empty rows " + std::to_string(non_empty) + ")";
+               ", allocated rows " + std::to_string(allocated) + ")";
     return "";
 }
 

@@ -17,27 +17,37 @@
  * of a stream after a single off-chip round trip (the successor is
  * right there in the fetched row).
  *
- * Storage is a flat row vector of the configured geometry, matching
- * the fixed bucketised table the paper describes: rows are rounded
- * up to a power of two so indexing is a single mask
- * (mix64(tag) & rowMask), and the vector is pre-sized at
- * construction.  Untouched rows are empty LruSets (no heap
- * allocation until first use), so capacity behaviour is unchanged
- * from the earlier lazily-materialised map while every row access
- * is one array index instead of a hash-map probe.  All geometries
- * used by the factory, benches, and tests are already powers of
- * two, for which the mask is bit-identical to the previous
- * `mix64(tag) % rows`.
+ * Storage is structure-of-arrays: each row is one packed 64-bit
+ * word block laid out as
+ *
+ *   [ tag lane: supersPerRow words |
+ *     next lane: supersPerRow x entriesPerSuper words |
+ *     pos  lane: supersPerRow x entriesPerSuper words ]
+ *
+ * so the row probe is a single vector compare over the contiguous
+ * tag lane (src/common/simd.h) instead of a pointer chase through
+ * list nodes.  LRU order is *physical*: lane position 0 is the MRU
+ * way and rotation on touch/insert preserves exactly the
+ * move-to-front semantics of LruSet.  Occupancy is implicit --
+ * empty tag/entry slots hold invalidAddr and every lane keeps its
+ * valid prefix contiguous (the audit checks both directions of the
+ * tag-lane <-> entry-lane consistency).  Row blocks are allocated
+ * lazily on first update, so an untouched row costs one null
+ * pointer; rows are rounded up to a power of two so indexing is a
+ * single mask (mix64(tag) & rowMask).  Degenerate geometries are
+ * clamped: rows, supersPerRow and entriesPerSuper are each treated
+ * as at least 1.
  */
 
 #ifndef DOMINO_DOMINO_EIT_H
 #define DOMINO_DOMINO_EIT_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "common/lru.h"
+#include "common/simd.h"
 #include "common/types.h"
 
 namespace domino
@@ -50,13 +60,6 @@ struct EitEntry
     LineAddr next = invalidAddr;
     /** HT position of the tag's occurrence. */
     std::uint64_t pos = 0;
-};
-
-/** A tag plus its LRU-ordered successor entries. */
-struct SuperEntry
-{
-    LineAddr tag = invalidAddr;
-    LruSet<EitEntry> entries;
 };
 
 /** Geometry of the EIT. */
@@ -72,12 +75,56 @@ struct EitConfig
 };
 
 /**
- * The EIT proper: a pre-sized flat array of rows indexed by a mask
- * of the mixed tag.
+ * The EIT proper: lazily allocated packed SoA rows indexed by a
+ * mask of the mixed tag.
  */
 class EnhancedIndexTable
 {
   public:
+    /**
+     * Read-only view of one super-entry inside a packed row, as
+     * returned by lookup().  Entries are MRU first; size() is the
+     * length of the valid prefix.  The view borrows the row storage
+     * and is invalidated by the next update().
+     */
+    class SuperView
+    {
+      public:
+        SuperView() = default;
+
+        /** True when lookup() found the tag. */
+        explicit operator bool() const { return nextLane != nullptr; }
+
+        LineAddr tag() const { return tagVal; }
+
+        /** Number of valid entries (MRU-first prefix length). */
+        std::size_t
+        size() const
+        {
+            return simd::findEqU64(nextLane, cap, invalidAddr);
+        }
+
+        /** Successor address of entry @p i (i < size()). */
+        LineAddr next(std::size_t i) const { return nextLane[i]; }
+
+        /** HT position of entry @p i (i < size()). */
+        std::uint64_t pos(std::size_t i) const { return posLane[i]; }
+
+      private:
+        friend class EnhancedIndexTable;
+
+        SuperView(LineAddr tag, const std::uint64_t *nexts,
+                  const std::uint64_t *poss, std::size_t capacity)
+            : tagVal(tag), nextLane(nexts), posLane(poss),
+              cap(capacity)
+        {}
+
+        LineAddr tagVal = invalidAddr;
+        const std::uint64_t *nextLane = nullptr;
+        const std::uint64_t *posLane = nullptr;
+        std::size_t cap = 0;
+    };
+
     explicit EnhancedIndexTable(const EitConfig &config);
 
     /**
@@ -85,9 +132,9 @@ class EnhancedIndexTable
      * fetching the row.  Does not modify LRU state (replay works on
      * the fetched copy; recency is updated by the record path).
      *
-     * @return pointer to the super-entry, or nullptr.
+     * @return a view of the super-entry; false-y when absent.
      */
-    const SuperEntry *lookup(LineAddr tag) const;
+    SuperView lookup(LineAddr tag) const;
 
     /**
      * Record that @p tag was followed by @p next with the tag at HT
@@ -96,10 +143,29 @@ class EnhancedIndexTable
      */
     void update(LineAddr tag, LineAddr next, std::uint64_t pos);
 
+    /**
+     * Hint the cache hierarchy to pull the row of @p tag ahead of a
+     * coming lookup()/update() (lookahead software prefetch).  Pure
+     * hint: no observable effect on any result.
+     */
+    void
+    prefetchRow(LineAddr tag) const
+    {
+        const std::uint64_t *row = table[rowIndex(tag)].get();
+        if (row)
+            simd::prefetchRead(row);
+    }
+
     const EitConfig &config() const { return cfg; }
 
     /** Actual row count after power-of-two rounding. */
     std::uint64_t rows() const { return rowMask + 1; }
+
+    /** Actual ways per row after clamping (>= 1). */
+    unsigned supersPerRow() const { return supers; }
+
+    /** Actual entries per super-entry after clamping (>= 1). */
+    unsigned entriesPerSuper() const { return ents; }
 
     /** Number of rows ever written (diagnostics). */
     std::size_t touchedRows() const { return touchedCnt; }
@@ -110,11 +176,13 @@ class EnhancedIndexTable
     /**
      * Verify the table's structural invariants: the row vector
      * matches the rounded geometry and the touched-row counter;
-     * every row holds at most supersPerRow super-entries with
-     * unique, correctly-hashed, valid tags; every super-entry holds
-     * at most entriesPerSuper entries with unique successor
-     * addresses; and, when @p ht_positions is given, every HT
-     * pointer is in range (pos < ht_positions).
+     * every allocated row keeps a contiguous, non-empty prefix of
+     * unique, correctly-hashed tags in its tag lane; entry lanes
+     * are consistent with the tag lane (a live super-entry has a
+     * contiguous, non-empty prefix of unique successors, an empty
+     * tag slot has fully empty entry lanes with zeroed positions);
+     * and, when @p ht_positions is given, every HT pointer is in
+     * range (pos < ht_positions).
      *
      * @return empty string if OK, else a description of the first
      *         violation (same contract as
@@ -123,16 +191,51 @@ class EnhancedIndexTable
     std::string audit(std::uint64_t ht_positions = ~0ULL) const;
 
   private:
-    using Row = LruSet<SuperEntry>;
-
     /** Test-only backdoor for corrupting the table in audit tests. */
     friend struct EitTestPeer;
 
-    std::uint64_t rowIndex(LineAddr tag) const;
+    std::uint64_t
+    rowIndex(LineAddr tag) const
+    {
+        return mix64(tag) & rowMask;
+    }
+
+    /** Move super-entry @p idx of @p row to the MRU position. */
+    void rotateToFront(std::uint64_t *row, std::size_t idx) const;
+
+    std::uint64_t *nextLaneOf(std::uint64_t *row, std::size_t s) const
+    {
+        return row + supers + s * ents;
+    }
+
+    std::uint64_t *posLaneOf(std::uint64_t *row, std::size_t s) const
+    {
+        return row + supers + static_cast<std::size_t>(supers) * ents +
+            s * ents;
+    }
+
+    const std::uint64_t *
+    nextLaneOf(const std::uint64_t *row, std::size_t s) const
+    {
+        return row + supers + s * ents;
+    }
+
+    const std::uint64_t *
+    posLaneOf(const std::uint64_t *row, std::size_t s) const
+    {
+        return row + supers + static_cast<std::size_t>(supers) * ents +
+            s * ents;
+    }
 
     EitConfig cfg;
     std::uint64_t rowMask;
-    std::vector<Row> table;
+    /** Clamped geometry (>= 1 each). */
+    unsigned supers;
+    unsigned ents;
+    /** Words per row block: supers * (1 + 2 * ents). */
+    std::size_t rowWords;
+    /** Lazily allocated packed row blocks (null = untouched row). */
+    std::vector<std::unique_ptr<std::uint64_t[]>> table;
     std::size_t touchedCnt = 0;
     std::uint64_t superEvictCnt = 0;
 };

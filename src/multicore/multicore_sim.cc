@@ -184,6 +184,16 @@ class CoreState : public PrefetchSink
         event.line = line;
         event.pc = pc;
 
+        // On the zero-copy image path, software-prefetch the
+        // metadata row of the *upcoming* access (ReplayCursor
+        // lookahead) while this trigger's buffer probe and fill
+        // run.  Pure cache hint -- byte-identical results with or
+        // without it.
+        if (pf && img && !cursor.done()) {
+            const std::size_t ahead = cursor.peek();
+            pf->warmMetadata(img->lineAt(ahead), img->pcAt(ahead));
+        }
+
         const PrefetchBuffer::HitInfo hit = buffer.lookup(line);
         if (hit.hit) {
             ++result.covered;

@@ -4,7 +4,7 @@ namespace domino
 {
 
 void
-IsbPrefetcher::onTrigger(const TriggerEvent &event, PrefetchSink &sink)
+IsbPrefetcher::step(const TriggerEvent &event, PrefetchSink &sink)
 {
     const Addr pc = event.pc;
     const LineAddr line = event.line;

@@ -36,8 +36,25 @@ class IsbPrefetcher : public Prefetcher
     explicit IsbPrefetcher(const IsbConfig &config) : cfg(config) {}
 
     std::string name() const override { return "ISB"; }
-    void onTrigger(const TriggerEvent &event,
-                   PrefetchSink &sink) override;
+
+    void
+    onTrigger(const TriggerEvent &event, PrefetchSink &sink) override
+    {
+        step(event, sink);
+    }
+
+    /** Batched == scalar with one virtual call and non-virtual
+     *  steps.  Dispatch amortisation only: the per-PC maps are
+     *  small and cache-resident, so row-warming hints (which is
+     *  why warmMetadata is left as the no-op default here) cost
+     *  more than they hide. */
+    void
+    trainPredictMany(std::span<const TriggerEvent> events,
+                     PrefetchSink &sink) override
+    {
+        for (const TriggerEvent &event : events)
+            step(event, sink);
+    }
 
     /** Number of distinct PCs trained (diagnostics). */
     std::size_t trainedPcs() const { return lastByPc.size(); }
@@ -59,6 +76,9 @@ class IsbPrefetcher : public Prefetcher
     }
 
   private:
+    /** The scalar trigger step (shared by both entry points). */
+    void step(const TriggerEvent &event, PrefetchSink &sink);
+
     IsbConfig cfg;
     /** Per-PC successor map: addr -> next addr for that PC.
      *  Flat maps: behaviour never depends on iteration order. */

@@ -14,6 +14,7 @@
 #define DOMINO_PREFETCH_PREFETCHER_H
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "common/types.h"
@@ -92,6 +93,37 @@ class Prefetcher
     /** Handle one triggering event, possibly issuing prefetches. */
     virtual void onTrigger(const TriggerEvent &event,
                            PrefetchSink &sink) = 0;
+
+    /**
+     * Handle a batch of triggering events, exactly equivalent to
+     * calling onTrigger() once per event in order (the batched ==
+     * scalar contract, asserted by tests/test_batched_api.cc).
+     * The default loops the scalar virtual; techniques with hot
+     * metadata tables override it to amortise the per-event virtual
+     * dispatch and to software-prefetch the next event's metadata
+     * row inside the batch (DESIGN.md "Metadata kernels").
+     */
+    virtual void
+    trainPredictMany(std::span<const TriggerEvent> events,
+                     PrefetchSink &sink)
+    {
+        for (const TriggerEvent &event : events)
+            onTrigger(event, sink);
+    }
+
+    /**
+     * Hint that a triggering event for (@p line, @p pc) is coming:
+     * software-prefetch whatever metadata row the technique would
+     * touch first.  Pure cache hint -- no observable effect on any
+     * result -- so the simulators may call it speculatively from
+     * their replay lookahead.  The default does nothing.
+     */
+    virtual void
+    warmMetadata(LineAddr line, Addr pc) const
+    {
+        (void)line;
+        (void)pc;
+    }
 
     /** Off-chip metadata traffic so far (zero for on-chip designs). */
     virtual MetadataStats metadata() const { return meta; }

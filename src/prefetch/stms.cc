@@ -84,7 +84,7 @@ StmsPrefetcher::advanceStream(ActiveStream &stream, PrefetchSink &sink)
 }
 
 void
-StmsPrefetcher::onTrigger(const TriggerEvent &event, PrefetchSink &sink)
+StmsPrefetcher::step(const TriggerEvent &event, PrefetchSink &sink)
 {
     if (event.wasPrefetchHit) {
         record(event.line, false);

@@ -33,8 +33,33 @@ class StmsPrefetcher : public Prefetcher
     explicit StmsPrefetcher(const TemporalConfig &config);
 
     std::string name() const override { return "STMS"; }
-    void onTrigger(const TriggerEvent &event,
-                   PrefetchSink &sink) override;
+
+    void
+    onTrigger(const TriggerEvent &event, PrefetchSink &sink) override
+    {
+        step(event, sink);
+    }
+
+    /** Batched == scalar (one virtual call, non-virtual steps,
+     *  next event's index row prefetched inside the batch). */
+    void
+    trainPredictMany(std::span<const TriggerEvent> events,
+                     PrefetchSink &sink) override
+    {
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            if (i + 1 < events.size())
+                it.prefetchKey(events[i + 1].line);
+            step(events[i], sink);
+        }
+    }
+
+    /** Pull the index-table slot a trigger for @p line probes. */
+    void
+    warmMetadata(LineAddr line, Addr pc) const override
+    {
+        (void)pc;
+        it.prefetchKey(line);
+    }
 
     /**
      * Structural invariants of the metadata tables: the HT log,
@@ -47,6 +72,8 @@ class StmsPrefetcher : public Prefetcher
     std::uint64_t streamsStarted() const { return streamsStartedCnt; }
 
   private:
+    /** The scalar trigger step (shared by both entry points). */
+    void step(const TriggerEvent &event, PrefetchSink &sink);
     void record(LineAddr line, bool stream_start);
     void startStream(LineAddr line, PrefetchSink &sink);
     void advanceStream(ActiveStream &stream, PrefetchSink &sink);

@@ -105,7 +105,7 @@ VldpPrefetcher::issueChain(std::uint64_t page,
 }
 
 void
-VldpPrefetcher::onTrigger(const TriggerEvent &event, PrefetchSink &sink)
+VldpPrefetcher::step(const TriggerEvent &event, PrefetchSink &sink)
 {
     const std::uint64_t page = pageOfLine(event.line);
     const auto offset =

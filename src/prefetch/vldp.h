@@ -41,8 +41,23 @@ class VldpPrefetcher : public Prefetcher
     explicit VldpPrefetcher(const VldpConfig &config);
 
     std::string name() const override { return "VLDP"; }
-    void onTrigger(const TriggerEvent &event,
-                   PrefetchSink &sink) override;
+
+    void
+    onTrigger(const TriggerEvent &event, PrefetchSink &sink) override
+    {
+        step(event, sink);
+    }
+
+    /** Batched == scalar: VLDP's tables are small and on-chip, so
+     *  the override only amortises the per-event virtual dispatch
+     *  (one virtual call per batch, non-virtual steps). */
+    void
+    trainPredictMany(std::span<const TriggerEvent> events,
+                     PrefetchSink &sink) override
+    {
+        for (const TriggerEvent &event : events)
+            step(event, sink);
+    }
 
     /**
      * Structural invariants of the DHB/OPT/DPT tables: fixed
@@ -75,6 +90,9 @@ class VldpPrefetcher : public Prefetcher
     }
 
   private:
+    /** The scalar trigger step (shared by both entry points). */
+    void step(const TriggerEvent &event, PrefetchSink &sink);
+
     struct DhbEntry
     {
         std::uint64_t page = 0;

@@ -1,0 +1,7 @@
+#include <immintrin.h>
+
+inline int probe(const long long *p)
+{
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+    return _mm_movemask_epi8(v);
+}

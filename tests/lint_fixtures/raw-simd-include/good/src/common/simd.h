@@ -1,0 +1,10 @@
+// The one place raw intrinsic headers are allowed: the dispatch
+// header itself.
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace domino::simd
+{
+unsigned long matchZero(const unsigned char *p);
+} // namespace domino::simd

@@ -1,0 +1,6 @@
+#include "common/simd.h"
+
+inline unsigned long probe(const unsigned char *p)
+{
+    return domino::simd::matchZero(p);
+}

@@ -37,21 +37,32 @@ struct EitTestPeer
     {
         return eit.rowIndex(tag);
     }
-    /** The row holding @p tag's super-entries (flat-vector layout). */
-    static auto &
+    /** The packed row block holding @p tag (null if untouched).
+     *  Word 0..supers-1 is the tag lane. */
+    static std::uint64_t *
     rowOf(EnhancedIndexTable &eit, LineAddr tag)
     {
-        return eit.table[eit.rowIndex(tag)];
+        return eit.table[eit.rowIndex(tag)].get();
     }
-    /** The first populated row (for corruption tests that only need
+    /** The first allocated row (for corruption tests that only need
      *  some occupied row). */
-    static auto &
-    firstNonEmptyRow(EnhancedIndexTable &eit)
+    static std::uint64_t *
+    firstAllocatedRow(EnhancedIndexTable &eit)
     {
         for (auto &row : eit.table)
-            if (!row.empty())
-                return row;
-        return eit.table.front();
+            if (row)
+                return row.get();
+        return nullptr;
+    }
+    static std::uint64_t *
+    nextLane(EnhancedIndexTable &eit, std::uint64_t *row, unsigned s)
+    {
+        return eit.nextLaneOf(row, s);
+    }
+    static std::uint64_t *
+    posLane(EnhancedIndexTable &eit, std::uint64_t *row, unsigned s)
+    {
+        return eit.posLaneOf(row, s);
     }
 };
 
@@ -129,15 +140,25 @@ TEST(EitAudit, CleanAfterHeavyUse)
     EXPECT_EQ(eit.audit(/*ht_positions=*/400), "");
 }
 
+/** Second tag that lands in the same row as @p anchor. */
+LineAddr
+sameRowTag(EnhancedIndexTable &eit, LineAddr anchor)
+{
+    LineAddr other = anchor + 1;
+    while (EitTestPeer::rowIndex(eit, other) !=
+           EitTestPeer::rowIndex(eit, anchor)) {
+        ++other;
+    }
+    return other;
+}
+
 TEST(EitAudit, CatchesDuplicateTags)
 {
-    EnhancedIndexTable eit = populatedEit();
-    for (auto &row : EitTestPeer::table(eit)) {
-        if (row.size() < 2)
-            continue;
-        row.at(1).tag = row.at(0).tag;
-        break;
-    }
+    EnhancedIndexTable eit(smallEit());
+    eit.update(10, 11, 1);
+    eit.update(sameRowTag(eit, 10), 12, 2);
+    std::uint64_t *row = EitTestPeer::rowOf(eit, 10);
+    row[1] = row[0];
     EXPECT_NE(eit.audit().find("duplicate super-entry tag"),
               std::string::npos);
 }
@@ -146,37 +167,116 @@ TEST(EitAudit, CatchesMisplacedTag)
 {
     EnhancedIndexTable eit(smallEit());
     eit.update(10, 11, 1);
-    auto &row = EitTestPeer::rowOf(eit, 10);
+    std::uint64_t *row = EitTestPeer::rowOf(eit, 10);
     // Find a tag that hashes to a different row and plant it here.
     LineAddr alien = 10;
     while (EitTestPeer::rowIndex(eit, alien) ==
            EitTestPeer::rowIndex(eit, 10)) {
         ++alien;
     }
-    row.at(0).tag = alien;
+    row[0] = alien;
     EXPECT_NE(eit.audit().find("hashes elsewhere"),
               std::string::npos);
 }
 
-TEST(EitAudit, CatchesInvalidTag)
+TEST(EitAudit, CatchesEmptyTagLane)
 {
     EnhancedIndexTable eit(smallEit());
     eit.update(10, 11, 1);
-    EitTestPeer::rowOf(eit, 10).at(0).tag = invalidAddr;
-    EXPECT_NE(eit.audit().find("invalid super-entry tag"),
+    // Blank the only live tag: the row block stays allocated with
+    // its entry payload, but no way claims it.
+    EitTestPeer::rowOf(eit, 10)[0] = invalidAddr;
+    EXPECT_NE(eit.audit().find("empty tag lane"),
               std::string::npos);
 }
 
-TEST(EitAudit, CatchesEntryOverflow)
+TEST(EitAudit, CatchesTagLaneGap)
+{
+    // Three ways in one row so a hole can sit between live tags
+    // (blanking the MRU way would read as an empty tag lane).
+    EitConfig cfg = smallEit();
+    cfg.rows = 1;
+    cfg.supersPerRow = 3;
+    EnhancedIndexTable eit(cfg);
+    eit.update(1, 11, 1);
+    eit.update(2, 12, 2);
+    eit.update(3, 13, 3);
+    // Punch a hole in the valid prefix: way 1 empty, way 2 live.
+    EitTestPeer::rowOf(eit, 1)[1] = invalidAddr;
+    EXPECT_NE(eit.audit().find("tag lane not contiguous"),
+              std::string::npos);
+}
+
+TEST(EitAudit, CatchesEntryLaneGap)
+{
+    EnhancedIndexTable eit(smallEit());
+    eit.update(10, 20, 1);
+    eit.update(10, 21, 2);
+    std::uint64_t *row = EitTestPeer::rowOf(eit, 10);
+    // Two valid successors; blank the MRU one (position too, so the
+    // hole is clean), leaving the second stranded behind it.
+    EitTestPeer::nextLane(eit, row, 0)[0] = invalidAddr;
+    EitTestPeer::posLane(eit, row, 0)[0] = 0;
+    EXPECT_NE(eit.audit().find("entry lane not contiguous"),
+              std::string::npos);
+}
+
+TEST(EitAudit, CatchesStaleHtPointerBehindEmptySlot)
+{
+    EnhancedIndexTable eit(smallEit());
+    eit.update(10, 20, 5);
+    std::uint64_t *row = EitTestPeer::rowOf(eit, 10);
+    // A nonzero position under an empty next slot: the lanes
+    // disagree about which entries exist.
+    EitTestPeer::posLane(eit, row, 0)[1] = 7;
+    EXPECT_NE(eit.audit().find("stale HT pointer"),
+              std::string::npos);
+}
+
+TEST(EitAudit, CatchesEntriesBehindEmptyTagSlot)
+{
+    EnhancedIndexTable eit(smallEit());
+    eit.update(10, 20, 1);
+    std::uint64_t *row = EitTestPeer::rowOf(eit, 10);
+    // Way 1's tag slot is empty, yet its entry lane claims a
+    // successor: tag lane and entry lanes are inconsistent.
+    EitTestPeer::nextLane(eit, row, 1)[0] = 33;
+    EXPECT_NE(eit.audit().find("entry lanes behind an empty tag"),
+              std::string::npos);
+}
+
+TEST(EitAudit, CatchesLiveSuperWithNoEntries)
+{
+    EnhancedIndexTable eit(smallEit());
+    eit.update(10, 20, 1);
+    std::uint64_t *row = EitTestPeer::rowOf(eit, 10);
+    // The converse direction: a live tag whose entry lane is empty
+    // (updates always install at least one entry).
+    EitTestPeer::nextLane(eit, row, 0)[0] = invalidAddr;
+    EitTestPeer::posLane(eit, row, 0)[0] = 0;
+    EXPECT_NE(eit.audit().find("no entries"), std::string::npos);
+}
+
+TEST(EitAudit, CatchesDuplicateSuccessor)
+{
+    EnhancedIndexTable eit(smallEit());
+    eit.update(10, 20, 1);
+    eit.update(10, 21, 2);
+    std::uint64_t *row = EitTestPeer::rowOf(eit, 10);
+    std::uint64_t *nl = EitTestPeer::nextLane(eit, row, 0);
+    nl[1] = nl[0];
+    EXPECT_NE(eit.audit().find("duplicate successor"),
+              std::string::npos);
+}
+
+TEST(EitAudit, CatchesTouchedCounterDrift)
 {
     EnhancedIndexTable eit(smallEit());
     eit.update(10, 11, 1);
-    auto &super = EitTestPeer::rowOf(eit, 10).at(0);
-    super.entries.setCapacity(99);
-    for (LineAddr next = 20; next < 26; ++next)
-        super.entries.insert(EitEntry{next, 2});
-    const std::string report = eit.audit();
-    EXPECT_NE(report.find("capacity drifted"), std::string::npos);
+    // Free the row block behind the counter's back.
+    EitTestPeer::table(eit)[EitTestPeer::rowIndex(eit, 10)].reset();
+    EXPECT_NE(eit.audit().find("touched-row counter drifted"),
+              std::string::npos);
 }
 
 TEST(EitAudit, CatchesHtPointerOutOfRange)
@@ -461,13 +561,14 @@ TEST(DominoAudit, CatchesCorruptedEmbeddedEit)
 
     EnhancedIndexTable &eit = DominoTestPeer::eit(domino);
     ASSERT_GT(eit.touchedRows(), 0u);
-    auto &row = EitTestPeer::firstNonEmptyRow(eit);
-    ASSERT_GT(row.size(), 0u);
-    row.at(0).tag = invalidAddr;
+    std::uint64_t *row = EitTestPeer::firstAllocatedRow(eit);
+    ASSERT_NE(row, nullptr);
+    // Blank the MRU tag: either the row goes tag-less or a live way
+    // is stranded behind the hole -- both are tag-lane violations.
+    row[0] = invalidAddr;
     const std::string report = domino.audit();
     EXPECT_NE(report.find("EIT:"), std::string::npos);
-    EXPECT_NE(report.find("invalid super-entry tag"),
-              std::string::npos);
+    EXPECT_NE(report.find("tag lane"), std::string::npos);
 }
 
 TEST(SimulatorAuditDeathTest, SampledAuditCatchesCorruptionMidRun)
@@ -483,9 +584,19 @@ TEST(SimulatorAuditDeathTest, SampledAuditCatchesCorruptionMidRun)
 
     EnhancedIndexTable &eit = DominoTestPeer::eit(domino);
     ASSERT_GT(eit.touchedRows(), 0u);
-    auto &row = EitTestPeer::firstNonEmptyRow(eit);
-    ASSERT_GT(row.size(), 0u);
-    row.at(0).tag = invalidAddr;
+    // Corrupt durably: a blanked tag self-repairs on the next
+    // insert to the row (the hole becomes the victim way), but a
+    // freed row block leaves the touched-row counter drifted no
+    // matter what later updates do.
+    bool freed = false;
+    for (auto &row : EitTestPeer::table(eit)) {
+        if (row) {
+            row.reset();
+            freed = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(freed);
 
     // > 2048 further misses guarantee a sampled audit fires.
     TraceBuffer rest;
@@ -496,7 +607,7 @@ TEST(SimulatorAuditDeathTest, SampledAuditCatchesCorruptionMidRun)
             CoverageSimulator fresh;
             fresh.run(rest, &domino);
         },
-        "invalid super-entry tag");
+        "touched-row counter drifted");
 }
 
 } // anonymous namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The batched == scalar contract of
+ * Prefetcher::trainPredictMany(): for every technique -- and in
+ * particular for the ones that override the default loop (Domino,
+ * STMS, ISB, VLDP) -- feeding a trigger stream through the batched
+ * entry point must produce exactly the sink-call sequence of the
+ * per-event onTrigger() loop, for any batch partitioning.  The
+ * intra-batch metadata software prefetch the overrides add is a
+ * pure cache hint, so it must never show through here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/factory.h"
+#include "common/prng.h"
+#include "prefetch/prefetcher.h"
+
+namespace domino
+{
+namespace
+{
+
+/** Records every sink call, in order, with all arguments. */
+struct RecordingSink : PrefetchSink
+{
+    /** (is_issue, line-or-stream, stream_id, metadata_trips). */
+    using Call =
+        std::tuple<bool, std::uint64_t, std::uint32_t, unsigned>;
+    std::vector<Call> calls;
+
+    void
+    issue(LineAddr line, std::uint32_t stream_id,
+          unsigned metadata_trips) override
+    {
+        calls.emplace_back(true, line, stream_id, metadata_trips);
+    }
+
+    void
+    dropStream(std::uint32_t stream_id) override
+    {
+        calls.emplace_back(false, stream_id, stream_id, 0u);
+    }
+};
+
+/** A miss-heavy pseudo-trigger stream with recurring sequences so
+ *  the temporal techniques actually replay (issue + dropStream). */
+std::vector<TriggerEvent>
+makeTriggers(std::uint64_t seed, std::size_t count)
+{
+    Prng rng(seed);
+    std::vector<TriggerEvent> events;
+    events.reserve(count);
+    while (events.size() < count) {
+        // A short repeating loop with occasional random breaks:
+        // temporal history forms, streams start, streams die.
+        const LineAddr base = 1000 + rng.below(8) * 100;
+        const std::size_t lap = 4 + rng.below(12);
+        for (std::size_t i = 0; i < lap && events.size() < count;
+             ++i) {
+            TriggerEvent ev;
+            ev.line = base + i;
+            ev.pc = 0x400000 + (base % 7) * 4;
+            events.push_back(ev);
+        }
+        if (rng.below(4) == 0 && events.size() < count) {
+            TriggerEvent noise;
+            noise.line = 50'000 + rng.below(10'000);
+            noise.pc = 0x500000 + rng.below(64) * 4;
+            events.push_back(noise);
+        }
+    }
+    return events;
+}
+
+FactoryConfig
+smallConfig()
+{
+    FactoryConfig cfg;
+    cfg.htEntries = 1 << 12;
+    cfg.eitRows = 1 << 10;
+    return cfg;
+}
+
+class BatchedApiTest : public ::testing::TestWithParam<
+                           std::tuple<std::string, std::uint64_t>>
+{};
+
+TEST_P(BatchedApiTest, BatchedMatchesScalarLoop)
+{
+    const auto &[name, seed] = GetParam();
+    const std::vector<TriggerEvent> events =
+        makeTriggers(seed, 3000);
+
+    std::unique_ptr<Prefetcher> scalar =
+        makePrefetcher(name, smallConfig());
+    std::unique_ptr<Prefetcher> batched =
+        makePrefetcher(name, smallConfig());
+    ASSERT_NE(scalar, nullptr);
+    ASSERT_NE(batched, nullptr);
+
+    RecordingSink want;
+    for (const TriggerEvent &ev : events)
+        scalar->onTrigger(ev, want);
+
+    // Feed the same stream in randomly-sized batches (including
+    // size-1 and empty ones) -- the partitioning must not matter.
+    RecordingSink got;
+    Prng rng(seed ^ 0xba7c4);
+    std::span<const TriggerEvent> rest(events);
+    while (!rest.empty()) {
+        const std::size_t take = std::min<std::size_t>(
+            rest.size(), rng.below(17));
+        batched->trainPredictMany(rest.subspan(0, take), got);
+        rest = rest.subspan(take);
+    }
+
+    EXPECT_EQ(got.calls, want.calls) << name << " seed " << seed;
+    const MetadataStats sm = scalar->metadata();
+    const MetadataStats bm = batched->metadata();
+    EXPECT_EQ(bm.readBlocks, sm.readBlocks);
+    EXPECT_EQ(bm.writeBlocks, sm.writeBlocks);
+    EXPECT_EQ(batched->audit(), "");
+}
+
+TEST_P(BatchedApiTest, WarmMetadataHasNoObservableEffect)
+{
+    const auto &[name, seed] = GetParam();
+    const std::vector<TriggerEvent> events =
+        makeTriggers(seed, 1500);
+
+    std::unique_ptr<Prefetcher> plain =
+        makePrefetcher(name, smallConfig());
+    std::unique_ptr<Prefetcher> warmed =
+        makePrefetcher(name, smallConfig());
+    ASSERT_NE(plain, nullptr);
+    ASSERT_NE(warmed, nullptr);
+
+    RecordingSink want;
+    RecordingSink got;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        plain->onTrigger(events[i], want);
+        // Spray hints around, including for events that never come.
+        warmed->warmMetadata(events[i].line, events[i].pc);
+        if (i + 1 < events.size())
+            warmed->warmMetadata(events[i + 1].line,
+                                 events[i + 1].pc);
+        warmed->warmMetadata(events[i].line + 12345, 0);
+        warmed->onTrigger(events[i], got);
+    }
+    EXPECT_EQ(got.calls, want.calls) << name << " seed " << seed;
+    EXPECT_EQ(warmed->audit(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OverridingTechniques, BatchedApiTest,
+    ::testing::Combine(
+        // Every trainPredictMany/warmMetadata override, plus one
+        // default-implementation technique as a control.
+        ::testing::Values("Domino", "STMS", "ISB", "VLDP",
+                          "NextLine"),
+        ::testing::Values(std::uint64_t{1}, std::uint64_t{7})),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // anonymous namespace
+} // namespace domino

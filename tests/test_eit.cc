@@ -2,7 +2,8 @@
  * @file
  * Unit tests for the Enhanced Index Table: super-entry/entry
  * allocation, LRU order at both levels, pointer updates, row
- * capacity pressure, and lazy row accounting.
+ * capacity pressure, and lazy row accounting -- all through the
+ * packed-SoA lookup view.
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +19,8 @@ namespace domino
 namespace
 {
 
+using SuperView = EnhancedIndexTable::SuperView;
+
 EitConfig
 smallConfig()
 {
@@ -28,10 +31,22 @@ smallConfig()
     return cfg;
 }
 
+/** First entry index of @p s whose successor is @p next, else
+ *  s.size() -- the view-level equivalent of LruSet::find. */
+std::size_t
+findNext(const SuperView &s, LineAddr next)
+{
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s.next(i) == next)
+            return i;
+    }
+    return s.size();
+}
+
 TEST(Eit, LookupMissOnEmpty)
 {
     EnhancedIndexTable eit(smallConfig());
-    EXPECT_EQ(eit.lookup(42), nullptr);
+    EXPECT_FALSE(eit.lookup(42));
     EXPECT_EQ(eit.touchedRows(), 0u);
 }
 
@@ -39,12 +54,12 @@ TEST(Eit, UpdateThenLookup)
 {
     EnhancedIndexTable eit(smallConfig());
     eit.update(10, 11, 100);
-    const SuperEntry *s = eit.lookup(10);
-    ASSERT_NE(s, nullptr);
-    EXPECT_EQ(s->tag, 10u);
-    ASSERT_EQ(s->entries.size(), 1u);
-    EXPECT_EQ(s->entries.at(0).next, 11u);
-    EXPECT_EQ(s->entries.at(0).pos, 100u);
+    const SuperView s = eit.lookup(10);
+    ASSERT_TRUE(s);
+    EXPECT_EQ(s.tag(), 10u);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.next(0), 11u);
+    EXPECT_EQ(s.pos(0), 100u);
 }
 
 TEST(Eit, EntryPointerUpdatedInPlace)
@@ -52,10 +67,10 @@ TEST(Eit, EntryPointerUpdatedInPlace)
     EnhancedIndexTable eit(smallConfig());
     eit.update(10, 11, 100);
     eit.update(10, 11, 200);  // same successor, newer position
-    const SuperEntry *s = eit.lookup(10);
-    ASSERT_NE(s, nullptr);
-    ASSERT_EQ(s->entries.size(), 1u);
-    EXPECT_EQ(s->entries.at(0).pos, 200u);
+    const SuperView s = eit.lookup(10);
+    ASSERT_TRUE(s);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.pos(0), 200u);
 }
 
 TEST(Eit, EntriesKeptInRecencyOrder)
@@ -64,16 +79,16 @@ TEST(Eit, EntriesKeptInRecencyOrder)
     eit.update(10, 11, 1);
     eit.update(10, 12, 2);
     eit.update(10, 13, 3);
-    const SuperEntry *s = eit.lookup(10);
-    ASSERT_NE(s, nullptr);
-    ASSERT_EQ(s->entries.size(), 3u);
-    EXPECT_EQ(s->entries.at(0).next, 13u);  // MRU
-    EXPECT_EQ(s->entries.at(2).next, 11u);  // LRU
+    SuperView s = eit.lookup(10);
+    ASSERT_TRUE(s);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.next(0), 13u);  // MRU
+    EXPECT_EQ(s.next(2), 11u);  // LRU
 
     // Re-touching an old successor promotes it.
     eit.update(10, 11, 4);
     s = eit.lookup(10);
-    EXPECT_EQ(s->entries.at(0).next, 11u);
+    EXPECT_EQ(s.next(0), 11u);
 }
 
 TEST(Eit, EntryLruEvictionAtCapacity)
@@ -83,12 +98,11 @@ TEST(Eit, EntryLruEvictionAtCapacity)
     eit.update(10, 12, 2);
     eit.update(10, 13, 3);
     eit.update(10, 14, 4);  // evicts 11
-    const SuperEntry *s = eit.lookup(10);
-    ASSERT_EQ(s->entries.size(), 3u);
-    EXPECT_EQ(s->entries.find([](const EitEntry &e) {
-        return e.next == 11;
-    }), s->entries.size());
-    EXPECT_EQ(s->entries.at(0).next, 14u);
+    const SuperView s = eit.lookup(10);
+    ASSERT_TRUE(s);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(findNext(s, 11), s.size());
+    EXPECT_EQ(s.next(0), 14u);
 }
 
 TEST(Eit, SuperEntryLruWithinRow)
@@ -99,14 +113,14 @@ TEST(Eit, SuperEntryLruWithinRow)
     EnhancedIndexTable eit(cfg);
     eit.update(1, 100, 1);
     eit.update(2, 200, 2);
-    ASSERT_NE(eit.lookup(1), nullptr);
-    ASSERT_NE(eit.lookup(2), nullptr);
+    ASSERT_TRUE(eit.lookup(1));
+    ASSERT_TRUE(eit.lookup(2));
     // Touch tag 1 so tag 2 becomes LRU, then insert tag 3.
     eit.update(1, 101, 3);
     eit.update(3, 300, 4);
-    EXPECT_NE(eit.lookup(1), nullptr);
-    EXPECT_EQ(eit.lookup(2), nullptr);  // evicted
-    EXPECT_NE(eit.lookup(3), nullptr);
+    EXPECT_TRUE(eit.lookup(1));
+    EXPECT_FALSE(eit.lookup(2));  // evicted
+    EXPECT_TRUE(eit.lookup(3));
     EXPECT_EQ(eit.superEvictions(), 1u);
 }
 
@@ -115,12 +129,12 @@ TEST(Eit, DistinctTagsDistinctSuperEntries)
     EnhancedIndexTable eit(smallConfig());
     eit.update(10, 11, 1);
     eit.update(20, 21, 2);
-    const SuperEntry *a = eit.lookup(10);
-    const SuperEntry *b = eit.lookup(20);
-    ASSERT_NE(a, nullptr);
-    ASSERT_NE(b, nullptr);
-    EXPECT_EQ(a->entries.at(0).next, 11u);
-    EXPECT_EQ(b->entries.at(0).next, 21u);
+    const SuperView a = eit.lookup(10);
+    const SuperView b = eit.lookup(20);
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(a.next(0), 11u);
+    EXPECT_EQ(b.next(0), 21u);
 }
 
 TEST(Eit, TouchedRowsGrowLazily)
@@ -142,15 +156,36 @@ TEST(Eit, ManyRowsNoCrosstalk)
     for (LineAddr t = 0; t < 5000; ++t)
         eit.update(t, t * 2 + 1, t);
     for (LineAddr t = 0; t < 5000; ++t) {
-        const SuperEntry *s = eit.lookup(t);
+        const SuperView s = eit.lookup(t);
         // With 64 K rows and 2+ supers per row, evictions are rare;
         // verify content where present.
-        if (s) {
-            const std::size_t i = s->entries.find(
-                [&](const EitEntry &e) { return e.next == t * 2 + 1; });
-            EXPECT_LT(i, s->entries.size()) << "tag " << t;
-        }
+        if (s)
+            EXPECT_LT(findNext(s, t * 2 + 1), s.size())
+                << "tag " << t;
     }
+}
+
+TEST(Eit, PrefetchRowIsPureHint)
+{
+    EnhancedIndexTable eit(smallConfig());
+    eit.prefetchRow(10);  // cold row: no allocation, no effect
+    EXPECT_EQ(eit.touchedRows(), 0u);
+    eit.update(10, 11, 1);
+    eit.prefetchRow(10);  // warm row: still no observable effect
+    const SuperView s = eit.lookup(10);
+    ASSERT_TRUE(s);
+    EXPECT_EQ(s.next(0), 11u);
+    EXPECT_EQ(eit.touchedRows(), 1u);
+    EXPECT_EQ(eit.audit(), "");
+}
+
+TEST(Eit, InvalidTagNeverMatchesAnEmptySlot)
+{
+    // invalidAddr is the empty-slot sentinel of the packed tag
+    // lane; looking it up must miss, not alias a free way.
+    EnhancedIndexTable eit(smallConfig());
+    eit.update(10, 11, 1);
+    EXPECT_FALSE(eit.lookup(invalidAddr));
 }
 
 /**
@@ -214,19 +249,18 @@ TEST_P(EitPropertyTest, MatchesReferenceModel)
         ref.update(tag, next, op);
     }
     for (LineAddr tag = 0; tag < tags; ++tag) {
-        const SuperEntry *got = eit.lookup(tag);
+        const SuperView got = eit.lookup(tag);
         const auto *want = ref.lookup(tag);
         if (!want) {
-            EXPECT_EQ(got, nullptr) << "tag " << tag;
+            EXPECT_FALSE(got) << "tag " << tag;
             continue;
         }
-        ASSERT_NE(got, nullptr) << "tag " << tag;
-        ASSERT_EQ(got->entries.size(), want->size())
-            << "tag " << tag;
+        ASSERT_TRUE(got) << "tag " << tag;
+        ASSERT_EQ(got.size(), want->size()) << "tag " << tag;
         for (std::size_t i = 0; i < want->size(); ++i) {
-            EXPECT_EQ(got->entries.at(i).next, (*want)[i].first)
+            EXPECT_EQ(got.next(i), (*want)[i].first)
                 << "tag " << tag << " slot " << i;
-            EXPECT_EQ(got->entries.at(i).pos, (*want)[i].second)
+            EXPECT_EQ(got.pos(i), (*want)[i].second)
                 << "tag " << tag << " slot " << i;
         }
     }

@@ -22,6 +22,7 @@
 #include "analysis/coverage.h"
 #include "analysis/factory.h"
 #include "common/flat_map.h"
+#include "common/lru.h"
 #include "common/prng.h"
 #include "domino/eit.h"
 #include "trace/trace_cache.h"
@@ -325,11 +326,20 @@ ceilPow2(std::uint64_t x)
     return p;
 }
 
+/** The reference model's super-entry: the AoS node shape the real
+ *  table packed into SoA lanes, kept here as the oracle. */
+struct RefSuper
+{
+    LineAddr tag = invalidAddr;
+    LruSet<EitEntry> entries;
+};
+
 /**
  * Map-based reference EIT: rows live in an unordered_map keyed by
- * `mix64(tag) % rows` (modulo indexing, rows created on demand).
- * Shares the row/LRU semantics with the real table, so any
- * divergence isolates the flat storage + mask indexing.
+ * `mix64(tag) % rows` (modulo indexing, rows created on demand),
+ * each row an LruSet of AoS super-entries.  Shares the row/LRU
+ * semantics with the real table, so any divergence isolates the
+ * packed SoA storage + mask indexing.
  */
 struct ReferenceEit
 {
@@ -337,30 +347,30 @@ struct ReferenceEit
         : cfg(config), rows(ceilPow2(config.rows ? config.rows : 1))
     {}
 
-    LruSet<SuperEntry> &
+    LruSet<RefSuper> &
     rowFor(LineAddr tag)
     {
         return table
             .try_emplace(mix64(tag) % rows,
-                         LruSet<SuperEntry>(cfg.supersPerRow))
+                         LruSet<RefSuper>(cfg.supersPerRow))
             .first->second;
     }
 
     void
     update(LineAddr tag, LineAddr next, std::uint64_t pos)
     {
-        LruSet<SuperEntry> &row = rowFor(tag);
+        LruSet<RefSuper> &row = rowFor(tag);
         std::size_t idx = row.find(
-            [&](const SuperEntry &s) { return s.tag == tag; });
+            [&](const RefSuper &s) { return s.tag == tag; });
         if (idx == row.size()) {
-            SuperEntry fresh;
+            RefSuper fresh;
             fresh.tag = tag;
             fresh.entries.setCapacity(cfg.entriesPerSuper);
             row.insert(std::move(fresh));
         } else {
             row.touch(idx);
         }
-        SuperEntry &super = row.at(0);
+        RefSuper &super = row.at(0);
         const std::size_t e = super.entries.find(
             [&](const EitEntry &entry) {
                 return entry.next == next;
@@ -373,36 +383,37 @@ struct ReferenceEit
         }
     }
 
-    const SuperEntry *
+    const RefSuper *
     lookup(LineAddr tag) const
     {
         const auto it = table.find(mix64(tag) % rows);
         if (it == table.end())
             return nullptr;
-        const LruSet<SuperEntry> &row = it->second;
+        const LruSet<RefSuper> &row = it->second;
         const std::size_t idx = row.find(
-            [&](const SuperEntry &s) { return s.tag == tag; });
+            [&](const RefSuper &s) { return s.tag == tag; });
         return idx == row.size() ? nullptr : &row.at(idx);
     }
 
     EitConfig cfg;
     std::uint64_t rows;
-    std::unordered_map<std::uint64_t, LruSet<SuperEntry>> table;
+    std::unordered_map<std::uint64_t, LruSet<RefSuper>> table;
 };
 
 void
-expectSameEntry(const SuperEntry *got, const SuperEntry *want,
-                LineAddr tag)
+expectSameEntry(EnhancedIndexTable::SuperView got,
+                const RefSuper *want, LineAddr tag)
 {
-    ASSERT_EQ(got != nullptr, want != nullptr) << "tag " << tag;
-    if (!got)
+    ASSERT_EQ(static_cast<bool>(got), want != nullptr)
+        << "tag " << tag;
+    if (!want)
         return;
-    ASSERT_EQ(got->tag, want->tag);
-    ASSERT_EQ(got->entries.size(), want->entries.size());
-    for (std::size_t i = 0; i < got->entries.size(); ++i) {
-        EXPECT_EQ(got->entries.at(i).next, want->entries.at(i).next)
+    ASSERT_EQ(got.tag(), want->tag);
+    ASSERT_EQ(got.size(), want->entries.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got.next(i), want->entries.at(i).next)
             << "tag " << tag << " entry " << i;
-        EXPECT_EQ(got->entries.at(i).pos, want->entries.at(i).pos)
+        EXPECT_EQ(got.pos(i), want->entries.at(i).pos)
             << "tag " << tag << " entry " << i;
     }
 }
