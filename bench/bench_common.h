@@ -9,6 +9,7 @@
 #ifndef DOMINO_BENCH_BENCH_COMMON_H
 #define DOMINO_BENCH_BENCH_COMMON_H
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -160,6 +161,8 @@ systemFromCli(const CliArgs &args)
     sys.multicore.chargeMetadata = !args.getBool("free-metadata");
     sys.multicore.shardChunk = static_cast<std::uint32_t>(
         args.getU64("chunk", sys.multicore.shardChunk));
+    sys.multicore.occupancyWindow =
+        args.getU64("occ-window", sys.multicore.occupancyWindow);
     return sys;
 }
 
@@ -305,6 +308,13 @@ selectedWorkloads(const BenchOptions &opts, const CliArgs &args)
     for (const auto &p : serverSuite())
         if (opts.workload.empty() || p.name == opts.workload)
             full.push_back(p);
+    if (full.empty()) {
+        std::cerr << "unknown --workload \"" << opts.workload
+                  << "\"; valid names:\n";
+        for (const auto &p : serverSuite())
+            std::cerr << "  " << p.name << "\n";
+        std::exit(2);
+    }
     std::vector<WorkloadParams> out;
     for (std::size_t i = 0; i < full.size(); ++i)
         if (opts.shardSpec.owns(i))
@@ -416,6 +426,26 @@ defaultFactory(const CliArgs &args, unsigned degree,
         f.htEntries = 16ULL << 20;
         f.eitRows = 2ULL << 20;
     }
+    // Adaptive degree throttling (src/adaptive): --throttle wraps
+    // every constructed technique in a ThrottledPrefetcher; the
+    // remaining flags tune the AIMD controller.  Without --throttle
+    // no wrapper is built and output is byte-identical to the
+    // pre-adaptive harnesses.
+    f.throttle.enabled = args.getBool("throttle");
+    f.throttle.epochTriggers = static_cast<std::uint32_t>(
+        args.getU64("throttle-epoch", f.throttle.epochTriggers));
+    f.throttle.degreeMin = static_cast<std::uint32_t>(
+        args.getU64("degree-min", f.throttle.degreeMin));
+    f.throttle.degreeMax = static_cast<std::uint32_t>(args.getU64(
+        "degree-max",
+        std::max<std::uint64_t>(f.throttle.degreeMax, f.degree)));
+    f.throttle.accuracyLowPm = static_cast<std::uint32_t>(
+        args.getU64("acc-low", f.throttle.accuracyLowPm));
+    f.throttle.accuracyHighPm = static_cast<std::uint32_t>(
+        args.getU64("acc-high", f.throttle.accuracyHighPm));
+    f.throttle.occupancyHighPm = static_cast<std::uint32_t>(
+        args.getU64("occ-high", f.throttle.occupancyHighPm));
+    f.throttle.suppressMeta = args.getBool("suppress-meta");
     return f;
 }
 

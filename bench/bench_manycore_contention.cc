@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Many-core contention study (the regime the paper could not
+ * measure): one workload sharded across 1/4/8/16/32/64 cores on the
+ * multi-core substrate -- shared LLC, one contended off-chip channel
+ * charging demand fills *and* HT/EIT metadata traffic -- comparing
+ * Baseline, STMS, ISB, Domino, and Domino under the adaptive degree
+ * throttle (src/adaptive).
+ *
+ * Sharding one fixed-size trace keeps the total work constant
+ * across core counts, so walking up the core axis walks up the
+ * pressure on the single channel: by 32-64 cores the channel
+ * saturates, fixed-degree prefetching turns counterproductive
+ * (inaccurate fills and metadata trips queue ahead of demand), and
+ * the feedback-directed throttle's degree cuts show up as higher
+ * demand-bandwidth share and accuracy-weighted coverage --
+ * fig14/15-style columns, extended with the contention counters
+ * this PR adds (per-core metadata queueing, per-epoch occupancy).
+ *
+ * Columns per (workload, cores, technique) cell:
+ *   Speedup   system-IPC speedup over the no-prefetcher baseline at
+ *             the same core count;
+ *   Cov       aggregate coverage;
+ *   AccCov    accuracy-weighted coverage: coverage scaled by
+ *             useful / (useful + incorrect) prefetch bytes;
+ *   DemShare  demand-serving share of channel bytes
+ *             ((demand + useful prefetch) / total);
+ *   MetaShare metadata bytes over all off-chip bytes;
+ *   MQ/kinst  critical-path metadata queueing cycles per
+ *             kilo-instruction (the shared-HT/EIT contention
+ *             counter);
+ *   GB/s      achieved channel bandwidth over the makespan;
+ *   Util      channel busy cycles over the makespan;
+ *   OccP95    95th-percentile per-window channel occupancy from the
+ *             per-epoch export (--occ-window cycles per window).
+ *
+ * --shared runs one HT/EIT instance over the union of all cores'
+ * trigger streams; --cores N restricts the sweep to one core count;
+ * --throttle-epoch / --degree-min / --degree-max / --acc-low /
+ * --acc-high / --occ-high / --suppress-meta tune the throttled
+ * column's controller (the column is always throttled; the plain
+ * Domino column is the fixed-degree control).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "adaptive/throttled_prefetcher.h"
+#include "analysis/multicore_report.h"
+
+using namespace domino;
+using namespace domino::bench;
+
+namespace
+{
+
+/** One cell's flattened measurements. */
+struct ContentionCell
+{
+    double systemIpc = 0.0;
+    double coverage = 0.0;
+    double accuracyWeightedCoverage = 0.0;
+    double demandShare = 0.0;
+    double metaShare = 0.0;
+    double metaQueuePerKiloInst = 0.0;
+    double bandwidthGBs = 0.0;
+    double utilisation = 0.0;
+    std::uint32_t occP95Pm = 0;
+};
+
+ContentionCell
+runOne(const WorkloadParams &wl, const std::string &tech,
+       const CliArgs &args, const BenchOptions &opts,
+       SystemConfig sys, unsigned cores, std::uint64_t seed,
+       std::uint64_t accesses)
+{
+    sys.cores = cores;
+    std::string name = tech;
+    FactoryConfig factory = defaultFactory(args, 4, seed);
+    // As in bench_multicore_scaling, the paper's tuned sampling
+    // probability is the honest default for a traffic study.
+    if (!args.has("sampling"))
+        factory.samplingProb = 0.125;
+    if (name == "Domino+throttle") {
+        name = "Domino";
+        factory.throttle.enabled = true;
+        // The throttled column runs the full adaptive design,
+        // metadata suppression included: past the degree floor the
+        // dominant channel load is trigger-driven HT/EIT traffic,
+        // which only suppression can shed (defaultFactory leaves it
+        // opt-in for the generic --throttle flag).
+        factory.throttle.suppressMeta = true;
+    }
+
+    std::shared_ptr<const ReplayImage> image;
+    std::vector<StreamingTraceSource> shardStreams;
+    if (opts.stream) {
+        shardStreams.reserve(cores);
+        for (unsigned c = 0; c < cores; ++c) {
+            shardStreams.push_back(streamedShard(
+                opts, wl, seed, accesses, cores, c,
+                sys.multicore.shardChunk));
+        }
+    } else {
+        image = cachedReplayImage(wl, seed, accesses);
+    }
+
+    const MetadataScope scope = sys.multicore.sharedMetadata
+        ? MetadataScope::Shared : MetadataScope::Private;
+    PrefetcherSet set = makePrefetcherSet(name, factory, cores,
+                                          scope);
+
+    std::vector<CoreBinding> bindings;
+    for (unsigned c = 0; c < cores; ++c) {
+        CoreBinding binding;
+        if (opts.stream)
+            binding.source = &shardStreams[c];
+        else {
+            binding.image = image.get();
+            binding.imageCore = c;
+        }
+        binding.prefetcher = set.perCore[c];
+        binding.observer = set.observers[c];
+        binding.mlpFactor = wl.mlpFactor;
+        binding.instPerAccess = wl.instPerAccess;
+        bindings.push_back(binding);
+    }
+
+    MultiCoreSim sim(sys);
+    const MultiCoreResult result = sim.run(bindings);
+    for (const StreamingTraceSource &s : shardStreams)
+        CHECK(s.audit().empty());
+    if (factory.throttle.enabled) {
+        for (const auto &p : set.owned)
+            CHECK_EQ(p->audit(), "");
+    }
+    const MulticoreSummary s =
+        summarizeMulticore(result, sys.mem.coreGhz);
+
+    ContentionCell cell;
+    cell.systemIpc = s.systemIpc;
+    cell.coverage = s.aggregateCoverage;
+    const std::uint64_t useful = s.traffic.usefulPrefetchBytes;
+    const std::uint64_t incorrect = s.traffic.incorrectPrefetchBytes;
+    cell.accuracyWeightedCoverage = useful + incorrect
+        ? s.aggregateCoverage * static_cast<double>(useful) /
+            static_cast<double>(useful + incorrect)
+        : s.aggregateCoverage;
+    const std::uint64_t total = s.traffic.totalBytes();
+    cell.demandShare = total
+        ? static_cast<double>(s.traffic.demandBytes + useful) /
+            static_cast<double>(total)
+        : 0.0;
+    cell.metaShare = s.metadataShare;
+    const std::uint64_t inst = result.totalInstructions();
+    cell.metaQueuePerKiloInst = inst
+        ? 1000.0 *
+            static_cast<double>(result.totalMetaQueueCycles()) /
+            static_cast<double>(inst)
+        : 0.0;
+    cell.bandwidthGBs = s.bandwidthGBs;
+    cell.utilisation = s.channelUtilization;
+    cell.occP95Pm = result.occupancyPercentilePm(95);
+    return cell;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const BenchOptions opts = BenchOptions::fromCli(args);
+    SystemConfig sys = systemFromCli(args);
+    // Per-epoch occupancy export on by default here (it is this
+    // study's saturation evidence); --occ-window overrides.
+    if (!args.has("occ-window"))
+        sys.multicore.occupancyWindow = 4096;
+
+    std::vector<unsigned> coreCounts = {1, 4, 8, 16, 32, 64};
+    if (args.has("cores"))
+        coreCounts = {sys.cores};
+
+    const std::vector<std::string> techniques =
+        {"Baseline", "STMS", "ISB", "Domino", "Domino+throttle"};
+
+    banner("Many-core contention: 1-64 cores, shared channel, "
+           "adaptive degree throttling", opts);
+
+    const auto workloads = selectedWorkloads(opts, args);
+    // Config axis: (core count, technique), core-count-major.
+    const std::size_t configs =
+        coreCounts.size() * techniques.size();
+
+    const auto cells = runWorkloadGrid(
+        opts, workloads, configs,
+        [&](const WorkloadParams &wl, std::size_t config,
+            std::uint64_t seed) {
+            const unsigned cores =
+                coreCounts[config / techniques.size()];
+            const std::string &tech =
+                techniques[config % techniques.size()];
+            return runOne(wl, tech == "Baseline" ? "" : tech, args,
+                          opts, sys, cores, seed, opts.accesses);
+        });
+
+    TextTable table({"Workload", "Cores", "Prefetcher", "Speedup",
+                     "Cov", "AccCov", "DemShare", "MetaShare",
+                     "MQ/kinst", "GB/s", "Util", "OccP95"});
+    std::vector<GeoMean> gmean(configs);
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (std::size_t cc = 0; cc < coreCounts.size(); ++cc) {
+            const std::size_t group = cc * techniques.size();
+            const ContentionCell &base =
+                cells[w * configs + group];
+            for (std::size_t t = 0; t < techniques.size(); ++t) {
+                const ContentionCell &cell =
+                    cells[w * configs + group + t];
+                const double speedup = base.systemIpc > 0.0
+                    ? cell.systemIpc / base.systemIpc : 0.0;
+                gmean[group + t].add(speedup);
+                table.newRow();
+                table.cell(workloads[w].name);
+                table.cell(std::to_string(coreCounts[cc]));
+                table.cell(techniques[t]);
+                table.cellPct(speedup - 1.0);
+                table.cellPct(cell.coverage);
+                table.cellPct(cell.accuracyWeightedCoverage);
+                table.cellPct(cell.demandShare);
+                table.cellPct(cell.metaShare);
+                table.cell(cell.metaQueuePerKiloInst);
+                table.cell(cell.bandwidthGBs);
+                table.cellPct(cell.utilisation);
+                table.cellPct(
+                    static_cast<double>(cell.occP95Pm) / 1000.0);
+            }
+        }
+    }
+
+    for (std::size_t cc = 0; cc < coreCounts.size(); ++cc) {
+        for (std::size_t t = 1; t < techniques.size(); ++t) {
+            table.newRow();
+            table.cell("GMean");
+            table.cell(std::to_string(coreCounts[cc]));
+            table.cell(techniques[t]);
+            table.cellPct(
+                gmean[cc * techniques.size() + t].value() - 1.0);
+            for (int pad = 0; pad < 8; ++pad)
+                table.cell("");
+        }
+    }
+
+    emit(table, opts);
+    return 0;
+}

@@ -163,17 +163,25 @@ main(int argc, char **argv)
     // --- Multicore runs: Domino over the sharded image with the
     // charged off-chip channel (the whole-substrate hot path of
     // bench_multicore_scaling), at the default 4-core geometry, at
-    // 8 cores (the index-heap scheduler), and with a shared HT/EIT.
+    // 8 cores (the index-heap scheduler), with a shared HT/EIT, at
+    // 16 cores (the many-core contention regime), and at 32 cores
+    // under the adaptive degree throttle (src/adaptive), so neither
+    // the heap scheduler at scale nor the wrapper's interposed
+    // issue path can silently regress.
     const auto multicoreCell = [&](const std::string &name,
-                                   unsigned cores, bool shared) {
+                                   unsigned cores, bool shared,
+                                   bool throttled) {
         cells.push_back(timeCell(name, n, repeats, [&, cores,
-                                                    shared] {
+                                                    shared,
+                                                    throttled] {
             SystemConfig sys;
             sys.cores = cores;
             sys.llcBytes = 512 * 1024;
             sys.multicore.sharedMetadata = shared;
+            FactoryConfig fc = f;
+            fc.throttle.enabled = throttled;
             PrefetcherSet set = makePrefetcherSet(
-                "Domino", f, sys.cores,
+                "Domino", fc, sys.cores,
                 shared ? MetadataScope::Shared
                        : MetadataScope::Private);
             std::vector<CoreBinding> bindings;
@@ -182,15 +190,19 @@ main(int argc, char **argv)
                 binding.image = &image;
                 binding.imageCore = c;
                 binding.prefetcher = set.perCore[c];
+                binding.observer = set.observers[c];
                 bindings.push_back(binding);
             }
             MultiCoreSim sim(sys);
             sink = sink + sim.run(bindings).traffic.totalBytes();
         }));
     };
-    multicoreCell("multicore_4core_Domino", 4, false);
-    multicoreCell("multicore_8core_Domino", 8, false);
-    multicoreCell("multicore_4core_shared_Domino", 4, true);
+    multicoreCell("multicore_4core_Domino", 4, false, false);
+    multicoreCell("multicore_8core_Domino", 8, false, false);
+    multicoreCell("multicore_4core_shared_Domino", 4, true, false);
+    multicoreCell("multicore_16core_Domino", 16, false, false);
+    multicoreCell("multicore_32core_throttled_Domino", 32, false,
+                  true);
 
     // --- EIT micro-ops at the factory geometry, over a tag working
     // set sized like a bench trace's trigger footprint.

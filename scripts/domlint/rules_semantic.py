@@ -193,8 +193,9 @@ LAYERING_DAG: dict[str, set[str]] = {
     "domino": {"common", "prefetch"},
     "sim": {"common", "trace", "mem", "prefetch"},
     "multicore": {"common", "trace", "mem", "prefetch", "sim"},
+    "adaptive": {"common", "prefetch", "multicore"},
     "analysis": {"common", "trace", "mem", "prefetch", "domino",
-                 "sequitur", "sim", "multicore"},
+                 "sequitur", "sim", "multicore", "adaptive"},
 }
 
 INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')

@@ -1,0 +1,73 @@
+#include "degree_controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace domino
+{
+
+DegreeController::DegreeController(const ThrottleConfig &config)
+    : cfg(config), deg(config.degreeMax)
+{
+    CHECK_GE(cfg.degreeMin, 1u);
+    CHECK_LE(cfg.degreeMin, cfg.degreeMax);
+    CHECK_GE(cfg.epochTriggers, 1u);
+}
+
+void
+DegreeController::closeEpoch(const ThrottleEpochStats &epoch)
+{
+    // Per-mille accuracy of the *forwarded* prefetches.  Useful hits
+    // may exceed the epoch's own issues (they can stem from the
+    // previous epoch's fills), so cap at 1000.
+    const std::uint64_t accuracyPm = epoch.issued
+        ? std::min<std::uint64_t>(
+              1000, epoch.useful * 1000 / epoch.issued)
+        : 1000;
+    const std::uint64_t latePm =
+        epoch.useful ? epoch.late * 1000 / epoch.useful : 0;
+
+    const bool pressured = epoch.occupancyPm > cfg.occupancyHighPm;
+    const bool inaccurate =
+        epoch.issued > 0 && accuracyPm < cfg.accuracyLowPm;
+
+    if (pressured || inaccurate) {
+        deg = std::max(cfg.degreeMin, deg / 2);
+        ++nDecreases;
+        // Suppression is a last resort: only when halving has
+        // bottomed out and the channel is still saturated.
+        suppress =
+            cfg.suppressMeta && pressured && deg == cfg.degreeMin;
+    } else if (accuracyPm >= cfg.accuracyHighPm &&
+               latePm <= cfg.lateHighPm) {
+        deg = std::min(cfg.degreeMax, deg + 1);
+        ++nIncreases;
+        suppress = false;
+    } else {
+        ++nHolds;
+        suppress = false;
+    }
+    ++nEpochs;
+}
+
+std::string
+DegreeController::audit() const
+{
+    if (deg < cfg.degreeMin || deg > cfg.degreeMax) {
+        return "degree " + std::to_string(deg) + " outside [" +
+            std::to_string(cfg.degreeMin) + ", " +
+            std::to_string(cfg.degreeMax) + "]";
+    }
+    if (nIncreases + nDecreases + nHolds != nEpochs) {
+        return "transition counters " +
+            std::to_string(nIncreases + nDecreases + nHolds) +
+            " do not sum to the epoch count " +
+            std::to_string(nEpochs);
+    }
+    if (suppress && !cfg.suppressMeta)
+        return "suppression engaged but not configured";
+    return "";
+}
+
+} // namespace domino

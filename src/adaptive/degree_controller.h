@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The feedback-directed degree controller of the adaptive prefetch
+ * subsystem (DESIGN.md "Adaptive prefetch control"): an AIMD state
+ * machine that turns per-epoch accuracy, timeliness, and channel
+ * occupancy into an effective prefetch degree.
+ *
+ * All state and arithmetic are integer-only (per-mille thresholds,
+ * truncating division): a run at fixed configuration visits exactly
+ * the same controller states in the same order regardless of
+ * --jobs, SIMD width, or streaming tier, so the adaptive runs keep
+ * the repo's byte-identical determinism contract.  This is the same
+ * design pressure that keeps the samplers on counter-free integer
+ * PRNGs -- floating-point controller state would accumulate
+ * rounding that varies with evaluation order.
+ */
+
+#ifndef DOMINO_ADAPTIVE_DEGREE_CONTROLLER_H
+#define DOMINO_ADAPTIVE_DEGREE_CONTROLLER_H
+
+#include <cstdint>
+#include <string>
+
+namespace domino
+{
+
+/**
+ * Configuration of the throttle wrapper and its controller.
+ * Defaults follow the AIMD literature (and Triangel's thresholds in
+ * spirit): react hard to inaccuracy or channel saturation, recover
+ * additively.
+ */
+struct ThrottleConfig
+{
+    /** Master switch: disabled = the wrapper is a pass-through and
+     *  every result byte matches the unwrapped prefetcher. */
+    bool enabled = false;
+    /** Triggering events per controller epoch. */
+    std::uint32_t epochTriggers = 256;
+    /** Degree floor (multiplicative decrease stops here). */
+    std::uint32_t degreeMin = 1;
+    /** Degree ceiling (additive increase stops here); the wrapped
+     *  prefetcher is built with this degree and the wrapper clamps
+     *  per-trigger issues down to the controller's current value. */
+    std::uint32_t degreeMax = 8;
+    /** Below this per-mille accuracy the degree halves. */
+    std::uint32_t accuracyLowPm = 400;
+    /** At or above this per-mille accuracy (and no channel
+     *  pressure) the degree grows by one. */
+    std::uint32_t accuracyHighPm = 700;
+    /** Channel occupancy (per mille of the epoch's cycles) above
+     *  which the channel counts as pressured: the degree halves
+     *  regardless of accuracy. */
+    std::uint32_t occupancyHighPm = 850;
+    /** Late hits per mille of useful hits above which the degree
+     *  holds instead of growing (prefetches arrive, but too late to
+     *  hide the latency -- growing the degree will not help). */
+    std::uint32_t lateHighPm = 500;
+    /** Optional metadata-charge suppression: when the controller is
+     *  pinned at degreeMin under channel pressure, forward only
+     *  every other non-hit trigger to the wrapped prefetcher, so
+     *  its HT/EIT traffic (reads *and* sampled updates) halves
+     *  while streams stay credited on hits. */
+    bool suppressMeta = false;
+};
+
+/** One epoch's integer inputs to the controller. */
+struct ThrottleEpochStats
+{
+    /** Triggering events observed. */
+    std::uint64_t triggers = 0;
+    /** Prefetches the wrapped technique attempted to issue. */
+    std::uint64_t attempted = 0;
+    /** Prefetches forwarded downstream (attempted minus clamped). */
+    std::uint64_t issued = 0;
+    /** Triggers that hit the prefetch buffer. */
+    std::uint64_t useful = 0;
+    /** Useful hits whose fill was still in flight (late). */
+    std::uint64_t late = 0;
+    /** Shared-channel occupancy over the epoch, per mille (0 when
+     *  no channel feedback is attached, e.g. coverage runs). */
+    std::uint32_t occupancyPm = 0;
+};
+
+/**
+ * The AIMD state machine.  closeEpoch() applies one transition:
+ *
+ *   pressured  = occupancyPm > occupancyHighPm
+ *   inaccurate = issued > 0 && accuracyPm < accuracyLowPm
+ *   if pressured || inaccurate:  degree = max(degreeMin, degree/2)
+ *   elif accuracyPm >= accuracyHighPm && latePm <= lateHighPm:
+ *                                degree = min(degreeMax, degree+1)
+ *   else:                        hold
+ *
+ * with accuracyPm = min(1000, useful*1000/issued) and
+ * latePm = late*1000/useful (0 when useful == 0).  The degree
+ * starts at degreeMax -- optimistic until the feedback says
+ * otherwise, like the paper's fixed-degree configurations.
+ */
+class DegreeController
+{
+  public:
+    explicit DegreeController(const ThrottleConfig &config);
+
+    /** Effective prefetch degree for the current epoch. */
+    std::uint32_t degree() const { return deg; }
+
+    /** True while metadata suppression is engaged (pinned at
+     *  degreeMin under pressure with suppressMeta configured). */
+    bool suppressing() const { return suppress; }
+
+    /** Apply one epoch's worth of feedback. */
+    void closeEpoch(const ThrottleEpochStats &epoch);
+
+    /** Epoch-transition counters, for reports and tests. */
+    std::uint64_t epochs() const { return nEpochs; }
+    std::uint64_t increases() const { return nIncreases; }
+    std::uint64_t decreases() const { return nDecreases; }
+    std::uint64_t holds() const { return nHolds; }
+
+    /**
+     * Verify the controller's invariants: the degree stays inside
+     * [degreeMin, degreeMax], the transition counters sum to the
+     * epoch count, and suppression only engages when configured.
+     * @return empty string if OK, else a description.
+     */
+    std::string audit() const;
+
+  private:
+    /** Test-only backdoor for corrupting state in audit tests. */
+    friend struct ThrottleTestPeer;
+
+    ThrottleConfig cfg;
+    std::uint32_t deg;
+    bool suppress = false;
+    std::uint64_t nEpochs = 0;
+    std::uint64_t nIncreases = 0;
+    std::uint64_t nDecreases = 0;
+    std::uint64_t nHolds = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_ADAPTIVE_DEGREE_CONTROLLER_H

@@ -1,0 +1,189 @@
+#include "throttled_prefetcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace domino
+{
+
+ThrottledPrefetcher::ThrottledPrefetcher(
+    std::unique_ptr<Prefetcher> inner_pf,
+    const ThrottleConfig &config)
+    : inner(std::move(inner_pf)), cfg(config), ctl(config)
+{
+    CHECK(inner != nullptr);
+}
+
+std::string
+ThrottledPrefetcher::name() const
+{
+    return cfg.enabled ? inner->name() + "+throttle" : inner->name();
+}
+
+void
+ThrottledPrefetcher::onTrigger(const TriggerEvent &event,
+                               PrefetchSink &sink)
+{
+    if (!cfg.enabled) {
+        inner->onTrigger(event, sink);
+        return;
+    }
+    handleOne(event, sink);
+}
+
+void
+ThrottledPrefetcher::trainPredictMany(
+    std::span<const TriggerEvent> events, PrefetchSink &sink)
+{
+    if (!cfg.enabled) {
+        // Pass-through: keep the wrapped technique's own batching
+        // (and its lookahead row warming) fully intact.
+        inner->trainPredictMany(events, sink);
+        return;
+    }
+    // The budget resets per triggering event, so the batch is
+    // unrolled here; each event still reaches the wrapped technique
+    // through its batched entry point (batched == scalar contract).
+    for (const TriggerEvent &event : events)
+        handleOne(event, sink);
+}
+
+void
+ThrottledPrefetcher::handleOne(const TriggerEvent &event,
+                               PrefetchSink &sink)
+{
+    ++epoch.triggers;
+    if (event.wasPrefetchHit)
+        ++epoch.useful;
+
+    bool forward = true;
+    if (ctl.suppressing() && !event.wasPrefetchHit) {
+        // Metadata suppression: withhold every other miss trigger
+        // from the wrapped technique, halving its HT/EIT traffic.
+        // Hits always pass so active streams stay credited.
+        if (suppressTick++ & 1) {
+            forward = false;
+            ++suppressedTotal;
+        }
+    }
+    if (forward) {
+        budget = ctl.degree();
+        downstream = &sink;
+        const std::span<const TriggerEvent> one(&event, 1);
+        inner->trainPredictMany(one, *this);
+        downstream = nullptr;
+        budget = 0;
+    }
+    if (epoch.triggers >= cfg.epochTriggers)
+        closeEpochNow();
+}
+
+void
+ThrottledPrefetcher::closeEpochNow()
+{
+    ThrottleEpochStats stats = epoch;
+    // Channel occupancy over the epoch, from the monotone
+    // (clock, busy) samples the substrate feeds observeChannel().
+    // Coverage runs attach no observer; both deltas stay zero and
+    // the controller steers on accuracy alone.
+    if (lastNow > epochStartNow) {
+        const Cycles dBusy = lastBusy - epochStartBusy;
+        const Cycles dNow = lastNow - epochStartNow;
+        stats.occupancyPm = static_cast<std::uint32_t>(
+            std::min<Cycles>(1000, dBusy * 1000 / dNow));
+    }
+    ctl.closeEpoch(stats);
+    epochStartNow = lastNow;
+    epochStartBusy = lastBusy;
+    epoch = ThrottleEpochStats{};
+}
+
+void
+ThrottledPrefetcher::warmMetadata(LineAddr line, Addr pc) const
+{
+    inner->warmMetadata(line, pc);
+}
+
+MetadataStats
+ThrottledPrefetcher::metadata() const
+{
+    return inner->metadata();
+}
+
+void
+ThrottledPrefetcher::observeChannel(Cycles now, Cycles busy_cycles)
+{
+    // max(): in shared scope several cores drive one wrapper and
+    // their local clocks interleave non-monotonically.
+    lastNow = std::max(lastNow, now);
+    lastBusy = std::max(lastBusy, busy_cycles);
+}
+
+void
+ThrottledPrefetcher::noteLatePrefetch()
+{
+    if (cfg.enabled)
+        ++epoch.late;
+}
+
+void
+ThrottledPrefetcher::issue(LineAddr line, std::uint32_t stream_id,
+                           unsigned metadata_trips)
+{
+    ++epoch.attempted;
+    ++attemptedTotal;
+    if (budget == 0) {
+        ++clampedTotal;
+        return;
+    }
+    --budget;
+    ++epoch.issued;
+    ++issuedTotal;
+    downstream->issue(line, stream_id, metadata_trips);
+}
+
+void
+ThrottledPrefetcher::dropStream(std::uint32_t stream_id)
+{
+    downstream->dropStream(stream_id);
+}
+
+std::string
+ThrottledPrefetcher::audit() const
+{
+    if (const std::string err = ctl.audit(); !err.empty())
+        return "controller: " + err;
+    if (epoch.triggers >= cfg.epochTriggers && cfg.enabled) {
+        return "open epoch holds " +
+            std::to_string(epoch.triggers) +
+            " triggers, at or past the epoch length " +
+            std::to_string(cfg.epochTriggers);
+    }
+    if (epoch.useful > epoch.triggers) {
+        return "epoch useful count " +
+            std::to_string(epoch.useful) +
+            " exceeds its trigger count " +
+            std::to_string(epoch.triggers);
+    }
+    if (epoch.issued > epoch.attempted) {
+        return "epoch issued count " +
+            std::to_string(epoch.issued) +
+            " exceeds its attempted count " +
+            std::to_string(epoch.attempted);
+    }
+    if (issuedTotal + clampedTotal != attemptedTotal) {
+        return "issued " + std::to_string(issuedTotal) +
+            " + clamped " + std::to_string(clampedTotal) +
+            " != attempted " + std::to_string(attemptedTotal);
+    }
+    if (lastBusy < epochStartBusy || lastNow < epochStartNow)
+        return "channel samples ran backwards";
+    if (budget != 0)
+        return "issue budget leaked outside a trigger";
+    return inner->audit();
+}
+
+} // namespace domino

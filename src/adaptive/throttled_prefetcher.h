@@ -1,0 +1,125 @@
+/**
+ * @file
+ * ThrottledPrefetcher: the adaptive wrapper any technique can wear.
+ * It interposes on the issue path of a wrapped Prefetcher, counts
+ * issued/useful/late prefetches per epoch, folds in the shared
+ * channel's observed occupancy (ChannelObserver feedback from the
+ * multi-core substrate), and clamps the per-trigger issue budget to
+ * the DegreeController's current degree.
+ *
+ * The wrapper is itself a Prefetcher, so every simulator -- the
+ * coverage lanes, the single-core timing model, and the multi-core
+ * substrate -- drives it through the ordinary trainPredictMany()
+ * path; the wrapped technique never knows it is throttled.  With
+ * `enabled == false` the wrapper is a strict pass-through: calls are
+ * forwarded verbatim (whole batches included), so results are
+ * byte-identical to the unwrapped prefetcher, which the adaptive
+ * tests assert for every evaluated technique.
+ */
+
+#ifndef DOMINO_ADAPTIVE_THROTTLED_PREFETCHER_H
+#define DOMINO_ADAPTIVE_THROTTLED_PREFETCHER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "adaptive/degree_controller.h"
+#include "multicore/channel_feedback.h"
+#include "prefetch/prefetcher.h"
+
+namespace domino
+{
+
+/** The adaptive degree-throttling wrapper. */
+class ThrottledPrefetcher final : public Prefetcher,
+                                  public ChannelObserver,
+                                  private PrefetchSink
+{
+  public:
+    /**
+     * @param inner the technique to wrap (owned).  Build it with
+     *        degree == config.degreeMax: the wrapper only ever
+     *        clamps the issue stream down.
+     */
+    ThrottledPrefetcher(std::unique_ptr<Prefetcher> inner,
+                        const ThrottleConfig &config);
+
+    // Prefetcher interface ---------------------------------------
+    std::string name() const override;
+    void onTrigger(const TriggerEvent &event,
+                   PrefetchSink &sink) override;
+    void trainPredictMany(std::span<const TriggerEvent> events,
+                          PrefetchSink &sink) override;
+    void warmMetadata(LineAddr line, Addr pc) const override;
+    MetadataStats metadata() const override;
+    std::string audit() const override;
+
+    // ChannelObserver interface ----------------------------------
+    void observeChannel(Cycles now, Cycles busy_cycles) override;
+    void noteLatePrefetch() override;
+
+    // Introspection for reports and tests ------------------------
+    /** The controller's current effective degree. */
+    std::uint32_t currentDegree() const { return ctl.degree(); }
+    /** Prefetches clamped by the degree budget so far. */
+    std::uint64_t clampedPrefetches() const { return clampedTotal; }
+    /** Non-hit triggers withheld from the wrapped technique while
+     *  metadata suppression was engaged. */
+    std::uint64_t suppressedTriggers() const
+    {
+        return suppressedTotal;
+    }
+    /** The controller (read-only). */
+    const DegreeController &controller() const { return ctl; }
+    /** The wrapped technique (not owned by the caller). */
+    Prefetcher *innerPrefetcher() const { return inner.get(); }
+
+  private:
+    /** Test-only backdoor for corrupting counters in audit
+     *  tests. */
+    friend struct ThrottleTestPeer;
+
+    /** Account one trigger and forward it under a fresh budget. */
+    void handleOne(const TriggerEvent &event, PrefetchSink &sink);
+    /** Fold the channel samples into the epoch and step the
+     *  controller. */
+    void closeEpochNow();
+
+    // PrefetchSink interface (the interposed issue path) ---------
+    void issue(LineAddr line, std::uint32_t stream_id,
+               unsigned metadata_trips) override;
+    void dropStream(std::uint32_t stream_id) override;
+
+    std::unique_ptr<Prefetcher> inner;
+    ThrottleConfig cfg;
+    DegreeController ctl;
+
+    /** The real sink during one forwarded trigger (never retained
+     *  across calls). */
+    PrefetchSink *downstream = nullptr;
+    /** Issues remaining for the trigger in flight. */
+    std::uint32_t budget = 0;
+
+    /** Epoch accumulators (occupancyPm is filled at close). */
+    ThrottleEpochStats epoch;
+    /** Deterministic parity for metadata suppression. */
+    std::uint64_t suppressTick = 0;
+
+    /** Latest channel observation (both monotone). */
+    Cycles lastNow = 0;
+    Cycles lastBusy = 0;
+    /** Observation at the previous epoch boundary. */
+    Cycles epochStartNow = 0;
+    Cycles epochStartBusy = 0;
+
+    /** Lifetime totals. */
+    std::uint64_t attemptedTotal = 0;
+    std::uint64_t issuedTotal = 0;
+    std::uint64_t clampedTotal = 0;
+    std::uint64_t suppressedTotal = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_ADAPTIVE_THROTTLED_PREFETCHER_H

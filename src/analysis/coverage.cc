@@ -165,7 +165,14 @@ CoverageSimulator::runManyImpl(
             current = i;
             event.wasPrefetchHit = lane.pendingHit;
             event.hitStreamId = lane.pendingStream;
-            lane.prefetcher->onTrigger(event, *this);
+            // Single-event batched dispatch (identical to
+            // onTrigger by contract).  Wider batches are off the
+            // table here: a prefetch issued at trigger t can
+            // satisfy trigger t+1's buffer probe, so deferring
+            // training would change wasPrefetchHit outcomes
+            // (DESIGN.md "Batched training API").
+            lane.prefetcher->trainPredictMany(
+                std::span<const TriggerEvent>(&event, 1), *this);
         }
 
         // Sampled structural audits (Debug / DOMINO_CHECKS only).

@@ -1,5 +1,6 @@
 #include "factory.h"
 
+#include "adaptive/throttled_prefetcher.h"
 #include "common/types.h"
 #include "domino/domino_prefetcher.h"
 #include "prefetch/digram.h"
@@ -43,10 +44,10 @@ dominoFrom(const FactoryConfig &config)
     return d;
 }
 
-} // anonymous namespace
-
+/** Construct the raw (unwrapped) technique. */
 std::unique_ptr<Prefetcher>
-makePrefetcher(const std::string &name, const FactoryConfig &config)
+makeRawPrefetcher(const std::string &name,
+                  const FactoryConfig &config)
 {
     if (name == "STMS")
         return std::make_unique<StmsPrefetcher>(temporalFrom(config));
@@ -104,6 +105,25 @@ makePrefetcher(const std::string &name, const FactoryConfig &config)
     return nullptr;
 }
 
+} // anonymous namespace
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const std::string &name, const FactoryConfig &config)
+{
+    if (!config.throttle.enabled)
+        return makeRawPrefetcher(name, config);
+    // Adaptive wrap: build the technique at the throttle ceiling --
+    // the wrapper only ever clamps the issue stream down, so
+    // degreeMax is the wrapped instance's own degree.
+    FactoryConfig innerConfig = config;
+    innerConfig.degree = config.throttle.degreeMax;
+    auto raw = makeRawPrefetcher(name, innerConfig);
+    if (!raw)
+        return nullptr;
+    return std::make_unique<ThrottledPrefetcher>(std::move(raw),
+                                                 config.throttle);
+}
+
 std::vector<std::string>
 evaluatedPrefetchers()
 {
@@ -125,26 +145,40 @@ makePrefetcherSet(const std::string &name,
 {
     PrefetcherSet set;
     set.perCore.assign(cores, nullptr);
+    set.observers.assign(cores, nullptr);
     if (name.empty())
         return set;
+    // A throttled instance doubles as the core's channel observer
+    // (the factory wrapped it, so the downcast is by construction).
+    const auto observerOf = [&](Prefetcher *p) -> ChannelObserver * {
+        if (!config.throttle.enabled)
+            return nullptr;
+        return static_cast<ThrottledPrefetcher *>(p);
+    };
     if (scope == MetadataScope::Shared) {
         auto shared = makePrefetcher(name, config);
         if (!shared)
             return set;
         Prefetcher *raw = shared.get();
         set.owned.push_back(std::move(shared));
-        for (unsigned c = 0; c < cores; ++c)
+        for (unsigned c = 0; c < cores; ++c) {
             set.perCore[c] = raw;
+            set.observers[c] = observerOf(raw);
+        }
         return set;
     }
     for (unsigned c = 0; c < cores; ++c) {
         FactoryConfig coreConfig = config;
         coreConfig.seed = deriveCoreSeed(config.seed, c);
         auto p = makePrefetcher(name, coreConfig);
-        if (!p)
-            return PrefetcherSet{{}, std::vector<Prefetcher *>(
-                cores, nullptr)};
+        if (!p) {
+            return PrefetcherSet{
+                {},
+                std::vector<Prefetcher *>(cores, nullptr),
+                std::vector<ChannelObserver *>(cores, nullptr)};
+        }
         set.perCore[c] = p.get();
+        set.observers[c] = observerOf(p.get());
         set.owned.push_back(std::move(p));
     }
     return set;

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "adaptive/degree_controller.h"
+#include "multicore/channel_feedback.h"
 #include "prefetch/prefetcher.h"
 
 namespace domino
@@ -44,6 +46,14 @@ struct FactoryConfig
     bool naiveDomino = false;
     /** Seed for sampling decisions. */
     std::uint64_t seed = 42;
+    /**
+     * Adaptive degree throttling (src/adaptive).  When enabled the
+     * factory builds the technique at throttle.degreeMax and wraps
+     * it in a ThrottledPrefetcher; when disabled (the default) no
+     * wrapper is constructed at all, so existing configurations are
+     * byte-identical to the pre-adaptive factory.
+     */
+    ThrottleConfig throttle;
 };
 
 /**
@@ -80,6 +90,13 @@ struct PrefetcherSet
     std::vector<std::unique_ptr<Prefetcher>> owned;
     /** Per-core view into owned (repeats in shared scope). */
     std::vector<Prefetcher *> perCore;
+    /**
+     * Per-core channel-feedback hook for CoreBinding::observer
+     * (repeats in shared scope, like perCore).  Non-null only when
+     * the factory config enabled throttling -- the entries then
+     * alias the ThrottledPrefetcher instances in perCore.
+     */
+    std::vector<ChannelObserver *> observers;
 };
 
 /**

@@ -24,6 +24,33 @@ BandwidthModel::occupancyOf(std::uint64_t bytes) const
         static_cast<double>(bytes) / mem.bytesPerCycle()));
 }
 
+void
+BandwidthModel::enableOccupancyLog(Cycles window)
+{
+    CHECK_GT(window, 0u);
+    CHECK_EQ(busy, 0u);  // enable before the first request
+    occWindow = window;
+}
+
+void
+BandwidthModel::logOccupancy(Cycles start, Cycles occupancy)
+{
+    // Split occupancy exactly across window boundaries, so each
+    // window's occupied-cycle count never exceeds its length and
+    // the log sums to the busy total (audited).
+    while (occupancy) {
+        const std::size_t w =
+            static_cast<std::size_t>(start / occWindow);
+        if (occLog.size() <= w)
+            occLog.resize(w + 1, 0);
+        const Cycles room = occWindow - start % occWindow;
+        const Cycles take = std::min(occupancy, room);
+        occLog[w] += take;
+        start += take;
+        occupancy -= take;
+    }
+}
+
 Cycles
 BandwidthModel::enqueue(unsigned core, ChannelKind kind,
                         std::uint64_t bytes, Cycles now)
@@ -33,6 +60,8 @@ BandwidthModel::enqueue(unsigned core, ChannelKind kind,
     const Cycles occupancy = occupancyOf(bytes);
     channelFreeAt = start + occupancy;
     busy += occupancy;
+    if (occWindow)
+        logOccupancy(start, occupancy);
     perKind[static_cast<unsigned>(kind)] += bytes;
     perCore[core].bytes += bytes;
     return start;
@@ -45,6 +74,11 @@ BandwidthModel::transfer(unsigned core, ChannelKind kind,
     const Cycles start = enqueue(core, kind, bytes, now);
     perCore[core].queueCycles += start - now;
     ++perCore[core].requests;
+    if (kind == ChannelKind::MetadataRead ||
+        kind == ChannelKind::MetadataUpdate) {
+        perCore[core].metaQueueCycles += start - now;
+        ++perCore[core].metaRequests;
+    }
     const Cycles latency = kind == ChannelKind::MetadataRead
         ? mem.metadataLatency() : mem.memLatency;
     return start + occupancyOf(bytes) + latency;
@@ -73,6 +107,8 @@ BandwidthModel::postPair(unsigned core, ChannelKind kind_a,
         occupancyOf(bytes_a) + occupancyOf(bytes_b);
     channelFreeAt = start + occupancy;
     busy += occupancy;
+    if (occWindow)
+        logOccupancy(start, occupancy);
     perKind[static_cast<unsigned>(kind_a)] += bytes_a;
     perKind[static_cast<unsigned>(kind_b)] += bytes_b;
     perCore[core].bytes += bytes_a + bytes_b;
@@ -122,6 +158,32 @@ BandwidthModel::audit() const
         return "busy cycles " + std::to_string(busy) +
             " below the occupancy implied by " +
             std::to_string(totalBytes()) + " bytes";
+    }
+    // Per-core metadata slices never outgrow their parents.
+    for (std::size_t c = 0; c < perCore.size(); ++c) {
+        if (perCore[c].metaQueueCycles > perCore[c].queueCycles ||
+            perCore[c].metaRequests > perCore[c].requests) {
+            return "core " + std::to_string(c) +
+                " metadata slice exceeds its totals";
+        }
+    }
+    // The occupancy log is an exact decomposition of the busy sum.
+    if (occWindow) {
+        Cycles logged = 0;
+        for (const Cycles w : occLog) {
+            if (w > occWindow) {
+                return "occupancy window holds " +
+                    std::to_string(w) +
+                    " cycles, more than its length " +
+                    std::to_string(occWindow);
+            }
+            logged += w;
+        }
+        if (logged != busy) {
+            return "occupancy log sums to " +
+                std::to_string(logged) + ", busy is " +
+                std::to_string(busy);
+        }
     }
     return "";
 }

@@ -71,6 +71,12 @@ struct ChannelCoreStats
     Cycles queueCycles = 0;
     /** Critical-path requests issued (transfer() calls). */
     std::uint64_t requests = 0;
+    /** The metadata slice of queueCycles: queueing paid on
+     *  critical-path HT/EIT trips (the shared-table contention the
+     *  many-core study isolates). */
+    Cycles metaQueueCycles = 0;
+    /** Critical-path metadata requests (slice of `requests`). */
+    std::uint64_t metaRequests = 0;
 };
 
 /** The shared channel. */
@@ -121,6 +127,24 @@ class BandwidthModel
     /** Cycles the channel spent transferring (occupancy sum). */
     Cycles busyCycles() const { return busy; }
 
+    /**
+     * Start recording per-window channel occupancy: every occupied
+     * cycle is attributed to the fixed-length wall-clock window it
+     * falls in (occupancy spanning a boundary is split exactly).
+     * Call before the first request; @p window must be positive.
+     * The log feeds MultiCoreResult's per-epoch occupancy export.
+     */
+    void enableOccupancyLog(Cycles window);
+
+    /** The occupancy-log window length (0 = logging off). */
+    Cycles occupancyWindow() const { return occWindow; }
+
+    /** Occupied cycles per window (empty when logging is off). */
+    const std::vector<Cycles> &windowBusy() const
+    {
+        return occLog;
+    }
+
     /** Bytes moved for one kind. */
     std::uint64_t
     kindBytes(ChannelKind kind) const
@@ -160,11 +184,17 @@ class BandwidthModel
     Cycles enqueue(unsigned core, ChannelKind kind,
                    std::uint64_t bytes, Cycles now);
 
+    /** Attribute @p occupancy starting at @p start to the log. */
+    void logOccupancy(Cycles start, Cycles occupancy);
+
     MemoryParams mem;
     Cycles channelFreeAt = 0;
     Cycles busy = 0;
     std::uint64_t perKind[channelKinds] = {};
     std::vector<ChannelCoreStats> perCore;
+    /** Occupancy log (see enableOccupancyLog). */
+    Cycles occWindow = 0;
+    std::vector<Cycles> occLog;
 };
 
 } // namespace domino

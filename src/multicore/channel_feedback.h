@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The channel-feedback interface between the multi-core substrate
+ * and adaptive prefetch control (src/adaptive): a core may attach a
+ * ChannelObserver to its binding, and the simulator then feeds it
+ * the shared channel's occupancy at every triggering event plus a
+ * notification per late prefetch hit.  The interface lives here (not
+ * in src/adaptive) so the substrate never depends on the controller
+ * layer -- the layering DAG keeps `adaptive` above `multicore`.
+ *
+ * Determinism: observations are pure integer reads of simulator
+ * state, delivered at fixed points of the per-trigger sequence, so
+ * an observer that keeps integer-only state (the ThrottledPrefetcher
+ * contract) preserves the byte-identical `--jobs` guarantee.
+ */
+
+#ifndef DOMINO_MULTICORE_CHANNEL_FEEDBACK_H
+#define DOMINO_MULTICORE_CHANNEL_FEEDBACK_H
+
+#include "common/types.h"
+
+namespace domino
+{
+
+/**
+ * Receives channel-pressure feedback from a multi-core run.
+ * Implemented by the adaptive layer (ThrottledPrefetcher); the
+ * simulator calls it only when a binding attaches one, so plain
+ * runs pay nothing.
+ */
+class ChannelObserver
+{
+  public:
+    virtual ~ChannelObserver() = default;
+
+    /**
+     * One observation, delivered immediately before the observing
+     * core's prefetcher handles a triggering event.
+     *
+     * @param now        the observing core's local clock.
+     * @param busy_cycles cumulative cycles the shared channel has
+     *        spent transferring (BandwidthModel::busyCycles()).
+     *        Both are monotone, so an observer can turn deltas into
+     *        a windowed occupancy estimate with integer arithmetic.
+     */
+    virtual void observeChannel(Cycles now, Cycles busy_cycles) = 0;
+
+    /**
+     * A demand access hit a prefetched block whose fill had not yet
+     * completed (a *late* prefetch: covered, but it still stalled
+     * the core).  Delivered before observeChannel() of the same
+     * trigger.
+     */
+    virtual void noteLatePrefetch() = 0;
+};
+
+} // namespace domino
+
+#endif // DOMINO_MULTICORE_CHANNEL_FEEDBACK_H

@@ -55,6 +55,28 @@ MultiCoreResult::totalQueueCycles() const
     return sum;
 }
 
+Cycles
+MultiCoreResult::totalMetaQueueCycles() const
+{
+    Cycles sum = 0;
+    for (const auto &c : cores)
+        sum += c.metaQueueCycles;
+    return sum;
+}
+
+std::uint32_t
+MultiCoreResult::occupancyPercentilePm(unsigned pct) const
+{
+    if (occupancyPm.empty())
+        return 0;
+    std::vector<std::uint32_t> sorted = occupancyPm;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t last = sorted.size() - 1;
+    const std::size_t idx = std::min(
+        last, static_cast<std::size_t>(last * pct / 100));
+    return sorted[idx];
+}
+
 double
 MultiCoreResult::aggregateCoverage() const
 {
@@ -117,7 +139,11 @@ struct SharedState
     SharedState(const SystemConfig &cfg)
         : llc(cfg.llcBytes, cfg.llcWays),
           channel(cfg.mem, cfg.cores)
-    {}
+    {
+        if (cfg.multicore.occupancyWindow)
+            channel.enableOccupancyLog(
+                cfg.multicore.occupancyWindow);
+    }
 };
 
 /** Per-core simulation state, including the prefetch sink. */
@@ -139,6 +165,7 @@ class CoreState : public PrefetchSink
           // llround()/max() arithmetic exactly (same operands, same
           // rounding -- the byte-identical contract).
           pf(binding.prefetcher),
+          obs(binding.observer),
           img(binding.image),
           clockStep(static_cast<Cycles>(std::llround(
               binding.instPerAccess / cfg.baseIpc))),
@@ -205,6 +232,8 @@ class CoreState : public PrefetchSink
                 ++result.lateCovered;
                 stall(std::min<Cycles>(hit.readyCycle - now,
                                        hit.altLatency));
+                if (obs)
+                    obs->noteLatePrefetch();
             }
             shared.traffic.usefulPrefetchBytes += blockBytes;
         } else {
@@ -225,7 +254,15 @@ class CoreState : public PrefetchSink
         l1.fill(line);
 
         if (pf) {
-            pf->onTrigger(event, *this);
+            // Feed the adaptive layer first, so a throttled epoch
+            // closing on this trigger sees the channel as of now.
+            if (obs)
+                obs->observeChannel(now, shared.channel.busyCycles());
+            // Single-event batched dispatch: the uniform entry
+            // point every simulator uses (DESIGN.md "Batched
+            // training API"); identical to onTrigger by contract.
+            pf->trainPredictMany(
+                std::span<const TriggerEvent>(&event, 1), *this);
             chargeMetadataDelta();
         }
 
@@ -261,6 +298,8 @@ class CoreState : public PrefetchSink
         result.cycles = now;
         const ChannelCoreStats &ch = shared.channel.coreStats(core);
         result.queueCycles = ch.queueCycles;
+        result.metaQueueCycles = ch.metaQueueCycles;
+        result.metaRequests = ch.metaRequests;
         result.channelBytes = ch.bytes;
         return result;
     }
@@ -388,6 +427,7 @@ class CoreState : public PrefetchSink
     MetaAccount *meta;
     /** Hoisted per-access constants (see constructor). */
     Prefetcher *const pf;
+    ChannelObserver *const obs;
     const ReplayImage *const img;
     ReplayCursor cursor;
     const Cycles clockStep;
@@ -605,6 +645,15 @@ MultiCoreSim::run(const std::vector<CoreBinding> &bindings,
         result.cores.push_back(core->finish());
     result.traffic = shared.traffic;
     result.channelBusyCycles = shared.channel.busyCycles();
+    if (const Cycles window = shared.channel.occupancyWindow()) {
+        result.occupancyWindow = window;
+        result.occupancyPm.reserve(
+            shared.channel.windowBusy().size());
+        for (const Cycles w : shared.channel.windowBusy()) {
+            result.occupancyPm.push_back(static_cast<std::uint32_t>(
+                std::min<Cycles>(1000, w * 1000 / window)));
+        }
+    }
     CHECK_EQ(shared.channel.audit(), "");
     return result;
 }

@@ -46,6 +46,7 @@
 
 #include "mem/memory_model.h"
 #include "multicore/bandwidth_model.h"
+#include "multicore/channel_feedback.h"
 #include "prefetch/prefetcher.h"
 #include "sim/system_config.h"
 #include "trace/replay_image.h"
@@ -85,6 +86,14 @@ struct CoreBinding
      * repetition and keeps one metadata account per instance.
      */
     Prefetcher *prefetcher = nullptr;
+    /**
+     * Optional channel-feedback hook (not owned); nullptr = none.
+     * When set, the simulator feeds it the shared channel's
+     * occupancy before each of this core's triggering events plus a
+     * notification per late prefetch hit -- the adaptive throttle
+     * wrapper's control input (PrefetcherSet::observers).
+     */
+    ChannelObserver *observer = nullptr;
     /** Workload MLP factor (stall overlap divisor). */
     double mlpFactor = 1.3;
     /** Instructions represented by each trace access. */
@@ -125,6 +134,11 @@ struct McCoreResult
     /** Cycles this core's off-chip requests spent queued behind
      *  other transfers on the shared channel. */
     Cycles queueCycles = 0;
+    /** The metadata slice of queueCycles (critical-path HT/EIT
+     *  trips queued behind other cores' traffic). */
+    Cycles metaQueueCycles = 0;
+    /** Critical-path metadata requests this core issued. */
+    std::uint64_t metaRequests = 0;
     /** Bytes this core moved over the shared channel. */
     std::uint64_t channelBytes = 0;
 
@@ -153,6 +167,12 @@ struct MultiCoreResult
     OffChipTraffic traffic;
     /** Cycles the shared channel spent transferring. */
     Cycles channelBusyCycles = 0;
+    /** Per-epoch occupancy export: channel occupancy per mille for
+     *  each MulticoreParams::occupancyWindow-cycle window (empty
+     *  when the export is off). */
+    std::vector<std::uint32_t> occupancyPm;
+    /** The window length the export used (0 = off). */
+    std::uint64_t occupancyWindow = 0;
 
     /** Total instructions across cores. */
     std::uint64_t totalInstructions() const;
@@ -164,6 +184,11 @@ struct MultiCoreResult
     double speedupOver(const MultiCoreResult &baseline) const;
     /** Total channel queueing across cores. */
     Cycles totalQueueCycles() const;
+    /** Total critical-path metadata queueing across cores. */
+    Cycles totalMetaQueueCycles() const;
+    /** A percentile of the per-window occupancy export (per mille);
+     *  0 when the export is off.  @p pct in [0, 100]. */
+    std::uint32_t occupancyPercentilePm(unsigned pct) const;
     /** Aggregate coverage across cores. */
     double aggregateCoverage() const;
     /** Achieved off-chip bandwidth in GB/s over the makespan. */

@@ -44,6 +44,13 @@ struct MulticoreParams
      * small enough that cores interleave.
      */
     std::uint32_t shardChunk = 256;
+    /**
+     * Per-epoch occupancy export: when positive, the shared channel
+     * logs its occupied cycles into fixed windows of this many
+     * cycles and MultiCoreResult carries the per-window occupancy
+     * (per mille).  0 = off (no log, no cost).
+     */
+    std::uint64_t occupancyWindow = 0;
 };
 
 /** Quad-core server chip parameters (Table I). */

@@ -129,8 +129,13 @@ class CoreState : public PrefetchSink
         }
         l1.fill(line);
 
-        if (setup.prefetcher)
-            setup.prefetcher->onTrigger(event, *this);
+        if (setup.prefetcher) {
+            // Single-event batched dispatch: the uniform entry
+            // point every simulator uses (identical to onTrigger
+            // by the batched == scalar contract).
+            setup.prefetcher->trainPredictMany(
+                std::span<const TriggerEvent>(&event, 1), *this);
+        }
 
         // Sampled structural audits: compiled in only for Debug /
         // DOMINO_CHECKS builds, so Release timing numbers are

@@ -1,0 +1,605 @@
+/**
+ * @file
+ * Tests for the adaptive prefetch-control subsystem (src/adaptive):
+ * the AIMD degree controller's transition table, the throttle
+ * wrapper's pass-through contract (disabled == unwrapped, for every
+ * evaluated technique, call-for-call), its clamping and suppression
+ * mechanics, audit() corruption detection through the test peer,
+ * and scheduler-equivalence / repeat-run determinism of throttled
+ * multi-core runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "adaptive/degree_controller.h"
+#include "adaptive/throttled_prefetcher.h"
+#include "analysis/factory.h"
+#include "common/prng.h"
+#include "multicore/multicore_sim.h"
+#include "trace/replay_image.h"
+#include "workloads/server_workload.h"
+
+namespace domino
+{
+
+/** The friend backdoor: corrupts private state so audit() has
+ *  something real to catch. */
+struct ThrottleTestPeer
+{
+    static void
+    setDegree(DegreeController &ctl, std::uint32_t deg)
+    {
+        ctl.deg = deg;
+    }
+
+    static void
+    bumpEpochs(DegreeController &ctl)
+    {
+        ++ctl.nEpochs;
+    }
+
+    static void
+    forceSuppress(DegreeController &ctl)
+    {
+        ctl.suppress = true;
+    }
+
+    static DegreeController &
+    controller(ThrottledPrefetcher &pf)
+    {
+        return pf.ctl;
+    }
+
+    static void
+    bumpIssuedTotal(ThrottledPrefetcher &pf)
+    {
+        ++pf.issuedTotal;
+    }
+
+    static void
+    overfillEpoch(ThrottledPrefetcher &pf)
+    {
+        pf.epoch.triggers = pf.cfg.epochTriggers;
+    }
+
+    static void
+    leakBudget(ThrottledPrefetcher &pf)
+    {
+        pf.budget = 1;
+    }
+
+    static void
+    rewindChannelSamples(ThrottledPrefetcher &pf)
+    {
+        pf.epochStartNow = pf.lastNow + 1;
+    }
+};
+
+namespace
+{
+
+ThrottleConfig
+enabledConfig()
+{
+    ThrottleConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+ThrottleEpochStats
+epochOf(std::uint64_t issued, std::uint64_t useful,
+        std::uint64_t late = 0, std::uint32_t occupancyPm = 0)
+{
+    ThrottleEpochStats e;
+    e.triggers = 256;
+    e.attempted = issued;
+    e.issued = issued;
+    e.useful = useful;
+    e.late = late;
+    e.occupancyPm = occupancyPm;
+    return e;
+}
+
+// --- DegreeController unit tests --------------------------------
+
+TEST(DegreeController, StartsAtDegreeMax)
+{
+    const DegreeController ctl(enabledConfig());
+    EXPECT_EQ(ctl.degree(), 8u);
+    EXPECT_FALSE(ctl.suppressing());
+    EXPECT_EQ(ctl.audit(), "");
+}
+
+TEST(DegreeController, InaccuracyHalvesDownToFloor)
+{
+    DegreeController ctl(enabledConfig());
+    // accuracyPm = 100 < 400: multiplicative decrease each epoch.
+    ctl.closeEpoch(epochOf(100, 10));
+    EXPECT_EQ(ctl.degree(), 4u);
+    ctl.closeEpoch(epochOf(100, 10));
+    EXPECT_EQ(ctl.degree(), 2u);
+    ctl.closeEpoch(epochOf(100, 10));
+    EXPECT_EQ(ctl.degree(), 1u);
+    ctl.closeEpoch(epochOf(100, 10));
+    EXPECT_EQ(ctl.degree(), 1u) << "decrease stops at degreeMin";
+    EXPECT_EQ(ctl.decreases(), 4u);
+    EXPECT_EQ(ctl.audit(), "");
+}
+
+TEST(DegreeController, AccuracyGrowsAdditivelyToCeiling)
+{
+    DegreeController ctl(enabledConfig());
+    ctl.closeEpoch(epochOf(100, 10));  // down to 4
+    ctl.closeEpoch(epochOf(100, 10));  // down to 2
+    ASSERT_EQ(ctl.degree(), 2u);
+    // accuracyPm = 900 >= 700, latePm 0: +1 per epoch.
+    for (unsigned i = 0; i < 10; ++i)
+        ctl.closeEpoch(epochOf(100, 90));
+    EXPECT_EQ(ctl.degree(), 8u) << "increase stops at degreeMax";
+    EXPECT_EQ(ctl.increases(), 10u);
+    EXPECT_EQ(ctl.epochs(),
+              ctl.increases() + ctl.decreases() + ctl.holds());
+    EXPECT_EQ(ctl.audit(), "");
+}
+
+TEST(DegreeController, PressureHalvesRegardlessOfAccuracy)
+{
+    DegreeController ctl(enabledConfig());
+    // Perfect accuracy, but occupancy 900 > 850.
+    ctl.closeEpoch(epochOf(100, 100, 0, 900));
+    EXPECT_EQ(ctl.degree(), 4u);
+    EXPECT_EQ(ctl.decreases(), 1u);
+}
+
+TEST(DegreeController, MiddlingAccuracyHolds)
+{
+    DegreeController ctl(enabledConfig());
+    // accuracyPm = 500: neither < 400 nor >= 700.
+    ctl.closeEpoch(epochOf(100, 50));
+    EXPECT_EQ(ctl.degree(), 8u);
+    EXPECT_EQ(ctl.holds(), 1u);
+}
+
+TEST(DegreeController, LatenessBlocksGrowth)
+{
+    DegreeController ctl(enabledConfig());
+    ctl.closeEpoch(epochOf(100, 10));  // down to 4
+    // Accurate but late: 80 of 90 hits late -> latePm 888 > 500.
+    ctl.closeEpoch(epochOf(100, 90, 80));
+    EXPECT_EQ(ctl.degree(), 4u);
+    EXPECT_EQ(ctl.holds(), 1u);
+}
+
+TEST(DegreeController, ZeroIssuesCountAsAccurate)
+{
+    DegreeController ctl(enabledConfig());
+    ctl.closeEpoch(epochOf(100, 10));  // down to 4
+    // A quiet epoch (no issues) must not read as inaccurate; with
+    // accuracyPm defaulting to 1000 the degree recovers.
+    ctl.closeEpoch(epochOf(0, 0));
+    EXPECT_EQ(ctl.degree(), 5u);
+}
+
+TEST(DegreeController, SuppressionOnlyAtFloorUnderPressure)
+{
+    ThrottleConfig cfg = enabledConfig();
+    cfg.suppressMeta = true;
+    DegreeController ctl(cfg);
+    // Pressure above the floor: no suppression yet.
+    ctl.closeEpoch(epochOf(100, 100, 0, 900));  // 8 -> 4
+    ctl.closeEpoch(epochOf(100, 100, 0, 900));  // 4 -> 2
+    EXPECT_FALSE(ctl.suppressing());
+    ctl.closeEpoch(epochOf(100, 100, 0, 900));  // 2 -> 1
+    EXPECT_TRUE(ctl.suppressing());
+    EXPECT_EQ(ctl.audit(), "");
+    // Pressure released: suppression disengages on the next epoch.
+    ctl.closeEpoch(epochOf(100, 100));
+    EXPECT_FALSE(ctl.suppressing());
+}
+
+TEST(DegreeController, SuppressionNeverEngagesWhenUnconfigured)
+{
+    DegreeController ctl(enabledConfig());
+    for (unsigned i = 0; i < 6; ++i)
+        ctl.closeEpoch(epochOf(100, 100, 0, 1000));
+    EXPECT_EQ(ctl.degree(), 1u);
+    EXPECT_FALSE(ctl.suppressing());
+}
+
+TEST(DegreeController, AuditCatchesCorruption)
+{
+    DegreeController ctl(enabledConfig());
+    EXPECT_EQ(ctl.audit(), "");
+    ThrottleTestPeer::setDegree(ctl, 99);
+    EXPECT_NE(ctl.audit(), "") << "degree outside [min, max]";
+    ThrottleTestPeer::setDegree(ctl, 8);
+    EXPECT_EQ(ctl.audit(), "");
+    ThrottleTestPeer::bumpEpochs(ctl);
+    EXPECT_NE(ctl.audit(), "") << "transition counters desynced";
+}
+
+TEST(DegreeController, AuditCatchesUnconfiguredSuppression)
+{
+    DegreeController ctl(enabledConfig());
+    ThrottleTestPeer::forceSuppress(ctl);
+    EXPECT_NE(ctl.audit(), "");
+}
+
+// --- Wrapper pass-through (disabled == unwrapped) ---------------
+
+/** Records every sink call, in order, with all arguments. */
+struct CallRecorder : PrefetchSink
+{
+    using Call =
+        std::tuple<bool, std::uint64_t, std::uint32_t, unsigned>;
+    std::vector<Call> calls;
+
+    void
+    issue(LineAddr line, std::uint32_t stream_id,
+          unsigned metadata_trips) override
+    {
+        calls.emplace_back(true, line, stream_id, metadata_trips);
+    }
+
+    void
+    dropStream(std::uint32_t stream_id) override
+    {
+        calls.emplace_back(false, stream_id, stream_id, 0u);
+    }
+};
+
+/** A miss-heavy trigger stream with recurring laps, so temporal
+ *  techniques build history and replay. */
+std::vector<TriggerEvent>
+makeTriggers(std::uint64_t seed, std::size_t count)
+{
+    Prng rng(seed);
+    std::vector<TriggerEvent> events;
+    events.reserve(count);
+    while (events.size() < count) {
+        const LineAddr base = 1000 + rng.below(8) * 100;
+        const std::size_t lap = 4 + rng.below(12);
+        for (std::size_t i = 0; i < lap && events.size() < count;
+             ++i) {
+            TriggerEvent ev;
+            ev.line = base + i;
+            ev.pc = 0x400000 + (base % 7) * 4;
+            events.push_back(ev);
+        }
+    }
+    return events;
+}
+
+TEST(ThrottledPrefetcher, DisabledIsPassThroughForAllTechniques)
+{
+    const auto events = makeTriggers(0xad, 3000);
+    for (const std::string &tech : evaluatedPrefetchers()) {
+        SCOPED_TRACE(tech);
+        FactoryConfig f;
+        f.degree = 4;
+        f.samplingProb = 0.5;
+        f.seed = 0xfac;
+        auto plain = makePrefetcher(tech, f);
+        ThrottleConfig cfg;  // enabled == false
+        ThrottledPrefetcher wrapped(makePrefetcher(tech, f), cfg);
+        EXPECT_EQ(wrapped.name(), plain->name());
+
+        CallRecorder a, b;
+        // Mixed scalar and batched dispatch, same partitioning on
+        // both sides: the disabled wrapper must forward verbatim.
+        for (std::size_t i = 0; i < events.size();) {
+            const std::size_t chunk =
+                std::min<std::size_t>(1 + i % 7,
+                                      events.size() - i);
+            const std::span<const TriggerEvent> span(
+                events.data() + i, chunk);
+            plain->trainPredictMany(span, a);
+            wrapped.trainPredictMany(span, b);
+            i += chunk;
+        }
+        EXPECT_EQ(a.calls, b.calls);
+        EXPECT_EQ(plain->metadata().readBlocks,
+                  wrapped.metadata().readBlocks);
+        EXPECT_EQ(plain->metadata().writeBlocks,
+                  wrapped.metadata().writeBlocks);
+        EXPECT_EQ(wrapped.clampedPrefetches(), 0u);
+        EXPECT_EQ(wrapped.audit(), "");
+    }
+}
+
+TEST(ThrottledPrefetcher, FactoryWrapsOnlyWhenEnabled)
+{
+    FactoryConfig f;
+    f.seed = 0xfac;
+    for (const std::string &tech : evaluatedPrefetchers()) {
+        SCOPED_TRACE(tech);
+        auto plain = makePrefetcher(tech, f);
+        EXPECT_EQ(plain->name().find("+throttle"),
+                  std::string::npos);
+        FactoryConfig ft = f;
+        ft.throttle.enabled = true;
+        ft.throttle.degreeMax = 8;
+        auto throttled = makePrefetcher(tech, ft);
+        EXPECT_EQ(throttled->name(), plain->name() + "+throttle");
+    }
+}
+
+// --- Clamping and suppression mechanics -------------------------
+
+/** Scripted technique: issues `fanout` sequential lines on every
+ *  trigger, so the wrapper's budget arithmetic is exactly
+ *  observable. */
+class FanoutPrefetcher final : public Prefetcher
+{
+  public:
+    explicit FanoutPrefetcher(unsigned fanout) : fan(fanout) {}
+
+    std::string name() const override { return "Fanout"; }
+
+    void
+    onTrigger(const TriggerEvent &event, PrefetchSink &sink) override
+    {
+        ++triggersSeen;
+        for (unsigned i = 1; i <= fan; ++i)
+            sink.issue(event.line + i, 0, 0);
+    }
+
+    unsigned fan;
+    std::uint64_t triggersSeen = 0;
+};
+
+TEST(ThrottledPrefetcher, ClampsIssuesToControllerDegree)
+{
+    ThrottleConfig cfg = enabledConfig();
+    cfg.epochTriggers = 16;
+    ThrottledPrefetcher pf(std::make_unique<FanoutPrefetcher>(8),
+                           cfg);
+    CallRecorder sink;
+    TriggerEvent miss;  // never a hit: accuracy 0, degree collapses
+    for (std::uint64_t i = 0; i < 16 * 4; ++i) {
+        miss.line = 10 * i;
+        pf.onTrigger(miss, sink);
+    }
+    // Epochs closed: 0-accuracy epochs halve 8 -> 4 -> 2 -> 1.
+    EXPECT_EQ(pf.currentDegree(), 1u);
+    EXPECT_EQ(pf.controller().epochs(), 4u);
+    // First epoch ran at degree 8 (nothing clamped); later epochs
+    // clamp 8 attempts down to the current degree.
+    EXPECT_GT(pf.clampedPrefetches(), 0u);
+    std::uint64_t forwarded = sink.calls.size();
+    EXPECT_EQ(forwarded + pf.clampedPrefetches(), 16u * 4u * 8u);
+    EXPECT_EQ(pf.audit(), "");
+
+    // At degree 1, exactly one of the 8 fanout issues survives.
+    sink.calls.clear();
+    miss.line = 999'999;
+    pf.onTrigger(miss, sink);
+    EXPECT_EQ(sink.calls.size(), 1u);
+}
+
+TEST(ThrottledPrefetcher, SuppressionWithholdsAlternateMisses)
+{
+    ThrottleConfig cfg = enabledConfig();
+    cfg.epochTriggers = 16;
+    cfg.suppressMeta = true;
+    ThrottledPrefetcher pf(std::make_unique<FanoutPrefetcher>(8),
+                           cfg);
+    auto *fan =
+        static_cast<FanoutPrefetcher *>(pf.innerPrefetcher());
+    CallRecorder sink;
+    // Saturated channel from the observer feed; perfect-accuracy
+    // epochs would otherwise grow the degree.
+    TriggerEvent miss;
+    for (std::uint64_t i = 0; i < 16 * 8; ++i) {
+        pf.observeChannel(1000 * (i + 1), 999 * (i + 1));
+        miss.line = 10 * i;
+        pf.onTrigger(miss, sink);
+    }
+    EXPECT_EQ(pf.currentDegree(), 1u);
+    EXPECT_TRUE(pf.controller().suppressing());
+    EXPECT_GT(pf.suppressedTriggers(), 0u);
+    // Withheld triggers never reached the wrapped technique.
+    EXPECT_EQ(fan->triggersSeen + pf.suppressedTriggers(),
+              16u * 8u);
+    EXPECT_EQ(pf.audit(), "");
+}
+
+TEST(ThrottledPrefetcher, AuditCatchesCounterCorruption)
+{
+    ThrottledPrefetcher pf(std::make_unique<FanoutPrefetcher>(4),
+                           enabledConfig());
+    CallRecorder sink;
+    TriggerEvent miss;
+    miss.line = 42;
+    pf.onTrigger(miss, sink);
+    EXPECT_EQ(pf.audit(), "");
+    ThrottleTestPeer::bumpIssuedTotal(pf);
+    EXPECT_NE(pf.audit(), "") << "issued + clamped != attempted";
+}
+
+TEST(ThrottledPrefetcher, AuditCatchesEpochAndChannelCorruption)
+{
+    const ThrottleConfig cfg = enabledConfig();
+    {
+        ThrottledPrefetcher pf(
+            std::make_unique<FanoutPrefetcher>(4), cfg);
+        ThrottleTestPeer::overfillEpoch(pf);
+        EXPECT_NE(pf.audit(), "") << "open epoch at epoch length";
+    }
+    {
+        ThrottledPrefetcher pf(
+            std::make_unique<FanoutPrefetcher>(4), cfg);
+        ThrottleTestPeer::leakBudget(pf);
+        EXPECT_NE(pf.audit(), "") << "budget leaked";
+    }
+    {
+        ThrottledPrefetcher pf(
+            std::make_unique<FanoutPrefetcher>(4), cfg);
+        ThrottleTestPeer::rewindChannelSamples(pf);
+        EXPECT_NE(pf.audit(), "") << "channel samples backwards";
+    }
+    {
+        ThrottledPrefetcher pf(
+            std::make_unique<FanoutPrefetcher>(4), cfg);
+        ThrottleTestPeer::setDegree(
+            ThrottleTestPeer::controller(pf), 0);
+        EXPECT_NE(pf.audit(), "") << "controller fault surfaces";
+    }
+}
+
+// --- Throttled multi-core determinism ---------------------------
+
+MultiCoreResult
+runThrottled(unsigned cores, McScheduler scheduler,
+             bool suppress = false)
+{
+    SystemConfig sys;
+    sys.cores = cores;
+    sys.llcBytes = 512 * 1024;
+    sys.multicore.occupancyWindow = 2048;
+
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    const TraceBuffer buf = generateTrace(wl, 7, 20000);
+    const ReplayImage image(buf);
+
+    FactoryConfig f;
+    f.degree = 4;
+    f.samplingProb = 0.5;
+    f.seed = 7 ^ 0xfac;
+    f.throttle.enabled = true;
+    f.throttle.epochTriggers = 64;
+    f.throttle.suppressMeta = suppress;
+    PrefetcherSet set = makePrefetcherSet(
+        "Domino", f, cores, MetadataScope::Private);
+
+    std::vector<CoreBinding> bindings;
+    for (unsigned c = 0; c < cores; ++c) {
+        CoreBinding binding;
+        binding.image = &image;
+        binding.imageCore = c;
+        binding.prefetcher = set.perCore[c];
+        binding.observer = set.observers[c];
+        binding.mlpFactor = wl.mlpFactor;
+        binding.instPerAccess = wl.instPerAccess;
+        bindings.push_back(binding);
+    }
+    MultiCoreSim sim(sys);
+    MultiCoreResult result = sim.run(bindings, scheduler);
+    for (const auto &p : set.owned)
+        EXPECT_EQ(p->audit(), "");
+    return result;
+}
+
+void
+expectIdenticalResults(const MultiCoreResult &a,
+                       const MultiCoreResult &b)
+{
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t c = 0; c < a.cores.size(); ++c) {
+        EXPECT_EQ(a.cores[c].accesses, b.cores[c].accesses);
+        EXPECT_EQ(a.cores[c].cycles, b.cores[c].cycles);
+        EXPECT_EQ(a.cores[c].covered, b.cores[c].covered);
+        EXPECT_EQ(a.cores[c].uncovered, b.cores[c].uncovered);
+        EXPECT_EQ(a.cores[c].lateCovered, b.cores[c].lateCovered);
+        EXPECT_EQ(a.cores[c].queueCycles, b.cores[c].queueCycles);
+        EXPECT_EQ(a.cores[c].channelBytes, b.cores[c].channelBytes);
+        EXPECT_EQ(a.cores[c].metaQueueCycles,
+                  b.cores[c].metaQueueCycles);
+        EXPECT_EQ(a.cores[c].metaRequests, b.cores[c].metaRequests);
+    }
+    EXPECT_EQ(a.traffic.demandBytes, b.traffic.demandBytes);
+    EXPECT_EQ(a.traffic.usefulPrefetchBytes,
+              b.traffic.usefulPrefetchBytes);
+    EXPECT_EQ(a.traffic.incorrectPrefetchBytes,
+              b.traffic.incorrectPrefetchBytes);
+    EXPECT_EQ(a.traffic.metadataReadBytes,
+              b.traffic.metadataReadBytes);
+    EXPECT_EQ(a.traffic.metadataUpdateBytes,
+              b.traffic.metadataUpdateBytes);
+    EXPECT_EQ(a.channelBusyCycles, b.channelBusyCycles);
+    EXPECT_EQ(a.occupancyPm, b.occupancyPm);
+    EXPECT_EQ(a.occupancyWindow, b.occupancyWindow);
+}
+
+TEST(ThrottledMulticore, SchedulersAgreeAndRunsRepeat)
+{
+    // The throttled wrapper adds feedback state to the dispatch
+    // path; both schedulers must still agree with each other and
+    // with a repeated run, at linear-scan and index-heap core
+    // counts, with and without metadata suppression.
+    for (unsigned cores : {2u, 4u, 16u}) {
+        for (bool suppress : {false, true}) {
+            SCOPED_TRACE("cores=" + std::to_string(cores) +
+                         " suppress=" + std::to_string(suppress));
+            const MultiCoreResult batched = runThrottled(
+                cores, McScheduler::RunBatched, suppress);
+            const MultiCoreResult reference = runThrottled(
+                cores, McScheduler::ReferenceMinClock, suppress);
+            expectIdenticalResults(batched, reference);
+            const MultiCoreResult again = runThrottled(
+                cores, McScheduler::RunBatched, suppress);
+            expectIdenticalResults(batched, again);
+        }
+    }
+}
+
+TEST(ThrottledMulticore, ThrottleActuallyEngagesUnderContention)
+{
+    // A 16-core run over one contended channel must actually move
+    // the controller: some wrapper must have closed epochs and
+    // left degreeMax (otherwise the study measures nothing).
+    SystemConfig sys;
+    sys.cores = 16;
+    sys.llcBytes = 512 * 1024;
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    const TraceBuffer buf = generateTrace(wl, 11, 48000);
+    const ReplayImage image(buf);
+
+    FactoryConfig f;
+    f.degree = 4;
+    f.samplingProb = 0.5;
+    f.seed = 11 ^ 0xfac;
+    f.throttle.enabled = true;
+    f.throttle.epochTriggers = 64;
+    PrefetcherSet set = makePrefetcherSet(
+        "Domino", f, sys.cores, MetadataScope::Private);
+    std::vector<CoreBinding> bindings;
+    for (unsigned c = 0; c < sys.cores; ++c) {
+        CoreBinding binding;
+        binding.image = &image;
+        binding.imageCore = c;
+        binding.prefetcher = set.perCore[c];
+        binding.observer = set.observers[c];
+        binding.mlpFactor = wl.mlpFactor;
+        binding.instPerAccess = wl.instPerAccess;
+        bindings.push_back(binding);
+    }
+    MultiCoreSim sim(sys);
+    sim.run(bindings);
+
+    std::uint64_t epochs = 0;
+    bool moved = false;
+    for (const auto &p : set.owned) {
+        const auto *tp =
+            static_cast<const ThrottledPrefetcher *>(p.get());
+        epochs += tp->controller().epochs();
+        moved = moved ||
+            tp->currentDegree() < f.throttle.degreeMax ||
+            tp->clampedPrefetches() > 0;
+        EXPECT_EQ(tp->audit(), "");
+    }
+    EXPECT_GT(epochs, 0u);
+    EXPECT_TRUE(moved);
+}
+
+} // anonymous namespace
+} // namespace domino

@@ -133,10 +133,11 @@ expectSchedulerEquivalence(const RunSpec &spec)
 
 TEST(McScheduler, BatchedMatchesReferenceAcrossCoreCounts)
 {
-    // cores < 8 exercises the linear-scan batcher, cores == 8 the
-    // index-heap variant; both must match the reference oracle with
-    // metadata charged and with the zero-cost control.
-    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+    // cores < 8 exercises the linear-scan batcher, cores >= 8 the
+    // index-heap variant (16/32/64 at many-core fan-out); all must
+    // match the reference oracle with metadata charged and with the
+    // zero-cost control.
+    for (unsigned cores : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
         for (bool charge : {true, false}) {
             RunSpec spec;
             spec.cores = cores;
@@ -153,11 +154,13 @@ TEST(McScheduler, BatchedMatchesReferenceRandomized)
     // vs image binding).  Every draw replays bit-for-bit across CI
     // runs because the Prng seed is fixed.
     Prng rng(0x5ced);
-    const unsigned coreChoices[] = {1, 2, 4, 8};
+    // 16/32/64 put the index-heap batcher under many-core pressure
+    // (the bench_manycore_contention regime).
+    const unsigned coreChoices[] = {1, 2, 4, 8, 16, 32, 64};
     const char *techChoices[] = {"Domino", "STMS", "ISB", ""};
     for (unsigned trial = 0; trial < 12; ++trial) {
         RunSpec spec;
-        spec.cores = coreChoices[rng.below(4)];
+        spec.cores = coreChoices[rng.below(7)];
         spec.tech = techChoices[rng.below(4)];
         spec.seed = 1 + rng.below(1000);
         spec.accesses = 8000 + rng.below(8000);
