@@ -24,6 +24,7 @@
 #include "analysis/coverage.h"
 #include "analysis/factory.h"
 #include "runner/experiment_grid.h"
+#include "sequitur/windowed_oracle.h"
 #include "sim/system_config.h"
 #include "trace/streaming_source.h"
 #include "trace/trace_cache.h"
@@ -67,10 +68,25 @@ struct BenchOptions
      *  (the out-of-core substrate; byte-identical output). */
     bool stream = false;
     /** Streaming buffer capacity in records (--stream-chunk): the
-     *  run's memory budget knob. */
+     *  run's memory budget knob.  Must be >= 1 (a zero-record
+     *  buffer could never make refill progress; the streaming layer
+     *  rejects it and so does CLI parsing). */
     std::uint32_t streamChunk = defaultStreamBufferRecords;
     /** Disk-tier root for spilled traces/images (--spill-dir). */
     std::string spillDir = ".domino-spill";
+    /** Serve disk-tier replay images as zero-copy views of a shared
+     *  read-only file mapping (--mmap; implies the disk tier).
+     *  Byte-identical output -- sharded sibling processes just fault
+     *  the same page-cache pages instead of each materialising a
+     *  private heap copy. */
+    bool mmap = false;
+    /** Misses per opportunity-oracle window (--oracle-window; 0 =
+     *  whole trace, the default -- existing figures stay
+     *  byte-identical).  With a window, oracle memory is O(window)
+     *  instead of O(trace). */
+    std::uint64_t oracleWindow = 0;
+    /** Cross-window digest LRU capacity (--oracle-lru). */
+    std::size_t oracleLru = std::size_t{1} << 20;
     /** Multi-process workload sharding (--shards K --shard i). */
     runner::ShardSpec shardSpec;
 
@@ -92,6 +108,11 @@ struct BenchOptions
             args.getU64("stream-chunk", o.streamChunk));
         o.spillDir = args.get("spill-dir").empty()
             ? o.spillDir : args.get("spill-dir");
+        o.mmap = args.getBool("mmap");
+        o.oracleWindow = args.getU64("oracle-window",
+                                     o.oracleWindow);
+        o.oracleLru = static_cast<std::size_t>(
+            args.getU64("oracle-lru", o.oracleLru));
         o.shardSpec.shards = static_cast<unsigned>(
             args.getU64("shards", o.shardSpec.shards));
         o.shardSpec.shard = static_cast<unsigned>(
@@ -106,10 +127,16 @@ struct BenchOptions
             std::cerr << "bench: --stream-chunk must be at least 1\n";
             std::exit(2);
         }
-        // The disk tier rides the process-wide cache; configure it
-        // before any cell fans out.
-        if (o.stream)
+        if (o.oracleLru == 0) {
+            std::cerr << "bench: --oracle-lru must be at least 1\n";
+            std::exit(2);
+        }
+        // The disk and mmap tiers ride the process-wide cache;
+        // configure them before any cell fans out.
+        if (o.stream || o.mmap)
             traceCache().setSpillDir(o.spillDir);
+        if (o.mmap)
+            traceCache().setMmapTier(true);
         return o;
     }
 };
@@ -292,6 +319,24 @@ cachedBaselineMisses(const BenchOptions &opts,
             CHECK(src.audit().empty());
             return misses;
         });
+}
+
+/**
+ * The opportunity oracle under the harness's options: the
+ * whole-trace analyzeOpportunity() by default (byte-identical to
+ * every pre-windowing figure capture), the O(window)-memory
+ * windowed analyzer when --oracle-window is set.
+ */
+inline OpportunityResult
+benchOpportunity(const BenchOptions &opts,
+                 const std::vector<LineAddr> &misses)
+{
+    if (opts.oracleWindow == 0)
+        return analyzeOpportunity(misses);
+    OracleWindowOptions w;
+    w.window = opts.oracleWindow;
+    w.digestCapacity = opts.oracleLru;
+    return analyzeOpportunityWindowed(misses, w);
 }
 
 /** The workloads selected by the options, with ad-hoc overrides

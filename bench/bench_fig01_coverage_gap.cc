@@ -33,15 +33,23 @@ main(int argc, char **argv)
         [&](const WorkloadParams &wl, std::size_t config,
             std::uint64_t seed) {
             if (config < 2) {
-                TraceView src = cachedTrace(wl, seed, opts.accesses);
                 FactoryConfig f = defaultFactory(args, 1, seed);
                 auto pf = makePrefetcher(tech[config], f);
                 CoverageSimulator sim;
+                if (opts.stream) {
+                    StreamingTraceSource src = streamedTrace(
+                        opts, wl, seed, opts.accesses);
+                    const double cov =
+                        sim.run(src, pf.get()).coverage();
+                    CHECK(src.audit().empty());
+                    return cov;
+                }
+                TraceView src = cachedTrace(wl, seed, opts.accesses);
                 return sim.run(src, pf.get()).coverage();
             }
             const auto misses =
-                cachedBaselineMisses(wl, seed, opts.accesses);
-            return analyzeOpportunity(*misses).coverage();
+                cachedBaselineMisses(opts, wl, seed, opts.accesses);
+            return benchOpportunity(opts, *misses).coverage();
         });
 
     TextTable table({"Workload", "ISB", "STMS", "Opportunity",

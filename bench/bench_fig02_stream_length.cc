@@ -33,15 +33,23 @@ main(int argc, char **argv)
         [&](const WorkloadParams &wl, std::size_t config,
             std::uint64_t seed) {
             if (config < 2) {
-                TraceView src = cachedTrace(wl, seed, opts.accesses);
                 FactoryConfig f = defaultFactory(args, 1, seed);
                 auto pf = makePrefetcher(tech[config], f);
                 CoverageSimulator sim;
+                if (opts.stream) {
+                    StreamingTraceSource src = streamedTrace(
+                        opts, wl, seed, opts.accesses);
+                    const double len =
+                        sim.run(src, pf.get()).meanStreamRun();
+                    CHECK(src.audit().empty());
+                    return len;
+                }
+                TraceView src = cachedTrace(wl, seed, opts.accesses);
                 return sim.run(src, pf.get()).meanStreamRun();
             }
             const auto misses =
-                cachedBaselineMisses(wl, seed, opts.accesses);
-            return analyzeOpportunity(*misses).meanStreamLength();
+                cachedBaselineMisses(opts, wl, seed, opts.accesses);
+            return benchOpportunity(opts, *misses).meanStreamLength();
         });
 
     TextTable table({"Workload", "STMS", "Digram", "Sequitur"});

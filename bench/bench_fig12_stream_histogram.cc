@@ -34,8 +34,9 @@ main(int argc, char **argv)
         [&](const WorkloadParams &wl, std::size_t,
             std::uint64_t seed) {
             const auto misses =
-                cachedBaselineMisses(wl, seed, opts.accesses);
-            const OpportunityResult opp = analyzeOpportunity(*misses);
+                cachedBaselineMisses(opts, wl, seed, opts.accesses);
+            const OpportunityResult opp =
+                benchOpportunity(opts, *misses);
             const EdgeHistogram &h = opp.streamLengths;
             CellResult out;
             // Buckets: 0 at index 0; the "<=2" column is cumulative

@@ -27,6 +27,7 @@
 #include "domino/eit.h"
 #include "multicore/multicore_sim.h"
 #include "trace/replay_image.h"
+#include "trace/replay_spill.h"
 #include "trace/streaming_source.h"
 
 using namespace domino;
@@ -159,6 +160,51 @@ main(int argc, char **argv)
             CHECK(src.audit().empty());
         }));
     std::remove(spill_path.c_str());
+
+    // --- Replay-image load tiers: spill the packed image once,
+    // then time the buffered heap reload against the mapped
+    // zero-copy open (full lane-checksum validation in both, so the
+    // comparison is like for like).  trace_mmap_load staying ahead
+    // of trace_image_load is the mmap tier's reason to exist; the
+    // compare gate keeps it honest.
+    const std::string image_path = "bench_perf.domimage";
+    CHECK(spillReplayImage(image_path, image, "bench_perf").ok);
+    cells.push_back(timeCell("trace_image_load", n, repeats, [&] {
+        ReplayImage loaded;
+        CHECK(loadReplayImage(image_path, loaded).ok);
+        sink = sink + loaded.size();
+    }));
+    cells.push_back(timeCell("trace_mmap_load", n, repeats, [&] {
+        MappedReplayImage mapped;
+        CHECK(mapped.open(image_path).ok);
+        ReplayImage view;
+        CHECK(mapped.image(view).ok);
+        sink = sink + view.size();
+    }));
+    std::remove(image_path.c_str());
+
+    // --- Opportunity oracles over the baseline miss sequence: the
+    // whole-trace Sequitur walk and the windowed streaming analyzer
+    // (64 Ki-miss windows, the bounded-memory path bench_billion
+    // rides).
+    {
+        TraceBuffer src = trace;
+        const std::vector<LineAddr> misses =
+            baselineMissSequence(src);
+        cells.push_back(timeCell(
+            "oracle_whole_trace", misses.size(), repeats, [&] {
+                sink = sink +
+                    analyzeOpportunity(misses).coveredMisses;
+            }));
+        cells.push_back(timeCell(
+            "oracle_windowed", misses.size(), repeats, [&] {
+                OracleWindowOptions w;
+                w.window = 64 * 1024;
+                sink = sink +
+                    analyzeOpportunityWindowed(misses, w)
+                        .coveredMisses;
+            }));
+    }
 
     // --- Multicore runs: Domino over the sharded image with the
     // charged off-chip channel (the whole-substrate hot path of

@@ -80,7 +80,7 @@ runCoverageComparison(const CliArgs &args, unsigned default_degree,
                 const auto misses = cachedBaselineMisses(
                     opts, wl, seed, opts.accesses);
                 out.coverage.push_back(
-                    analyzeOpportunity(*misses).coverage());
+                    benchOpportunity(opts, *misses).coverage());
                 out.overprediction.push_back(0.0);
             }
             return out;

@@ -90,6 +90,7 @@ RECORD_LAYOUT_ASSERTS = [
     ("src/trace/replay_spill.cc", "imageHeaderBytes == 24"),
     ("src/trace/replay_spill.cc", "imageSectionEntryBytes == 32"),
     ("src/trace/replay_spill.cc", "imageSectionCount == 4"),
+    ("src/trace/replay_spill.cc", "imageSectionAlign == 64"),
     # streaming_source.cc rereads packed DOMTRACE records with its
     # own memcpy offsets, so it pins the record layout too.
     ("src/trace/streaming_source.cc", "traceHeaderBytes == 20"),

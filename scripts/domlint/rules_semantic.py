@@ -175,6 +175,46 @@ def check_audit_coverage(tree: Tree) -> list[Finding]:
 
 
 # --------------------------------------------------------------- #
+# raw-mmap
+
+#: Raw memory-mapping primitives, bare or ::-qualified.  The
+#: class-char lookbehind keeps identifiers that merely *contain* a
+#: banned name (mmapHits, setMmapTier) and member calls (.mmap,
+#: ->mmap) from matching; the stripped view already removed comments
+#: and strings.
+RAW_MMAP_RE = re.compile(
+    r"(?<![\w.>])(?:mmap|mmap64|mremap|munmap|madvise|"
+    r"posix_madvise)\s*\(")
+MMAN_INCLUDE_RE = re.compile(r"#\s*include\s*<sys/mman\.h>")
+
+#: The one owner of the raw primitives: everything else maps files
+#: through trace/mapped_file.h (RAII lifetime, audited geometry,
+#: one place to harden error paths).
+RAW_MMAP_ALLOWED = {"src/trace/mapped_file.cc"}
+
+
+@rule("raw-mmap", "semantic",
+      "no raw mmap/munmap/madvise calls (or <sys/mman.h> includes) "
+      "outside src/trace/mapped_file.cc; map files through "
+      "trace/mapped_file.h so lifetimes stay RAII-owned and mapped "
+      "geometry stays audited")
+def check_raw_mmap(tree: Tree) -> list[Finding]:
+    findings: list[Finding] = []
+    for f in tree.cxx_files():
+        if f.rel in RAW_MMAP_ALLOWED:
+            continue
+        for lineno, code in enumerate(f.stripped_lines, start=1):
+            if RAW_MMAP_RE.search(code) or \
+                    MMAN_INCLUDE_RE.search(code):
+                report(findings, f, lineno, "raw-mmap",
+                       "raw memory-mapping primitive (use "
+                       "trace/mapped_file.h, the RAII wrapper that "
+                       "owns every mapping); offending line: "
+                       + f.lines[lineno - 1].strip())
+    return findings
+
+
+# --------------------------------------------------------------- #
 # layering
 
 #: module -> modules it may #include, beyond itself.  This is the

@@ -24,6 +24,25 @@ rows if needed.  CI pins the equality:
   ==
     build/bench/bench_fig11_coverage_deg1 --n ... --csv | grep -v '^Average'
 
+Manifest mode decouples the three steps so the shards can run on
+*different machines* (a CI matrix, a second box) and be merged
+later:
+
+    run_sharded.py --shards 2 --manifest jobs.json -- HARNESS ARGS...
+        writes a JSON manifest: one job per shard with its full argv
+        and the output file it must produce (no execution).
+    run_sharded.py --execute jobs.json [--only i]
+        runs the manifest's jobs (or just shard i) on this machine,
+        writes each shard's CSV next to the manifest, and stamps its
+        SHA-256 into the manifest -- the *expected output checksum*.
+        Because per-row values are bit-identical across machines
+        (positional seeding), every executor must stamp the same
+        hash for the same shard.
+    run_sharded.py --merge jobs.json [--out FILE]
+        re-hashes every output file against its stamp (catching a
+        truncated copy or a divergent executor), then merges exactly
+        like the one-shot mode.
+
 Uses nothing but the standard library (the container ships no
 Python packages).
 
@@ -34,6 +53,9 @@ from __future__ import annotations
 
 import argparse
 import concurrent.futures
+import hashlib
+import json
+import os
 import subprocess
 import sys
 
@@ -93,19 +115,180 @@ def merge(outputs: list[str]) -> str:
     return "\n".join(merged) + ("\n" if merged else "")
 
 
+def shard_argv(command: list[str], shards: int, i: int) -> list[str]:
+    """The full argv of shard i: --csv makes the output mergeable
+    and --shards/--shard restrict its workload list."""
+    return command + ["--csv", "--shards", str(shards),
+                      "--shard", str(i)]
+
+
+def sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def load_manifest(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    jobs = manifest.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise ValueError(f"{path}: no jobs in manifest")
+    for job in jobs:
+        for field in ("shard", "argv", "output"):
+            if field not in job:
+                raise ValueError(
+                    f"{path}: job missing '{field}' field")
+    return manifest
+
+
+def job_output_path(manifest_path: str, job: dict) -> str:
+    """Output files live next to the manifest, so the whole bundle
+    (manifest + shard CSVs) can be copied between machines as one
+    directory."""
+    return os.path.join(os.path.dirname(os.path.abspath(
+        manifest_path)), job["output"])
+
+
+def emit_manifest(path: str, command: list[str],
+                  shards: int) -> None:
+    stem = os.path.splitext(os.path.basename(path))[0]
+    manifest = {
+        "shards": shards,
+        "command": command,
+        "jobs": [
+            {
+                "shard": i,
+                "argv": shard_argv(command, shards, i),
+                "output": f"{stem}.shard{i}.csv",
+                # Filled by --execute: the SHA-256 of the shard's
+                # CSV.  Deterministic output means every machine
+                # that runs this job must produce this exact hash.
+                "sha256": None,
+            }
+            for i in range(shards)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.write("\n")
+
+
+def execute_manifest(path: str, only: int | None) -> int:
+    manifest = load_manifest(path)
+    jobs = [j for j in manifest["jobs"]
+            if only is None or j["shard"] == only]
+    if not jobs:
+        sys.stderr.write(
+            f"run_sharded: no job for shard {only} in {path}\n")
+        return 1
+    with concurrent.futures.ThreadPoolExecutor(len(jobs)) as pool:
+        procs = list(pool.map(run_shard,
+                              [j["argv"] for j in jobs]))
+    for job, proc in zip(jobs, procs):
+        if proc.returncode != 0:
+            sys.stderr.write(
+                f"run_sharded: shard {job['shard']} exited "
+                f"{proc.returncode}:\n{proc.stderr}")
+            return 1
+        out_path = job_output_path(path, job)
+        with open(out_path, "w", encoding="utf-8") as fh:
+            fh.write(proc.stdout)
+        digest = sha256_text(proc.stdout)
+        if job.get("sha256") not in (None, digest):
+            sys.stderr.write(
+                f"run_sharded: shard {job['shard']} produced "
+                f"{digest}, but the manifest expected "
+                f"{job['sha256']} -- non-deterministic harness or "
+                f"mismatched build?\n")
+            return 1
+        job["sha256"] = digest
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.write("\n")
+    return 0
+
+
+def merge_manifest(path: str, out: str) -> int:
+    manifest = load_manifest(path)
+    outputs: list[str] = []
+    for job in sorted(manifest["jobs"], key=lambda j: j["shard"]):
+        out_path = job_output_path(path, job)
+        if job.get("sha256") is None:
+            sys.stderr.write(
+                f"run_sharded: shard {job['shard']} was never "
+                f"executed (no checksum stamp in {path})\n")
+            return 1
+        try:
+            with open(out_path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as err:
+            sys.stderr.write(f"run_sharded: {err}\n")
+            return 1
+        digest = sha256_text(text)
+        if digest != job["sha256"]:
+            sys.stderr.write(
+                f"run_sharded: {out_path} hashes to {digest}, "
+                f"expected {job['sha256']} -- truncated copy or "
+                f"divergent executor\n")
+            return 1
+        outputs.append(text)
+    try:
+        text = merge(outputs)
+    except ValueError as err:
+        sys.stderr.write(f"run_sharded: {err}\n")
+        return 1
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
-        usage="%(prog)s --shards K [--out FILE] -- "
-              "HARNESS [HARNESS_ARGS...]")
-    parser.add_argument("--shards", type=int, required=True,
+        usage="%(prog)s --shards K [--out FILE] "
+              "[--manifest FILE | --execute FILE | --merge FILE] "
+              "[-- HARNESS [HARNESS_ARGS...]]")
+    parser.add_argument("--shards", type=int, default=0,
                         help="number of cooperating shard processes")
     parser.add_argument("--out", default="",
                         help="write the merged CSV here "
                              "(default: stdout)")
+    parser.add_argument("--manifest", default="",
+                        help="write a per-shard job manifest here "
+                             "instead of executing")
+    parser.add_argument("--execute", default="",
+                        help="run the jobs of this manifest and "
+                             "stamp output checksums")
+    parser.add_argument("--only", type=int, default=None,
+                        help="with --execute: run just this shard "
+                             "(CI-matrix / second-machine use)")
+    parser.add_argument("--merge", default="",
+                        help="verify this manifest's executed "
+                             "outputs and merge them")
     parser.add_argument("command", nargs=argparse.REMAINDER,
                         help="harness command line (prefix with --)")
     args = parser.parse_args()
+
+    modes = [bool(args.manifest), bool(args.execute),
+             bool(args.merge)]
+    if sum(modes) > 1:
+        parser.error("--manifest, --execute, and --merge are "
+                     "mutually exclusive")
+
+    if args.execute:
+        try:
+            return execute_manifest(args.execute, args.only)
+        except ValueError as err:
+            sys.stderr.write(f"run_sharded: {err}\n")
+            return 1
+    if args.merge:
+        try:
+            return merge_manifest(args.merge, args.out)
+        except ValueError as err:
+            sys.stderr.write(f"run_sharded: {err}\n")
+            return 1
 
     command = args.command
     if command and command[0] == "--":
@@ -115,10 +298,12 @@ def main() -> int:
     if args.shards < 1:
         parser.error("--shards must be at least 1")
 
-    # Each shard is one process; --csv makes the output mergeable
-    # and --shards/--shard restrict its workload list.
-    cmds = [command + ["--csv", "--shards", str(args.shards),
-                       "--shard", str(i)]
+    if args.manifest:
+        emit_manifest(args.manifest, command, args.shards)
+        return 0
+
+    # One-shot mode: run every shard here, merge in memory.
+    cmds = [shard_argv(command, args.shards, i)
             for i in range(args.shards)]
     with concurrent.futures.ThreadPoolExecutor(args.shards) as pool:
         procs = list(pool.map(run_shard, cmds))

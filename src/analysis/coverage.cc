@@ -62,8 +62,8 @@ CoverageSimulator::runMany(
 {
     if constexpr (checksEnabled)
         CHECK_EQ(image.audit(), "");
-    const LineAddr *lines = image.lines().data();
-    const Addr *pcs = image.pcs().data();
+    const LineAddr *lines = image.linesData();
+    const Addr *pcs = image.pcsData();
     const std::size_t n = image.size();
     std::size_t i = 0;
     return runManyImpl(
@@ -157,6 +157,8 @@ CoverageSimulator::runManyImpl(
         l1.fill(line);
         if (opts.collectTriggerSequence)
             triggers.push_back(line);
+        if (opts.triggerSink)
+            opts.triggerSink(line);
 
         for (std::size_t i = 0; i < lanes.size(); ++i) {
             Lane &lane = lanes[i];

@@ -27,6 +27,7 @@
 // lane.prefetcher->audit() every 2048 misses in checked builds
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/histogram.h"
@@ -49,6 +50,13 @@ struct CoverageOptions
     std::uint32_t prefetchBufferBlocks = 32;
     /** Collect the trigger (baseline miss) sequence. */
     bool collectTriggerSequence = false;
+    /** When set, every trigger (baseline miss) line is pushed into
+     *  this sink as it occurs -- the bounded-memory alternative to
+     *  collectTriggerSequence for out-of-core runs, where the
+     *  billion-access miss sequence must never be materialised
+     *  (bench_billion streams it straight into the windowed
+     *  opportunity analyzer). */
+    std::function<void(LineAddr)> triggerSink;
 };
 
 /** Results of a coverage run. */

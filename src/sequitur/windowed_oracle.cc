@@ -1,0 +1,283 @@
+#include "windowed_oracle.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace domino
+{
+
+namespace
+{
+
+/**
+ * Composable polynomial hash over expanded terminal sequences:
+ * digest(A || B) = digest(A) * base^len(B) + digest(B) (mod 2^64),
+ * so a rule's digest folds from its sub-rules' (digest, length)
+ * pairs without ever expanding the terminals.  Content-based by
+ * construction -- identical expansions get identical digests no
+ * matter how differently two windows' grammars parsed them.
+ */
+constexpr std::uint64_t digestBase = 0x100000001b3ULL;
+
+/** splitmix64 finaliser: spreads terminal values so nearby line
+ *  addresses do not collide under the polynomial fold. */
+std::uint64_t
+mixTerm(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** base^e mod 2^64 by square-and-multiply. */
+std::uint64_t
+powBase(std::uint64_t e)
+{
+    std::uint64_t result = 1;
+    std::uint64_t b = digestBase;
+    while (e) {
+        if (e & 1)
+            result *= b;
+        b *= b;
+        e >>= 1;
+    }
+    return result;
+}
+
+/**
+ * Content digests of every live rule of @p grammar, memoised.
+ * Iterative dependency resolution (a rule's digest needs its
+ * sub-rules' digests first) so deep grammars cannot overflow the
+ * call stack.
+ */
+class RuleDigests
+{
+  public:
+    explicit RuleDigests(const SequiturGrammar &g) : grammar(g) {}
+
+    std::uint64_t
+    digestOf(int rule_id)
+    {
+        const auto hit = memo.find(rule_id);
+        if (hit != memo.end())
+            return hit->second;
+
+        std::vector<int> stack{rule_id};
+        while (!stack.empty()) {
+            const int id = stack.back();
+            if (memo.count(id)) {
+                stack.pop_back();
+                continue;
+            }
+            bool ready = true;
+            const std::vector<SequiturGrammar::Sym> body =
+                grammar.ruleBody(id);
+            for (const SequiturGrammar::Sym &sym : body) {
+                if (sym.isRule && !memo.count(sym.ruleId)) {
+                    stack.push_back(sym.ruleId);
+                    ready = false;
+                }
+            }
+            if (!ready)
+                continue;
+            std::uint64_t h = 0;
+            for (const SequiturGrammar::Sym &sym : body) {
+                if (sym.isRule) {
+                    h *= powBase(
+                        grammar.expandedLength(sym.ruleId));
+                    h += memo[sym.ruleId];
+                } else {
+                    h = h * digestBase + mixTerm(sym.term);
+                }
+            }
+            memo.emplace(id, h);
+            stack.pop_back();
+        }
+        return memo[rule_id];
+    }
+
+  private:
+    const SequiturGrammar &grammar;
+    std::unordered_map<int, std::uint64_t> memo;
+};
+
+} // anonymous namespace
+
+WindowedOpportunityAnalyzer::WindowedOpportunityAnalyzer(
+    OracleWindowOptions options)
+    : opt(options)
+{
+    grammar.emplace();
+}
+
+void
+WindowedOpportunityAnalyzer::push(LineAddr miss)
+{
+    CHECK(!finished);
+    grammar->push(miss);
+    ++windowFill;
+    ++fed;
+    ++acc.totalMisses;
+    if (opt.window != 0 && windowFill >= opt.window)
+        closeWindow();
+}
+
+OpportunityResult
+WindowedOpportunityAnalyzer::finish()
+{
+    CHECK(!finished);
+    closeWindow();
+    finished = true;
+    return acc;
+}
+
+void
+WindowedOpportunityAnalyzer::closeWindow()
+{
+    if (windowFill == 0)
+        return;
+
+    // The whole-trace opportunity walk (opportunity.cc), extended
+    // with one check: a rule first seen in *this* window whose
+    // content digest is already in the cross-window LRU repeats
+    // from an earlier window, so it is covered without descending.
+    // With window = 0 the LRU is empty here and the walk reduces to
+    // analyzeOpportunity() exactly.
+    RuleDigests digests(*grammar);
+    std::unordered_set<int> seen;
+
+    // Fast path: the entire window's content repeats verbatim from
+    // an earlier window (rule 0's digest is the window's digest).
+    // Without it a window of internally-distinct misses builds no
+    // rules, so even an exact window-for-window repeat would have
+    // nothing to match the LRU against.
+    if (digestKnown(digests.digestOf(0), windowFill)) {
+        acc.coveredMisses += windowFill;
+        ++acc.streamCount;
+        acc.streamLengths.add(windowFill);
+        rememberDigest(digests.digestOf(0), windowFill);
+        grammar.emplace();
+        windowFill = 0;
+        return;
+    }
+
+    struct Frame
+    {
+        std::vector<SequiturGrammar::Sym> body;
+        std::size_t idx;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{grammar->ruleBody(0), 0});
+
+    while (!stack.empty()) {
+        Frame &top = stack.back();
+        if (top.idx >= top.body.size()) {
+            stack.pop_back();
+            continue;
+        }
+        const SequiturGrammar::Sym sym = top.body[top.idx++];
+        if (!sym.isRule)
+            continue;  // bare terminal: not covered
+        const std::uint64_t len =
+            grammar->expandedLength(sym.ruleId);
+        if (!seen.insert(sym.ruleId).second ||
+            digestKnown(digests.digestOf(sym.ruleId), len)) {
+            acc.coveredMisses += len;
+            ++acc.streamCount;
+            acc.streamLengths.add(len);
+        } else {
+            // Genuinely new content: descend (its sub-rules may
+            // still repeat, within the window or from history).
+            stack.push_back(
+                Frame{grammar->ruleBody(sym.ruleId), 0});
+        }
+    }
+
+    // Publish this window's streams for later windows.  Rule 0 --
+    // the window's full content -- is published too, so that the
+    // fast path above can recall exact window-for-window repeats;
+    // it is published last so it is the most-recent entry.
+    for (const int id : grammar->liveRuleIds()) {
+        if (id == 0)
+            continue;
+        rememberDigest(digests.digestOf(id),
+                       grammar->expandedLength(id));
+    }
+    rememberDigest(digests.digestOf(0), windowFill);
+
+    grammar.emplace();  // fresh grammar: memory stays O(window)
+    windowFill = 0;
+}
+
+bool
+WindowedOpportunityAnalyzer::digestKnown(std::uint64_t digest,
+                                         std::uint64_t length)
+{
+    const auto it = lruIndex.find(digest);
+    // The length check demotes a digest collision between
+    // different-length streams to a miss instead of a miscount.
+    if (it == lruIndex.end() || it->second->second != length)
+        return false;
+    lruList.splice(lruList.begin(), lruList, it->second);
+    return true;
+}
+
+void
+WindowedOpportunityAnalyzer::rememberDigest(std::uint64_t digest,
+                                            std::uint64_t length)
+{
+    const auto it = lruIndex.find(digest);
+    if (it != lruIndex.end()) {
+        it->second->second = length;
+        lruList.splice(lruList.begin(), lruList, it->second);
+        return;
+    }
+    lruList.emplace_front(digest, length);
+    lruIndex.emplace(digest, lruList.begin());
+    if (lruList.size() > opt.digestCapacity) {
+        lruIndex.erase(lruList.back().first);
+        lruList.pop_back();
+    }
+}
+
+std::string
+WindowedOpportunityAnalyzer::audit() const
+{
+    if (opt.window != 0 && windowFill >= opt.window)
+        return "open window holds " + std::to_string(windowFill) +
+            " misses, at or past the window of " +
+            std::to_string(opt.window);
+    if (grammar && grammar->inputLength() != windowFill)
+        return "open grammar fed " +
+            std::to_string(grammar->inputLength()) +
+            " terminals but the window holds " +
+            std::to_string(windowFill);
+    if (lruList.size() != lruIndex.size())
+        return "digest LRU index and recency list disagree (" +
+            std::to_string(lruIndex.size()) + " vs " +
+            std::to_string(lruList.size()) + ")";
+    if (lruList.size() > opt.digestCapacity)
+        return "digest LRU exceeds its capacity";
+    if (acc.coveredMisses > acc.totalMisses)
+        return "covered misses exceed total misses";
+    if (acc.streamLengths.totalCount() != acc.streamCount)
+        return "stream histogram total disagrees with the stream "
+            "count";
+    if (acc.totalMisses < fed - windowFill)
+        return "accumulated total lost closed-window misses";
+    return "";
+}
+
+OpportunityResult
+analyzeOpportunityWindowed(const std::vector<LineAddr> &misses,
+                           const OracleWindowOptions &options)
+{
+    WindowedOpportunityAnalyzer analyzer(options);
+    for (const LineAddr m : misses)
+        analyzer.push(m);
+    return analyzer.finish();
+}
+
+} // namespace domino

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Windowed streaming variant of the opportunity oracle.
+ *
+ * analyzeOpportunity() (opportunity.h) builds one Sequitur grammar
+ * over the whole miss sequence, so its memory is O(trace) -- fine
+ * for figure-sized traces, a wall at the billion-access regime.
+ * This analyzer compresses the sequence in fixed-size windows
+ * instead: each window gets its own grammar (destroyed after the
+ * window's opportunity walk), so memory is O(window) regardless of
+ * the trace length.
+ *
+ * Windowing alone would lose every repetition that straddles a
+ * window boundary.  To recover cross-window recurrence, the walk
+ * carries *rule digests* across windows in a bounded LRU: when a
+ * window's grammar forms a rule whose expanded terminal sequence
+ * hashed to a digest already in the LRU (same content seen in an
+ * earlier window), its first occurrence in this window counts as
+ * covered too -- the content literally repeats from history, which
+ * is exactly the oracle's definition of predictable.  Digests are
+ * content-based (a composable polynomial hash of the expanded
+ * terminals), so two windows that parse the same subsequence into
+ * different rule shapes still match.
+ *
+ * Determinism: the analysis is a pure function of the miss sequence
+ * and the options -- no pointers, clocks, or randomness feed the
+ * result -- so windowed results are byte-stable across --jobs and
+ * across processes (pinned by tests/test_windowed_oracle.cc).
+ *
+ * Equivalence: with the default window of 0 (whole trace), exactly
+ * one window exists, the LRU is empty when it is walked, and the
+ * walk reduces to analyzeOpportunity()'s -- field-for-field equal
+ * results, which keeps the default figure-1/2/12 outputs
+ * byte-identical to the resident oracle.
+ */
+
+#ifndef DOMINO_SEQUITUR_WINDOWED_ORACLE_H
+#define DOMINO_SEQUITUR_WINDOWED_ORACLE_H
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sequitur/opportunity.h"
+#include "sequitur/sequitur.h"
+
+namespace domino
+{
+
+/** Knobs of the windowed oracle (see file comment). */
+struct OracleWindowOptions
+{
+    /** Misses per window; 0 = whole trace (one window, result
+     *  field-for-field equal to analyzeOpportunity()). */
+    std::uint64_t window = 0;
+
+    /** Bounded cross-window digest memory: rules remembered across
+     *  window boundaries (LRU eviction).  The default remembers
+     *  about a million distinct streams -- roughly 48 MiB, far
+     *  smaller than any window worth compressing. */
+    std::size_t digestCapacity = std::size_t{1} << 20;
+};
+
+/**
+ * The streaming analyzer: push() misses in trace order, then
+ * finish() once for the accumulated OpportunityResult.
+ */
+class WindowedOpportunityAnalyzer
+{
+  public:
+    explicit WindowedOpportunityAnalyzer(
+        OracleWindowOptions options = {});
+
+    /** Feed the next miss of the sequence (trace order). */
+    void push(LineAddr miss);
+
+    /** Misses fed so far. */
+    std::uint64_t pushed() const { return fed; }
+
+    /**
+     * Flush the tail window and return the accumulated result.
+     * Call exactly once, after the last push().
+     */
+    OpportunityResult finish();
+
+    /**
+     * Verify the analyzer's invariants: the open window never holds
+     * more than a window's worth of misses, the digest LRU respects
+     * its capacity and its index agrees with its recency list, and
+     * the accumulated counters are mutually consistent.
+     * @return empty string if OK, else a description.
+     */
+    std::string audit() const;
+
+  private:
+    /** Walk the open window's grammar and fold it into the result;
+     *  publish its rule digests; reset for the next window. */
+    void closeWindow();
+
+    /** LRU lookup of (digest, expanded length); refreshes recency
+     *  on hit. */
+    bool digestKnown(std::uint64_t digest, std::uint64_t length);
+
+    /** Insert-or-refresh a digest; evicts the coldest entry past
+     *  capacity. */
+    void rememberDigest(std::uint64_t digest, std::uint64_t length);
+
+    OracleWindowOptions opt;
+    OpportunityResult acc;
+    /** Grammar of the open window (rebuilt per window; optional so
+     *  the non-movable grammar can be re-emplaced). */
+    std::optional<SequiturGrammar> grammar;
+    std::uint64_t windowFill = 0;
+    std::uint64_t fed = 0;
+    bool finished = false;
+
+    /** Cross-window digest memory: recency list of (digest,
+     *  expanded length), most recent first, plus an index into it.
+     *  Never iterated (ordered-output rule) -- only find/insert/
+     *  erase/splice. */
+    std::list<std::pair<std::uint64_t, std::uint64_t>> lruList;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, std::uint64_t>>::iterator>
+        lruIndex;
+};
+
+/**
+ * Convenience: run the windowed analyzer over a resident miss
+ * sequence (tests and the figure benches' non-streamed path).
+ */
+OpportunityResult analyzeOpportunityWindowed(
+    const std::vector<LineAddr> &misses,
+    const OracleWindowOptions &options);
+
+} // namespace domino
+
+#endif // DOMINO_SEQUITUR_WINDOWED_ORACLE_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Read-only memory mapping of an on-disk file.
+ *
+ * The out-of-core substrate's buffered loaders (`loadReplayImage`,
+ * `StreamingTraceSource`) copy file bytes into private heap arrays,
+ * so N sharded sibling processes replaying one spilled trace each
+ * materialise their own copy.  MappedFile maps the file read-only
+ * instead: the kernel's page cache holds the bytes exactly once per
+ * machine, every process that maps the same file faults the same
+ * physical pages, and nothing is copied into the heap at all --
+ * the shared-memory fan-out path of the billion-access pipeline
+ * (DESIGN.md "Out-of-core substrate").
+ *
+ * This header/.cc pair is the *only* place in the repo allowed to
+ * call mmap/munmap/madvise (enforced by the domlint `raw-mmap`
+ * rule): every mapped consumer -- today the `MappedReplayImage`
+ * DOMIMAGE loader -- goes through this RAII wrapper, so lifetime
+ * and error handling are audited in one file.
+ *
+ * A mapping is immutable (PROT_READ) and survives moves; copying is
+ * deleted.  Consumers that outlive unpredictable scopes share the
+ * mapping via `std::shared_ptr<const MappedFile>` (the keepalive a
+ * zero-copy ReplayImage view carries).
+ */
+
+#ifndef DOMINO_TRACE_MAPPED_FILE_H
+#define DOMINO_TRACE_MAPPED_FILE_H
+
+#include <cstddef>
+#include <string>
+
+#include "trace/trace_io.h"
+
+namespace domino
+{
+
+/** The read-only mapping (see file comment). */
+class MappedFile
+{
+  public:
+    /** Expected access pattern, forwarded to madvise as a plain
+     *  performance hint (never affects results). */
+    enum class Advice
+    {
+        Normal,
+        /** Touch front to back once (checksum passes, scans). */
+        Sequential,
+        /** Scattered faults (shard cursors over one mapping). */
+        Random,
+    };
+
+    /** An empty wrapper: data() == nullptr, size() == 0. */
+    MappedFile() = default;
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /** Unmaps (the descriptor is closed right after mapping). */
+    ~MappedFile();
+
+    /**
+     * Map @p path read-only in its entirety.  On failure @p out is
+     * left empty and the error names the file and the failing step.
+     * A zero-byte file maps successfully to (nullptr, 0) -- mmap
+     * itself rejects empty ranges, so no mapping is created.
+     */
+    static IoResult map(const std::string &path, MappedFile &out);
+
+    /** First byte of the mapping (nullptr when empty). */
+    const unsigned char *data() const { return base; }
+
+    /** Mapped length in bytes. */
+    std::size_t size() const { return bytes; }
+
+    /** The mapped file's path (empty when default-constructed). */
+    const std::string &path() const { return filePath; }
+
+    /** True when map() succeeded (a zero-byte file counts). */
+    bool ok() const { return opened; }
+
+    /** Advise the kernel about the expected access pattern. */
+    void advise(Advice advice) const;
+
+    /**
+     * Verify the wrapper's invariants: an empty wrapper carries no
+     * mapping, a non-empty one has a base pointer matching its
+     * length.
+     * @return empty string if OK, else a description.
+     */
+    std::string audit() const;
+
+  private:
+    void unmap();
+
+    const unsigned char *base = nullptr;
+    std::size_t bytes = 0;
+    std::string filePath;
+    bool opened = false;
+};
+
+} // namespace domino
+
+#endif // DOMINO_TRACE_MAPPED_FILE_H

@@ -1,5 +1,7 @@
 #include "replay_image.h"
 
+#include <algorithm>
+
 namespace domino
 {
 
@@ -20,15 +22,23 @@ ReplayImage::ReplayImage(const TraceBuffer &trace)
 std::string
 ReplayImage::audit() const
 {
-    if (pcArr.size() != lineArr.size() ||
-        rwArr.size() != lineArr.size()) {
+    if (viewBacked) {
+        if (viewCount > 0 &&
+            (!viewLines || !viewPcs || !viewRw || !backing)) {
+            return "mapped view lost a lane pointer or its backing";
+        }
+        if (!lineArr.empty() || !pcArr.empty() || !rwArr.empty())
+            return "mapped view also owns heap lanes";
+    } else if (pcArr.size() != lineArr.size() ||
+               rwArr.size() != lineArr.size()) {
         return "parallel arrays disagree on the record count (" +
             std::to_string(lineArr.size()) + " lines, " +
             std::to_string(pcArr.size()) + " PCs, " +
             std::to_string(rwArr.size()) + " rw flags)";
     }
-    for (std::size_t i = 0; i < rwArr.size(); ++i)
-        if (rwArr[i] > 1)
+    const std::uint8_t *rw = rwData();
+    for (std::size_t i = 0; i < size(); ++i)
+        if (rw[i] > 1)
             return "non-boolean rw flag at record " +
                 std::to_string(i);
     return "";
@@ -44,10 +54,13 @@ ReplayImage::auditAgainst(const TraceBuffer &trace) const
             " records of a " + std::to_string(trace.size()) +
             "-record trace";
     }
+    const LineAddr *lines = linesData();
+    const Addr *pcs = pcsData();
+    const std::uint8_t *rw = rwData();
     for (std::size_t i = 0; i < trace.size(); ++i) {
         const Access &a = trace[i];
-        if (lineArr[i] != a.line() || pcArr[i] != a.pc ||
-            (rwArr[i] != 0) != a.isWrite) {
+        if (lines[i] != a.line() || pcs[i] != a.pc ||
+            (rw[i] != 0) != a.isWrite) {
             return "record " + std::to_string(i) +
                 " does not match the source trace";
         }
@@ -67,11 +80,16 @@ ReplayImage::auditAgainst(const ReplayImage &other) const
         return "image holds " + std::to_string(size()) +
             " records, other holds " + std::to_string(other.size());
     }
-    if (lineArr != other.lineArr)
+    // Lane-pointer comparison so any storage-mode pairing (owning
+    // vs owning, owning vs mapped view, view vs view) is checked
+    // byte-for-byte -- the loaded-vs-mapped equality contract.
+    const std::size_t n = size();
+    if (!std::equal(linesData(), linesData() + n,
+                    other.linesData()))
         return "line arrays differ";
-    if (pcArr != other.pcArr)
+    if (!std::equal(pcsData(), pcsData() + n, other.pcsData()))
         return "pc arrays differ";
-    if (rwArr != other.rwArr)
+    if (!std::equal(rwData(), rwData() + n, other.rwData()))
         return "rw arrays differ";
     return "";
 }

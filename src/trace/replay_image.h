@@ -16,12 +16,24 @@
  * switched from a TraceView/ShardView to an image cursor produces a
  * byte-identical result (the determinism contract's requirement for
  * adopting the fast path).
+ *
+ * Two storage modes share one consumer surface: an *owning* image
+ * holds the three lanes in heap vectors (built from a trace or the
+ * buffered spill loader), while a *mapped view* borrows the lanes
+ * straight out of a read-only DOMIMAGE file mapping and carries a
+ * refcounted keepalive of that mapping (MappedReplayImage in
+ * src/trace/replay_spill.h).  Consumers cannot tell them apart --
+ * lineAt/pcAt/writeAt and the linesData/pcsData/rwData lane
+ * pointers behave identically -- but a mapped view costs no heap
+ * and N sharded sibling processes mapping one spill share the same
+ * page-cache pages.
  */
 
 #ifndef DOMINO_TRACE_REPLAY_IMAGE_H
 #define DOMINO_TRACE_REPLAY_IMAGE_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,9 +56,9 @@ class ReplayImage
     explicit ReplayImage(const TraceBuffer &trace);
 
     /**
-     * Adopt already-packed arrays (the spill loader's path --
-     * src/trace/replay_spill.cc).  The arrays must be parallel and
-     * boolean-flagged; audit() verifies exactly that, and the
+     * Adopt already-packed arrays (the buffered spill loader's path
+     * -- src/trace/replay_spill.cc).  The arrays must be parallel
+     * and boolean-flagged; audit() verifies exactly that, and the
      * loader rejects a file whose arrays fail it.
      */
     ReplayImage(std::vector<LineAddr> lines, std::vector<Addr> pcs,
@@ -55,37 +67,96 @@ class ReplayImage
           rwArr(std::move(rw))
     {}
 
+    /**
+     * Borrow already-packed lanes owned by someone else (the mapped
+     * spill loader's path -- MappedReplayImage serves the lanes
+     * zero-copy straight out of a read-only file mapping).  The
+     * image holds @p keepalive so the backing storage outlives every
+     * copy of the view; nothing is copied into the heap.
+     */
+    ReplayImage(const LineAddr *lines, const Addr *pcs,
+                const std::uint8_t *rw, std::size_t count,
+                std::shared_ptr<const void> keepalive)
+        : viewLines(lines), viewPcs(pcs), viewRw(rw),
+          viewCount(count), backing(std::move(keepalive)),
+          viewBacked(true)
+    {}
+
+    /** Copies share the (refcounted) backing of a mapped view. */
+    ReplayImage(const ReplayImage &) = default;
+    ReplayImage &operator=(const ReplayImage &) = default;
+
+    /** Moving resets the source to an empty image so a moved-from
+     *  view never dangles into backing it no longer keeps alive. */
+    ReplayImage(ReplayImage &&other) noexcept { swap(other); }
+    ReplayImage &
+    operator=(ReplayImage &&other) noexcept
+    {
+        if (this != &other) {
+            ReplayImage released;
+            released.swap(other); // leaves other empty
+            swap(released);       // old *this dies with released
+        }
+        return *this;
+    }
+
+    ~ReplayImage() = default;
+
     /** Records in the image. */
-    std::size_t size() const { return lineArr.size(); }
+    std::size_t
+    size() const
+    {
+        return viewBacked ? viewCount : lineArr.size();
+    }
+
+    /** True when the lanes are served out of borrowed (mapped)
+     *  storage instead of owning heap arrays. */
+    bool mapped() const { return viewBacked; }
+
+    /** The packed line-address lane (zero-copy iteration). */
+    const LineAddr *
+    linesData() const
+    {
+        return viewBacked ? viewLines : lineArr.data();
+    }
+
+    /** The packed PC lane. */
+    const Addr *
+    pcsData() const
+    {
+        return viewBacked ? viewPcs : pcArr.data();
+    }
+
+    /** The packed rw-flag lane (0 = load, 1 = store). */
+    const std::uint8_t *
+    rwData() const
+    {
+        return viewBacked ? viewRw : rwArr.data();
+    }
 
     /** Cache-line address of record @p i (precomputed). */
     LineAddr
     lineAt(std::size_t i) const
     {
-        DCHECK_LT(i, lineArr.size());
-        return lineArr[i];
+        DCHECK_LT(i, size());
+        return linesData()[i];
     }
 
     /** Program counter of record @p i. */
     Addr
     pcAt(std::size_t i) const
     {
-        DCHECK_LT(i, pcArr.size());
-        return pcArr[i];
+        DCHECK_LT(i, size());
+        return pcsData()[i];
     }
 
     /** True when record @p i is a store. */
     bool
     writeAt(std::size_t i) const
     {
-        DCHECK_LT(i, rwArr.size());
-        return rwArr[i] != 0;
+        DCHECK_LT(i, size());
+        return rwData()[i] != 0;
     }
-
-    /** The packed line-address array (zero-copy iteration). */
-    const std::vector<LineAddr> &lines() const { return lineArr; }
-    /** The packed PC array. */
-    const std::vector<Addr> &pcs() const { return pcArr; }
 
     /**
      * Verify the image's internal invariants: the three parallel
@@ -125,9 +196,33 @@ class ReplayImage
   private:
     friend struct ReplayImageTestPeer;
 
+    void
+    swap(ReplayImage &other) noexcept
+    {
+        lineArr.swap(other.lineArr);
+        pcArr.swap(other.pcArr);
+        rwArr.swap(other.rwArr);
+        std::swap(viewLines, other.viewLines);
+        std::swap(viewPcs, other.viewPcs);
+        std::swap(viewRw, other.viewRw);
+        std::swap(viewCount, other.viewCount);
+        backing.swap(other.backing);
+        std::swap(viewBacked, other.viewBacked);
+    }
+
+    /** Owning storage (heap-built and buffered-loaded images). */
     std::vector<LineAddr> lineArr;
     std::vector<Addr> pcArr;
     std::vector<std::uint8_t> rwArr;
+
+    /** Borrowed storage (mapped views); null when owning. */
+    const LineAddr *viewLines = nullptr;
+    const Addr *viewPcs = nullptr;
+    const std::uint8_t *viewRw = nullptr;
+    std::size_t viewCount = 0;
+    /** Keeps the borrowed storage (the file mapping) alive. */
+    std::shared_ptr<const void> backing;
+    bool viewBacked = false;
 };
 
 /**

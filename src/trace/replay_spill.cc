@@ -12,7 +12,10 @@ namespace
 {
 
 constexpr char magic[8] = {'D', 'O', 'M', 'I', 'M', 'A', 'G', 'E'};
-constexpr std::uint32_t version = 1;
+/** The only version the writer emits (64-byte-aligned sections). */
+constexpr std::uint32_t currentVersion = 2;
+/** Still readable: PR 6's contiguous-section layout. */
+constexpr std::uint32_t legacyVersion = 1;
 
 /** Section ids, in the order sections appear in the file
  *  (docs/TRACE_FORMAT.md "Section ids"). */
@@ -36,9 +39,24 @@ static_assert(imageSectionEntryBytes == 32,
 static_assert(imageSectionCount == 4,
               "section roster changed: bump the version and update "
               "docs/TRACE_FORMAT.md");
+static_assert(imageSectionAlign == 64,
+              "v2 section alignment changed: bump the version and "
+              "update docs/TRACE_FORMAT.md");
 static_assert(sizeof(LineAddr) == 8 && sizeof(Addr) == 8,
               "array element widths no longer match the documented "
               "8-byte line/pc section fields");
+
+/** End of the fixed header + section table (both versions). */
+constexpr std::uint64_t tableEndBytes = imageHeaderBytes +
+    std::uint64_t{imageSectionCount} * imageSectionEntryBytes;
+
+/** Next v2 section boundary at or after @p offset. */
+constexpr std::uint64_t
+alignSection(std::uint64_t offset)
+{
+    return (offset + imageSectionAlign - 1) &
+        ~(imageSectionAlign - 1);
+}
 
 /** One parsed section-table entry. */
 struct Section
@@ -47,6 +65,14 @@ struct Section
     std::uint64_t offset = 0;
     std::uint64_t bytes = 0;
     std::uint64_t checksum = 0;
+};
+
+/** Everything the fixed front of a spill file declares. */
+struct SpillLayout
+{
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    Section sections[imageSectionCount];
 };
 
 void
@@ -63,6 +89,22 @@ putU64(std::string &out, std::uint64_t v)
     char b[8];
     std::memcpy(b, &v, 8);
     out.append(b, 8);
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
 }
 
 } // anonymous namespace
@@ -84,14 +126,6 @@ spillReplayImage(const std::string &path, const ReplayImage &image,
                  const std::string &key)
 {
     const std::size_t n = image.size();
-    const std::vector<LineAddr> &lines = image.lines();
-    const std::vector<Addr> &pcs = image.pcs();
-
-    // The rw flags have no zero-copy accessor; rebuild the packed
-    // byte array through the public record interface.
-    std::vector<std::uint8_t> rw(n);
-    for (std::size_t i = 0; i < n; ++i)
-        rw[i] = image.writeAt(i) ? 1 : 0;
 
     struct Body
     {
@@ -101,21 +135,22 @@ spillReplayImage(const std::string &path, const ReplayImage &image,
     };
     const Body bodies[imageSectionCount] = {
         {SecKey, key.data(), key.size()},
-        {SecLines, lines.data(), n * sizeof(LineAddr)},
-        {SecPcs, pcs.data(), n * sizeof(Addr)},
-        {SecRw, rw.data(), n},
+        {SecLines, image.linesData(), n * sizeof(LineAddr)},
+        {SecPcs, image.pcsData(), n * sizeof(Addr)},
+        {SecRw, image.rwData(), n},
     };
 
-    // Header + section table, then the section bytes contiguously in
-    // id order (the loader enforces exactly this geometry).
+    // Header + section table, then the section bytes in id order,
+    // each section's start padded to the v2 alignment with zero
+    // bytes (the loader enforces exactly this geometry).
     std::string head;
     head.append(magic, sizeof(magic));
-    putU32(head, version);
+    putU32(head, currentVersion);
     putU32(head, imageSectionCount);
     putU64(head, n);
-    std::uint64_t offset = imageHeaderBytes +
-        std::uint64_t{imageSectionCount} * imageSectionEntryBytes;
+    std::uint64_t offset = tableEndBytes;
     for (const Body &b : bodies) {
+        offset = alignSection(offset);
         putU32(head, b.id);
         putU32(head, 0);  // reserved, written as zero
         putU64(head, offset);
@@ -128,9 +163,15 @@ spillReplayImage(const std::string &path, const ReplayImage &image,
     if (!os)
         return IoResult::failure("cannot open for writing: " + path);
     os.write(head.data(), static_cast<std::streamsize>(head.size()));
-    for (const Body &b : bodies)
+    const char pad[imageSectionAlign] = {};
+    std::uint64_t written = tableEndBytes;
+    for (const Body &b : bodies) {
+        const std::uint64_t gap = alignSection(written) - written;
+        os.write(pad, static_cast<std::streamsize>(gap));
         os.write(static_cast<const char *>(b.data),
                  static_cast<std::streamsize>(b.bytes));
+        written += gap + b.bytes;
+    }
     if (!os)
         return IoResult::failure("short write: " + path);
     return IoResult::success();
@@ -140,14 +181,93 @@ namespace
 {
 
 /**
- * Shared front half of the loaders: open, validate header and
- * section table, return the parsed sections (id order, contiguous,
- * exact file length).  On success @p is is positioned at the first
- * section.
+ * Validate the fixed front of a spill file -- @p head must hold its
+ * first tableEndBytes bytes -- against @p file_bytes: magic, a
+ * known version, the section roster, id order, version-appropriate
+ * offsets (v1 contiguous, v2 aligned), fixed-width lane lengths vs
+ * the record count, and the exact file length.  Shared by the
+ * buffered and mapped loaders so the geometry rules live once.
+ */
+IoResult
+parseSpillHead(const unsigned char *head, std::uint64_t file_bytes,
+               const std::string &path, SpillLayout &layout)
+{
+    if (file_bytes < tableEndBytes)
+        return IoResult::failure("truncated header: " + path);
+    if (std::memcmp(head, magic, sizeof(magic)) != 0)
+        return IoResult::failure("bad magic: " + path);
+
+    layout.version = getU32(head + 8);
+    const std::uint32_t nsec = getU32(head + 12);
+    if (layout.version != currentVersion &&
+        layout.version != legacyVersion)
+        return IoResult::failure("unsupported version in: " + path);
+    if (nsec != imageSectionCount)
+        return IoResult::failure("unexpected section count in: " +
+                                 path);
+    layout.count = getU64(head + 16);
+
+    std::uint64_t expect_offset = tableEndBytes;
+    for (std::uint32_t i = 0; i < imageSectionCount; ++i) {
+        const unsigned char *e =
+            head + imageHeaderBytes + i * imageSectionEntryBytes;
+        Section &s = layout.sections[i];
+        s.id = getU32(e);
+        const std::uint32_t reserved = getU32(e + 4);
+        s.offset = getU64(e + 8);
+        s.bytes = getU64(e + 16);
+        s.checksum = getU64(e + 24);
+        if (s.id != i + 1 || reserved != 0)
+            return IoResult::failure("malformed section table in: " +
+                                     path);
+        if (layout.version >= currentVersion)
+            expect_offset = alignSection(expect_offset);
+        if (s.offset != expect_offset) {
+            return IoResult::failure(
+                layout.version >= currentVersion
+                    ? "misaligned section layout in: " + path
+                    : "non-contiguous section layout in: " + path);
+        }
+        expect_offset += s.bytes;
+    }
+
+    // Fixed-width sections must match the declared record count, and
+    // the file must end exactly where the last section does.
+    if (layout.sections[SecLines - 1].bytes != layout.count * 8 ||
+        layout.sections[SecPcs - 1].bytes != layout.count * 8 ||
+        layout.sections[SecRw - 1].bytes != layout.count) {
+        return IoResult::failure(
+            "section lengths disagree with the record count in: " +
+            path);
+    }
+    if (file_bytes != expect_offset) {
+        return IoResult::failure(
+            "file length does not match the section table in: " +
+            path);
+    }
+    return IoResult::success();
+}
+
+/** Reject non-zero bytes in an alignment gap (v2 padding rule). */
+IoResult
+checkPadZero(const unsigned char *gap, std::size_t bytes,
+             const std::string &path)
+{
+    for (std::size_t i = 0; i < bytes; ++i)
+        if (gap[i] != 0)
+            return IoResult::failure(
+                "non-zero section padding in: " + path);
+    return IoResult::success();
+}
+
+/**
+ * Shared front half of the buffered loaders: open, validate header
+ * and section table and (for v2) the zero padding, return the
+ * parsed layout.
  */
 IoResult
 parseSpillLayout(const std::string &path, std::ifstream &is,
-                 std::uint64_t &count, std::vector<Section> &sections)
+                 SpillLayout &layout)
 {
     is.open(path, std::ios::binary | std::ios::ate);
     if (!is)
@@ -155,65 +275,35 @@ parseSpillLayout(const std::string &path, std::ifstream &is,
     const std::streamoff file_bytes = is.tellg();
     is.seekg(0);
 
-    const std::uint64_t table_end = imageHeaderBytes +
-        std::uint64_t{imageSectionCount} * imageSectionEntryBytes;
-    if (file_bytes < static_cast<std::streamoff>(table_end))
+    unsigned char head[tableEndBytes];
+    if (file_bytes < static_cast<std::streamoff>(tableEndBytes))
         return IoResult::failure("truncated header: " + path);
-
-    char got_magic[8];
-    is.read(got_magic, sizeof(got_magic));
-    if (!is || std::memcmp(got_magic, magic, sizeof(magic)) != 0)
-        return IoResult::failure("bad magic: " + path);
-
-    std::uint32_t ver = 0;
-    std::uint32_t nsec = 0;
-    is.read(reinterpret_cast<char *>(&ver), sizeof(ver));
-    is.read(reinterpret_cast<char *>(&nsec), sizeof(nsec));
-    if (!is || ver != version)
-        return IoResult::failure("unsupported version in: " + path);
-    if (nsec != imageSectionCount)
-        return IoResult::failure("unexpected section count in: " +
-                                 path);
-    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    is.read(reinterpret_cast<char *>(head), sizeof(head));
     if (!is)
         return IoResult::failure("truncated header: " + path);
+    if (IoResult r = parseSpillHead(
+            head, static_cast<std::uint64_t>(file_bytes), path,
+            layout);
+        !r.ok)
+        return r;
 
-    sections.resize(imageSectionCount);
-    std::uint64_t expect_offset = table_end;
-    for (std::uint32_t i = 0; i < imageSectionCount; ++i) {
-        Section &s = sections[i];
-        std::uint32_t reserved = ~0u;
-        is.read(reinterpret_cast<char *>(&s.id), 4);
-        is.read(reinterpret_cast<char *>(&reserved), 4);
-        is.read(reinterpret_cast<char *>(&s.offset), 8);
-        is.read(reinterpret_cast<char *>(&s.bytes), 8);
-        is.read(reinterpret_cast<char *>(&s.checksum), 8);
-        if (!is)
-            return IoResult::failure("truncated section table: " +
-                                     path);
-        if (s.id != i + 1 || reserved != 0)
-            return IoResult::failure("malformed section table in: " +
-                                     path);
-        if (s.offset != expect_offset) {
-            return IoResult::failure(
-                "non-contiguous section layout in: " + path);
+    if (layout.version >= currentVersion) {
+        // The alignment gaps are part of the format: non-zero bytes
+        // there mean a foreign or corrupt writer.
+        std::uint64_t prev_end = tableEndBytes;
+        for (const Section &s : layout.sections) {
+            const std::uint64_t gap = s.offset - prev_end;
+            unsigned char buf[imageSectionAlign];
+            is.seekg(static_cast<std::streamoff>(prev_end));
+            is.read(reinterpret_cast<char *>(buf),
+                    static_cast<std::streamsize>(gap));
+            if (!is)
+                return IoResult::failure("truncated padding in: " +
+                                         path);
+            if (IoResult r = checkPadZero(buf, gap, path); !r.ok)
+                return r;
+            prev_end = s.offset + s.bytes;
         }
-        expect_offset += s.bytes;
-    }
-
-    // Fixed-width sections must match the declared record count, and
-    // the file must end exactly where the last section does.
-    if (sections[SecLines - 1].bytes != count * 8 ||
-        sections[SecPcs - 1].bytes != count * 8 ||
-        sections[SecRw - 1].bytes != count) {
-        return IoResult::failure(
-            "section lengths disagree with the record count in: " +
-            path);
-    }
-    if (static_cast<std::uint64_t>(file_bytes) != expect_offset) {
-        return IoResult::failure(
-            "file length does not match the section table in: " +
-            path);
     }
     return IoResult::success();
 }
@@ -242,11 +332,11 @@ loadReplayImage(const std::string &path, ReplayImage &image,
                 std::string *key)
 {
     std::ifstream is;
-    std::uint64_t count = 0;
-    std::vector<Section> sections;
-    if (IoResult r = parseSpillLayout(path, is, count, sections);
-        !r.ok)
+    SpillLayout layout;
+    if (IoResult r = parseSpillLayout(path, is, layout); !r.ok)
         return r;
+    const Section *sections = layout.sections;
+    const std::uint64_t count = layout.count;
 
     std::string got_key(sections[SecKey - 1].bytes, '\0');
     std::vector<LineAddr> lines(count);
@@ -288,18 +378,156 @@ IoResult
 readImageKey(const std::string &path, std::string &key)
 {
     std::ifstream is;
-    std::uint64_t count = 0;
-    std::vector<Section> sections;
-    if (IoResult r = parseSpillLayout(path, is, count, sections);
-        !r.ok)
+    SpillLayout layout;
+    if (IoResult r = parseSpillLayout(path, is, layout); !r.ok)
         return r;
-    std::string got_key(sections[SecKey - 1].bytes, '\0');
-    if (IoResult r = readSection(path, is, sections[SecKey - 1],
+    std::string got_key(layout.sections[SecKey - 1].bytes, '\0');
+    if (IoResult r = readSection(path, is,
+                                 layout.sections[SecKey - 1],
                                  got_key.data());
         !r.ok)
         return r;
     key = std::move(got_key);
     return IoResult::success();
+}
+
+IoResult
+MappedReplayImage::open(const std::string &path)
+{
+    auto fresh = std::make_shared<MappedFile>();
+    if (IoResult r = MappedFile::map(path, *fresh); !r.ok)
+        return r;
+    const unsigned char *base = fresh->data();
+    const std::uint64_t file_bytes = fresh->size();
+
+    SpillLayout layout;
+    if (file_bytes < tableEndBytes)
+        return IoResult::failure("truncated header: " + path);
+    if (IoResult r = parseSpillHead(base, file_bytes, path, layout);
+        !r.ok)
+        return r;
+    if (layout.version != currentVersion) {
+        return IoResult::failure(
+            "mapped load needs a version-2 (aligned) spill; "
+            "re-spill or use the buffered loader for: " + path);
+    }
+
+    // Eager cheap checks: zero padding and the tiny key section.
+    // The lane checksums wait for the first image() call.
+    std::uint64_t prev_end = tableEndBytes;
+    for (const Section &s : layout.sections) {
+        if (IoResult r = checkPadZero(base + prev_end,
+                                      s.offset - prev_end, path);
+            !r.ok)
+            return r;
+        prev_end = s.offset + s.bytes;
+    }
+    const Section &ks = layout.sections[SecKey - 1];
+    if (fnv1a64(base + ks.offset, ks.bytes) != ks.checksum) {
+        return IoResult::failure(
+            "checksum mismatch in section " +
+            std::to_string(ks.id) + " of: " + path);
+    }
+
+    embeddedKey.assign(
+        reinterpret_cast<const char *>(base + ks.offset), ks.bytes);
+    records = layout.count;
+    for (unsigned i = 0; i < imageSectionCount; ++i) {
+        secOffset[i] = layout.sections[i].offset;
+        secBytes[i] = layout.sections[i].bytes;
+        secChecksum[i] = layout.sections[i].checksum;
+        laneValidated[i] = false;
+    }
+    laneValidated[SecKey - 1] = true;
+    file = std::move(fresh);
+    return IoResult::success();
+}
+
+const std::string &
+MappedReplayImage::path() const
+{
+    static const std::string empty;
+    return file ? file->path() : empty;
+}
+
+IoResult
+MappedReplayImage::validateLane(unsigned idx)
+{
+    if (laneValidated[idx])
+        return IoResult::success();
+    // First touch walks the lane front to back; tell the kernel so
+    // readahead fills the page cache at disk bandwidth.
+    file->advise(MappedFile::Advice::Sequential);
+    if (fnv1a64(file->data() + secOffset[idx], secBytes[idx]) !=
+        secChecksum[idx]) {
+        return IoResult::failure(
+            "checksum mismatch in section " +
+            std::to_string(idx + 1) + " of: " + file->path());
+    }
+    laneValidated[idx] = true;
+    return IoResult::success();
+}
+
+IoResult
+MappedReplayImage::image(ReplayImage &out)
+{
+    if (!file)
+        return IoResult::failure("mapped image is not open");
+    for (const unsigned lane :
+         {SecLines - 1u, SecPcs - 1u, SecRw - 1u}) {
+        if (IoResult r = validateLane(lane); !r.ok)
+            return r;
+    }
+    const unsigned char *base = file->data();
+    ReplayImage view(
+        reinterpret_cast<const LineAddr *>(base +
+                                           secOffset[SecLines - 1]),
+        reinterpret_cast<const Addr *>(base +
+                                       secOffset[SecPcs - 1]),
+        base + secOffset[SecRw - 1], records,
+        std::shared_ptr<const void>(file));
+    if (const std::string err = view.audit(); !err.empty())
+        return IoResult::failure("mapped image fails audit (" + err +
+                                 "): " + file->path());
+    out = std::move(view);
+    return IoResult::success();
+}
+
+std::string
+MappedReplayImage::auditAgainst(const ReplayImage &other)
+{
+    ReplayImage view;
+    if (IoResult r = image(view); !r.ok)
+        return r.error;
+    return view.auditAgainst(other);
+}
+
+std::string
+MappedReplayImage::audit() const
+{
+    if (!file) {
+        if (records != 0 || !embeddedKey.empty())
+            return "unopened loader carries state";
+        return "";
+    }
+    if (const std::string err = file->audit(); !err.empty())
+        return "mapping: " + err;
+    if (secBytes[SecLines - 1] != records * 8 ||
+        secBytes[SecPcs - 1] != records * 8 ||
+        secBytes[SecRw - 1] != records) {
+        return "lane geometry disagrees with the record count";
+    }
+    for (unsigned i = 0; i < imageSectionCount; ++i) {
+        if (secOffset[i] % imageSectionAlign != 0)
+            return "section " + std::to_string(i + 1) +
+                " is not aligned";
+        if (secOffset[i] + secBytes[i] > file->size())
+            return "section " + std::to_string(i + 1) +
+                " runs past the mapping";
+    }
+    if (embeddedKey.size() != secBytes[SecKey - 1])
+        return "embedded key length disagrees with its section";
+    return "";
 }
 
 } // namespace domino

@@ -19,18 +19,29 @@
  * before publishing anything to the caller -- a corrupt or
  * truncated spill never yields a partial image.
  *
+ * Two spill versions exist.  Version 1 packed the sections
+ * contiguously; version 2 (the only version the writer emits) pads
+ * every section start to a 64-byte boundary (imageSectionAlign,
+ * zero-filled gaps) so a memory-mapped loader can serve the lanes
+ * in place with cache-line-aligned pointers.  Both versions load
+ * through `loadReplayImage` (buffered, heap image); only version 2
+ * loads through `MappedReplayImage` (zero-copy view).
+ *
  * The determinism contract extends to disk: a spilled-and-reloaded
  * image must audit byte-equal to its in-memory source
  * (ReplayImage::auditAgainst(const ReplayImage &)), which
- * tests/test_replay_spill.cc pins across seeds.
+ * tests/test_replay_spill.cc pins across seeds -- for the mapped
+ * path too (MappedReplayImage::auditAgainst).
  */
 
 #ifndef DOMINO_TRACE_REPLAY_SPILL_H
 #define DOMINO_TRACE_REPLAY_SPILL_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "trace/mapped_file.h"
 #include "trace/replay_image.h"
 #include "trace/trace_io.h"
 
@@ -46,9 +57,15 @@ inline constexpr std::size_t imageHeaderBytes = 8 + 4 + 4 + 8;
 inline constexpr std::size_t imageSectionEntryBytes =
     4 + 4 + 8 + 8 + 8;
 
-/** Number of sections in a version-1 spill file (key, lines, PCs,
- *  rw flags -- docs/TRACE_FORMAT.md "Section ids"). */
+/** Number of sections in a spill file (key, lines, PCs, rw flags --
+ *  docs/TRACE_FORMAT.md "Section ids"; same roster in v1 and v2). */
 inline constexpr std::uint32_t imageSectionCount = 4;
+
+/** Version-2 section alignment: every section's offset is a
+ *  multiple of this, gaps zero-filled (docs/TRACE_FORMAT.md
+ *  "Section alignment").  64 so mapped lane pointers start on a
+ *  cache-line boundary. */
+inline constexpr std::uint64_t imageSectionAlign = 64;
 
 /**
  * FNV-1a 64-bit checksum over @p bytes (the spill format's section
@@ -57,7 +74,8 @@ inline constexpr std::uint32_t imageSectionCount = 4;
 std::uint64_t fnv1a64(const void *data, std::size_t bytes);
 
 /**
- * Spill @p image to @p path.
+ * Spill @p image to @p path (always writes version 2: sections
+ * padded to imageSectionAlign).
  *
  * @param key optional provenance string stored in the file (the
  *        TraceCache key of the source trace); loaders can verify it
@@ -68,10 +86,12 @@ IoResult spillReplayImage(const std::string &path,
                           const std::string &key = "");
 
 /**
- * Load a spilled image from @p path.  Rejects (with a clear error
- * and without touching @p image) a bad magic, an unknown version, a
- * malformed section table, a file length that does not match the
- * section geometry, and any section whose checksum does not verify.
+ * Load a spilled image from @p path into owning heap arrays
+ * (buffered read; accepts both v1 and v2 files).  Rejects (with a
+ * clear error and without touching @p image) a bad magic, an
+ * unknown version, a malformed section table, a file length that
+ * does not match the section geometry, non-zero v2 padding, and any
+ * section whose checksum does not verify.
  *
  * @param key when non-null, receives the provenance key stored at
  *        spill time.
@@ -85,6 +105,91 @@ IoResult loadReplayImage(const std::string &path, ReplayImage &image,
  * disk tier to vet hash-named files cheaply.
  */
 IoResult readImageKey(const std::string &path, std::string &key);
+
+/**
+ * Zero-copy loader of a version-2 spill file: maps the file
+ * read-only (src/trace/mapped_file.h) and serves the lines/pcs/rw
+ * lanes as a view-backed ReplayImage pointing straight into the
+ * mapping -- no heap copy, and N sharded sibling processes mapping
+ * one spill fault the same page-cache pages.
+ *
+ * Validation is staged so open() stays cheap: the header, section
+ * table, v2 alignment/padding geometry, and the (tiny) key section
+ * are verified eagerly by open(); the three lane checksums are
+ * verified lazily, each on the first image() call, and memoised --
+ * a second image() hands out another view for free.  A version-1
+ * file is rejected by open() with a clear error (its unaligned,
+ * contiguous sections cannot be served in place); callers fall back
+ * to the buffered loadReplayImage().
+ *
+ * Not thread-safe (the memoised validation flags are plain bools);
+ * the TraceCache mmap tier drives it from within a single-flight
+ * generator, which serialises all access.
+ */
+class MappedReplayImage
+{
+  public:
+    MappedReplayImage() = default;
+
+    /**
+     * Map and validate @p path (see class comment for what is
+     * checked eagerly).  On failure the object is left unopened and
+     * the error names the file and the failing check.
+     */
+    IoResult open(const std::string &path);
+
+    /** True after a successful open(). */
+    bool ok() const { return file != nullptr; }
+
+    /** Records in the mapped image (0 before open()). */
+    std::uint64_t count() const { return records; }
+
+    /** The provenance key embedded at spill time. */
+    const std::string &key() const { return embeddedKey; }
+
+    /** The mapped file's path (empty before open()). */
+    const std::string &path() const;
+
+    /**
+     * A zero-copy view of the mapped lanes.  The first call
+     * verifies the three lane checksums (one sequential pass over
+     * the mapping); later calls reuse the memoised verdict.  The
+     * returned image shares ownership of the mapping, so it remains
+     * valid after this loader is destroyed.
+     */
+    IoResult image(ReplayImage &out);
+
+    /**
+     * Verify the mapped lanes byte-for-byte against @p other (the
+     * loaded-vs-mapped equality contract: a buffered load and a
+     * mapped view of one file must agree exactly).
+     * @return empty string if OK, else a description.
+     */
+    std::string auditAgainst(const ReplayImage &other);
+
+    /**
+     * Verify the loader's invariants: an unopened loader holds no
+     * state; an opened one has lane geometry matching its record
+     * count and a mapping that covers every section.
+     * @return empty string if OK, else a description.
+     */
+    std::string audit() const;
+
+  private:
+    IoResult validateLane(unsigned idx);
+
+    /** Shared so view images can outlive the loader. */
+    std::shared_ptr<const MappedFile> file;
+    std::string embeddedKey;
+    std::uint64_t records = 0;
+    /** Parsed section table (offset/bytes/checksum per section, in
+     *  id order), flattened to fixed arrays. */
+    std::uint64_t secOffset[imageSectionCount] = {};
+    std::uint64_t secBytes[imageSectionCount] = {};
+    std::uint64_t secChecksum[imageSectionCount] = {};
+    /** Lane checksum already verified (memoised lazy validation). */
+    bool laneValidated[imageSectionCount] = {};
+};
 
 } // namespace domino
 

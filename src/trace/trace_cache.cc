@@ -113,10 +113,23 @@ TraceCache::image(const std::string &key, const Generator &generate)
         // Disk tier first: a valid spilled DOMIMAGE whose embedded
         // provenance key matches replaces both the workload
         // generation and the unpacking pass.  Any defect (missing
-        // file, checksum, foreign key) falls through to generation.
+        // file, checksum, foreign key, v1 on the mapped path) falls
+        // through to the next tier.
         const std::string spill_path =
             spillRoot.empty() ? ""
                               : spillFilePath(key, ".domimage");
+        if (!spill_path.empty() && mmapLoad) {
+            // Mmap tier: serve the lanes zero-copy out of a shared
+            // read-only mapping (see trace_cache.h, "Mmap tier").
+            MappedReplayImage mapped;
+            ReplayImage view;
+            if (mapped.open(spill_path).ok &&
+                mapped.key() == key && mapped.image(view).ok) {
+                diskHitCnt.fetch_add(1, std::memory_order_relaxed);
+                mmapHitCnt.fetch_add(1, std::memory_order_relaxed);
+                return view;
+            }
+        }
         if (!spill_path.empty()) {
             ReplayImage loaded;
             std::string loaded_key;
@@ -142,6 +155,21 @@ TraceCache::image(const std::string &key, const Generator &generate)
             if (spillReplayImage(tmp, built, key).ok &&
                 std::rename(tmp.c_str(), spill_path.c_str()) == 0) {
                 spillCnt.fetch_add(1, std::memory_order_relaxed);
+                if (mmapLoad) {
+                    // Swap the freshly spilled copy in as a mapped
+                    // view so even the generating process frees its
+                    // private heap lanes (the siblings will map the
+                    // same pages).
+                    MappedReplayImage mapped;
+                    ReplayImage view;
+                    if (mapped.open(spill_path).ok &&
+                        mapped.key() == key &&
+                        mapped.image(view).ok) {
+                        mmapHitCnt.fetch_add(
+                            1, std::memory_order_relaxed);
+                        return view;
+                    }
+                }
             } else {
                 std::remove(tmp.c_str());
             }
@@ -155,6 +183,13 @@ TraceCache::setSpillDir(std::string dir)
 {
     std::lock_guard<std::mutex> lock(mu);
     spillRoot = std::move(dir);
+}
+
+void
+TraceCache::setMmapTier(bool on)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    mmapLoad = on;
 }
 
 std::string

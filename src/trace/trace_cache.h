@@ -36,6 +36,17 @@
  * a complete file or none.  Duplicate generation across processes
  * is harmless: generation is deterministic, so last-rename-wins
  * publishes identical bytes (DESIGN.md "Out-of-core substrate").
+ *
+ * Mmap tier (setMmapTier): by default a disk-tier image() hit
+ * copies the spill into a fresh heap image (buffered read, works
+ * for every spill version).  With the mmap tier enabled, a
+ * version-2 spill is instead memory-mapped read-only and the image
+ * is served as a zero-copy view into the mapping
+ * (MappedReplayImage): no heap copy, and N sharded sibling
+ * processes replaying one spill share the same page-cache pages
+ * instead of each materialising a private copy.  A v1 or
+ * unmappable spill silently falls back to the buffered path --
+ * the tier is a performance property, never a correctness one.
  */
 
 #ifndef DOMINO_TRACE_TRACE_CACHE_H
@@ -202,6 +213,25 @@ class TraceCache
     const std::string &spillDir() const { return spillRoot; }
 
     /**
+     * Serve image() disk-tier hits as zero-copy views of a
+     * read-only file mapping instead of buffered heap copies (see
+     * file comment, "Mmap tier").  Requires the disk tier; like
+     * setSpillDir(), configure before fanning out cells.
+     */
+    void setMmapTier(bool on);
+
+    /** True when image() prefers the mapped load path. */
+    bool mmapTier() const { return mmapLoad; }
+
+    /** Disk-tier image() hits served zero-copy from a mapping
+     *  (subset of diskHits()). */
+    std::uint64_t
+    mmapHits() const
+    {
+        return mmapHitCnt.load(std::memory_order_relaxed);
+    }
+
+    /**
      * The on-disk `DOMTRACE` file for @p key, generating it via one
      * bounded-memory streamed pass over @p makeSource() if no valid
      * spill exists (single-flight in-process; atomic-rename
@@ -286,9 +316,11 @@ class TraceCache
     FutureMap<ReplayImage> images;
     FutureMap<std::string> tracePaths;
     std::string spillRoot;
+    bool mmapLoad = false;
     std::atomic<std::uint64_t> generationCnt{0};
     std::atomic<std::uint64_t> hitCnt{0};
     std::atomic<std::uint64_t> diskHitCnt{0};
+    std::atomic<std::uint64_t> mmapHitCnt{0};
     std::atomic<std::uint64_t> spillCnt{0};
 };
 

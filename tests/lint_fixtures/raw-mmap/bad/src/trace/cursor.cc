@@ -1,0 +1,7 @@
+#include <sys/mman.h>
+
+void *
+mapTrace(int fd, unsigned long bytes)
+{
+    return mmap(nullptr, bytes, 0x1, 0x1, fd, 0);
+}

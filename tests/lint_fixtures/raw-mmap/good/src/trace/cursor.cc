@@ -1,0 +1,8 @@
+#include "trace/mapped_file.h"
+
+// Identifiers merely containing a banned name must not match.
+unsigned long
+mmapHits(unsigned long base)
+{
+    return base + 1;
+}

@@ -1,0 +1,9 @@
+// The one owner of the raw mapping primitives (the real tree's
+// trace/mapped_file.h wrapper).
+#include <sys/mman.h>
+
+void *
+mapTrace(int fd, unsigned long bytes)
+{
+    return mmap(nullptr, bytes, 0x1, 0x1, fd, 0);
+}

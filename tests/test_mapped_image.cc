@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the zero-copy mapped load path: the MappedFile RAII
+ * wrapper (src/trace/mapped_file.*), the MappedReplayImage loader
+ * over version-2 DOMIMAGE spills, its loaded-vs-mapped byte-equality
+ * contract (auditAgainst), the v2 alignment/padding rules, legacy
+ * version-1 buffered loading, and the TraceCache mmap tier
+ * (docs/TRACE_FORMAT.md "Section alignment").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/mapped_file.h"
+#include "trace/replay_image.h"
+#include "trace/replay_spill.h"
+#include "trace/trace_cache.h"
+#include "workloads/server_workload.h"
+
+namespace domino
+{
+namespace
+{
+
+TraceBuffer
+testTrace(std::uint64_t seed, std::uint64_t accesses)
+{
+    WorkloadParams wl;
+    findWorkload("OLTP", wl);
+    return generateTrace(wl, seed, accesses);
+}
+
+std::vector<char>
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    const std::streamoff bytes = is.tellg();
+    is.seekg(0);
+    std::vector<char> out(static_cast<std::size_t>(bytes));
+    is.read(out.data(), bytes);
+    return out;
+}
+
+void
+spit(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+void
+putU32(std::vector<char> &out, std::uint32_t v)
+{
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out.insert(out.end(), buf, buf + 4);
+}
+
+void
+putU64(std::vector<char> &out, std::uint64_t v)
+{
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out.insert(out.end(), buf, buf + 8);
+}
+
+/** Serialise @p image as a *version-1* spill (contiguous sections,
+ *  the legacy layout the current writer no longer emits) so the
+ *  legacy-read path stays covered by a deterministic input. */
+std::vector<char>
+buildV1Spill(const ReplayImage &image, const std::string &key)
+{
+    const std::uint64_t count = image.size();
+    const char *payload[4] = {
+        key.data(),
+        reinterpret_cast<const char *>(image.linesData()),
+        reinterpret_cast<const char *>(image.pcsData()),
+        reinterpret_cast<const char *>(image.rwData())};
+    const std::uint64_t lengths[4] = {key.size(), 8 * count,
+                                      8 * count, count};
+
+    std::vector<char> out;
+    out.insert(out.end(), {'D', 'O', 'M', 'I', 'M', 'A', 'G', 'E'});
+    putU32(out, 1); // legacy version
+    putU32(out, imageSectionCount);
+    putU64(out, count);
+    std::uint64_t offset =
+        imageHeaderBytes + imageSectionCount * imageSectionEntryBytes;
+    for (std::uint32_t s = 0; s < imageSectionCount; ++s) {
+        putU32(out, s + 1);
+        putU32(out, 0);
+        putU64(out, offset);
+        putU64(out, lengths[s]);
+        putU64(out, fnv1a64(payload[s], lengths[s]));
+        offset += lengths[s];
+    }
+    for (std::uint32_t s = 0; s < imageSectionCount; ++s)
+        out.insert(out.end(), payload[s], payload[s] + lengths[s]);
+    return out;
+}
+
+TEST(MappedFile, MissingFileFails)
+{
+    MappedFile file;
+    const IoResult res =
+        MappedFile::map("/nonexistent/dir/x.bin", file);
+    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(file.ok());
+}
+
+TEST(MappedFile, DirectoryRejected)
+{
+    MappedFile file;
+    EXPECT_FALSE(MappedFile::map("/tmp", file).ok);
+    EXPECT_FALSE(file.ok());
+}
+
+TEST(MappedFile, EmptyFileMapsToZeroBytes)
+{
+    const std::string path = "/tmp/domino_test_map_empty.bin";
+    spit(path, {});
+    MappedFile file;
+    ASSERT_TRUE(MappedFile::map(path, file).ok);
+    EXPECT_TRUE(file.ok());
+    EXPECT_EQ(file.size(), 0u);
+    EXPECT_EQ(file.audit(), "");
+    std::remove(path.c_str());
+}
+
+TEST(MappedFile, ContentsMatchTheFileAndMoveTransfers)
+{
+    const std::string path = "/tmp/domino_test_map_bytes.bin";
+    const std::vector<char> bytes = {'d', 'o', 'm', 'i', 'n', 'o'};
+    spit(path, bytes);
+    MappedFile file;
+    ASSERT_TRUE(MappedFile::map(path, file).ok);
+    ASSERT_EQ(file.size(), bytes.size());
+    EXPECT_EQ(std::memcmp(file.data(), bytes.data(), bytes.size()),
+              0);
+    EXPECT_EQ(file.path(), path);
+    file.advise(MappedFile::Advice::Sequential);
+
+    MappedFile moved = std::move(file);
+    EXPECT_TRUE(moved.ok());
+    EXPECT_FALSE(file.ok());
+    EXPECT_EQ(moved.size(), bytes.size());
+    EXPECT_EQ(moved.audit(), "");
+    EXPECT_EQ(file.audit(), "");
+    std::remove(path.c_str());
+}
+
+TEST(MappedImage, MappedEqualsLoadedAcrossSeeds)
+{
+    const std::string path = "/tmp/domino_test_mapped_eq.domimage";
+    for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+        const TraceBuffer trace = testTrace(seed, 4000);
+        const ReplayImage image(trace);
+        ASSERT_TRUE(spillReplayImage(path, image, "key").ok);
+
+        ReplayImage loaded;
+        ASSERT_TRUE(loadReplayImage(path, loaded).ok);
+
+        MappedReplayImage mapped;
+        ASSERT_TRUE(mapped.open(path).ok);
+        EXPECT_EQ(mapped.key(), "key");
+        EXPECT_EQ(mapped.count(), image.size());
+        EXPECT_EQ(mapped.audit(), "");
+        // The loaded-vs-mapped equality contract, both directions.
+        EXPECT_EQ(mapped.auditAgainst(loaded), "");
+        EXPECT_EQ(mapped.auditAgainst(image), "");
+
+        ReplayImage view;
+        ASSERT_TRUE(mapped.image(view).ok);
+        EXPECT_TRUE(view.mapped());
+        EXPECT_EQ(view.audit(), "");
+        EXPECT_EQ(view.auditAgainst(loaded), "");
+        EXPECT_EQ(view.auditAgainst(trace), "");
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MappedImage, ViewOutlivesTheLoader)
+{
+    const std::string path = "/tmp/domino_test_mapped_life.domimage";
+    const ReplayImage image(testTrace(3, 2000));
+    ASSERT_TRUE(spillReplayImage(path, image, "").ok);
+
+    ReplayImage view;
+    {
+        MappedReplayImage mapped;
+        ASSERT_TRUE(mapped.open(path).ok);
+        ASSERT_TRUE(mapped.image(view).ok);
+    } // loader destroyed; the view shares mapping ownership
+    EXPECT_EQ(view.auditAgainst(image), "");
+
+    // Copies and moves of a view stay valid and equal.
+    ReplayImage copy = view;
+    EXPECT_EQ(copy.auditAgainst(image), "");
+    ReplayImage moved = std::move(copy);
+    EXPECT_EQ(moved.auditAgainst(image), "");
+    EXPECT_EQ(copy.size(), 0u);
+    EXPECT_EQ(copy.audit(), "");
+    std::remove(path.c_str());
+}
+
+TEST(MappedImage, SectionsAre64ByteAligned)
+{
+    const std::string path = "/tmp/domino_test_mapped_align.domimage";
+    // An awkward key length so the gap after the key section is
+    // non-trivial.
+    const ReplayImage image(testTrace(11, 1500));
+    ASSERT_TRUE(spillReplayImage(path, image, "odd-length-key!").ok);
+    const std::vector<char> bytes = slurp(path);
+    // Walk the section table: every offset must be a multiple of
+    // imageSectionAlign (the v2 invariant mapped lane pointers rely
+    // on).
+    for (std::uint32_t s = 0; s < imageSectionCount; ++s) {
+        std::uint64_t offset = 0;
+        std::memcpy(&offset,
+                    bytes.data() + imageHeaderBytes +
+                        s * imageSectionEntryBytes + 8,
+                    8);
+        EXPECT_EQ(offset % imageSectionAlign, 0u)
+            << "section " << s + 1;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MappedImage, NonZeroPaddingRejected)
+{
+    const std::string path = "/tmp/domino_test_mapped_pad.domimage";
+    const ReplayImage image(testTrace(5, 1000));
+    ASSERT_TRUE(spillReplayImage(path, image, "k").ok);
+    std::vector<char> bytes = slurp(path);
+    // The key section is 1 byte, so the byte right after it is
+    // padding up to the next 64-byte boundary.
+    std::uint64_t key_off = 0;
+    std::uint64_t key_len = 0;
+    std::memcpy(&key_off, bytes.data() + imageHeaderBytes + 8, 8);
+    std::memcpy(&key_len, bytes.data() + imageHeaderBytes + 16, 8);
+    ASSERT_NE((key_off + key_len) % imageSectionAlign, 0u);
+    bytes[static_cast<std::size_t>(key_off + key_len)] = 0x5a;
+    spit(path, bytes);
+
+    ReplayImage loaded;
+    const IoResult buffered = loadReplayImage(path, loaded);
+    EXPECT_FALSE(buffered.ok);
+    EXPECT_NE(buffered.error.find("padding"), std::string::npos);
+
+    MappedReplayImage mapped;
+    const IoResult res = mapped.open(path);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("padding"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(MappedImage, LaneCorruptionCaughtLazilyAtImage)
+{
+    const std::string path = "/tmp/domino_test_mapped_lane.domimage";
+    const ReplayImage image(testTrace(9, 2000));
+    ASSERT_TRUE(spillReplayImage(path, image, "k").ok);
+    std::vector<char> bytes = slurp(path);
+    // Flip one byte inside the lines section (id 2).
+    std::uint64_t lines_off = 0;
+    std::memcpy(&lines_off,
+                bytes.data() + imageHeaderBytes +
+                    imageSectionEntryBytes + 8,
+                8);
+    bytes[static_cast<std::size_t>(lines_off) + 5] ^= 0x40;
+    spit(path, bytes);
+
+    // open() validates only header/table/padding/key: it succeeds.
+    MappedReplayImage mapped;
+    ASSERT_TRUE(mapped.open(path).ok);
+    // The lane checksum pass at image() must reject.
+    ReplayImage view;
+    const IoResult res = mapped.image(view);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("checksum"), std::string::npos);
+    EXPECT_EQ(view.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(MappedImage, LegacyV1LoadsBufferedButNotMapped)
+{
+    const std::string path = "/tmp/domino_test_mapped_v1.domimage";
+    const ReplayImage image(testTrace(13, 3000));
+    spit(path, buildV1Spill(image, "legacy-key"));
+
+    // The buffered loader accepts the legacy contiguous layout...
+    ReplayImage loaded;
+    std::string key;
+    ASSERT_TRUE(loadReplayImage(path, loaded, &key).ok);
+    EXPECT_EQ(key, "legacy-key");
+    EXPECT_EQ(loaded.auditAgainst(image), "");
+
+    // ...the mapped loader rejects it with a clear error.
+    MappedReplayImage mapped;
+    const IoResult res = mapped.open(path);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("version-2"), std::string::npos);
+    EXPECT_FALSE(mapped.ok());
+    std::remove(path.c_str());
+}
+
+TEST(MappedImage, EmptyImageRoundTripsMapped)
+{
+    const std::string path = "/tmp/domino_test_mapped_em.domimage";
+    const ReplayImage empty;
+    ASSERT_TRUE(spillReplayImage(path, empty).ok);
+    MappedReplayImage mapped;
+    ASSERT_TRUE(mapped.open(path).ok);
+    EXPECT_EQ(mapped.count(), 0u);
+    ReplayImage view;
+    ASSERT_TRUE(mapped.image(view).ok);
+    EXPECT_EQ(view.size(), 0u);
+    EXPECT_EQ(view.audit(), "");
+    std::remove(path.c_str());
+}
+
+/** One disk-tier round through TraceCache::image with the mmap tier
+ *  on: the first call generates and spills, a fresh cache then
+ *  serves the same key from the mapping, and both images compare
+ *  byte-equal to the buffered tier's. */
+TEST(MappedImage, TraceCacheMmapTierServesViews)
+{
+    const std::string dir = "/tmp/domino_test_mmap_tier";
+    const std::string key = "mmap-tier-test";
+    const auto gen = [] { return testTrace(21, 2500); };
+
+    TraceCache warm;
+    warm.setSpillDir(dir);
+    warm.setMmapTier(true);
+    EXPECT_TRUE(warm.mmapTier());
+    const auto first = warm.image(key, gen);
+    ASSERT_TRUE(first);
+    EXPECT_EQ(warm.spills(), 1u);
+    // The generating process re-maps after spilling, so even the
+    // first image is a view.
+    EXPECT_EQ(warm.mmapHits(), 1u);
+    EXPECT_TRUE(first->mapped());
+
+    TraceCache buffered;
+    buffered.setSpillDir(dir);
+    const auto heap = buffered.image(key, gen);
+    ASSERT_TRUE(heap);
+    EXPECT_EQ(buffered.diskHits(), 1u);
+    EXPECT_EQ(buffered.mmapHits(), 0u);
+    EXPECT_FALSE(heap->mapped());
+
+    TraceCache cold;
+    cold.setSpillDir(dir);
+    cold.setMmapTier(true);
+    const auto view = cold.image(key, gen);
+    ASSERT_TRUE(view);
+    EXPECT_EQ(cold.diskHits(), 1u);
+    EXPECT_EQ(cold.mmapHits(), 1u);
+    EXPECT_TRUE(view->mapped());
+
+    EXPECT_EQ(view->auditAgainst(*heap), "");
+    EXPECT_EQ(first->auditAgainst(*view), "");
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+
+} // namespace
+} // namespace domino

@@ -154,6 +154,37 @@ TEST(StreamingSource, UnopenedAndInvalidSourcesFailCleanly)
     std::remove(path.c_str());
 }
 
+TEST(StreamingSource, ZeroRecordBufferRejectedWithClearError)
+{
+    // The documented minimum buffer is 1 record (streaming_source.h:
+    // a zero-record buffer could never make refill progress), and
+    // the CLI layer enforces the same bound for --stream-chunk.
+    const std::string path = "/tmp/domino_test_stream_zb.domtrace";
+    ASSERT_TRUE(writeTrace(path, testTrace(2, 200)).ok);
+
+    StreamingTraceSource src;
+    const IoResult whole = src.open(path, 0);
+    EXPECT_FALSE(whole.ok);
+    EXPECT_NE(whole.error.find("zero-record"), std::string::npos);
+    EXPECT_FALSE(src.ok());
+
+    const IoResult shard = src.openShard(path, 2, 1, 4, 0);
+    EXPECT_FALSE(shard.ok);
+    EXPECT_NE(shard.error.find("zero-record"), std::string::npos);
+    EXPECT_FALSE(src.ok());
+
+    // The rejected open must leave the source reusable: the
+    // smallest legal buffer (1 record) still streams everything.
+    ASSERT_TRUE(src.open(path, 1).ok);
+    Access a;
+    std::uint64_t n = 0;
+    while (src.next(a))
+        ++n;
+    EXPECT_EQ(n, src.size());
+    EXPECT_EQ(src.audit(), "");
+    std::remove(path.c_str());
+}
+
 TEST(StreamingSource, CoverageMatchesResidentImageRun)
 {
     const TraceBuffer trace = testTrace(11, 6000);
